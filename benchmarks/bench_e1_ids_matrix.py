@@ -1,0 +1,92 @@
+"""E1 — the IDS evaluation matrix (paper §3.2.2, Figure 1 environment).
+
+Reproduces the paper's controlled test: each measurement technique runs
+against the reference censor (toggled on/off) with the surveillance MVR
+watching.  A technique *succeeds* when it detects blocking accurately AND
+never causes a user-attributed alert.
+
+Expected shape: every stealthy method succeeds; the overt baseline is
+accurate but attributed.
+"""
+
+from common import write_report
+
+from repro.analysis import render_table
+from repro.core import (
+    DDoSMeasurement,
+    OvertHTTPMeasurement,
+    ScanMeasurement,
+    ScanTarget,
+    SpamMeasurement,
+    StatelessSpoofedDNSMeasurement,
+    evaluate_technique,
+)
+from repro.core.evaluation import BLOCKED_TARGETS, CONTROL_TARGETS
+
+TARGETS = BLOCKED_TARGETS + CONTROL_TARGETS
+
+
+def _scan_factory(env):
+    if env.censor.policy.ip_blocking:
+        env.censor.policy.blocked_ips.add(env.topo.blocked_web.ip)
+    return ScanMeasurement(
+        env.ctx,
+        [
+            ScanTarget(env.topo.blocked_web.ip, [80], "twitter.com"),
+            ScanTarget(env.topo.control_web.ip, [80], "example.org"),
+        ],
+        port_count=60,
+    )
+
+
+ROWS = [
+    ("overt-http (baseline)", lambda env: OvertHTTPMeasurement(env.ctx, TARGETS), None, None),
+    ("scan (method 1)", _scan_factory, ["twitter.com"], ["example.org"]),
+    ("spam (method 2)", lambda env: SpamMeasurement(env.ctx, TARGETS), None, None),
+    ("ddos (method 3)", lambda env: DDoSMeasurement(env.ctx, TARGETS, requests_per_target=25), None, None),
+    ("spoofed-dns (sec 4)", lambda env: StatelessSpoofedDNSMeasurement(env.ctx, TARGETS, env.cover_ips(8)), None, None),
+]
+
+
+def run_matrix(seed: int = 0):
+    outcomes = []
+    for name, factory, blocked, control in ROWS:
+        outcome = evaluate_technique(
+            factory, name, blocked_targets=blocked, control_targets=control,
+            seed=seed, run_duration=60.0,
+        )
+        outcomes.append(outcome)
+    return outcomes
+
+
+def test_e1_ids_matrix(benchmark):
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = []
+    for outcome in outcomes:
+        risk = outcome.censored_run.risk
+        rows.append([
+            outcome.technique,
+            "yes" if outcome.detects_censorship else "NO",
+            "yes" if outcome.no_false_positives else "NO",
+            outcome.accuracy,
+            "yes" if outcome.evades_surveillance else "NO",
+            risk.attributed_alerts,
+            "SUCCESS" if outcome.successful else "fails-evasion",
+        ])
+    report = render_table(
+        ["technique", "detects", "no-FP", "accuracy", "evades", "attrib-alerts", "verdict"],
+        rows,
+        title="E1: IDS evaluation matrix (censor on/off, MVR watching)",
+    )
+    write_report("e1_ids_matrix", report)
+
+    # Paper shape: all stealthy methods satisfy both criteria...
+    for outcome in outcomes[1:]:
+        assert outcome.detects_censorship, outcome.technique
+        assert outcome.no_false_positives, outcome.technique
+        assert outcome.evades_surveillance, outcome.technique
+    # ...and the overt baseline is accurate but does NOT evade.
+    overt = outcomes[0]
+    assert overt.accuracy == 1.0
+    assert not overt.evades_surveillance

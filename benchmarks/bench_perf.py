@@ -1,0 +1,139 @@
+"""Performance microbenchmarks for the substrate hot paths.
+
+Unlike the E1-E10 reproduction benches (single-shot), these exercise the
+hot loops with real repetition so pytest-benchmark's statistics mean
+something: packet serialization, rule-engine evaluation, stream
+reassembly, and raw simulator event throughput.
+"""
+
+import pytest
+
+from repro.netsim import Simulator
+from repro.packets import ACK, IPPacket, PSH, SYN, TCPSegment, UDPDatagram
+from repro.rules import (
+    DEFAULT_VARIABLES,
+    RuleEngine,
+    StreamReassembler,
+    censor_ruleset_text,
+    mvr_detection_ruleset_text,
+    surveillance_interest_ruleset_text,
+)
+
+
+def _request_packet(index=0):
+    return IPPacket(
+        src="10.1.0.5",
+        dst="203.0.113.10",
+        payload=TCPSegment(
+            sport=40000 + index % 1000, dport=80, seq=100, ack=500,
+            flags=PSH | ACK,
+            payload=b"GET /index.html HTTP/1.1\r\nHost: example.org\r\n\r\n",
+        ),
+    )
+
+
+def test_perf_packet_serialization(benchmark):
+    packet = _request_packet()
+    raw = benchmark(packet.to_bytes)
+    assert len(raw) > 40
+
+
+def test_perf_packet_parsing(benchmark):
+    raw = _request_packet().to_bytes()
+    parsed = benchmark(IPPacket.from_bytes, raw)
+    assert parsed.tcp is not None
+
+
+def test_perf_dns_round_trip(benchmark):
+    from repro.packets import DNSMessage, DNSRecord, QTYPE_A
+
+    message = DNSMessage(
+        txid=7, is_response=True,
+        answers=[DNSRecord("example.org", QTYPE_A, "1.2.3.4")],
+    )
+    message.questions = DNSMessage.query("example.org").questions
+
+    def round_trip():
+        return DNSMessage.from_bytes(message.to_bytes())
+
+    parsed = benchmark(round_trip)
+    assert parsed.a_records() == ["1.2.3.4"]
+
+
+def test_perf_rule_engine_full_ruleset(benchmark):
+    """Packets/second through the complete combined ruleset (~35 rules)."""
+    text = "\n".join([
+        censor_ruleset_text(),
+        mvr_detection_ruleset_text(),
+        surveillance_interest_ruleset_text(),
+    ])
+    engine = RuleEngine.from_text(text, variables=DEFAULT_VARIABLES)
+    packets = [_request_packet(i) for i in range(100)]
+    state = {"now": 0.0}
+
+    def run_batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    benchmark(run_batch)
+    assert engine.packets_processed >= 100
+
+
+def test_perf_stream_reassembly(benchmark):
+    """Segments/second through handshake tracking + payload assembly."""
+    def run_flows():
+        reasm = StreamReassembler()
+        for flow in range(20):
+            client = f"10.1.0.{flow + 1}"
+            reasm.feed(IPPacket(src=client, dst="203.0.113.10",
+                                payload=TCPSegment(sport=1000, dport=80, seq=10,
+                                                   flags=SYN)), 0.0)
+            reasm.feed(IPPacket(src="203.0.113.10", dst=client,
+                                payload=TCPSegment(sport=80, dport=1000, seq=50,
+                                                   ack=11, flags=SYN | ACK)), 0.0)
+            for index in range(10):
+                reasm.feed(IPPacket(src=client, dst="203.0.113.10",
+                                    payload=TCPSegment(sport=1000, dport=80,
+                                                       seq=11 + index * 8, ack=51,
+                                                       flags=PSH | ACK,
+                                                       payload=b"payload!")), 0.0)
+        return reasm
+
+    reasm = benchmark(run_flows)
+    assert len(reasm.flows) == 20
+
+
+def test_perf_simulator_event_throughput(benchmark):
+    """Raw event-loop throughput: schedule/dispatch 10k chained events."""
+    def run_events():
+        sim = Simulator()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                sim.at(0.001, tick)
+
+        sim.at(0.0, tick)
+        sim.run()
+        return state["count"]
+
+    count = benchmark(run_events)
+    assert count == 10_000
+
+
+def test_perf_end_to_end_http_transaction(benchmark):
+    """Full-stack cost: one HTTP fetch across the three-node topology."""
+    from repro.netsim import WebServer, build_three_node, http_get
+
+    def fetch():
+        topo = build_three_node(seed=1)
+        WebServer(topo.server)
+        results = []
+        http_get(topo.client, topo.server.ip, "example.org", callback=results.append)
+        topo.run()
+        return results[0]
+
+    result = benchmark(fetch)
+    assert result.ok

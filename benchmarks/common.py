@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eN_*`` module reproduces one table/figure from the paper (see
+DESIGN.md's experiment index).  Benches print their reproduction table and
+also write it under ``benchmarks/output/`` so EXPERIMENTS.md can reference
+the exact artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist a bench's reproduction table; returns the path."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import os
+
+# Make `common` importable as a sibling module when pytest is run from the
+# repository root.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Censorship as weather: a week of daily measurements over a churning
+blocklist (the ConceptDoppler framing the paper's related work cites).
+
+The censor adds archive.org to its blocklist on day 2 and unblocks
+twitter.com on day 4; the daily stealth-compatible DNS deck catches both
+transitions.
+
+Run:  python examples/censorship_weather.py
+"""
+
+from repro.core import OvertDNSMeasurement, build_environment
+from repro.core.longitudinal import DAY, LongitudinalCampaign
+
+DOMAINS = ["twitter.com", "youtube.com", "archive.org", "example.org"]
+
+
+def main():
+    env = build_environment(censored=True, seed=8, population_size=4)
+    campaign = LongitudinalCampaign(
+        env.sim,
+        technique_factory=lambda: OvertDNSMeasurement(env.ctx, DOMAINS),
+        interval=DAY,
+        epochs=7,
+    )
+    # Blocklist churn, scheduled mid-simulation:
+    env.sim.at(2 * DAY - 300,
+               lambda: env.censor.policy.blocked_domains.append("archive.org"))
+    env.sim.at(4 * DAY - 300,
+               lambda: env.censor.policy.blocked_domains.remove("twitter.com"))
+
+    campaign.start()
+    env.run(duration=7 * DAY)
+
+    print(campaign.weather_report())
+    print("\ntransitions detected:")
+    for change in campaign.transitions():
+        kind = "newly BLOCKED" if change.newly_blocked else (
+            "UNBLOCKED" if change.newly_unblocked else "changed mechanism")
+        print(f"  day {change.epoch}: {change.target} {kind} "
+              f"({change.before.value} -> {change.after.value})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Comparative vantage study: the same domains from three vantages.
+
+Two censored countries — alpha runs a GFC-style censor (DNS injection +
+keyword resets), beta a block-page censor — plus an uncensored control
+vantage, all sharing the same servers.  The per-country mechanism
+signatures come out exactly as a multi-country censorship report tabulates
+them.
+
+Run:  python examples/country_comparison.py
+"""
+
+from repro.analysis import render_table
+from repro.censor import CensorshipPolicy, GreatFirewall
+from repro.netsim import DNSServer, WebServer, Zone, build_two_country, http_get, resolve
+
+DOMAINS = ["twitter.com", "youtube.com", "example.org"]
+
+
+def build_world():
+    topo = build_two_country(seed=7, clients_per_country=3)
+    zone = Zone()
+    for domain, ip in topo.domains.items():
+        zone.add_a(domain, ip)
+    DNSServer(topo.dns_server, zone)
+    WebServer(topo.blocked_web, default_body="<html>site content</html>")
+    WebServer(topo.control_web, default_body="<html>control content</html>")
+
+    gfc = GreatFirewall(
+        policy=CensorshipPolicy.gfc_preset(),
+        variables={"HOME_NET": "10.10.0.0/16", "EXTERNAL_NET": "any"},
+    )
+    blockpage_policy = CensorshipPolicy.blockpage_preset()
+    blockpage_policy.dns_poisoning = False
+    blockpage = GreatFirewall(
+        policy=blockpage_policy,
+        variables={"HOME_NET": "10.20.0.0/16", "EXTERNAL_NET": "any"},
+    )
+    topo.country_a.border_router.add_tap(gfc)
+    topo.country_b.border_router.add_tap(blockpage)
+    return topo, gfc
+
+
+def classify(dns_result, http_result, poison_ip):
+    if dns_result.addresses == [poison_ip]:
+        return "DNS INJECTED"
+    if http_result is None:
+        return "?"
+    if http_result.ok and http_result.response.status == 403:
+        return "BLOCK PAGE"
+    if http_result.status in ("reset", "timeout"):
+        return http_result.status.upper()
+    return "open"
+
+
+def main():
+    topo, gfc = build_world()
+    vantages = {
+        "alpha (GFC)": topo.country_a.vantage,
+        "beta (block page)": topo.country_b.vantage,
+        "control": topo.control_vantage,
+    }
+
+    observations = {name: {} for name in vantages}
+    for name, vantage in vantages.items():
+        for domain in DOMAINS:
+            resolve(vantage, topo.dns_server.ip, domain,
+                    callback=lambda r, n=name, d=domain:
+                        observations[n].setdefault(d, {}).__setitem__("dns", r))
+            http_get(vantage, topo.domains[domain], domain,
+                     callback=lambda r, n=name, d=domain:
+                         observations[n].setdefault(d, {}).__setitem__("http", r))
+    topo.run()
+
+    rows = []
+    for domain in DOMAINS:
+        row = [domain]
+        for name in vantages:
+            obs = observations[name][domain]
+            row.append(classify(obs["dns"], obs.get("http"), gfc.policy.poison_ip))
+        rows.append(row)
+    print(render_table(
+        ["domain"] + list(vantages), rows,
+        title="the same domains from three vantages",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Cover-traffic campaign: hide a measurement in a spoofed crowd (paper §4).
+
+Runs the stateless spoofed-DNS technique with increasing cover-set sizes
+and the stateful TTL-limited mimicry against a cooperating measurement
+server, then prints how the surveillance system's attribution degrades.
+
+Run:  python examples/spoofed_cover_campaign.py
+"""
+
+import math
+
+from repro.analysis import render_table
+from repro.core import (
+    StatefulMimicryMeasurement,
+    StatelessSpoofedDNSMeasurement,
+    assess_risk,
+    build_environment,
+)
+from repro.core.evaluation import BLOCKED_TARGETS_FULL
+
+
+def stateless_sweep():
+    print("Stateless spoofed-DNS mimicry: attribution vs. cover size")
+    rows = []
+    for cover in (0, 3, 8, 15):
+        env = build_environment(censored=True, seed=2, population_size=max(cover, 1) + 2)
+        technique = StatelessSpoofedDNSMeasurement(
+            env.ctx, list(BLOCKED_TARGETS_FULL), env.cover_ips(cover)
+        )
+        technique.start()
+        env.run(duration=60.0)
+        detected = sum(1 for r in technique.results if r.blocked)
+        risk = assess_risk(env.surveillance, f"cover={cover}", "measurer",
+                           env.topo.measurement_client.ip, now=env.sim.now)
+        rows.append([
+            cover,
+            f"{detected}/{len(technique.results)}",
+            risk.attribution_confidence,
+            f"{risk.suspect_entropy:.2f} / {math.log2(cover + 1):.2f}",
+            "yes" if risk.investigated else "no",
+        ])
+    print(render_table(
+        ["cover hosts", "censorship detected", "measurer confidence",
+         "entropy / ideal", "investigated"],
+        rows,
+    ))
+
+
+def stateful_demo():
+    print("\nStateful TTL-limited mimicry toward our measurement server")
+    env = build_environment(censored=True, seed=3, population_size=14)
+    payloads = [
+        b"GET /weather HTTP/1.1\r\nHost: probe\r\n\r\n",       # innocuous
+        b"GET /falun HTTP/1.1\r\nHost: probe\r\n\r\n",          # keyword probe
+        b"GET / HTTP/1.1\r\nHost: twitter.com\r\n\r\n",         # blocked Host
+    ]
+    technique = StatefulMimicryMeasurement(
+        env.ctx, env.mimicry_server, payloads, env.cover_ips(11)
+    )
+    technique.start()
+    env.run(duration=90.0)
+
+    rows = []
+    for payload in payloads:
+        label = payload.decode().splitlines()[0]
+        verdict = technique.verdict_for_payload(payload)
+        rows.append([label, verdict.value])
+    print(render_table(["probe", "majority verdict"], rows))
+
+    risk = assess_risk(env.surveillance, "stateful", "measurer",
+                       env.topo.measurement_client.ip, now=env.sim.now)
+    print(
+        f"\nsurveillance view: confidence {risk.attribution_confidence:.2f} "
+        f"over {int(round(1 / max(risk.attribution_confidence, 1e-9)))} suspects, "
+        f"investigated={risk.investigated}"
+    )
+    print(
+        "note: the TTL-limited SYN/ACKs died inside the AS, so no cover "
+        "host ever sent a replay RST"
+    )
+
+
+if __name__ == "__main__":
+    stateless_sweep()
+    stateful_demo()

@@ -1,0 +1,16 @@
+"""repro — reproduction of "Can Censorship Measurements Be Safe(r)?".
+
+Jones & Feamster, HotNets 2015.  The package implements the paper's stealthy
+censorship-measurement techniques (``repro.core``) together with every
+substrate the evaluation depends on: a packet layer (``repro.packets``), a
+discrete-event network simulator (``repro.netsim``), a Snort-subset rule
+engine (``repro.rules``), censorship and surveillance reference systems
+(``repro.censor``, ``repro.surveillance``), a Proofpoint-like spam filter
+(``repro.spamfilter``), population-traffic generators (``repro.traffic``), a
+source-address-validation model (``repro.spoofing``), and analysis helpers
+(``repro.analysis``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

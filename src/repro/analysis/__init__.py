@@ -1,0 +1,54 @@
+"""Analysis: metrics, CDFs, Syria log analysis, ethics arithmetic, tables."""
+
+from .cdf import EmpiricalCDF, ascii_cdf
+from .export import (
+    campaign_document,
+    records_from_jsonl,
+    result_to_record,
+    results_to_jsonl,
+    risk_to_record,
+)
+from .ethics import (
+    LoadComparison,
+    OpenResolverStats,
+    SCHOMP_2013,
+    load_comparison,
+    spoofed_query_load,
+)
+from .metrics import ConfusionCounts, accuracy_table_row, score_results
+from .report import render_table
+from .stats import Summary, summarize_samples, wilson_interval
+from .syria import (
+    LogAnalysis,
+    LogEntry,
+    SYRIA_CENSORED_USER_FRACTION,
+    SyriaLogGenerator,
+    analyze_logs,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "EmpiricalCDF",
+    "LoadComparison",
+    "LogAnalysis",
+    "LogEntry",
+    "OpenResolverStats",
+    "SCHOMP_2013",
+    "SYRIA_CENSORED_USER_FRACTION",
+    "SyriaLogGenerator",
+    "accuracy_table_row",
+    "analyze_logs",
+    "campaign_document",
+    "ascii_cdf",
+    "load_comparison",
+    "records_from_jsonl",
+    "render_table",
+    "result_to_record",
+    "results_to_jsonl",
+    "risk_to_record",
+    "Summary",
+    "score_results",
+    "summarize_samples",
+    "spoofed_query_load",
+    "wilson_interval",
+]

@@ -1,0 +1,76 @@
+"""Empirical CDFs and terminal rendering (for the Figure 2 reproduction)."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Tuple
+
+__all__ = ["EmpiricalCDF", "ascii_cdf"]
+
+
+class EmpiricalCDF:
+    """An empirical cumulative distribution over a sample."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self.samples: List[float] = sorted(samples)
+        if not self.samples:
+            raise ValueError("CDF needs at least one sample")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def at(self, value: float) -> float:
+        """P(X <= value)."""
+        return bisect_right(self.samples, value) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (0 <= q <= 1)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        index = min(len(self.samples) - 1, max(0, int(q * len(self.samples))))
+        return self.samples[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def min(self) -> float:
+        return self.samples[0]
+
+    @property
+    def max(self) -> float:
+        return self.samples[-1]
+
+    def points(self, steps: int = 50) -> List[Tuple[float, float]]:
+        """(value, fraction) pairs suitable for plotting."""
+        lo, hi = self.samples[0], self.samples[-1]
+        if hi == lo:
+            return [(lo, 1.0)]
+        step = (hi - lo) / steps
+        return [(lo + i * step, self.at(lo + i * step)) for i in range(steps + 1)]
+
+
+def ascii_cdf(
+    cdf: EmpiricalCDF,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "value",
+    title: str = "",
+) -> str:
+    """Render a CDF as ASCII art (the benches' Figure 2 output)."""
+    lo, hi = cdf.min, cdf.max
+    span = hi - lo or 1.0
+    rows = []
+    if title:
+        rows.append(title)
+    for row in range(height, -1, -1):
+        frac = row / height
+        line = [f"{frac:4.2f} |"]
+        for col in range(width + 1):
+            value = lo + span * col / width
+            line.append("#" if cdf.at(value) >= frac else " ")
+        rows.append("".join(line))
+    rows.append("     +" + "-" * (width + 1))
+    rows.append(f"      {lo:<10.1f}{x_label:^{max(0, width - 20)}}{hi:>10.1f}")
+    return "\n".join(rows)

@@ -1,0 +1,123 @@
+"""Result export: OONI-style JSON records for downstream analysis.
+
+Measurement platforms ship results as line-delimited JSON documents; this
+module serializes :class:`~repro.core.results.MeasurementResult` and
+:class:`~repro.core.risk.RiskAssessment` objects the same way so campaign
+output can leave the library without pickling Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from ..core.results import MeasurementResult, Verdict
+from ..core.risk import RiskAssessment
+
+__all__ = [
+    "result_to_record",
+    "results_to_jsonl",
+    "records_from_jsonl",
+    "risk_to_record",
+    "campaign_document",
+]
+
+SCHEMA_VERSION = "repro-0.1"
+
+
+def result_to_record(result: MeasurementResult) -> Dict[str, object]:
+    """Serialize one result to a JSON-safe dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "measurement",
+        "technique": result.technique,
+        "target": result.target,
+        "verdict": result.verdict.value,
+        "blocked": result.blocked,
+        "time": result.time,
+        "detail": result.detail,
+        "samples": result.samples,
+        "evidence": _jsonable(result.evidence),
+    }
+
+
+def risk_to_record(risk: RiskAssessment) -> Dict[str, object]:
+    """Serialize a risk assessment to a JSON-safe dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "risk",
+        "technique": risk.technique,
+        "attributed_alerts": risk.attributed_alerts,
+        "true_origin_alerts": risk.true_origin_alerts,
+        "suspect_rank": risk.suspect_rank,
+        "attribution_confidence": risk.attribution_confidence,
+        "suspect_entropy": risk.suspect_entropy,
+        "investigated": risk.investigated,
+        "evaded": risk.evaded,
+        "risk_score": risk.risk_score(),
+    }
+
+
+def results_to_jsonl(results: Iterable[MeasurementResult]) -> str:
+    """Render results as line-delimited JSON."""
+    return "\n".join(json.dumps(result_to_record(r), sort_keys=True) for r in results)
+
+
+def records_from_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse line-delimited JSON back into records (schema-checked)."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"line {line_number}: unknown schema {record.get('schema')!r}"
+            )
+        records.append(record)
+    return records
+
+
+def campaign_document(
+    results_by_technique: Dict[str, List[MeasurementResult]],
+    risks: Optional[List[RiskAssessment]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """One JSON document summarizing a whole campaign."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "kind": "campaign",
+        "metadata": _jsonable(metadata or {}),
+        "techniques": {
+            name: [result_to_record(r) for r in results]
+            for name, results in results_by_technique.items()
+        },
+        "risks": [risk_to_record(r) for r in (risks or [])],
+        "summary": {
+            name: _verdict_histogram(results)
+            for name, results in results_by_technique.items()
+        },
+    }
+    return json.dumps(document, sort_keys=True, indent=2)
+
+
+def _verdict_histogram(results: List[MeasurementResult]) -> Dict[str, int]:
+    histogram: Dict[str, int] = {}
+    for result in results:
+        histogram[result.verdict.value] = histogram.get(result.verdict.value, 0) + 1
+    return histogram
+
+
+def _jsonable(value):
+    """Best-effort conversion of evidence values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.decode("latin-1")
+    if isinstance(value, Verdict):
+        return value.value
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,96 @@
+"""Detection metrics for measurement techniques.
+
+Scores verdicts against ground truth (the controlled censor policy) the way
+the paper's evaluation does, plus standard precision/recall for benches
+that sweep parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.results import MeasurementResult, Verdict
+
+__all__ = ["ConfusionCounts", "score_results", "accuracy_table_row"]
+
+
+@dataclass
+class ConfusionCounts:
+    """Binary blocked/accessible confusion matrix."""
+
+    true_positive: int = 0  # blocked target, blocking verdict
+    false_negative: int = 0  # blocked target, accessible verdict
+    true_negative: int = 0  # open target, accessible verdict
+    false_positive: int = 0  # open target, blocking verdict
+    inconclusive: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_negative
+            + self.true_negative
+            + self.false_positive
+            + self.inconclusive
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def score_results(
+    results: Iterable[MeasurementResult],
+    ground_truth_blocked: Mapping[str, bool],
+) -> ConfusionCounts:
+    """Score results against a target -> is-blocked ground-truth map.
+
+    Targets are matched by substring so ``"twitter.com"`` ground truth
+    matches a result labelled ``"twitter.com:80"``.
+    """
+    counts = ConfusionCounts()
+    for result in results:
+        truth = None
+        for target, blocked in ground_truth_blocked.items():
+            if target in result.target:
+                truth = blocked
+                break
+        if truth is None:
+            continue
+        if result.verdict is Verdict.INCONCLUSIVE:
+            counts.inconclusive += 1
+        elif truth and result.blocked:
+            counts.true_positive += 1
+        elif truth and not result.blocked:
+            counts.false_negative += 1
+        elif not truth and result.blocked:
+            counts.false_positive += 1
+        else:
+            counts.true_negative += 1
+    return counts
+
+
+def accuracy_table_row(technique: str, counts: ConfusionCounts) -> str:
+    """One formatted row of an accuracy table."""
+    return (
+        f"{technique:<20} acc={counts.accuracy:.3f} prec={counts.precision:.3f} "
+        f"rec={counts.recall:.3f} f1={counts.f1:.3f} n={counts.total}"
+    )

@@ -1,0 +1,53 @@
+"""Text-table rendering shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Columns are sized to their widest cell; numeric cells are right-aligned,
+    text left-aligned — good enough for bench output that mirrors the
+    paper's tables.
+    """
+    text_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str], numeric_mask: Sequence[bool]) -> str:
+        parts = []
+        for cell, width, numeric in zip(cells, widths, numeric_mask):
+            parts.append(cell.rjust(width) if numeric else cell.ljust(width))
+        return "  ".join(parts)
+
+    numeric_masks = [
+        [_is_numeric(cell) for cell in row] for row in text_rows
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers), [False] * len(headers)))
+    out.append("  ".join("-" * width for width in widths))
+    for row, mask in zip(text_rows, numeric_masks):
+        out.append(line(row, mask))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,84 @@
+"""Small statistics helpers for repeated-trial analyses.
+
+Dependency-free (no scipy): sample mean/stddev and Wilson score intervals
+for proportions, which is what the loss/robustness benches need to report
+false-positive rates honestly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["Summary", "summarize_samples", "wilson_interval"]
+
+#: z for a 95 % two-sided normal interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of a numeric sample."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95 % CI of the mean."""
+        if self.count < 2:
+            return float("inf")
+        return Z_95 * self.stddev / math.sqrt(self.count)
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} ± {self.ci95_halfwidth():.3g} "
+            f"(sd {self.stddev:.3g}, range {self.minimum:.4g}..{self.maximum:.4g})"
+        )
+
+
+def summarize_samples(samples: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` (sample standard deviation, n-1)."""
+    values: List[float] = list(samples)
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        stddev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Behaves sensibly at 0/n and n/n (unlike the Wald interval), which is
+    exactly where evasion results live: "0 of 6 runs false-blocked" still
+    carries honest uncertainty.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    )
+    # Exact endpoints at the boundaries (floating point otherwise leaves
+    # the point estimate epsilon-outside the interval).
+    low = 0.0 if successes == 0 else max(0.0, center - half)
+    high = 1.0 if successes == trials else min(1.0, center + half)
+    return (low, high)

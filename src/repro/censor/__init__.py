@@ -1,0 +1,14 @@
+"""Reference censorship system (Great Firewall of China model)."""
+
+from .actions import craft_block_page, craft_poisoned_response, craft_rst_pair
+from .gfw import CensorEvent, GreatFirewall
+from .policy import CensorshipPolicy
+
+__all__ = [
+    "CensorEvent",
+    "CensorshipPolicy",
+    "GreatFirewall",
+    "craft_block_page",
+    "craft_poisoned_response",
+    "craft_rst_pair",
+]

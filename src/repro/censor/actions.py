@@ -1,0 +1,132 @@
+"""Packet-crafting actions the censor injects.
+
+An off-path censor cannot remove packets already in flight; it *adds*
+packets that race or poison the transaction: TCP RSTs to both endpoints
+(Clayton et al.'s "Ignoring the Great Firewall of China" behaviour), forged
+DNS answers, and HTTP block pages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..packets import (
+    ACK,
+    DNSMessage,
+    DNSRecord,
+    FIN,
+    HTTPResponse,
+    IPPacket,
+    PSH,
+    QTYPE_A,
+    RST,
+    TCPSegment,
+    UDPDatagram,
+)
+
+__all__ = ["craft_rst_pair", "craft_poisoned_response", "craft_block_page"]
+
+
+def craft_rst_pair(packet: IPPacket) -> List[IPPacket]:
+    """Forge RSTs toward both endpoints of the flow ``packet`` belongs to.
+
+    Sequence numbers are taken from the observed segment so the resets land
+    in-window at both stacks, as the GFC does.
+    """
+    segment = packet.tcp
+    if segment is None:
+        raise ValueError("RST injection requires a TCP packet")
+    to_receiver = IPPacket(
+        src=packet.src,
+        dst=packet.dst,
+        payload=TCPSegment(
+            sport=segment.sport,
+            dport=segment.dport,
+            seq=segment.seq + len(segment.payload),
+            flags=RST,
+        ),
+    )
+    to_sender = IPPacket(
+        src=packet.dst,
+        dst=packet.src,
+        payload=TCPSegment(
+            sport=segment.dport,
+            dport=segment.sport,
+            seq=segment.ack,
+            flags=RST,
+        ),
+    )
+    return [to_sender, to_receiver]
+
+
+def craft_poisoned_response(
+    query_packet: IPPacket, query: DNSMessage, poison_ip: str
+) -> IPPacket:
+    """Forge a DNS response carrying a bogus A record.
+
+    Mirrors measured GFC behaviour: bad *A* answers are injected for both A
+    and MX queries (paper Section 3.2.3), with the resolver's address as
+    the forged source so the client cannot tell the answer apart by origin.
+    """
+    datagram = query_packet.udp
+    if datagram is None or query.question is None:
+        raise ValueError("DNS poisoning requires a parsed UDP DNS query")
+    forged = query.reply(
+        answers=[
+            DNSRecord(name=query.question.name, rtype=QTYPE_A, data=poison_ip, ttl=300)
+        ]
+    )
+    return IPPacket(
+        src=query_packet.dst,
+        dst=query_packet.src,
+        payload=UDPDatagram(
+            sport=datagram.dport, dport=datagram.sport, payload=forged.to_bytes()
+        ),
+    )
+
+
+def craft_block_page(packet: IPPacket, message: str = "Access Denied") -> List[IPPacket]:
+    """Forge an HTTP 403 block page from the server, then close the flow.
+
+    Used by censors that prefer an explicit denial over a bare reset.  The
+    page is sequenced as if the real server sent it, followed by a FIN.
+    """
+    segment = packet.tcp
+    if segment is None:
+        raise ValueError("block-page injection requires a TCP packet")
+    body = HTTPResponse.block_page(message).to_bytes()
+    page = IPPacket(
+        src=packet.dst,
+        dst=packet.src,
+        payload=TCPSegment(
+            sport=segment.dport,
+            dport=segment.sport,
+            seq=segment.ack,
+            ack=segment.seq + len(segment.payload),
+            flags=PSH | ACK,
+            payload=body,
+        ),
+    )
+    fin = IPPacket(
+        src=packet.dst,
+        dst=packet.src,
+        payload=TCPSegment(
+            sport=segment.dport,
+            dport=segment.sport,
+            seq=segment.ack + len(body),
+            ack=segment.seq + len(segment.payload),
+            flags=FIN | ACK,
+        ),
+    )
+    # Also reset the server side so it stops serving the real page.
+    to_server = IPPacket(
+        src=packet.src,
+        dst=packet.dst,
+        payload=TCPSegment(
+            sport=segment.sport,
+            dport=segment.dport,
+            seq=segment.seq + len(segment.payload),
+            flags=RST,
+        ),
+    )
+    return [page, fin, to_server]

@@ -1,0 +1,114 @@
+"""Censorship policy: what to block and how.
+
+The policy object is the single configuration surface the evaluation
+toggles (paper Section 3.2: "as controlled by our modifications to the
+censorship system").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..rules.rulesets import BLOCKED_DOMAINS, GFC_KEYWORDS
+
+__all__ = ["CensorshipPolicy"]
+
+
+@dataclass
+class CensorshipPolicy:
+    """Everything the reference censor enforces.
+
+    Mechanisms (each independently toggleable, mirroring real deployments):
+
+    - ``keywords``: TCP payload keywords reset via injected RSTs (GFC).
+    - ``blocked_domains``: blocked at HTTP (Host header reset) and DNS
+      (poisoned answers).
+    - ``blocked_ips`` / ``blocked_endpoints``: null-routed silently, giving
+      timeout-style censorship.
+    - ``residual_block_seconds``: after a keyword reset, the 5-tuple pair is
+      penalized for this long (the GFC's ~90 s flow-kill).
+    """
+
+    keywords: List[str] = field(default_factory=lambda: list(GFC_KEYWORDS))
+    blocked_domains: List[str] = field(default_factory=lambda: list(BLOCKED_DOMAINS))
+    blocked_ips: Set[str] = field(default_factory=set)
+    #: (ip, port) pairs to null-route; use for port-granular blocking.
+    blocked_endpoints: Set[Tuple[str, int]] = field(default_factory=set)
+    #: (ip, port) pairs blocked by *active reset*: the censor answers the
+    #: SYN with a forged RST instead of silently dropping (the second
+    #: blocking signature the scan measurement looks for).
+    rst_endpoints: Set[Tuple[str, int]] = field(default_factory=set)
+    dns_poisoning: bool = True
+    keyword_filtering: bool = True
+    http_host_filtering: bool = True
+    ip_blocking: bool = True
+    #: Serve an injected 403 block page instead of a bare RST on HTTP
+    #: Host-header matches (Iran-style behaviour, a DESIGN.md ablation).
+    http_block_page: bool = False
+    #: Whether the censor reassembles IP fragments before matching.  The
+    #: early GFC did not (Clayton et al.'s fragmentation evasion); modern
+    #: deployments do.  Toggled by the fragmentation ablation.
+    reassemble_fragments: bool = True
+    residual_block_seconds: float = 90.0
+    #: The forged A-record address injected for poisoned queries.
+    poison_ip: str = "8.7.198.45"
+
+    def enabled(self) -> bool:
+        """Whether any mechanism is active."""
+        return (
+            self.dns_poisoning
+            or self.keyword_filtering
+            or self.http_host_filtering
+            or self.ip_blocking
+        )
+
+    @classmethod
+    def disabled(cls) -> "CensorshipPolicy":
+        """A policy with every mechanism off (the control condition)."""
+        return cls(
+            dns_poisoning=False,
+            keyword_filtering=False,
+            http_host_filtering=False,
+            ip_blocking=False,
+        )
+
+    # -- regime presets --------------------------------------------------------
+    # Different censorship deployments favour different mechanisms; these
+    # presets reproduce the regimes the measurement literature contrasts,
+    # so comparative vantage studies have something to compare.
+
+    @classmethod
+    def gfc_preset(cls) -> "CensorshipPolicy":
+        """GFC-style: DNS injection + keyword/Host RST + residual flow-kill."""
+        return cls()  # the defaults model exactly this
+
+    @classmethod
+    def blockpage_preset(cls) -> "CensorshipPolicy":
+        """Block-page regime (Iran-style): explicit 403 pages, no keyword
+        resets, no residual penalty."""
+        return cls(
+            keyword_filtering=False,
+            http_block_page=True,
+            residual_block_seconds=0.0,
+        )
+
+    @classmethod
+    def nullroute_preset(cls, blocked_ips) -> "CensorshipPolicy":
+        """Silent-drop regime: pure IP null-routing (timeout censorship)."""
+        return cls(
+            dns_poisoning=False,
+            keyword_filtering=False,
+            http_host_filtering=False,
+            blocked_ips=set(blocked_ips),
+        )
+
+    def domain_is_blocked(self, name: str) -> bool:
+        normalized = name.rstrip(".").lower()
+        return any(
+            normalized == domain or normalized.endswith("." + domain)
+            for domain in self.blocked_domains
+        )
+
+    def endpoint_is_blocked(self, ip: str, port: int) -> bool:
+        return ip in self.blocked_ips or (ip, port) in self.blocked_endpoints

@@ -1,0 +1,330 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro matrix                 # E1 accuracy/evasion matrix
+    python -m repro vantage                # per-domain blocking matrix
+    python -m repro risk --technique spam  # one technique + risk report
+    python -m repro syria --population 50000
+    python -m repro sav --clients 20000
+    python -m repro ethics --prefix 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    SyriaLogGenerator,
+    analyze_logs,
+    load_comparison,
+    render_table,
+)
+from .core import (
+    DDoSMeasurement,
+    OvertDNSMeasurement,
+    OvertHTTPMeasurement,
+    ScanMeasurement,
+    ScanTarget,
+    SpamMeasurement,
+    StatefulMimicryMeasurement,
+    StatelessSpoofedDNSMeasurement,
+    assess_risk,
+    build_environment,
+    evaluate_technique,
+)
+from .core.evaluation import (
+    BLOCKED_TARGETS,
+    BLOCKED_TARGETS_FULL,
+    CONTROL_TARGETS,
+    CONTROL_TARGETS_FULL,
+)
+from .netsim import http_get, resolve
+from .spoofing import BEVERLY_PROFILE, feasibility_summary, sample_scopes
+
+TECHNIQUES = (
+    "overt-http",
+    "overt-dns",
+    "scan",
+    "spam",
+    "ddos",
+    "spoofed-dns",
+    "stateful",
+)
+
+
+def _technique_factory(name: str, cover: int):
+    """Build the factory(env) -> technique for a CLI-selected technique."""
+    full = list(BLOCKED_TARGETS_FULL) + CONTROL_TARGETS_FULL
+
+    if name == "overt-http":
+        return lambda env: OvertHTTPMeasurement(env.ctx, full)
+    if name == "overt-dns":
+        return lambda env: OvertDNSMeasurement(env.ctx, full)
+    if name == "spam":
+        return lambda env: SpamMeasurement(env.ctx, full)
+    if name == "ddos":
+        return lambda env: DDoSMeasurement(env.ctx, full[:4], requests_per_target=25)
+    if name == "spoofed-dns":
+        return lambda env: StatelessSpoofedDNSMeasurement(
+            env.ctx, full, env.cover_ips(cover)
+        )
+    if name == "stateful":
+        payloads = [b"GET /falun HTTP/1.1\r\nHost: probe\r\n\r\n"]
+        return lambda env: StatefulMimicryMeasurement(
+            env.ctx, env.mimicry_server, payloads, env.cover_ips(cover)
+        )
+    if name == "scan":
+        def factory(env):
+            env.censor.policy.blocked_ips.add(env.topo.blocked_web.ip)
+            return ScanMeasurement(
+                env.ctx,
+                [ScanTarget(env.topo.blocked_web.ip, [80], "blocked-service"),
+                 ScanTarget(env.topo.control_web.ip, [80], "control-service")],
+                port_count=80,
+            )
+        return factory
+    raise ValueError(f"unknown technique: {name}")
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    targets = BLOCKED_TARGETS + CONTROL_TARGETS
+    factories = {
+        "overt-http": lambda env: OvertHTTPMeasurement(env.ctx, targets),
+        "scan": _technique_factory("scan", cover=args.cover),
+        "spam": lambda env: SpamMeasurement(env.ctx, targets),
+        "ddos": lambda env: DDoSMeasurement(env.ctx, targets, requests_per_target=25),
+        "spoofed-dns": lambda env: StatelessSpoofedDNSMeasurement(
+            env.ctx, targets, env.cover_ips(args.cover)
+        ),
+    }
+    rows = []
+    for name, factory in factories.items():
+        blocked = ["blocked-service"] if name == "scan" else None
+        control = ["control-service"] if name == "scan" else None
+        outcome = evaluate_technique(
+            factory, name, blocked_targets=blocked, control_targets=control,
+            seed=args.seed, run_duration=args.duration,
+        )
+        rows.append([
+            name,
+            "yes" if outcome.detects_censorship else "NO",
+            outcome.accuracy,
+            "yes" if outcome.evades_surveillance else "NO",
+            "SUCCESS" if outcome.successful else "fails-evasion",
+        ])
+    print(render_table(
+        ["technique", "detects", "accuracy", "evades", "verdict"],
+        rows, title="accuracy/evasion matrix (censor on/off)",
+    ))
+    return 0
+
+
+def cmd_vantage(args: argparse.Namespace) -> int:
+    env = build_environment(censored=not args.open, seed=args.seed)
+    domains = args.domains or list(BLOCKED_TARGETS_FULL)[:5] + CONTROL_TARGETS_FULL[:2]
+    observations = {}
+    for domain in domains:
+        if domain not in env.ctx.expected_addresses:
+            print(f"warning: {domain} not hosted in the simulated world; skipping",
+                  file=sys.stderr)
+            continue
+        observations[domain] = {}
+        resolve(env.ctx.client, env.ctx.resolver_ip, domain,
+                callback=lambda r, d=domain: observations[d].__setitem__("dns", r))
+        http_get(env.ctx.client, env.ctx.expected_addresses[domain], domain,
+                 callback=lambda r, d=domain: observations[d].__setitem__("http", r))
+    env.run(duration=args.duration)
+
+    poison = env.censor.policy.poison_ip
+    rows = []
+    for domain, obs in observations.items():
+        poisoned = obs["dns"].addresses == [poison]
+        rows.append([
+            domain,
+            "INJECTED" if poisoned else (",".join(obs["dns"].addresses) or obs["dns"].status),
+            obs["http"].status,
+            "BLOCKED" if poisoned or obs["http"].status in ("reset", "timeout") else "open",
+        ])
+    print(render_table(["domain", "DNS answer", "direct HTTP", "verdict"], rows,
+                       title="vantage study from inside the AS"))
+    return 0
+
+
+def cmd_risk(args: argparse.Namespace) -> int:
+    env = build_environment(censored=True, seed=args.seed)
+    env.surveillance.analyst.escalation_threshold = args.threshold
+    technique = _technique_factory(args.technique, args.cover)(env)
+    technique.start()
+    env.run(duration=args.duration)
+
+    print(f"results ({len(technique.results)}):")
+    for result in technique.results[: args.max_results]:
+        print(f"  {result}")
+    if len(technique.results) > args.max_results:
+        print(f"  ... and {len(technique.results) - args.max_results} more")
+
+    risk = assess_risk(env.surveillance, args.technique, "measurer",
+                       env.topo.measurement_client.ip, now=env.sim.now)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["attributed alerts", risk.attributed_alerts],
+            ["true-origin alerts", risk.true_origin_alerts],
+            ["attribution confidence", risk.attribution_confidence],
+            ["suspect entropy (bits)", risk.suspect_entropy],
+            ["investigated", str(risk.investigated)],
+            ["risk score", risk.risk_score()],
+            ["evaded (paper criterion)", str(risk.evaded)],
+        ],
+        title="\nsurveillance risk assessment",
+    ))
+    return 0
+
+
+def cmd_deck(args: argparse.Namespace) -> int:
+    from .core.platform import MeasurementPlatform
+
+    env = build_environment(censored=not args.open, seed=args.seed)
+    platform = MeasurementPlatform(env, posture=args.posture, cover_size=args.cover)
+    domains = args.domains or list(BLOCKED_TARGETS_FULL)[:5] + CONTROL_TARGETS_FULL[:2]
+    report = platform.run_deck(domains, duration=args.duration)
+
+    rows = []
+    for test_name, results in report.results_by_test.items():
+        for result in results:
+            rows.append([test_name, result.target, result.verdict.value])
+    print(render_table(["test", "target", "verdict"], rows,
+                       title=f"deck results ({args.posture} posture)"))
+    print(f"\nblocked domains: {', '.join(report.blocked_domains()) or '(none)'}")
+    risk = report.risk
+    print(
+        f"risk: {risk.attributed_alerts} attributed alert(s), confidence "
+        f"{risk.attribution_confidence:.2f}, evaded={risk.evaded}"
+    )
+    if args.json:
+        print("\n" + report.to_json())
+    return 0
+
+
+def cmd_syria(args: argparse.Namespace) -> int:
+    generator = SyriaLogGenerator(population=args.population,
+                                  rng=random.Random(args.seed))
+    analysis = analyze_logs(generator.generate(), args.population)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["population", analysis.population],
+            ["requests (2 days)", analysis.total_requests],
+            ["users touching censored content", analysis.users_touching_censored],
+            ["fraction (paper: 0.0157)", analysis.censored_user_fraction],
+            [f"analyst-days @ {args.capacity}/day", analysis.pursuit_burden(args.capacity)],
+        ],
+        title="Syria-log infeasibility analysis",
+    ))
+    return 0
+
+
+def cmd_sav(args: argparse.Namespace) -> int:
+    scopes = sample_scopes(random.Random(args.seed), args.clients, BEVERLY_PROFILE)
+    summary = feasibility_summary(scopes)
+    print(render_table(
+        ["metric", "measured", "paper"],
+        [
+            ["clients", summary["total"], "-"],
+            ["can spoof within /24", summary["frac_slash24"], 0.77],
+            ["can spoof within /16", summary["frac_slash16"], 0.11],
+        ],
+        title="spoofing feasibility (Beverly et al. model)",
+    ))
+    return 0
+
+
+def cmd_ethics(args: argparse.Namespace) -> int:
+    comparison = load_comparison(prefix_length=args.prefix,
+                                 queries_per_ip=args.queries_per_ip)
+    print(render_table(
+        ["metric", "value"],
+        [
+            [f"queries for a /{args.prefix} sweep", comparison.spoofed_queries],
+            ["open forwarders (Schomp et al.)", comparison.open_forwarders],
+            ["queries per open forwarder", comparison.queries_per_forwarder_equivalent],
+            ["vs open-recursive population", comparison.fraction_of_recursive_population],
+        ],
+        title="measurement load vs. open-resolver practice",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Can Censorship Measurements Be Safe(r)?' (HotNets 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    matrix = sub.add_parser("matrix", help="run the E1 accuracy/evasion matrix")
+    matrix.add_argument("--seed", type=int, default=0)
+    matrix.add_argument("--duration", type=float, default=60.0)
+    matrix.add_argument("--cover", type=int, default=8)
+    matrix.set_defaults(func=cmd_matrix)
+
+    vantage = sub.add_parser("vantage", help="per-domain blocking matrix from inside the AS")
+    vantage.add_argument("--seed", type=int, default=0)
+    vantage.add_argument("--duration", type=float, default=30.0)
+    vantage.add_argument("--open", action="store_true", help="disable the censor")
+    vantage.add_argument("--domains", nargs="*", help="domains to probe")
+    vantage.set_defaults(func=cmd_vantage)
+
+    risk = sub.add_parser("risk", help="run one technique and assess measurer risk")
+    risk.add_argument("--technique", choices=TECHNIQUES, default="spam")
+    risk.add_argument("--seed", type=int, default=0)
+    risk.add_argument("--duration", type=float, default=90.0)
+    risk.add_argument("--cover", type=int, default=11)
+    risk.add_argument("--threshold", type=int, default=1,
+                      help="analyst escalation threshold")
+    risk.add_argument("--max-results", type=int, default=10)
+    risk.set_defaults(func=cmd_risk)
+
+    deck = sub.add_parser("deck", help="run the OONI-style test deck at a risk posture")
+    deck.add_argument("--posture", choices=("overt", "stealthy", "paranoid"),
+                      default="stealthy")
+    deck.add_argument("--seed", type=int, default=0)
+    deck.add_argument("--duration", type=float, default=120.0)
+    deck.add_argument("--cover", type=int, default=11)
+    deck.add_argument("--open", action="store_true", help="disable the censor")
+    deck.add_argument("--domains", nargs="*")
+    deck.add_argument("--json", action="store_true",
+                      help="also print the full JSON campaign document")
+    deck.set_defaults(func=cmd_deck)
+
+    syria = sub.add_parser("syria", help="Syria-log infeasibility analysis")
+    syria.add_argument("--population", type=int, default=50_000)
+    syria.add_argument("--capacity", type=int, default=10)
+    syria.add_argument("--seed", type=int, default=0)
+    syria.set_defaults(func=cmd_syria)
+
+    sav = sub.add_parser("sav", help="spoofing feasibility statistics")
+    sav.add_argument("--clients", type=int, default=20_000)
+    sav.add_argument("--seed", type=int, default=0)
+    sav.set_defaults(func=cmd_sav)
+
+    ethics = sub.add_parser("ethics", help="measurement-load arithmetic")
+    ethics.add_argument("--prefix", type=int, default=16)
+    ethics.add_argument("--queries-per-ip", type=int, default=1)
+    ethics.set_defaults(func=cmd_ethics)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""The paper's contribution: stealthy censorship-measurement techniques.
+
+Section 3 (mimicking population traffic): :class:`ScanMeasurement`,
+:class:`SpamMeasurement`, :class:`DDoSMeasurement`.  Section 4
+(manipulating population traffic): :class:`StatelessSpoofedDNSMeasurement`,
+:class:`SpoofedSYNReachability`, :class:`StatefulMimicryMeasurement`.
+Baseline: :class:`OvertDNSMeasurement`, :class:`OvertHTTPMeasurement`.
+The evaluation harness in :mod:`repro.core.evaluation` scores accuracy and
+evasion exactly as the paper's controlled tests do.
+"""
+
+from .ddos import DDoSMeasurement
+from .dupdetect import DuplicateResponseDetector, ResponsePair
+from .evaluation import (
+    BLOCKED_TARGETS,
+    CONTROL_TARGETS,
+    Environment,
+    EvaluationOutcome,
+    RunRecord,
+    build_environment,
+    evaluate_technique,
+)
+from .keywords import KeywordIsolator, KeywordProbeMeasurement
+from .longitudinal import LongitudinalCampaign
+from .measurement import MeasurementContext, MeasurementTechnique
+from .overt import OvertDNSMeasurement, OvertHTTPMeasurement, interpret_dns
+from .platform import DeckReport, MeasurementPlatform, RISK_POSTURES
+from .residual import ResidualBlockingMeasurement
+from .results import MeasurementResult, Verdict, blocked_verdicts, summarize
+from .risk import RiskAssessment, assess_risk, comparison_table
+from .scanning import ScanMeasurement, ScanTarget, top_ports
+from .scheduler import MeasurementCampaign
+from .sni import TLSReachabilityMeasurement
+from .spam import SpamMeasurement
+from .spoofing_stateful import MimicryServer, StatefulMimicryMeasurement, shared_isn
+from .spoofing_stateless import SpoofedSYNReachability, StatelessSpoofedDNSMeasurement
+
+__all__ = [
+    "BLOCKED_TARGETS",
+    "CONTROL_TARGETS",
+    "DDoSMeasurement",
+    "DuplicateResponseDetector",
+    "Environment",
+    "KeywordIsolator",
+    "KeywordProbeMeasurement",
+    "LongitudinalCampaign",
+    "EvaluationOutcome",
+    "DeckReport",
+    "MeasurementCampaign",
+    "MeasurementContext",
+    "MeasurementResult",
+    "MeasurementTechnique",
+    "MeasurementPlatform",
+    "MimicryServer",
+    "OvertDNSMeasurement",
+    "OvertHTTPMeasurement",
+    "RISK_POSTURES",
+    "ResidualBlockingMeasurement",
+    "ResponsePair",
+    "RiskAssessment",
+    "RunRecord",
+    "ScanMeasurement",
+    "ScanTarget",
+    "SpamMeasurement",
+    "SpoofedSYNReachability",
+    "StatefulMimicryMeasurement",
+    "StatelessSpoofedDNSMeasurement",
+    "TLSReachabilityMeasurement",
+    "Verdict",
+    "assess_risk",
+    "blocked_verdicts",
+    "build_environment",
+    "comparison_table",
+    "evaluate_technique",
+    "interpret_dns",
+    "shared_isn",
+    "summarize",
+    "top_ports",
+]

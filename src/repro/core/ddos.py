@@ -1,0 +1,140 @@
+"""Method #3 — DDoS-cloaked DNS/IP/HTTP censorship measurement.
+
+From the paper (Section 3.1): mimic a single source of an HTTP DDoS attack.
+DDoS floods consume little per-host bandwidth, so a burst of repeated
+requests observed near the attacker looks like one bot of a large attack;
+the MVR discards it aggressively because flood traffic differs sharply
+from user traffic.  Each repeated request doubles as a measurement sample,
+which lets the technique characterize *how* content is censored (reset vs.
+drop vs. block page) with per-sample statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Sequence
+
+from ..netsim.dnssrv import DNSResult, resolve
+from ..netsim.websrv import HTTPResult, http_get
+from .measurement import MeasurementContext, MeasurementTechnique
+from .overt import interpret_dns
+from .results import MeasurementResult, Verdict
+
+__all__ = ["DDoSMeasurement"]
+
+
+class DDoSMeasurement(MeasurementTechnique):
+    """A burst of HTTP requests against each target domain."""
+
+    name = "ddos"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        domains: Sequence[str],
+        requests_per_target: int = 25,
+        burst_interval: float = 0.05,
+        blocked_fraction_threshold: float = 0.5,
+        dns_retries: int = 2,
+    ) -> None:
+        super().__init__(ctx)
+        self.domains = list(domains)
+        self.requests_per_target = requests_per_target
+        self.burst_interval = burst_interval
+        self.blocked_fraction_threshold = blocked_fraction_threshold
+        #: Repeated sampling is the method's whole idea; that extends to
+        #: the DNS stage so a single lost datagram cannot flip the verdict.
+        self.dns_retries = dns_retries
+        self._sample_outcomes: Dict[str, Counter] = {}
+
+    def start(self) -> None:
+        for domain in self.domains:
+            self._resolve(domain, attempts_left=self.dns_retries)
+
+    def _resolve(self, domain: str, attempts_left: int) -> None:
+        resolve(
+            self.ctx.client,
+            self.ctx.resolver_ip,
+            domain,
+            callback=lambda res, d=domain, a=attempts_left: self._after_dns(d, res, a),
+        )
+
+    def _after_dns(self, domain: str, res: DNSResult, attempts_left: int = 0) -> None:
+        if res.status == "timeout" and attempts_left > 0:
+            self._resolve(domain, attempts_left - 1)
+            return
+        verdict, detail = interpret_dns(self.ctx, domain, res)
+        if verdict is not Verdict.ACCESSIBLE:
+            self._emit(
+                MeasurementResult(
+                    technique=self.name,
+                    target=domain,
+                    verdict=verdict,
+                    detail=f"dns stage: {detail}",
+                    evidence={"stage": "dns"},
+                )
+            )
+            return
+        address = res.addresses[0]
+        self._sample_outcomes[domain] = Counter()
+        for index in range(self.requests_per_target):
+            self.ctx.sim.at(
+                index * self.burst_interval,
+                lambda d=domain, a=address: self._one_request(d, a),
+            )
+
+    def _one_request(self, domain: str, address: str) -> None:
+        http_get(
+            self.ctx.client,
+            address,
+            domain,
+            "/",
+            callback=lambda res, d=domain: self._sample(d, res),
+        )
+
+    def _sample(self, domain: str, res: HTTPResult) -> None:
+        outcomes = self._sample_outcomes[domain]
+        if res.status == "ok" and res.response is not None:
+            outcomes["blockpage" if res.response.status == 403 else "ok"] += 1
+        else:
+            outcomes[res.status] += 1
+        if sum(outcomes.values()) >= self.requests_per_target:
+            self._conclude(domain)
+
+    def _conclude(self, domain: str) -> None:
+        outcomes = self._sample_outcomes[domain]
+        total = sum(outcomes.values())
+        blocked = (
+            outcomes["reset"] + outcomes["timeout"] + outcomes["blockpage"]
+        )
+        blocked_fraction = blocked / total if total else 0.0
+        if blocked_fraction >= self.blocked_fraction_threshold:
+            # The dominant failure mode characterizes the mechanism.
+            if outcomes["reset"] >= max(outcomes["timeout"], outcomes["blockpage"]):
+                verdict = Verdict.BLOCKED_RST
+            elif outcomes["blockpage"] > outcomes["timeout"]:
+                verdict = Verdict.HTTP_BLOCKPAGE
+            else:
+                verdict = Verdict.BLOCKED_TIMEOUT
+            detail = (
+                f"{blocked}/{total} samples blocked "
+                f"(reset={outcomes['reset']}, timeout={outcomes['timeout']}, "
+                f"blockpage={outcomes['blockpage']})"
+            )
+        else:
+            verdict = Verdict.ACCESSIBLE
+            detail = f"{outcomes['ok']}/{total} samples succeeded"
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=domain,
+                verdict=verdict,
+                detail=detail,
+                evidence={"samples": dict(outcomes)},
+                samples=total,
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.domains)

@@ -1,0 +1,113 @@
+"""Duplicate-DNS-response detection: injection evidence from the race.
+
+An off-path injector (the GFC) cannot remove the resolver's genuine
+answer; it can only win the race.  The client therefore receives *two*
+responses for one transaction — the forged one first, the real one a
+moment later — and seeing contradictory duplicates is strong evidence of
+injection without needing a poison-IP list or out-of-band ground truth.
+This is one of the "similar analysis techniques" the paper's related-work
+section points at (client-side DNS manipulation detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..packets import DNSMessage, IPPacket
+from ..netsim.node import Host
+
+__all__ = ["ResponsePair", "DuplicateResponseDetector"]
+
+DNS_PORT = 53
+
+
+@dataclass
+class ResponsePair:
+    """All responses observed for one (txid, question) transaction."""
+
+    txid: int
+    qname: str
+    responses: List[DNSMessage] = field(default_factory=list)
+    first_seen: float = 0.0
+
+    @property
+    def duplicated(self) -> bool:
+        return len(self.responses) >= 2
+
+    @property
+    def contradictory(self) -> bool:
+        """Duplicates that disagree on the answer set — injection evidence."""
+        answer_sets = {tuple(sorted(map(str, r.a_records()))) for r in self.responses}
+        return len(answer_sets) >= 2
+
+    def distinct_answers(self) -> List[List[str]]:
+        seen = []
+        for response in self.responses:
+            answers = sorted(response.a_records())
+            if answers not in seen:
+                seen.append(answers)
+        return seen
+
+
+class DuplicateResponseDetector:
+    """Sniffs a client's DNS replies and pairs duplicates by transaction.
+
+    Attach before issuing queries::
+
+        detector = DuplicateResponseDetector(client)
+        resolve(client, resolver_ip, "twitter.com", ...)
+        ...
+        evidence = detector.injection_evidence()
+    """
+
+    def __init__(self, client: Host) -> None:
+        self.client = client
+        self.transactions: Dict[int, ResponsePair] = {}
+        assert client.stack is not None
+        client.stack.add_sniffer(self._sniff)
+
+    def _sniff(self, packet: IPPacket) -> None:
+        datagram = packet.udp
+        if datagram is None or datagram.sport != DNS_PORT:
+            return
+        if packet.dst != self.client.ip:
+            return
+        try:
+            message = DNSMessage.from_bytes(datagram.payload)
+        except (ValueError, IndexError):
+            return
+        if not message.is_response or message.question is None:
+            return
+        pair = self.transactions.get(message.txid)
+        if pair is None:
+            pair = ResponsePair(
+                txid=message.txid,
+                qname=message.question.name,
+                first_seen=self.client.stack.sim.now,
+            )
+            self.transactions[message.txid] = pair
+        pair.responses.append(message)
+
+    # -- queries --------------------------------------------------------------
+
+    def pair_for(self, qname: str) -> Optional[ResponsePair]:
+        """The most recent transaction for ``qname``."""
+        matches = [
+            pair for pair in self.transactions.values()
+            if pair.qname == qname.rstrip(".").lower()
+        ]
+        return matches[-1] if matches else None
+
+    def injection_evidence(self) -> List[ResponsePair]:
+        """Transactions with contradictory duplicate answers."""
+        return [
+            pair for pair in self.transactions.values() if pair.contradictory
+        ]
+
+    def duplicate_rate(self) -> float:
+        """Fraction of transactions that saw more than one response."""
+        if not self.transactions:
+            return 0.0
+        duplicated = sum(1 for pair in self.transactions.values() if pair.duplicated)
+        return duplicated / len(self.transactions)

@@ -1,0 +1,274 @@
+"""The controlled evaluation harness (paper Section 3.2, Figure 1).
+
+Builds a complete environment — censored AS, censor tap, surveillance tap,
+servers — runs a technique with the censor on and off, and scores the two
+criteria the paper defines:
+
+- **accuracy**: the measurement detects blocking exactly when the censor
+  enforces it (controlled by the policy toggle);
+- **evasion**: the surveillance MVR retains no user-attributed alert for
+  the measurer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..censor import CensorshipPolicy, GreatFirewall
+from ..netsim.topology import CensoredASTopology, build_censored_as
+from ..surveillance import AttributionEngine, SurveillanceSystem
+from ..traffic.mix import PopulationMix, install_standard_servers
+from .measurement import MeasurementContext, MeasurementTechnique
+from .results import MeasurementResult, Verdict
+from .risk import RiskAssessment, assess_risk
+from .spoofing_stateful import MimicryServer
+
+__all__ = [
+    "Environment",
+    "build_environment",
+    "RunRecord",
+    "EvaluationOutcome",
+    "evaluate_technique",
+    "BLOCKED_TARGETS",
+    "CONTROL_TARGETS",
+]
+
+#: Default target split used throughout the benchmarks.
+BLOCKED_TARGETS = ["twitter.com", "youtube.com"]
+CONTROL_TARGETS = ["example.org", "weather.gov"]
+
+#: Full lists for campaign-scale experiments (volume thresholds matter).
+from ..rules.rulesets import BLOCKED_DOMAINS as BLOCKED_TARGETS_FULL  # noqa: E402
+
+CONTROL_TARGETS_FULL = ["example.org", "weather.gov", "wikipedia.org", "archive.org"]
+
+
+@dataclass
+class Environment:
+    """A fully wired evaluation environment."""
+
+    topo: CensoredASTopology
+    censor: GreatFirewall
+    surveillance: SurveillanceSystem
+    servers: Dict[str, object]
+    ctx: MeasurementContext
+    mimicry_server: MimicryServer
+    population_mix: Optional[PopulationMix] = None
+    #: The in-AS caching resolver, when built with ``resolver_in_as=True``.
+    local_resolver: Optional[object] = None
+
+    @property
+    def sim(self):
+        return self.topo.sim
+
+    def run(self, duration: Optional[float] = None) -> int:
+        return self.topo.run(duration)
+
+    def cover_ips(self, count: Optional[int] = None) -> List[str]:
+        """Addresses of population hosts usable as spoofed cover."""
+        hosts = self.topo.population if count is None else self.topo.population[:count]
+        return [host.ip for host in hosts]
+
+
+def build_environment(
+    censored: bool = True,
+    seed: int = 0,
+    population_size: int = 20,
+    with_population_traffic: bool = False,
+    population_duration: float = 30.0,
+    policy: Optional[CensorshipPolicy] = None,
+    sav_filter=None,
+    resolver_in_as: bool = False,
+) -> Environment:
+    """Stand up the full reference environment.
+
+    ``censored`` toggles the censor policy (the evaluation's control knob);
+    an explicit ``policy`` overrides the toggle.  ``resolver_in_as``
+    interposes a caching recursive resolver inside the AS (the common ISP
+    deployment): client DNS then never crosses the border, and poisoned
+    upstream answers are cached for everyone.
+    """
+    topo = build_censored_as(seed=seed, population_size=population_size, sav_filter=sav_filter)
+    if policy is None:
+        policy = CensorshipPolicy() if censored else CensorshipPolicy.disabled()
+    censor = GreatFirewall(policy=policy)
+    surveillance = SurveillanceSystem(
+        attribution=AttributionEngine.from_network(topo.network)
+    )
+    # Tap order matches Figure 1: both IDS instances on the same box; the
+    # MVR is attached first so it observes traffic even when the censor
+    # subsequently drops it.
+    topo.border_router.add_tap(surveillance)
+    topo.border_router.add_tap(censor)
+
+    servers = install_standard_servers(topo)
+    mimicry_server = MimicryServer(
+        topo.measurement_server,
+        port=80,
+        reply_ttl=topo.reply_ttl_dying_inside(),
+    )
+
+    resolver_ip = topo.dns_server.ip
+    local_resolver = None
+    if resolver_in_as:
+        from ..netsim.node import Host
+        from ..netsim.resolver import CachingResolver
+
+        resolver_host = topo.network.add(Host("asresolver", "10.1.250.53"))
+        topo.network.connect(resolver_host, topo.internal_router)
+        local_resolver = CachingResolver(resolver_host, upstream_ip=topo.dns_server.ip)
+        resolver_ip = resolver_host.ip
+
+    ctx = MeasurementContext(
+        client=topo.measurement_client,
+        resolver_ip=resolver_ip,
+        expected_addresses=dict(topo.domains),
+    )
+
+    mix = None
+    if with_population_traffic:
+        mix = PopulationMix(topo)
+        mix.start(until=population_duration)
+
+    return Environment(
+        topo=topo,
+        censor=censor,
+        surveillance=surveillance,
+        servers=servers,
+        ctx=ctx,
+        mimicry_server=mimicry_server,
+        population_mix=mix,
+        local_resolver=local_resolver,
+    )
+
+
+@dataclass
+class RunRecord:
+    """One technique execution in one environment condition."""
+
+    censored: bool
+    results: List[MeasurementResult]
+    risk: RiskAssessment
+    censor_events: int
+
+    def verdict_for(self, target_substring: str) -> Optional[Verdict]:
+        for result in self.results:
+            if target_substring in result.target:
+                return result.verdict
+        return None
+
+
+@dataclass
+class EvaluationOutcome:
+    """Accuracy and evasion scores for one technique (the E1 matrix row)."""
+
+    technique: str
+    censored_run: RunRecord
+    control_run: RunRecord
+    blocked_targets: List[str]
+    control_targets: List[str]
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of (target, condition) cells judged correctly."""
+        correct = 0
+        total = 0
+        for target in self.blocked_targets:
+            verdict = self.censored_run.verdict_for(target)
+            total += 1
+            correct += int(verdict is not None and verdict.indicates_blocking)
+        for target in self.control_targets:
+            verdict = self.censored_run.verdict_for(target)
+            total += 1
+            correct += int(verdict is Verdict.ACCESSIBLE)
+        for target in self.blocked_targets + self.control_targets:
+            verdict = self.control_run.verdict_for(target)
+            total += 1
+            correct += int(verdict is Verdict.ACCESSIBLE)
+        return correct / total if total else 0.0
+
+    @property
+    def detects_censorship(self) -> bool:
+        return all(
+            (v := self.censored_run.verdict_for(t)) is not None and v.indicates_blocking
+            for t in self.blocked_targets
+        )
+
+    @property
+    def no_false_positives(self) -> bool:
+        return all(
+            self.control_run.verdict_for(t) is Verdict.ACCESSIBLE
+            for t in self.blocked_targets + self.control_targets
+        )
+
+    @property
+    def evades_surveillance(self) -> bool:
+        """Evasion in both conditions (the MVR never attributes the user)."""
+        return self.censored_run.risk.evaded and self.control_run.risk.evaded
+
+    @property
+    def successful(self) -> bool:
+        """The paper's success criterion: accurate and evasive."""
+        return self.detects_censorship and self.no_false_positives and self.evades_surveillance
+
+
+TechniqueFactory = Callable[[Environment], MeasurementTechnique]
+
+
+def _execute(
+    factory: TechniqueFactory,
+    censored: bool,
+    seed: int,
+    run_duration: float,
+    with_population_traffic: bool,
+    population_size: int,
+) -> RunRecord:
+    env = build_environment(
+        censored=censored,
+        seed=seed,
+        population_size=population_size,
+        with_population_traffic=with_population_traffic,
+    )
+    technique = factory(env)
+    technique.start()
+    env.run(duration=run_duration)
+    risk = assess_risk(
+        env.surveillance,
+        technique=technique.name,
+        measurer_user=env.topo.measurement_client.user or "measurer",
+        measurer_ip=env.topo.measurement_client.ip,
+        now=env.sim.now,
+    )
+    return RunRecord(
+        censored=censored,
+        results=list(technique.results),
+        risk=risk,
+        censor_events=len(env.censor.events),
+    )
+
+
+def evaluate_technique(
+    factory: TechniqueFactory,
+    technique_name: str,
+    blocked_targets: Optional[List[str]] = None,
+    control_targets: Optional[List[str]] = None,
+    seed: int = 0,
+    run_duration: float = 60.0,
+    with_population_traffic: bool = False,
+    population_size: int = 20,
+) -> EvaluationOutcome:
+    """Run ``factory``'s technique censor-on and censor-off and score it."""
+    censored_run = _execute(
+        factory, True, seed, run_duration, with_population_traffic, population_size
+    )
+    control_run = _execute(
+        factory, False, seed, run_duration, with_population_traffic, population_size
+    )
+    return EvaluationOutcome(
+        technique=technique_name,
+        censored_run=censored_run,
+        control_run=control_run,
+        blocked_targets=list(blocked_targets or BLOCKED_TARGETS),
+        control_targets=list(control_targets or CONTROL_TARGETS),
+    )

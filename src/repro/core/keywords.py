@@ -1,0 +1,180 @@
+"""Keyword censorship probing and isolation (ConceptDoppler-style).
+
+The paper's goal statement includes determining whether a *keyword* is
+reachable.  This module probes candidate keywords by embedding them in
+HTTP requests toward an innocuous server we can reach, and — when a
+multi-term URL is blocked — isolates which term triggers the censor by
+bisection, the technique ConceptDoppler [12] introduced for mapping GFC
+keyword lists.
+
+Probes ride inside a DDoS-style burst toward the same server, so to the
+MVR the whole campaign is one more bot flooding a target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..netsim.websrv import HTTPResult, http_get
+from .measurement import MeasurementContext, MeasurementTechnique
+from .results import MeasurementResult, Verdict
+
+__all__ = ["KeywordProbeMeasurement", "KeywordIsolator"]
+
+
+class KeywordProbeMeasurement(MeasurementTechnique):
+    """Tests each candidate keyword with a probe request.
+
+    A keyword is *censored* when a request carrying it fails (reset or
+    timeout) while the control probe to the same server succeeds —
+    implicating the keyword, not the path.
+    """
+
+    name = "keyword-probe"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        keywords: Sequence[str],
+        target_ip: str,
+        hostname: str = "probe-target.example",
+        probe_interval: float = 0.2,
+        control_token: str = "innocuous",
+    ) -> None:
+        super().__init__(ctx)
+        self.keywords = list(keywords)
+        self.target_ip = target_ip
+        self.hostname = hostname
+        self.probe_interval = probe_interval
+        self.control_token = control_token
+        self._control_ok: Optional[bool] = None
+
+    def start(self) -> None:
+        # Control first: if the path itself is broken, keyword verdicts
+        # would be meaningless.
+        http_get(
+            self.ctx.client,
+            self.target_ip,
+            self.hostname,
+            f"/search?q={self.control_token}",
+            callback=self._control_done,
+        )
+
+    def _control_done(self, res: HTTPResult) -> None:
+        self._control_ok = res.ok
+        if not res.ok:
+            for keyword in self.keywords:
+                self._emit(
+                    MeasurementResult(
+                        technique=self.name,
+                        target=keyword,
+                        verdict=Verdict.INCONCLUSIVE,
+                        detail=f"control probe failed ({res.status}); path unusable",
+                    )
+                )
+            return
+        for index, keyword in enumerate(self.keywords):
+            self.ctx.sim.at(
+                index * self.probe_interval,
+                lambda kw=keyword: self._probe(kw),
+            )
+
+    def _probe(self, keyword: str) -> None:
+        http_get(
+            self.ctx.client,
+            self.target_ip,
+            self.hostname,
+            f"/search?q={keyword}",
+            callback=lambda res, kw=keyword: self._conclude(kw, res),
+        )
+
+    def _conclude(self, keyword: str, res: HTTPResult) -> None:
+        if res.ok:
+            verdict, detail = Verdict.ACCESSIBLE, "probe completed"
+        elif res.status == "reset":
+            verdict, detail = Verdict.BLOCKED_RST, "probe reset mid-flight"
+        elif res.status == "timeout":
+            verdict, detail = Verdict.BLOCKED_TIMEOUT, "probe never completed"
+        else:
+            verdict, detail = Verdict.INCONCLUSIVE, f"probe status {res.status}"
+        self._emit(
+            MeasurementResult(
+                technique=self.name, target=keyword, verdict=verdict, detail=detail
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.keywords)
+
+    def censored_keywords(self) -> List[str]:
+        return [r.target for r in self.results if r.blocked]
+
+
+class KeywordIsolator:
+    """Bisects a multi-term string to the minimal censored term.
+
+    Given terms ``[a, b, c, d]`` whose combination is blocked, recursively
+    probes halves until single offending terms remain.  Each probe is one
+    HTTP request, so isolating one term among N costs O(log N) probes.
+
+    Usage::
+
+        isolator = KeywordIsolator(ctx, target_ip)
+        isolator.isolate(["weather", "falun", "news"], callback)
+        env.run(...)
+        # callback(["falun"])
+    """
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        target_ip: str,
+        hostname: str = "probe-target.example",
+        max_probes: int = 64,
+    ) -> None:
+        self.ctx = ctx
+        self.target_ip = target_ip
+        self.hostname = hostname
+        self.max_probes = max_probes
+        self.probes_sent = 0
+
+    def isolate(self, terms: Sequence[str], callback) -> None:
+        """Find every censored term in ``terms``; deliver a sorted list."""
+        culprits: List[str] = []
+        pending = {"count": 0}
+
+        def explore(segment: List[str]) -> None:
+            pending["count"] += 1
+            self._probe_terms(
+                segment,
+                lambda blocked, seg=segment: handle(seg, blocked),
+            )
+
+        def handle(segment: List[str], blocked: bool) -> None:
+            pending["count"] -= 1
+            if blocked:
+                if len(segment) == 1:
+                    culprits.append(segment[0])
+                else:
+                    middle = len(segment) // 2
+                    explore(segment[:middle])
+                    explore(segment[middle:])
+            if pending["count"] == 0:
+                callback(sorted(set(culprits)))
+
+        explore(list(terms))
+
+    def _probe_terms(self, terms: List[str], conclude) -> None:
+        if self.probes_sent >= self.max_probes:
+            conclude(False)
+            return
+        self.probes_sent += 1
+        query = "+".join(terms)
+        http_get(
+            self.ctx.client,
+            self.target_ip,
+            self.hostname,
+            f"/search?q={query}",
+            callback=lambda res: conclude(not res.ok),
+        )

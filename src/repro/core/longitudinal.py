@@ -1,0 +1,129 @@
+"""Longitudinal measurement: censorship as weather (ConceptDoppler [12]).
+
+Blocklists churn; a single snapshot cannot distinguish "never blocked"
+from "unblocked last week."  This campaign re-runs a measurement
+technique at a fixed cadence over simulated days and reports per-target
+verdict timelines and the transitions between them — the "weather
+tracking" framing the paper's related work cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .measurement import MeasurementTechnique
+from .results import Verdict
+
+__all__ = ["Epoch", "Transition", "LongitudinalCampaign"]
+
+DAY = 86_400.0
+
+
+@dataclass
+class Epoch:
+    """One cadence tick's verdicts."""
+
+    index: int
+    started_at: float
+    verdicts: Dict[str, Verdict] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A target whose verdict changed between consecutive epochs."""
+
+    epoch: int
+    target: str
+    before: Verdict
+    after: Verdict
+
+    @property
+    def newly_blocked(self) -> bool:
+        return not self.before.indicates_blocking and self.after.indicates_blocking
+
+    @property
+    def newly_unblocked(self) -> bool:
+        return self.before.indicates_blocking and not self.after.indicates_blocking
+
+
+class LongitudinalCampaign:
+    """Runs ``technique_factory()`` once per epoch and tracks transitions.
+
+    The factory must return a *fresh* technique each call (techniques are
+    single-shot); the campaign owns the cadence.
+    """
+
+    def __init__(
+        self,
+        sim,
+        technique_factory: Callable[[], MeasurementTechnique],
+        interval: float = DAY,
+        epochs: int = 7,
+        settle_time: float = 120.0,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("need at least one epoch")
+        self.sim = sim
+        self.technique_factory = technique_factory
+        self.interval = interval
+        self.epochs_planned = epochs
+        self.settle_time = settle_time
+        self.epochs: List[Epoch] = []
+
+    def start(self) -> None:
+        """Schedule every epoch; run the simulator past the last one."""
+        for index in range(self.epochs_planned):
+            self.sim.at(index * self.interval, lambda i=index: self._run_epoch(i))
+
+    def _run_epoch(self, index: int) -> None:
+        technique = self.technique_factory()
+        epoch = Epoch(index=index, started_at=self.sim.now)
+        self.epochs.append(epoch)
+        technique.start()
+        # Harvest after the technique has had time to finish its traffic.
+        self.sim.at(self.settle_time, lambda: self._harvest(epoch, technique))
+
+    def _harvest(self, epoch: Epoch, technique: MeasurementTechnique) -> None:
+        for result in technique.results:
+            epoch.verdicts[result.target] = result.verdict
+
+    # -- analysis -----------------------------------------------------------------
+
+    def transitions(self) -> List[Transition]:
+        """Verdict changes between consecutive epochs."""
+        changes: List[Transition] = []
+        ordered = sorted(self.epochs, key=lambda e: e.index)
+        for previous, current in zip(ordered, ordered[1:]):
+            for target, verdict in current.verdicts.items():
+                before = previous.verdicts.get(target)
+                if before is not None and before is not verdict:
+                    changes.append(Transition(
+                        epoch=current.index, target=target,
+                        before=before, after=verdict,
+                    ))
+        return changes
+
+    def timeline(self, target: str) -> List[Optional[Verdict]]:
+        """Per-epoch verdicts for one target (None = not measured)."""
+        ordered = sorted(self.epochs, key=lambda e: e.index)
+        return [epoch.verdicts.get(target) for epoch in ordered]
+
+    def weather_report(self) -> str:
+        """Render the verdict timeline as a compact text table."""
+        from ..analysis.report import render_table
+
+        targets = sorted({t for e in self.epochs for t in e.verdicts})
+        ordered = sorted(self.epochs, key=lambda e: e.index)
+        rows = []
+        for target in targets:
+            row = [target]
+            for epoch in ordered:
+                verdict = epoch.verdicts.get(target)
+                if verdict is None:
+                    row.append("-")
+                else:
+                    row.append("BLOCKED" if verdict.indicates_blocking else "open")
+            rows.append(row)
+        headers = ["target"] + [f"d{e.index}" for e in ordered]
+        return render_table(headers, rows, title="censorship weather")

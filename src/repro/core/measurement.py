@@ -1,0 +1,73 @@
+"""Measurement technique base class and execution context.
+
+A technique is given a :class:`MeasurementContext` (the client platform:
+a host with raw-packet capability, plus the resolver and target book-
+keeping) and produces :class:`MeasurementResult` records asynchronously as
+the simulation runs — mirroring how OONI/Centinel tests run on a client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..netsim.node import Host
+from .results import MeasurementResult
+
+__all__ = ["MeasurementContext", "MeasurementTechnique"]
+
+
+@dataclass
+class MeasurementContext:
+    """Everything a technique needs to run from a vantage point."""
+
+    client: Host
+    resolver_ip: str = ""
+    #: domain -> expected IP (from out-of-band knowledge, e.g. a control
+    #: vantage); used to recognize poisoned answers.
+    expected_addresses: Dict[str, str] = field(default_factory=dict)
+    #: Known bogus addresses injectors use (GFC poison-IP lists are public).
+    known_poison_ips: frozenset = frozenset({"8.7.198.45", "159.106.121.75", "46.82.174.68"})
+
+    @property
+    def sim(self):
+        assert self.client.stack is not None
+        return self.client.stack.sim
+
+
+class MeasurementTechnique:
+    """Base class: subclasses implement ``start`` and emit results.
+
+    ``results`` accumulates as the event loop runs; callers typically
+    ``start()`` the technique, run the simulator, then read ``results``.
+    """
+
+    #: Short identifier used in result records and reports.
+    name = "base"
+    #: Whether the technique is one of the paper's stealthy designs (False
+    #: for the overt baseline).
+    stealthy = True
+
+    def __init__(self, ctx: MeasurementContext) -> None:
+        self.ctx = ctx
+        self.results: List[MeasurementResult] = []
+        self._subscribers: List[Callable[[MeasurementResult], None]] = []
+
+    def start(self) -> None:
+        """Schedule the technique's traffic; returns immediately."""
+        raise NotImplementedError
+
+    def on_result(self, callback: Callable[[MeasurementResult], None]) -> None:
+        """Subscribe to results as they are produced."""
+        self._subscribers.append(callback)
+
+    def _emit(self, result: MeasurementResult) -> None:
+        result.time = self.ctx.sim.now
+        self.results.append(result)
+        for callback in self._subscribers:
+            callback(result)
+
+    @property
+    def done(self) -> bool:
+        """Whether all expected results have been emitted (if knowable)."""
+        return True

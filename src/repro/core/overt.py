@@ -1,0 +1,168 @@
+"""Overt baseline measurements (the OONI/Centinel style the paper improves on).
+
+These perform the obvious transaction — resolve the name, fetch the page —
+directly from the user's address.  They are maximally accurate and
+maximally attributable: the surveillance interest rules fire on exactly
+this traffic, which is the risk the stealthy techniques remove.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netsim.dnssrv import DNSResult, resolve
+from ..netsim.websrv import HTTPResult, http_get
+from ..packets import QTYPE_A
+from .measurement import MeasurementContext, MeasurementTechnique
+from .results import MeasurementResult, Verdict
+
+__all__ = ["OvertDNSMeasurement", "OvertHTTPMeasurement"]
+
+
+class OvertDNSMeasurement(MeasurementTechnique):
+    """Resolve each domain directly and compare against expectations.
+
+    ``interval`` paces the queries (seconds between targets); the default
+    of zero is the burst behaviour of naive measurement clients.  Pacing
+    matters for the volume-threshold interest rules — see the A6 ablation.
+    """
+
+    name = "overt-dns"
+    stealthy = False
+
+    def __init__(
+        self, ctx: MeasurementContext, domains: List[str], interval: float = 0.0
+    ) -> None:
+        super().__init__(ctx)
+        self.domains = list(domains)
+        self.interval = interval
+
+    def start(self) -> None:
+        for index, domain in enumerate(self.domains):
+            self.ctx.sim.at(
+                index * self.interval, lambda d=domain: self._query(d)
+            )
+
+    def _query(self, domain: str) -> None:
+        resolve(
+            self.ctx.client,
+            self.ctx.resolver_ip,
+            domain,
+            qtype=QTYPE_A,
+            callback=lambda res, d=domain: self._conclude(d, res),
+        )
+
+    def _conclude(self, domain: str, res: DNSResult) -> None:
+        verdict, detail = interpret_dns(self.ctx, domain, res)
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=domain,
+                verdict=verdict,
+                detail=detail,
+                evidence={"status": res.status, "addresses": res.addresses},
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.domains)
+
+
+class OvertHTTPMeasurement(MeasurementTechnique):
+    """Fetch ``http://domain/`` directly (resolve, then GET)."""
+
+    name = "overt-http"
+    stealthy = False
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        domains: List[str],
+        path: str = "/",
+    ) -> None:
+        super().__init__(ctx)
+        self.domains = list(domains)
+        self.path = path
+
+    def start(self) -> None:
+        for domain in self.domains:
+            resolve(
+                self.ctx.client,
+                self.ctx.resolver_ip,
+                domain,
+                callback=lambda res, d=domain: self._after_dns(d, res),
+            )
+
+    def _after_dns(self, domain: str, res: DNSResult) -> None:
+        verdict, detail = interpret_dns(self.ctx, domain, res)
+        if verdict is not Verdict.ACCESSIBLE:
+            self._emit(
+                MeasurementResult(
+                    technique=self.name,
+                    target=domain,
+                    verdict=verdict,
+                    detail=f"dns stage: {detail}",
+                    evidence={"stage": "dns", "status": res.status},
+                )
+            )
+            return
+        address = res.addresses[0]
+        http_get(
+            self.ctx.client,
+            address,
+            domain,
+            self.path,
+            callback=lambda http_res, d=domain: self._after_http(d, http_res),
+        )
+
+    def _after_http(self, domain: str, res: HTTPResult) -> None:
+        if res.status == "ok" and res.response is not None:
+            if res.response.status == 403:
+                verdict, detail = Verdict.HTTP_BLOCKPAGE, "403 block page"
+            else:
+                verdict, detail = Verdict.ACCESSIBLE, f"HTTP {res.response.status}"
+        elif res.status == "reset":
+            verdict, detail = Verdict.BLOCKED_RST, "connection reset"
+        elif res.status == "timeout":
+            verdict, detail = Verdict.BLOCKED_TIMEOUT, "transaction timed out"
+        else:
+            verdict, detail = Verdict.INCONCLUSIVE, f"http status {res.status}"
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=domain,
+                verdict=verdict,
+                detail=detail,
+                evidence={"stage": "http", "status": res.status},
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.domains)
+
+
+def interpret_dns(
+    ctx: MeasurementContext, domain: str, res: DNSResult
+) -> tuple:
+    """Shared DNS-answer interpretation (poison detection).
+
+    An answer is poisoned when it is a known injector address or
+    contradicts out-of-band expected addresses.
+    """
+    if res.status == "timeout":
+        return Verdict.BLOCKED_TIMEOUT, "query timed out"
+    if res.status in ("nxdomain", "servfail", "error"):
+        return Verdict.DNS_FAILURE, f"resolution failed: {res.status}"
+    if res.status == "nodata" or not res.addresses:
+        return Verdict.DNS_FAILURE, "no addresses returned"
+    for address in res.addresses:
+        if address in ctx.known_poison_ips:
+            return Verdict.DNS_POISONED, f"known poison address {address}"
+    expected = ctx.expected_addresses.get(domain)
+    if expected is not None and expected not in res.addresses:
+        return Verdict.DNS_POISONED, (
+            f"answer {res.addresses[0]} contradicts expected {expected}"
+        )
+    return Verdict.ACCESSIBLE, f"resolved to {res.addresses[0]}"

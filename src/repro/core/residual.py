@@ -1,0 +1,136 @@
+"""Residual-blocking (flow-kill penalty) measurement.
+
+After the GFC resets a flow for a keyword, it keeps punishing the same
+endpoint pair for a window (~90 s in the classic measurements — Clayton et
+al. probed this by retrying the connection until it worked again).  This
+technique reproduces that experiment: trigger the censor once, then probe
+the *same 4-tuple* at intervals until a SYN/ACK gets through; the elapsed
+time is the measured penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..packets import ACK, IPPacket, PSH, SYN, TCPSegment
+from .measurement import MeasurementContext, MeasurementTechnique
+from .results import MeasurementResult, Verdict
+
+__all__ = ["ResidualBlockingMeasurement"]
+
+
+class ResidualBlockingMeasurement(MeasurementTechnique):
+    """Measures how long the censor's per-flow penalty lasts."""
+
+    name = "residual-blocking"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        target_ip: str,
+        port: int = 80,
+        trigger_keyword: str = "falun",
+        probe_interval: float = 1.0,
+        max_wait: float = 300.0,
+    ) -> None:
+        super().__init__(ctx)
+        self.target_ip = target_ip
+        self.port = port
+        self.trigger_keyword = trigger_keyword
+        self.probe_interval = probe_interval
+        self.max_wait = max_wait
+        self._sport: Optional[int] = None
+        self._triggered_at: Optional[float] = None
+        self._recovered_at: Optional[float] = None
+        self._trigger_reset_seen = False
+
+    def start(self) -> None:
+        stack = self.ctx.client.stack
+        assert stack is not None
+        # Raw-socket style: suppress the kernel's automatic RSTs so our
+        # hand-crafted flow state survives (what real probing tools do).
+        stack.closed_port_rst = False
+        stack.add_sniffer(self._sniff)
+        self._sport = stack.ephemeral_port()
+        self._open_trigger_flow()
+
+    # -- stage 1: trigger the censor -------------------------------------------
+
+    def _open_trigger_flow(self) -> None:
+        isn = self.ctx.sim.rng.randrange(1, 2**31)
+        self._client_isn = isn
+        self._send(TCPSegment(sport=self._sport, dport=self.port, seq=isn, flags=SYN))
+
+    def _sniff(self, packet: IPPacket) -> None:
+        segment = packet.tcp
+        if (
+            segment is None
+            or packet.src != self.target_ip
+            or segment.dport != self._sport
+        ):
+            return
+        if segment.is_synack and self._triggered_at is None:
+            # Handshake completing: ACK then send the trigger keyword.
+            ack = segment.seq + 1
+            self._send(TCPSegment(sport=self._sport, dport=self.port,
+                                  seq=self._client_isn + 1, ack=ack, flags=ACK))
+            request = f"GET /{self.trigger_keyword} HTTP/1.1\r\nHost: t\r\n\r\n"
+            self._send(TCPSegment(sport=self._sport, dport=self.port,
+                                  seq=self._client_isn + 1, ack=ack,
+                                  flags=PSH | ACK, payload=request.encode()))
+            self._triggered_at = self.ctx.sim.now
+            self.ctx.sim.at(self.probe_interval, self._probe)
+            return
+        if segment.is_rst and self._triggered_at is not None:
+            self._trigger_reset_seen = True
+            return
+        if segment.is_synack and self._triggered_at is not None:
+            # A probe SYN got through: the penalty has expired.
+            if self._recovered_at is None:
+                self._recovered_at = self.ctx.sim.now
+                self._conclude()
+
+    # -- stage 2: probe the penalized 4-tuple ----------------------------------
+
+    def _probe(self) -> None:
+        if self._recovered_at is not None:
+            return
+        elapsed = self.ctx.sim.now - (self._triggered_at or 0.0)
+        if elapsed > self.max_wait:
+            self._emit(
+                MeasurementResult(
+                    technique=self.name,
+                    target=f"{self.target_ip}:{self.port}",
+                    verdict=Verdict.BLOCKED_TIMEOUT,
+                    detail=f"penalty still active after {self.max_wait:.0f}s",
+                    evidence={"triggered": self._trigger_reset_seen},
+                )
+            )
+            return
+        self._send(TCPSegment(sport=self._sport, dport=self.port,
+                              seq=self.ctx.sim.rng.randrange(1, 2**31), flags=SYN))
+        self.ctx.sim.at(self.probe_interval, self._probe)
+
+    def _conclude(self) -> None:
+        measured = self._recovered_at - self._triggered_at
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=f"{self.target_ip}:{self.port}",
+                verdict=Verdict.BLOCKED_RST if self._trigger_reset_seen else Verdict.INCONCLUSIVE,
+                detail=f"penalty window measured at {measured:.1f}s",
+                evidence={
+                    "penalty_seconds": measured,
+                    "trigger_reset_seen": self._trigger_reset_seen,
+                },
+            )
+        )
+
+    def _send(self, segment: TCPSegment) -> None:
+        self.ctx.client.send_raw(
+            IPPacket(src=self.ctx.client.ip, dst=self.target_ip, payload=segment)
+        )
+
+    @property
+    def done(self) -> bool:
+        return bool(self.results)

@@ -1,0 +1,70 @@
+"""Measurement verdicts and result records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Verdict", "MeasurementResult", "blocked_verdicts"]
+
+
+class Verdict(enum.Enum):
+    """What a measurement concluded about a target."""
+
+    ACCESSIBLE = "accessible"
+    BLOCKED_RST = "blocked_rst"  # connection reset mid-transaction
+    BLOCKED_TIMEOUT = "blocked_timeout"  # silent drop / null-route
+    DNS_POISONED = "dns_poisoned"  # forged answer detected
+    DNS_FAILURE = "dns_failure"  # NXDOMAIN/servfail/timeout on lookup
+    HTTP_BLOCKPAGE = "http_blockpage"  # explicit censor block page
+    INCONCLUSIVE = "inconclusive"
+
+    @property
+    def indicates_blocking(self) -> bool:
+        return self in _BLOCKED
+
+
+_BLOCKED = frozenset(
+    {
+        Verdict.BLOCKED_RST,
+        Verdict.BLOCKED_TIMEOUT,
+        Verdict.DNS_POISONED,
+        Verdict.DNS_FAILURE,
+        Verdict.HTTP_BLOCKPAGE,
+    }
+)
+
+
+def blocked_verdicts() -> frozenset:
+    """The set of verdicts that indicate censorship."""
+    return _BLOCKED
+
+
+@dataclass
+class MeasurementResult:
+    """One technique's conclusion about one target."""
+
+    technique: str
+    target: str  # domain, "ip:port", or URL — technique-specific
+    verdict: Verdict
+    time: float = 0.0
+    detail: str = ""
+    #: raw per-sample observations, technique-specific
+    evidence: Dict[str, object] = field(default_factory=dict)
+    samples: int = 1
+
+    @property
+    def blocked(self) -> bool:
+        return self.verdict.indicates_blocking
+
+    def __str__(self) -> str:
+        return f"[{self.technique}] {self.target}: {self.verdict.value} ({self.detail})"
+
+
+def summarize(results: List[MeasurementResult]) -> Dict[str, int]:
+    """Verdict histogram over a result list."""
+    histogram: Dict[str, int] = {}
+    for result in results:
+        histogram[result.verdict.value] = histogram.get(result.verdict.value, 0) + 1
+    return histogram

@@ -1,0 +1,98 @@
+"""Risk model: what the surveillance system knows about the measurer.
+
+The paper's safety claim is comparative, not absolute: a technique is
+*safer* when the surveillance system ends up with fewer user-attributed
+alerts pointing at the measurer, a lower attribution confidence, and no
+analyst investigation.  This module turns the surveillance system's state
+into those numbers (experiments E6 and E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..surveillance.system import SurveillanceSystem
+
+__all__ = ["RiskAssessment", "assess_risk", "comparison_table"]
+
+
+@dataclass
+class RiskAssessment:
+    """The surveillance system's picture of one measurer after a campaign."""
+
+    technique: str
+    #: Alerts the system attributed to the measurer's user identity.
+    attributed_alerts: int
+    #: Alerts whose *true* origin was the measurer (ground truth; includes
+    #: spoofed traffic the system attributed to someone else).
+    true_origin_alerts: int
+    #: 1-based rank of the measurer in the suspect list (None = not listed).
+    suspect_rank: Optional[int]
+    #: Fraction of attributable alerts pointing at the measurer.
+    attribution_confidence: float
+    #: Shannon entropy (bits) of the suspect distribution.
+    suspect_entropy: float
+    #: Whether the analyst stage opened an investigation on the measurer.
+    investigated: bool
+
+    @property
+    def evaded(self) -> bool:
+        """The paper's evasion criterion: no user-attributed alert."""
+        return self.attributed_alerts == 0
+
+    def risk_score(self) -> float:
+        """A [0, 1] heuristic combining the components (higher = riskier).
+
+        Investigation dominates; otherwise risk scales with attribution
+        confidence, discounted when alerts are spread over many suspects.
+        """
+        if self.investigated:
+            return 1.0
+        if self.attributed_alerts == 0:
+            return 0.0
+        spread_discount = 1.0 / (1.0 + self.suspect_entropy)
+        return min(1.0, self.attribution_confidence * spread_discount + 0.1)
+
+
+def assess_risk(
+    surveillance: SurveillanceSystem,
+    technique: str,
+    measurer_user: str,
+    measurer_ip: str,
+    run_analyst: bool = True,
+    now: Optional[float] = None,
+) -> RiskAssessment:
+    """Build a :class:`RiskAssessment` from the surveillance system's state."""
+    attributed = surveillance.attributed_alerts_for_user(measurer_user)
+    true_origin = surveillance.alerts_from_origin(measurer_ip)
+    report = surveillance.suspect_report()
+    suspects = report.suspects
+    rank = suspects.index(measurer_user) + 1 if measurer_user in suspects else None
+    if run_analyst and now is not None:
+        surveillance.run_analyst(now)
+    return RiskAssessment(
+        technique=technique,
+        attributed_alerts=len(attributed),
+        true_origin_alerts=len(true_origin),
+        suspect_rank=rank,
+        attribution_confidence=report.confidence(measurer_user),
+        suspect_entropy=report.entropy(),
+        investigated=surveillance.analyst.is_under_investigation(measurer_user),
+    )
+
+
+def comparison_table(assessments: List[RiskAssessment]) -> str:
+    """Render the E9 comparison as an aligned text table."""
+    header = (
+        f"{'technique':<20} {'attrib.alerts':>13} {'true-origin':>11} "
+        f"{'confidence':>10} {'entropy':>8} {'investigated':>12} {'risk':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for a in assessments:
+        lines.append(
+            f"{a.technique:<20} {a.attributed_alerts:>13} {a.true_origin_alerts:>11} "
+            f"{a.attribution_confidence:>10.3f} {a.suspect_entropy:>8.3f} "
+            f"{str(a.investigated):>12} {a.risk_score():>6.3f}"
+        )
+    return "\n".join(lines)

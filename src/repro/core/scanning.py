@@ -1,0 +1,178 @@
+"""Method #1 — scanning-cloaked TCP/IP censorship measurement.
+
+From the paper (Section 3.1): start an nmap-style SYN scan of the most
+commonly open TCP ports of a potentially censored service.  Certain ports
+*must* be open for the service to work (port 80 on a web site), so
+censorship is inferred when an expected-open port yields (1) no SYN/ACK or
+(2) a RST.  To the MVR this is indistinguishable from the botnet scanning
+that saturates the Internet (Durumeric et al.), so it is discarded as
+commodity noise rather than logged against the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..packets import IPPacket, SYN, TCPSegment
+from ..traffic.scanners import COMMON_PORTS
+from .measurement import MeasurementContext, MeasurementTechnique
+from .results import MeasurementResult, Verdict
+
+__all__ = ["ScanTarget", "ScanMeasurement", "top_ports"]
+
+
+def top_ports(count: int) -> List[int]:
+    """The ``count`` most-commonly-open ports (nmap top-1000 style).
+
+    The head of the list is the published common-port ordering; the tail is
+    filled deterministically so scans of up to 1000 ports look plausible.
+    """
+    if count <= len(COMMON_PORTS):
+        return COMMON_PORTS[:count]
+    ports = list(COMMON_PORTS)
+    candidate = 1
+    seen = set(ports)
+    while len(ports) < count:
+        if candidate not in seen:
+            ports.append(candidate)
+            seen.add(candidate)
+        candidate += 1
+    return ports
+
+
+@dataclass
+class ScanTarget:
+    """A service to scan and the ports its function requires."""
+
+    ip: str
+    expected_open: List[int]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.expected_open:
+            raise ValueError("a scan target needs at least one expected-open port")
+        if not self.label:
+            self.label = self.ip
+
+
+@dataclass
+class _PortProbe:
+    port: int
+    state: str = "pending"  # "open" | "closed" | "filtered" | "pending"
+
+
+class ScanMeasurement(MeasurementTechnique):
+    """Half-open SYN scan with censorship inference on expected-open ports."""
+
+    name = "scan"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        targets: Sequence[ScanTarget],
+        port_count: int = 100,
+        probe_interval: float = 0.01,
+        timeout: float = 2.0,
+    ) -> None:
+        super().__init__(ctx)
+        self.targets = list(targets)
+        self.port_count = port_count
+        self.probe_interval = probe_interval
+        self.timeout = timeout
+        #: (target_ip, sport) -> probe record
+        self._probes: Dict[tuple, _PortProbe] = {}
+        self._port_states: Dict[str, Dict[int, str]] = {}
+        self._sniffing = False
+
+    def start(self) -> None:
+        stack = self.ctx.client.stack
+        assert stack is not None
+        if not self._sniffing:
+            stack.add_sniffer(self._sniff)
+            self._sniffing = True
+        delay = 0.0
+        for target in self.targets:
+            ports = sorted(set(top_ports(self.port_count)) | set(target.expected_open))
+            self._port_states[target.ip] = {}
+            for port in ports:
+                self.ctx.sim.at(delay, lambda t=target, p=port: self._probe(t, p))
+                delay += self.probe_interval
+            self.ctx.sim.at(
+                delay + self.timeout, lambda t=target: self._conclude(t)
+            )
+
+    # -- probing ---------------------------------------------------------------
+
+    def _probe(self, target: ScanTarget, port: int) -> None:
+        stack = self.ctx.client.stack
+        sport = stack.ephemeral_port()
+        probe = _PortProbe(port=port)
+        self._probes[(target.ip, sport)] = probe
+        self._port_states[target.ip][port] = "filtered"  # until proven otherwise
+        syn = IPPacket(
+            src=self.ctx.client.ip,
+            dst=target.ip,
+            payload=TCPSegment(
+                sport=sport,
+                dport=port,
+                seq=self.ctx.sim.rng.randrange(1, 2**31),
+                flags=SYN,
+            ),
+        )
+        self.ctx.client.send_raw(syn)
+
+    def _sniff(self, packet: IPPacket) -> None:
+        segment = packet.tcp
+        if segment is None or packet.dst != self.ctx.client.ip:
+            return
+        record = self._probes.get((packet.src, segment.dport))
+        if record is None or record.port != segment.sport:
+            return
+        if segment.is_synack:
+            self._port_states[packet.src][record.port] = "open"
+            # No explicit teardown needed: the host stack has no connection
+            # for this SYN/ACK and answers with a RST on its own — exactly
+            # the half-open behaviour of nmap -sS.
+        elif segment.is_rst:
+            self._port_states[packet.src][record.port] = "closed"
+
+    # -- verdicts --------------------------------------------------------------------
+
+    def _conclude(self, target: ScanTarget) -> None:
+        states = self._port_states[target.ip]
+        problems = []
+        for port in target.expected_open:
+            state = states.get(port, "filtered")
+            if state == "filtered":
+                problems.append((port, Verdict.BLOCKED_TIMEOUT))
+            elif state == "closed":
+                problems.append((port, Verdict.BLOCKED_RST))
+        open_count = sum(1 for state in states.values() if state == "open")
+        if not problems:
+            verdict, detail = Verdict.ACCESSIBLE, (
+                f"all {len(target.expected_open)} expected ports open"
+            )
+        else:
+            verdict = problems[0][1]
+            detail = "; ".join(
+                f"port {port}: {v.value}" for port, v in problems
+            )
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=f"{target.label}",
+                verdict=verdict,
+                detail=detail,
+                evidence={
+                    "port_states": dict(states),
+                    "open_ports": open_count,
+                    "ports_scanned": len(states),
+                },
+                samples=len(states),
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.targets)

@@ -1,0 +1,70 @@
+"""Measurement campaign scheduling.
+
+A campaign runs several techniques from one vantage with pacing — either
+slow (to stay under rate thresholds) or deliberately bursty (to *look*
+like the botnet behaviour a technique mimics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .measurement import MeasurementTechnique
+from .results import MeasurementResult
+
+__all__ = ["MeasurementCampaign"]
+
+
+@dataclass
+class _Entry:
+    technique: MeasurementTechnique
+    start_at: float
+    started: bool = False
+
+
+class MeasurementCampaign:
+    """Schedules techniques at offsets and aggregates their results."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._entries: List[_Entry] = []
+
+    def add(self, technique: MeasurementTechnique, at: float = 0.0) -> "MeasurementCampaign":
+        """Register ``technique`` to start ``at`` seconds from campaign start."""
+        self._entries.append(_Entry(technique=technique, start_at=at))
+        return self
+
+    def start(self) -> None:
+        """Schedule every registered technique."""
+        for entry in self._entries:
+            def fire(e=entry) -> None:
+                e.started = True
+                e.technique.start()
+
+            self.sim.at(entry.start_at, fire)
+
+    def run(self, duration: float) -> None:
+        """Start the campaign and advance the simulation."""
+        self.start()
+        self.sim.run(until=self.sim.now + duration)
+
+    @property
+    def techniques(self) -> List[MeasurementTechnique]:
+        return [entry.technique for entry in self._entries]
+
+    def all_results(self) -> List[MeasurementResult]:
+        results: List[MeasurementResult] = []
+        for entry in self._entries:
+            results.extend(entry.technique.results)
+        return results
+
+    def results_by_technique(self) -> Dict[str, List[MeasurementResult]]:
+        grouped: Dict[str, List[MeasurementResult]] = {}
+        for entry in self._entries:
+            grouped.setdefault(entry.technique.name, []).extend(entry.technique.results)
+        return grouped
+
+    @property
+    def done(self) -> bool:
+        return all(entry.started and entry.technique.done for entry in self._entries)

@@ -1,0 +1,125 @@
+"""TLS/SNI reachability measurement.
+
+HTTPS moved censorship to the one plaintext field left: the SNI in the
+ClientHello.  This technique resolves each domain, opens a TLS connection
+to the resolved address, and sends a ClientHello naming the domain; an
+injected RST between ClientHello and ServerHello is the SNI-filtering
+signature.  An optional *ESNI-style control* re-probes the same address
+with an innocuous server name — when the control succeeds where the real
+name failed, the block is keyed to the name, not the address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..netsim.dnssrv import DNSResult, resolve
+from ..netsim.tlssrv import TLSResult, tls_probe
+from .measurement import MeasurementContext, MeasurementTechnique
+from .overt import interpret_dns
+from .results import MeasurementResult, Verdict
+
+__all__ = ["TLSReachabilityMeasurement"]
+
+
+class TLSReachabilityMeasurement(MeasurementTechnique):
+    """SNI-filtering detection with a decoy-name control probe."""
+
+    name = "tls-sni"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        domains: Sequence[str],
+        control_name: str = "decoy.example",
+        run_control: bool = True,
+    ) -> None:
+        super().__init__(ctx)
+        self.domains = list(domains)
+        self.control_name = control_name
+        self.run_control = run_control
+
+    def start(self) -> None:
+        for domain in self.domains:
+            resolve(
+                self.ctx.client,
+                self.ctx.resolver_ip,
+                domain,
+                callback=lambda res, d=domain: self._after_dns(d, res),
+            )
+
+    def _after_dns(self, domain: str, res: DNSResult) -> None:
+        verdict, detail = interpret_dns(self.ctx, domain, res)
+        if verdict is not Verdict.ACCESSIBLE:
+            self._emit(
+                MeasurementResult(
+                    technique=self.name,
+                    target=domain,
+                    verdict=verdict,
+                    detail=f"dns stage: {detail}",
+                    evidence={"stage": "dns"},
+                )
+            )
+            return
+        address = res.addresses[0]
+        tls_probe(
+            self.ctx.client,
+            address,
+            domain,
+            callback=lambda tls_res, d=domain, a=address: self._after_tls(d, a, tls_res),
+        )
+
+    def _after_tls(self, domain: str, address: str, res: TLSResult) -> None:
+        if res.ok:
+            self._emit(
+                MeasurementResult(
+                    technique=self.name,
+                    target=domain,
+                    verdict=Verdict.ACCESSIBLE,
+                    detail="ServerHello received",
+                    evidence={"stage": "tls"},
+                )
+            )
+            return
+        if not self.run_control:
+            self._conclude_blocked(domain, res, control=None)
+            return
+        tls_probe(
+            self.ctx.client,
+            address,
+            self.control_name,
+            callback=lambda control_res, d=domain, r=res: self._conclude_blocked(
+                d, r, control_res
+            ),
+        )
+
+    def _conclude_blocked(
+        self, domain: str, res: TLSResult, control: Optional[TLSResult]
+    ) -> None:
+        if res.status == "reset":
+            verdict = Verdict.BLOCKED_RST
+            detail = "ClientHello drew a reset"
+        elif res.status == "timeout":
+            verdict = Verdict.BLOCKED_TIMEOUT
+            detail = "TLS handshake never completed"
+        else:
+            verdict = Verdict.INCONCLUSIVE
+            detail = f"tls status {res.status}"
+        evidence: Dict[str, object] = {"stage": "tls", "status": res.status}
+        if control is not None:
+            evidence["control_status"] = control.status
+            if control.ok:
+                detail += "; decoy SNI to same address succeeded (name-keyed block)"
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=domain,
+                verdict=verdict,
+                detail=detail,
+                evidence=evidence,
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.domains)

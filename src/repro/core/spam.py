@@ -1,0 +1,156 @@
+"""Method #2 — spam-cloaked DNS and IP censorship measurement.
+
+From the paper (Section 3.1): perform an MX lookup for the target domain,
+look up the exchange's A record, open an SMTP connection, and send a spam
+message.  Censorship is measured by whether the MX and A lookups and the
+TCP connect all succeed.  Because spammers enumerate entire zones, spam to
+a censored domain carries no intelligence value and the MVR discards it —
+the paper verified with Proofpoint that the cloaked messages classify as
+spam (Figure 2) and with a China vantage that the GFC poisons both the A
+and MX lookups (Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..netsim.dnssrv import DNSResult, resolve
+from ..netsim.mailsrv import SMTPResult, send_mail
+from ..packets import QTYPE_A, QTYPE_MX
+from ..spamfilter.corpus import measurement_spam_email
+from .measurement import MeasurementContext, MeasurementTechnique
+from .overt import interpret_dns
+from .results import MeasurementResult, Verdict
+
+__all__ = ["SpamMeasurement"]
+
+
+class SpamMeasurement(MeasurementTechnique):
+    """MX lookup -> A lookup -> SMTP delivery, cloaked as bulk spam."""
+
+    name = "spam"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        domains: Sequence[str],
+        deliver_message: bool = True,
+    ) -> None:
+        super().__init__(ctx)
+        self.domains = list(domains)
+        #: When False, stop after the connection check (lookup-only mode).
+        self.deliver_message = deliver_message
+        self.delivery_results: List[SMTPResult] = []
+
+    def start(self) -> None:
+        for domain in self.domains:
+            resolve(
+                self.ctx.client,
+                self.ctx.resolver_ip,
+                domain,
+                qtype=QTYPE_MX,
+                callback=lambda res, d=domain: self._after_mx(d, res),
+            )
+
+    # -- stage 1: MX lookup ---------------------------------------------------
+
+    def _after_mx(self, domain: str, res: DNSResult) -> None:
+        if res.status == "timeout":
+            self._finish(domain, Verdict.BLOCKED_TIMEOUT, "MX query timed out", "mx")
+            return
+        if res.status != "ok":
+            self._finish(domain, Verdict.DNS_FAILURE, f"MX lookup {res.status}", "mx")
+            return
+        # GFC behaviour: bogus *A* records injected even for MX queries.
+        poisoned = [a for a in res.addresses if a in self.ctx.known_poison_ips]
+        if poisoned:
+            self._finish(
+                domain,
+                Verdict.DNS_POISONED,
+                f"MX query answered with forged A record {poisoned[0]}",
+                "mx",
+            )
+            return
+        if not res.mx:
+            if res.addresses:
+                self._finish(
+                    domain,
+                    Verdict.DNS_POISONED,
+                    f"MX query returned A records only ({res.addresses[0]})",
+                    "mx",
+                )
+            else:
+                self._finish(domain, Verdict.DNS_FAILURE, "no MX records", "mx")
+            return
+        exchange = sorted(res.mx)[0][1]
+        resolve(
+            self.ctx.client,
+            self.ctx.resolver_ip,
+            exchange,
+            qtype=QTYPE_A,
+            callback=lambda a_res, d=domain, mx=exchange: self._after_a(d, mx, a_res),
+        )
+
+    # -- stage 2: A lookup of the exchange --------------------------------------
+
+    def _after_a(self, domain: str, exchange: str, res: DNSResult) -> None:
+        verdict, detail = interpret_dns(self.ctx, exchange, res)
+        if verdict is not Verdict.ACCESSIBLE:
+            self._finish(domain, verdict, f"A({exchange}): {detail}", "a")
+            return
+        address = res.addresses[0]
+        message = measurement_spam_email(self.ctx.sim.rng, domain)
+        if not self.deliver_message:
+            self._probe_connect(domain, address)
+            return
+        send_mail(
+            self.ctx.client,
+            address,
+            message,
+            callback=lambda smtp_res, d=domain: self._after_smtp(d, smtp_res),
+        )
+
+    def _probe_connect(self, domain: str, address: str) -> None:
+        def handler(event: str, _data: bytes) -> None:
+            if event == "connected":
+                conn.abort()
+                self._finish(domain, Verdict.ACCESSIBLE, "SMTP connect succeeded", "smtp")
+            elif event == "reset":
+                self._finish(domain, Verdict.BLOCKED_RST, "SMTP connect reset", "smtp")
+            elif event == "timeout":
+                self._finish(domain, Verdict.BLOCKED_TIMEOUT, "SMTP connect timed out", "smtp")
+
+        conn = self.ctx.client.stack.tcp_connect(address, 25, handler)
+
+    # -- stage 3: SMTP delivery ----------------------------------------------------
+
+    def _after_smtp(self, domain: str, res: SMTPResult) -> None:
+        self.delivery_results.append(res)
+        if res.status == "delivered":
+            verdict, detail = Verdict.ACCESSIBLE, "spam delivered end-to-end"
+        elif res.status == "reset":
+            verdict, detail = Verdict.BLOCKED_RST, f"reset at stage {res.stage}"
+        elif res.status == "timeout":
+            verdict, detail = Verdict.BLOCKED_TIMEOUT, f"timeout at stage {res.stage}"
+        elif res.status == "rejected":
+            # The mail server refusing is a property of the server, not the
+            # censor: the transaction reached it, so the path is open.
+            verdict, detail = Verdict.ACCESSIBLE, "server rejected message (path open)"
+        else:
+            verdict, detail = Verdict.INCONCLUSIVE, f"smtp {res.status}"
+        self._finish(domain, verdict, detail, "smtp")
+
+    def _finish(self, domain: str, verdict: Verdict, detail: str, stage: str) -> None:
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=domain,
+                verdict=verdict,
+                detail=detail,
+                evidence={"stage": stage},
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.domains)

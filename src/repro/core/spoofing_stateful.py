@@ -1,0 +1,205 @@
+"""Stateful spoofed mimicry (paper Section 4.1, Figure 3b).
+
+Stateful cover traffic only works toward a destination *we control*: a
+measurement server (hosted, per the paper, somewhere plausible like a
+cloud range).  The client forges entire TCP flows from cover hosts:
+
+1. spoofed SYN (source = cover host) toward the measurement server;
+2. the server answers with a **TTL-limited** SYN/ACK that crosses the
+   border surveillance tap but dies before reaching the spoofed client —
+   otherwise that client's stack would RST and tear the censor's
+   reassembly state (the replay problem);
+3. the client sends a blind spoofed ACK — possible because the server
+   derives its ISN deterministically from a keyed hash of the 4-tuple;
+4. the client sends spoofed application data carrying the probe content
+   (a censored keyword / Host header).
+
+The censor's reassembler sees a complete established flow and enforces on
+it; the measurement server observes whether data arrived and whether the
+flow was then reset, which yields the verdict.  One of the flows uses the
+client's own address, so the measurement is simultaneously real and
+covered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..netsim.node import Host
+from ..netsim.stack import TCPConnection
+from ..packets import ACK, IPPacket, PSH, SYN, TCPSegment
+from .measurement import MeasurementContext, MeasurementTechnique
+from .results import MeasurementResult, Verdict
+
+__all__ = ["MimicryServer", "StatefulMimicryMeasurement", "shared_isn"]
+
+
+def shared_isn(secret: bytes, local_port: int, remote_ip: str, remote_port: int) -> int:
+    """Keyed deterministic ISN both endpoints can compute (SYN-cookie style)."""
+    digest = hashlib.sha256(
+        secret + f"{local_port}|{remote_ip}|{remote_port}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1) + 1
+
+
+@dataclass
+class _FlowObservation:
+    """What the measurement server saw for one (spoofed) flow."""
+
+    source_ip: str
+    established: bool = False
+    request_data: bytes = b""
+    reset: bool = False
+
+
+class MimicryServer:
+    """The cooperating measurement server (e.g. hosted on a cloud range).
+
+    Listens with a deterministic keyed ISN and (optionally) a reply TTL low
+    enough that its packets die inside the client AS after crossing the
+    border taps.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        secret: bytes = b"repro-shared-secret",
+        port: int = 80,
+        reply_ttl: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.secret = secret
+        self.port = port
+        self.observations: Dict[tuple, _FlowObservation] = {}
+        assert host.stack is not None
+        host.stack.isn_hook = lambda lport, rip, rport: shared_isn(
+            secret, lport, rip, rport
+        )
+        host.stack.tcp_listen(port, self._accept, reply_ttl=reply_ttl)
+
+    def _accept(self, conn: TCPConnection) -> None:
+        key = (conn.remote_ip, conn.remote_port)
+        observation = _FlowObservation(source_ip=conn.remote_ip, established=True)
+        self.observations[key] = observation
+
+        def handler(event: str, data: bytes) -> None:
+            if event == "data":
+                observation.request_data += data
+            elif event == "reset":
+                observation.reset = True
+            elif event == "fin":
+                conn.close()
+
+        conn.handler = handler
+
+    def observation_for(self, source_ip: str, source_port: int) -> Optional[_FlowObservation]:
+        return self.observations.get((source_ip, source_port))
+
+
+class StatefulMimicryMeasurement(MeasurementTechnique):
+    """Forged full-TCP flows from cover hosts toward a cooperating server."""
+
+    name = "stateful-mimicry"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        server: MimicryServer,
+        probe_payloads: Sequence[bytes],
+        cover_ips: Sequence[str],
+        flow_spacing: float = 0.2,
+        verdict_delay: float = 2.0,
+    ) -> None:
+        super().__init__(ctx)
+        self.server = server
+        self.probe_payloads = list(probe_payloads)
+        self.cover_ips = list(cover_ips)
+        self.flow_spacing = flow_spacing
+        self.verdict_delay = verdict_delay
+
+    def start(self) -> None:
+        delay = 0.0
+        for payload in self.probe_payloads:
+            # One real flow (our own address) inside a crowd of spoofed ones.
+            sources = [self.ctx.client.ip] + list(self.cover_ips)
+            self.ctx.sim.rng.shuffle(sources)
+            for source_ip in sources:
+                self.ctx.sim.at(
+                    delay,
+                    lambda s=source_ip, p=payload: self._forge_flow(s, p),
+                )
+                delay += self.flow_spacing
+
+    def _forge_flow(self, source_ip: str, payload: bytes) -> None:
+        rng = self.ctx.sim.rng
+        sport = rng.randrange(32768, 61000)
+        client_isn = rng.randrange(1, 2**31)
+        server_ip, server_port = self.server.host.ip, self.server.port
+        server_isn = shared_isn(self.server.secret, server_port, source_ip, sport)
+
+        def seg(flags: int, seq: int, ack: int = 0, data: bytes = b"") -> IPPacket:
+            return IPPacket(
+                src=source_ip,
+                dst=server_ip,
+                payload=TCPSegment(
+                    sport=sport, dport=server_port, seq=seq, ack=ack,
+                    flags=flags, payload=data,
+                ),
+            )
+
+        send = self.ctx.client.send_raw
+        sim = self.ctx.sim
+        # Handshake and request, blind-paced: the SYN/ACK is TTL-limited so
+        # we never see it; timing gaps stand in for RTT estimation.
+        send(seg(SYN, seq=client_isn))
+        sim.at(0.05, lambda: send(seg(ACK, seq=client_isn + 1, ack=server_isn + 1)))
+        sim.at(
+            0.06,
+            lambda: send(
+                seg(PSH | ACK, seq=client_isn + 1, ack=server_isn + 1, data=payload)
+            ),
+        )
+        sim.at(
+            self.verdict_delay,
+            lambda: self._conclude(source_ip, sport, payload),
+        )
+
+    def _conclude(self, source_ip: str, sport: int, payload: bytes) -> None:
+        observation = self.server.observation_for(source_ip, sport)
+        label = payload.decode("latin-1", errors="replace").splitlines()[0][:50]
+        if observation is None or not observation.established:
+            verdict, detail = Verdict.BLOCKED_TIMEOUT, "handshake never reached server"
+        elif not observation.request_data:
+            verdict, detail = Verdict.BLOCKED_TIMEOUT, "request data never arrived"
+        elif observation.reset:
+            verdict, detail = Verdict.BLOCKED_RST, "flow reset after request"
+        else:
+            verdict, detail = Verdict.ACCESSIBLE, "request arrived unreset"
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=label,
+                verdict=verdict,
+                detail=detail,
+                evidence={"source": source_ip, "spoofed": source_ip != self.ctx.client.ip},
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        expected = len(self.probe_payloads) * (len(self.cover_ips) + 1)
+        return len(self.results) >= expected
+
+    def verdict_for_payload(self, payload: bytes) -> Verdict:
+        """Majority verdict across the real+cover flows of one payload."""
+        label = payload.decode("latin-1", errors="replace").splitlines()[0][:50]
+        relevant = [r for r in self.results if r.target == label]
+        if not relevant:
+            return Verdict.INCONCLUSIVE
+        blocked = sum(1 for r in relevant if r.blocked)
+        if blocked * 2 >= len(relevant):
+            reset = sum(1 for r in relevant if r.verdict is Verdict.BLOCKED_RST)
+            return Verdict.BLOCKED_RST if reset * 2 >= blocked else Verdict.BLOCKED_TIMEOUT
+        return Verdict.ACCESSIBLE

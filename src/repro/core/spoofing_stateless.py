@@ -1,0 +1,234 @@
+"""Stateless spoofed mimicry (paper Section 4.1, Figure 3a).
+
+For stateless protocols the measurement client can fake a *complete*
+transaction from any host in its AS: a spoofed DNS query elicits a real
+response to the spoofed address, so from the surveillance tap every cover
+host appears to be measuring.  The client's own (real) query rides inside
+the crowd; attribution degrades toward 1/N.
+
+Two techniques:
+
+- :class:`StatelessSpoofedDNSMeasurement` — spoofed DNS queries to any
+  resolver, plus one real query whose answer yields the verdict.
+- :class:`SpoofedSYNReachability` — spoofed TCP SYNs measuring IP
+  reachability; a SYN/ACK means reachable (the spoofed host's stack RSTs
+  it, which is itself cover traffic), silence or RST means blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..netsim.dnssrv import DNSResult, resolve
+from ..packets import (
+    DNSMessage,
+    IPPacket,
+    QTYPE_A,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+)
+from .measurement import MeasurementContext, MeasurementTechnique
+from .overt import interpret_dns
+from .results import MeasurementResult, Verdict
+
+__all__ = ["StatelessSpoofedDNSMeasurement", "SpoofedSYNReachability"]
+
+DNS_PORT = 53
+
+
+class StatelessSpoofedDNSMeasurement(MeasurementTechnique):
+    """DNS measurement hidden in a crowd of spoofed identical queries."""
+
+    name = "spoofed-dns"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        domains: Sequence[str],
+        cover_ips: Sequence[str],
+        jitter: float = 0.05,
+    ) -> None:
+        super().__init__(ctx)
+        self.domains = list(domains)
+        self.cover_ips = list(cover_ips)
+        self.jitter = jitter
+        self.cover_queries_sent = 0
+
+    def start(self) -> None:
+        rng = self.ctx.sim.rng
+        for domain in self.domains:
+            # Cover: one spoofed query per cover host, jittered so the
+            # real query is not temporally conspicuous.
+            sources = list(self.cover_ips)
+            rng.shuffle(sources)
+            for cover_ip in sources:
+                delay = rng.uniform(0, self.jitter * (len(sources) + 1))
+                self.ctx.sim.at(
+                    delay, lambda d=domain, ip=cover_ip: self._spoofed_query(d, ip)
+                )
+            real_delay = rng.uniform(0, self.jitter * (len(sources) + 1))
+            self.ctx.sim.at(real_delay, lambda d=domain: self._real_query(d))
+
+    def _spoofed_query(self, domain: str, cover_ip: str) -> None:
+        rng = self.ctx.sim.rng
+        query = DNSMessage.query(domain, qtype=QTYPE_A, txid=rng.randrange(0x10000))
+        packet = IPPacket(
+            src=cover_ip,
+            dst=self.ctx.resolver_ip,
+            payload=UDPDatagram(
+                sport=rng.randrange(32768, 61000),
+                dport=DNS_PORT,
+                payload=query.to_bytes(),
+            ),
+        )
+        self.ctx.client.send_raw(packet)
+        self.cover_queries_sent += 1
+
+    def _real_query(self, domain: str) -> None:
+        resolve(
+            self.ctx.client,
+            self.ctx.resolver_ip,
+            domain,
+            callback=lambda res, d=domain: self._conclude(d, res),
+        )
+
+    def _conclude(self, domain: str, res: DNSResult) -> None:
+        verdict, detail = interpret_dns(self.ctx, domain, res)
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=domain,
+                verdict=verdict,
+                detail=detail,
+                evidence={
+                    "status": res.status,
+                    "addresses": res.addresses,
+                    "cover_queries": self.cover_queries_sent,
+                },
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.domains)
+
+
+class SpoofedSYNReachability(MeasurementTechnique):
+    """IP reachability via SYN probes inside a spoofed crowd.
+
+    The real probe comes from the client's address; the stack's automatic
+    RST answer to the SYN/ACK completes the paper's
+    SYN -> SYN/ACK -> RST pattern, and each cover host shows the same
+    pattern (their stacks RST unsolicited SYN/ACKs too).
+    """
+
+    name = "spoofed-syn"
+
+    def __init__(
+        self,
+        ctx: MeasurementContext,
+        targets: Sequence[Tuple[str, int]],
+        cover_ips: Sequence[str],
+        timeout: float = 2.0,
+        jitter: float = 0.05,
+    ) -> None:
+        super().__init__(ctx)
+        self.targets = list(targets)
+        self.cover_ips = list(cover_ips)
+        self.timeout = timeout
+        self.jitter = jitter
+        self._outcomes: Dict[Tuple[str, int], str] = {}
+        self._probe_ports: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self._sniffing = False
+
+    def start(self) -> None:
+        stack = self.ctx.client.stack
+        assert stack is not None
+        if not self._sniffing:
+            stack.add_sniffer(self._sniff)
+            self._sniffing = True
+        rng = self.ctx.sim.rng
+        for target_ip, port in self.targets:
+            self._outcomes[(target_ip, port)] = "silent"
+            sources = list(self.cover_ips)
+            rng.shuffle(sources)
+            for cover_ip in sources:
+                delay = rng.uniform(0, self.jitter * (len(sources) + 1))
+                self.ctx.sim.at(
+                    delay,
+                    lambda t=target_ip, p=port, ip=cover_ip: self._send_syn(t, p, ip),
+                )
+            real_delay = rng.uniform(0, self.jitter * (len(sources) + 1))
+            self.ctx.sim.at(
+                real_delay, lambda t=target_ip, p=port: self._send_real_syn(t, p)
+            )
+            self.ctx.sim.at(
+                self.jitter * (len(sources) + 2) + self.timeout,
+                lambda t=target_ip, p=port: self._conclude(t, p),
+            )
+
+    def _send_syn(self, target_ip: str, port: int, source_ip: str) -> None:
+        rng = self.ctx.sim.rng
+        packet = IPPacket(
+            src=source_ip,
+            dst=target_ip,
+            payload=TCPSegment(
+                sport=rng.randrange(32768, 61000),
+                dport=port,
+                seq=rng.randrange(1, 2**31),
+                flags=SYN,
+            ),
+        )
+        self.ctx.client.send_raw(packet)
+
+    def _send_real_syn(self, target_ip: str, port: int) -> None:
+        stack = self.ctx.client.stack
+        sport = stack.ephemeral_port()
+        self._probe_ports[(target_ip, port)] = (self.ctx.client.ip, sport)
+        packet = IPPacket(
+            src=self.ctx.client.ip,
+            dst=target_ip,
+            payload=TCPSegment(
+                sport=sport,
+                dport=port,
+                seq=self.ctx.sim.rng.randrange(1, 2**31),
+                flags=SYN,
+            ),
+        )
+        self.ctx.client.send_raw(packet)
+
+    def _sniff(self, packet: IPPacket) -> None:
+        segment = packet.tcp
+        if segment is None or packet.dst != self.ctx.client.ip:
+            return
+        key = (packet.src, segment.sport)
+        probe = self._probe_ports.get(key)
+        if probe is None or probe[1] != segment.dport:
+            return
+        if segment.is_synack:
+            self._outcomes[key] = "synack"
+        elif segment.is_rst:
+            self._outcomes[key] = "rst"
+
+    def _conclude(self, target_ip: str, port: int) -> None:
+        outcome = self._outcomes[(target_ip, port)]
+        if outcome == "synack":
+            verdict, detail = Verdict.ACCESSIBLE, "SYN/ACK received"
+        elif outcome == "rst":
+            verdict, detail = Verdict.BLOCKED_RST, "RST received for expected-open port"
+        else:
+            verdict, detail = Verdict.BLOCKED_TIMEOUT, "no answer to SYN"
+        self._emit(
+            MeasurementResult(
+                technique=self.name,
+                target=f"{target_ip}:{port}",
+                verdict=verdict,
+                detail=detail,
+                evidence={"cover_hosts": len(self.cover_ips)},
+            )
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= len(self.targets)

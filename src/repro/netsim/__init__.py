@@ -1,0 +1,70 @@
+"""Discrete-event network simulator (the Mininet-testbed substitute).
+
+Provides the event engine, network graph with hop-by-hop forwarding, host
+protocol stacks (TCP/UDP/ICMP), middlebox tap points, application servers
+(DNS, HTTP, SMTP), and the paper's reference topologies.
+"""
+
+from .capture import CapturedPacket, PacketCapture, dns_only, tcp_only
+from .dnssrv import DNSResult, DNSServer, Zone, resolve
+from .engine import Simulator, Timer
+from .link import Link
+from .mailsrv import MailServer, SMTPResult, send_mail
+from .middlebox import Action, Middlebox, TapContext
+from .multicountry import CountryAS, TwoCountryTopology, build_two_country
+from .network import Network
+from .node import Host, Node, Router, Switch
+from .resolver import CacheEntry, CachingResolver
+from .stack import NetworkStack, TCPConnection
+from .tlssrv import TLSResult, TLSServer, tls_probe
+from .topology import (
+    CLIENT_AS_CIDR,
+    CensoredASTopology,
+    ThreeNodeTopology,
+    build_censored_as,
+    build_three_node,
+)
+from .websrv import HTTPResult, WebServer, http_get
+
+__all__ = [
+    "Action",
+    "CacheEntry",
+    "CachingResolver",
+    "CapturedPacket",
+    "PacketCapture",
+    "dns_only",
+    "tcp_only",
+    "CLIENT_AS_CIDR",
+    "CensoredASTopology",
+    "CountryAS",
+    "DNSResult",
+    "DNSServer",
+    "HTTPResult",
+    "Host",
+    "Link",
+    "MailServer",
+    "Middlebox",
+    "Network",
+    "NetworkStack",
+    "Node",
+    "Router",
+    "SMTPResult",
+    "Simulator",
+    "Switch",
+    "TCPConnection",
+    "TLSResult",
+    "TLSServer",
+    "TapContext",
+    "ThreeNodeTopology",
+    "Timer",
+    "TwoCountryTopology",
+    "WebServer",
+    "Zone",
+    "build_censored_as",
+    "build_three_node",
+    "build_two_country",
+    "http_get",
+    "resolve",
+    "send_mail",
+    "tls_probe",
+]

@@ -1,0 +1,133 @@
+"""Packet capture: a passive tap that records transiting traffic.
+
+The evaluation workflow constantly asks "what exactly crossed the border?"
+— this is the tcpdump of the simulated world.  Captures store raw wire
+bytes plus parsed metadata, support BPF-ish predicate filtering, and render
+a tcpdump-style text log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .middlebox import Action, Middlebox, TapContext
+
+__all__ = ["CapturedPacket", "PacketCapture"]
+
+
+@dataclass
+class CapturedPacket:
+    """One captured packet with its capture timestamp."""
+
+    time: float
+    packet: IPPacket
+    raw: bytes
+    node: str
+
+    @property
+    def size(self) -> int:
+        return len(self.raw)
+
+    def line(self) -> str:
+        """A tcpdump-style one-line rendering."""
+        return f"{self.time:10.6f} {self.node:>8}  {self.packet.summary()}"
+
+
+class PacketCapture(Middlebox):
+    """A purely passive capture tap.
+
+    Attach to any forwarding node::
+
+        cap = PacketCapture()
+        topo.border_router.add_tap(cap)
+        ...
+        print(cap.text_log())
+
+    ``predicate`` restricts what is stored (e.g. only DNS);
+    ``max_packets`` bounds memory like a capture ring buffer.
+    """
+
+    name = "capture"
+
+    def __init__(
+        self,
+        predicate: Optional[Callable[[IPPacket], bool]] = None,
+        max_packets: int = 100_000,
+    ) -> None:
+        self.predicate = predicate
+        self.max_packets = max_packets
+        self.packets: List[CapturedPacket] = []
+        self.dropped_overflow = 0
+
+    def sees_own_injections(self) -> bool:
+        return True  # captures everything; it never injects
+
+    def process(self, packet: IPPacket, ctx: TapContext) -> Action:
+        if self.predicate is None or self.predicate(packet):
+            if len(self.packets) >= self.max_packets:
+                self.dropped_overflow += 1
+            else:
+                self.packets.append(
+                    CapturedPacket(
+                        time=ctx.now,
+                        packet=packet,
+                        raw=packet.to_bytes(),
+                        node=ctx.node.name,
+                    )
+                )
+        return Action.PASS
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def clear(self) -> None:
+        self.packets.clear()
+        self.dropped_overflow = 0
+
+    def between(self, start: float, end: float) -> List[CapturedPacket]:
+        """Captured packets with start <= time < end."""
+        return [cap for cap in self.packets if start <= cap.time < end]
+
+    def involving(self, ip: str) -> List[CapturedPacket]:
+        """Packets with ``ip`` as source or destination."""
+        return [
+            cap for cap in self.packets
+            if ip in (cap.packet.src, cap.packet.dst)
+        ]
+
+    def by_protocol(self, protocol: int) -> List[CapturedPacket]:
+        return [cap for cap in self.packets if cap.packet.protocol == protocol]
+
+    def total_bytes(self) -> int:
+        return sum(cap.size for cap in self.packets)
+
+    def protocol_mix(self) -> dict:
+        """Byte share per protocol name."""
+        names = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+        mix: dict = {}
+        for cap in self.packets:
+            key = names.get(cap.packet.protocol, str(cap.packet.protocol))
+            mix[key] = mix.get(key, 0) + cap.size
+        return mix
+
+    def text_log(self, limit: Optional[int] = None) -> str:
+        """Render the capture as a tcpdump-style log."""
+        selected = self.packets if limit is None else self.packets[:limit]
+        lines = [cap.line() for cap in selected]
+        if limit is not None and len(self.packets) > limit:
+            lines.append(f"... {len(self.packets) - limit} more packets")
+        return "\n".join(lines)
+
+
+def dns_only(packet: IPPacket) -> bool:
+    """Predicate: DNS traffic (UDP port 53 either direction)."""
+    return packet.udp is not None and 53 in (packet.udp.sport, packet.udp.dport)
+
+
+def tcp_only(packet: IPPacket) -> bool:
+    """Predicate: any TCP traffic."""
+    return packet.tcp is not None

@@ -1,0 +1,185 @@
+"""DNS zone data, authoritative server, and client resolver helpers.
+
+The spam measurement (paper Method #2) performs an MX lookup and then an A
+lookup of the exchange; the GFC censor injects forged A answers for both A
+and MX queries of blocked names (validated in the paper against
+twitter.com / youtube.com from a PlanetLab node in China).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..packets import (
+    DNSMessage,
+    DNSRecord,
+    QTYPE_A,
+    QTYPE_CNAME,
+    QTYPE_MX,
+    QTYPE_NS,
+    QTYPE_TXT,
+    RCODE_NXDOMAIN,
+    RCODE_OK,
+)
+from .node import Host
+
+__all__ = ["Zone", "DNSServer", "DNSResult", "resolve"]
+
+DNS_PORT = 53
+
+
+class Zone:
+    """An in-memory zone: (name, qtype) -> records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[str, int], List[DNSRecord]] = {}
+
+    @staticmethod
+    def _key(name: str, qtype: int) -> Tuple[str, int]:
+        return name.rstrip(".").lower(), qtype
+
+    def add(self, record: DNSRecord) -> "Zone":
+        self._records.setdefault(self._key(record.name, record.rtype), []).append(record)
+        return self
+
+    def add_a(self, name: str, address: str, ttl: int = 300) -> "Zone":
+        return self.add(DNSRecord(name=name, rtype=QTYPE_A, data=address, ttl=ttl))
+
+    def add_mx(self, name: str, exchange: str, preference: int = 10, ttl: int = 300) -> "Zone":
+        return self.add(
+            DNSRecord(name=name, rtype=QTYPE_MX, data=(preference, exchange), ttl=ttl)
+        )
+
+    def add_ns(self, name: str, nsdname: str, ttl: int = 300) -> "Zone":
+        return self.add(DNSRecord(name=name, rtype=QTYPE_NS, data=nsdname, ttl=ttl))
+
+    def add_cname(self, name: str, target: str, ttl: int = 300) -> "Zone":
+        return self.add(DNSRecord(name=name, rtype=QTYPE_CNAME, data=target, ttl=ttl))
+
+    def add_txt(self, name: str, text: str, ttl: int = 300) -> "Zone":
+        return self.add(DNSRecord(name=name, rtype=QTYPE_TXT, data=text, ttl=ttl))
+
+    def lookup(self, name: str, qtype: int) -> List[DNSRecord]:
+        """Records for the query, following one level of CNAME for A queries."""
+        direct = self._records.get(self._key(name, qtype), [])
+        if direct or qtype == QTYPE_CNAME:
+            return list(direct)
+        cname = self._records.get(self._key(name, QTYPE_CNAME), [])
+        if cname:
+            target = str(cname[0].data)
+            return list(cname) + self._records.get(self._key(target, qtype), [])
+        return []
+
+    def knows(self, name: str) -> bool:
+        """Whether any record exists for ``name`` at any type."""
+        normalized = name.rstrip(".").lower()
+        return any(key[0] == normalized for key in self._records)
+
+    def names(self) -> List[str]:
+        return sorted({key[0] for key in self._records})
+
+
+class DNSServer:
+    """An authoritative (or resolver-like) DNS server over simulated UDP."""
+
+    def __init__(self, host: Host, zone: Optional[Zone] = None) -> None:
+        self.host = host
+        self.zone = zone if zone is not None else Zone()
+        self.queries_served = 0
+        assert host.stack is not None, "host must be attached to a network"
+        host.stack.udp_listen(DNS_PORT, self._on_query)
+
+    def _on_query(self, payload: bytes, src_ip: str, src_port: int, reply_fn) -> None:
+        try:
+            query = DNSMessage.from_bytes(payload)
+        except (ValueError, IndexError):
+            return
+        question = query.question
+        if question is None or query.is_response:
+            return
+        self.queries_served += 1
+        answers = self.zone.lookup(question.name, question.qtype)
+        if answers:
+            response = query.reply(answers=answers, rcode=RCODE_OK)
+        elif self.zone.knows(question.name):
+            response = query.reply(answers=[], rcode=RCODE_OK)  # NODATA
+        else:
+            response = query.reply(answers=[], rcode=RCODE_NXDOMAIN)
+        reply_fn(response.to_bytes())
+
+
+@dataclass
+class DNSResult:
+    """Outcome of one client resolution."""
+
+    status: str  # "ok" | "nxdomain" | "nodata" | "servfail" | "timeout" | "error"
+    name: str
+    qtype: int
+    message: Optional[DNSMessage] = None
+    addresses: List[str] = field(default_factory=list)
+    mx: List[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def resolve(
+    client: Host,
+    server_ip: str,
+    name: str,
+    qtype: int = QTYPE_A,
+    callback: Optional[Callable[[DNSResult], None]] = None,
+    timeout: float = 2.0,
+) -> None:
+    """Issue a query from ``client`` and deliver a :class:`DNSResult`.
+
+    The first response matching the transaction wins — which is precisely
+    the race an off-path DNS injector (the GFC model) exploits.
+    """
+    assert client.stack is not None
+    txid = client.stack.sim.rng.randrange(0, 0x10000)
+    query = DNSMessage.query(name, qtype=qtype, txid=txid)
+
+    def on_reply(payload: bytes, _packet) -> None:
+        if callback is None:
+            return
+        try:
+            message = DNSMessage.from_bytes(payload)
+        except (ValueError, IndexError):
+            callback(DNSResult(status="error", name=name, qtype=qtype))
+            return
+        if message.txid != txid:
+            callback(DNSResult(status="error", name=name, qtype=qtype))
+            return
+        if message.rcode == RCODE_NXDOMAIN:
+            callback(DNSResult(status="nxdomain", name=name, qtype=qtype, message=message))
+        elif message.rcode != RCODE_OK:
+            callback(DNSResult(status="servfail", name=name, qtype=qtype, message=message))
+        elif not message.answers:
+            callback(DNSResult(status="nodata", name=name, qtype=qtype, message=message))
+        else:
+            callback(
+                DNSResult(
+                    status="ok",
+                    name=name,
+                    qtype=qtype,
+                    message=message,
+                    addresses=message.a_records(),
+                    mx=message.mx_records(),
+                )
+            )
+
+    def on_timeout() -> None:
+        if callback is not None:
+            callback(DNSResult(status="timeout", name=name, qtype=qtype))
+
+    client.stack.udp_request(
+        dst=server_ip,
+        dport=DNS_PORT,
+        payload=query.to_bytes(),
+        on_reply=on_reply,
+        on_timeout=on_timeout,
+        timeout=timeout,
+    )

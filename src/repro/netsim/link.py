@@ -1,0 +1,56 @@
+"""Point-to-point links with fixed latency and byte accounting."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A bidirectional link between two nodes.
+
+    Delivery is FIFO per direction (the event queue breaks ties in
+    scheduling order), so TCP segments arrive in order and the simulated
+    stack needs no reordering logic.
+    """
+
+    def __init__(
+        self, a: "Node", b: "Node", latency: float = 0.001, loss: float = 0.0
+    ) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        #: Independent per-packet drop probability (no retransmission in
+        #: the simulated TCP, so loss surfaces as timeouts — exactly the
+        #: confound that makes single-shot probes unreliable and repeated
+        #: sampling worthwhile, paper Method #3).
+        self.loss = loss
+        self.bytes_carried = 0
+        self.packets_carried = 0
+        self.packets_lost = 0
+
+    def other_end(self, node: "Node") -> "Node":
+        """The node on the far side of ``node``."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not attached to this link")
+
+    def connects(self, a: "Node", b: "Node") -> bool:
+        return {self.a, self.b} == {a, b}
+
+    def account(self, size: int) -> None:
+        self.bytes_carried += size
+        self.packets_carried += 1
+
+    def __repr__(self) -> str:
+        return f"Link({self.a.name} <-> {self.b.name}, {self.latency * 1000:.1f}ms)"

@@ -1,0 +1,169 @@
+"""SMTP server and delivery client over the simulated TCP stack.
+
+The spam measurement (paper Method #2) needs a complete SMTP transaction:
+MX lookup, A lookup of the exchange, TCP connect to port 25, and message
+delivery.  The server here implements enough of RFC 5321 for that dialog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..packets import EmailMessage, SMTPCommand, SMTPReply
+from .node import Host
+from .stack import TCPConnection
+
+__all__ = ["MailServer", "SMTPResult", "send_mail"]
+
+SMTP_PORT = 25
+
+
+class MailServer:
+    """A minimal SMTP server; received messages accumulate in ``mailbox``."""
+
+    def __init__(self, host: Host, port: int = SMTP_PORT, banner: str = "mail ready") -> None:
+        self.host = host
+        self.port = port
+        self.banner = banner
+        self.mailbox: List[EmailMessage] = []
+        self.sessions = 0
+        assert host.stack is not None
+        host.stack.tcp_listen(port, self._accept)
+
+    def _accept(self, conn: TCPConnection) -> None:
+        self.sessions += 1
+        state = {"phase": "command", "data": bytearray(), "from": "", "to": ""}
+
+        def send(code: int, text: str) -> None:
+            conn.send(SMTPReply(code, text).to_bytes())
+
+        def handler(event: str, data: bytes) -> None:
+            if event == "data":
+                if state["phase"] == "data":
+                    state["data"].extend(data)
+                    if bytes(state["data"]).endswith(b"\r\n.\r\n"):
+                        raw = bytes(state["data"])[:-5].decode("utf-8", errors="replace")
+                        self.mailbox.append(EmailMessage.from_text(raw))
+                        state["phase"] = "command"
+                        state["data"].clear()
+                        send(250, "ok: queued")
+                    return
+                command = SMTPCommand.from_bytes(data)
+                self._dispatch(command, state, send, conn)
+            elif event == "fin":
+                conn.close()
+
+        conn.handler = handler
+        send(220, self.banner)
+
+    def _dispatch(self, command: SMTPCommand, state, send, conn: TCPConnection) -> None:
+        verb = command.verb
+        if verb in ("HELO", "EHLO"):
+            send(250, f"hello {command.argument}")
+        elif verb == "MAIL":
+            state["from"] = command.argument
+            send(250, "ok")
+        elif verb == "RCPT":
+            state["to"] = command.argument
+            send(250, "ok")
+        elif verb == "DATA":
+            state["phase"] = "data"
+            send(354, "end data with <CRLF>.<CRLF>")
+        elif verb == "QUIT":
+            send(221, "bye")
+            conn.close()
+        elif verb == "RSET":
+            state.update({"phase": "command", "from": "", "to": ""})
+            send(250, "ok")
+        else:
+            send(502, "command not implemented")
+
+
+@dataclass
+class SMTPResult:
+    """Outcome of one delivery attempt."""
+
+    status: str  # "delivered" | "rejected" | "reset" | "timeout" | "error"
+    stage: str = "connect"  # how far the dialog progressed
+    replies: List[SMTPReply] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "delivered"
+
+
+def send_mail(
+    client: Host,
+    server_ip: str,
+    message: EmailMessage,
+    callback: Optional[Callable[[SMTPResult], None]] = None,
+    port: int = SMTP_PORT,
+    helo_name: str = "mail.example.com",
+    timeout: float = 3.0,
+) -> None:
+    """Deliver ``message`` to ``server_ip`` with a full SMTP dialog."""
+    assert client.stack is not None
+    sim = client.stack.sim
+    script = [
+        ("HELO", SMTPCommand("HELO", helo_name)),
+        ("MAIL", SMTPCommand("MAIL", f"FROM:<{message.sender}>")),
+        ("RCPT", SMTPCommand("RCPT", f"TO:<{message.recipient}>")),
+        ("DATA", SMTPCommand("DATA")),
+    ]
+    progress = {"step": -1, "stage": "connect", "done": False}
+    replies: List[SMTPReply] = []
+
+    def finish(status: str) -> None:
+        if progress["done"]:
+            return
+        progress["done"] = True
+        if callback is not None:
+            callback(SMTPResult(status=status, stage=progress["stage"], replies=replies))
+
+    def advance() -> None:
+        progress["step"] += 1
+        if progress["step"] < len(script):
+            stage, command = script[progress["step"]]
+            progress["stage"] = stage
+            conn.send(command.to_bytes())
+        elif progress["step"] == len(script):
+            progress["stage"] = "message"
+            conn.send(message.to_bytes() + b"\r\n.\r\n")
+        else:
+            progress["stage"] = "quit"
+            conn.send(SMTPCommand("QUIT").to_bytes())
+
+    def handler(event: str, data: bytes) -> None:
+        if event == "data":
+            try:
+                reply = SMTPReply.from_bytes(data)
+            except (ValueError, IndexError):
+                finish("error")
+                return
+            replies.append(reply)
+            if reply.code == 221:
+                finish("delivered")
+                return
+            if not reply.is_positive:
+                finish("rejected")
+                conn.close()
+                return
+            advance()
+        elif event == "reset":
+            finish("reset")
+        elif event in ("timeout", "icmp_error"):
+            finish("timeout")
+        elif event in ("fin", "closed"):
+            finish("delivered" if progress["stage"] == "quit" else "error")
+            if event == "fin":
+                conn.close()
+
+    conn = client.stack.tcp_connect(server_ip, port, handler, timeout=timeout)
+
+    def deadline() -> None:
+        if not progress["done"]:
+            conn.abort()
+            finish("timeout")
+
+    sim.at(timeout * 3, deadline)

@@ -1,0 +1,63 @@
+"""Middlebox (tap) interface for on-path and off-path packet processing.
+
+Both reference systems from the paper attach here: the censorship system is
+a tap that may drop or inject (RSTs, poisoned DNS answers, block pages), and
+the surveillance system's MVR is a tap that only observes.  Taps attach to
+forwarding nodes (switches/routers) and see every transiting packet, exactly
+like the two Snort instances on the OVS switch in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..packets import IPPacket
+    from .network import Network
+    from .node import Node
+
+__all__ = ["Action", "TapContext", "Middlebox"]
+
+
+class Action(enum.Enum):
+    """What a tap tells the forwarding node to do with the packet."""
+
+    PASS = "pass"
+    DROP = "drop"
+
+
+class TapContext:
+    """Per-packet context handed to a tap.
+
+    ``inject`` originates a new packet at the tap's position in the network;
+    it is forwarded normally toward its destination.  Injected packets carry
+    an ``injected_by`` marker so the injecting tap does not reprocess its own
+    traffic (other taps — e.g. the MVR watching the censor — do see it).
+    """
+
+    def __init__(self, network: "Network", node: "Node", now: float) -> None:
+        self.network = network
+        self.node = node
+        self.now = now
+
+    def inject(self, packet: "IPPacket", tag: Optional[str] = None, delay: float = 0.0) -> None:
+        """Emit ``packet`` from this tap's node after ``delay`` seconds."""
+        packet.metadata["injected_by"] = tag or "tap"
+        packet.metadata.setdefault("origin", self.node.name)
+        self.network.originate(packet, self.node, delay=delay)
+
+
+class Middlebox:
+    """Base class for taps; subclasses override ``process``."""
+
+    #: Name used in ``injected_by`` tags and logs.
+    name = "middlebox"
+
+    def process(self, packet: "IPPacket", ctx: TapContext) -> Action:
+        """Inspect (and possibly act on) one transiting packet."""
+        raise NotImplementedError
+
+    def sees_own_injections(self) -> bool:
+        """Whether this tap reprocesses packets it injected itself."""
+        return False

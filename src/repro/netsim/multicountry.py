@@ -1,0 +1,119 @@
+"""Multi-vantage topology: two censored countries, one shared Internet.
+
+Comparative vantage studies are how censorship measurement reports are
+actually written ("blocked in A via DNS injection, in B via block page,
+reachable from the control").  This builder stands up two client ASes with
+independent border taps plus an uncensored control vantage, all sharing
+the same external servers — so differences in observations are pure
+censorship policy, not infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .engine import Simulator
+from .network import Network
+from .node import Host, Router, Switch
+
+__all__ = ["CountryAS", "TwoCountryTopology", "build_two_country"]
+
+
+@dataclass
+class CountryAS:
+    """One country's client AS."""
+
+    name: str
+    clients: List[Host]
+    access_switch: Switch
+    border_router: Router
+
+    @property
+    def vantage(self) -> Host:
+        """The measurement vantage inside this country."""
+        return self.clients[0]
+
+
+@dataclass
+class TwoCountryTopology:
+    """Two censored ASes + a control vantage on a shared internet."""
+
+    sim: Simulator
+    network: Network
+    country_a: CountryAS
+    country_b: CountryAS
+    control_vantage: Host
+    transit_router: Router
+    dns_server: Host
+    blocked_web: Host
+    control_web: Host
+    domains: Dict[str, str] = field(default_factory=dict)
+
+    def run(self, duration: Optional[float] = None) -> int:
+        if duration is None:
+            return self.sim.run()
+        return self.sim.run_for(duration)
+
+    @property
+    def countries(self) -> List[CountryAS]:
+        return [self.country_a, self.country_b]
+
+
+def _build_country(
+    network: Network, name: str, cidr_octet: int, clients_per_country: int,
+    transit: Router,
+) -> CountryAS:
+    access = network.add(Switch(f"{name}-access"))
+    border = network.add(Router(f"{name}-border"))
+    network.connect(access, border)
+    network.connect(border, transit, latency=0.01)
+    clients = []
+    for index in range(clients_per_country):
+        host = network.add(
+            Host(f"{name}-client{index}", f"10.{cidr_octet}.0.{index + 10}")
+        )
+        host.user = f"{name}-user{index}"
+        network.connect(host, access)
+        clients.append(host)
+    return CountryAS(name=name, clients=clients, access_switch=access, border_router=border)
+
+
+def build_two_country(
+    seed: int = 0, clients_per_country: int = 5, latency: float = 0.002
+) -> TwoCountryTopology:
+    """Build the comparative topology (censors attach to the borders)."""
+    sim = Simulator(seed=seed)
+    network = Network(sim, default_latency=latency)
+    transit = network.add(Router("transit"))
+
+    country_a = _build_country(network, "alpha", 10, clients_per_country, transit)
+    country_b = _build_country(network, "beta", 20, clients_per_country, transit)
+
+    control = network.add(Host("control", "192.0.2.200"))
+    control.user = "control-user"
+    network.connect(control, transit)
+
+    dns_server = network.add(Host("dns", "8.8.8.8"))
+    blocked_web = network.add(Host("blockedweb", "203.0.113.10"))
+    control_web = network.add(Host("controlweb", "203.0.113.20"))
+    for server in (dns_server, blocked_web, control_web):
+        network.connect(server, transit)
+
+    from ..rules.rulesets import BLOCKED_DOMAINS
+
+    domains = {domain: blocked_web.ip for domain in BLOCKED_DOMAINS}
+    domains.update({"example.org": control_web.ip, "weather.gov": control_web.ip})
+
+    return TwoCountryTopology(
+        sim=sim,
+        network=network,
+        country_a=country_a,
+        country_b=country_b,
+        control_vantage=control,
+        transit_router=transit,
+        dns_server=dns_server,
+        blocked_web=blocked_web,
+        control_web=control_web,
+        domains=domains,
+    )

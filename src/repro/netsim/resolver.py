@@ -1,0 +1,156 @@
+"""A caching recursive resolver (the in-AS ISP resolver).
+
+Real censored networks put a recursive resolver between clients and the
+world, which changes the measurement picture in two ways this module makes
+studyable:
+
+- client queries to the local resolver never cross the border, so the
+  censor only sees (and poisons) the resolver's *upstream* lookups;
+- a poisoned upstream answer is **cached**, so one injection poisons every
+  subsequent client for the record's TTL — censorship outlives the
+  on-path event that caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..packets import DNSMessage, RCODE_OK, RCODE_SERVFAIL
+from .node import Host
+
+__all__ = ["CacheEntry", "CachingResolver"]
+
+DNS_PORT = 53
+NEGATIVE_TTL = 60.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached response."""
+
+    message: DNSMessage
+    expires: float
+
+    def fresh(self, now: float) -> bool:
+        return now < self.expires
+
+
+class CachingResolver:
+    """Recursive resolver app: cache first, then forward upstream."""
+
+    def __init__(
+        self,
+        host: Host,
+        upstream_ip: str,
+        upstream_timeout: float = 2.0,
+        max_cache: int = 10_000,
+    ) -> None:
+        self.host = host
+        self.upstream_ip = upstream_ip
+        self.upstream_timeout = upstream_timeout
+        self.max_cache = max_cache
+        self.cache: Dict[Tuple[str, int], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.upstream_queries = 0
+        self.upstream_timeouts = 0
+        assert host.stack is not None
+        host.stack.udp_listen(DNS_PORT, self._on_query)
+
+    @property
+    def _sim(self):
+        return self.host.stack.sim
+
+    # -- serving -------------------------------------------------------------
+
+    def _on_query(self, payload: bytes, src_ip: str, src_port: int, reply_fn) -> None:
+        try:
+            query = DNSMessage.from_bytes(payload)
+        except (ValueError, IndexError):
+            return
+        question = query.question
+        if question is None or query.is_response:
+            return
+
+        entry = self.cache.get(question.key())
+        if entry is not None and entry.fresh(self._sim.now):
+            self.hits += 1
+            reply_fn(self._retag(entry.message, query).to_bytes())
+            return
+        self.misses += 1
+        self._forward(query, reply_fn)
+
+    def _forward(self, query: DNSMessage, reply_fn) -> None:
+        question = query.question
+        upstream_txid = self._sim.rng.randrange(0x10000)
+        upstream = DNSMessage.query(question.name, qtype=question.qtype,
+                                    txid=upstream_txid)
+        self.upstream_queries += 1
+
+        def on_reply(payload: bytes, _packet) -> None:
+            try:
+                response = DNSMessage.from_bytes(payload)
+            except (ValueError, IndexError):
+                return
+            if response.txid != upstream_txid:
+                return  # off-path junk that lost the txid lottery
+            self._store(question.key(), response)
+            reply_fn(self._retag(response, query).to_bytes())
+
+        def on_timeout() -> None:
+            self.upstream_timeouts += 1
+            reply_fn(query.reply(answers=[], rcode=RCODE_SERVFAIL,
+                                 authoritative=False).to_bytes())
+
+        self.host.stack.udp_request(
+            dst=self.upstream_ip,
+            dport=DNS_PORT,
+            payload=upstream.to_bytes(),
+            on_reply=on_reply,
+            on_timeout=on_timeout,
+            timeout=self.upstream_timeout,
+        )
+
+    # -- cache ------------------------------------------------------------------
+
+    def _store(self, key: Tuple[str, int], response: DNSMessage) -> None:
+        if len(self.cache) >= self.max_cache and key not in self.cache:
+            # Evict the entry expiring soonest.
+            victim = min(self.cache, key=lambda k: self.cache[k].expires)
+            del self.cache[victim]
+        if response.rcode == RCODE_OK and response.answers:
+            ttl = min(record.ttl for record in response.answers)
+        else:
+            ttl = NEGATIVE_TTL
+        self.cache[key] = CacheEntry(
+            message=response, expires=self._sim.now + ttl
+        )
+
+    def _retag(self, cached: DNSMessage, query: DNSMessage) -> DNSMessage:
+        """Re-address a cached response to a new client's transaction."""
+        return DNSMessage(
+            txid=query.txid,
+            is_response=True,
+            rcode=cached.rcode,
+            recursion_desired=query.recursion_desired,
+            recursion_available=True,
+            authoritative=False,
+            questions=list(query.questions),
+            answers=list(cached.answers),
+            authority=list(cached.authority),
+            additional=list(cached.additional),
+        )
+
+    def flush(self) -> int:
+        """Drop all cache entries; returns how many were dropped."""
+        count = len(self.cache)
+        self.cache.clear()
+        return count
+
+    def cached_answer(self, name: str, qtype: int = 1) -> Optional[DNSMessage]:
+        """Peek at the cache (fresh entries only)."""
+        entry = self.cache.get((name.rstrip(".").lower(), qtype))
+        if entry is not None and entry.fresh(self._sim.now):
+            return entry.message
+        return None

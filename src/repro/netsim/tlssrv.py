@@ -1,0 +1,106 @@
+"""TLS server app and client probe over the simulated stack.
+
+The handshake is mimicry-grade (see :mod:`repro.packets.tls`): the server
+answers any ClientHello with a ServerHello, which is all a reachability
+probe needs to observe — SNI censorship manifests *before* this point, as
+an injected RST once the censor has seen the plaintext server name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..packets.tls import ClientHello, ServerHello, sni_of
+from .node import Host
+from .stack import TCPConnection
+
+__all__ = ["TLSServer", "TLSResult", "tls_probe"]
+
+TLS_PORT = 443
+
+
+class TLSServer:
+    """Answers ClientHellos with ServerHellos; logs observed SNI values."""
+
+    def __init__(self, host: Host, port: int = TLS_PORT) -> None:
+        self.host = host
+        self.port = port
+        self.handshakes = 0
+        self.sni_log: List[str] = []
+        assert host.stack is not None
+        host.stack.tcp_listen(port, self._accept)
+
+    def _accept(self, conn: TCPConnection) -> None:
+        buffer = bytearray()
+
+        def handler(event: str, data: bytes) -> None:
+            if event == "data":
+                buffer.extend(data)
+                name = sni_of(bytes(buffer))
+                if name is not None:
+                    self.handshakes += 1
+                    self.sni_log.append(name)
+                    conn.send(ServerHello().to_bytes())
+                    buffer.clear()
+            elif event == "fin":
+                conn.close()
+
+        conn.handler = handler
+
+
+@dataclass
+class TLSResult:
+    """Outcome of one TLS reachability probe."""
+
+    status: str  # "ok" | "reset" | "timeout" | "error"
+    server_name: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def tls_probe(
+    client: Host,
+    dst_ip: str,
+    server_name: str,
+    callback: Optional[Callable[[TLSResult], None]] = None,
+    port: int = TLS_PORT,
+    timeout: float = 3.0,
+) -> None:
+    """Send a ClientHello with ``server_name`` SNI; await the ServerHello."""
+    assert client.stack is not None
+    sim = client.stack.sim
+    started = sim.now
+    finished = {"done": False}
+
+    def finish(status: str) -> None:
+        if finished["done"]:
+            return
+        finished["done"] = True
+        if callback is not None:
+            callback(TLSResult(status=status, server_name=server_name,
+                               elapsed=sim.now - started))
+
+    def handler(event: str, data: bytes) -> None:
+        if event == "connected":
+            conn.send(ClientHello(server_name=server_name).to_bytes())
+        elif event == "data":
+            finish("ok" if ServerHello.is_server_hello(data) else "error")
+        elif event == "reset":
+            finish("reset")
+        elif event in ("timeout", "icmp_error"):
+            finish("timeout")
+        elif event in ("fin", "closed"):
+            finish("error")
+
+    conn = client.stack.tcp_connect(dst_ip, port, handler, timeout=timeout)
+
+    def deadline() -> None:
+        if not finished["done"]:
+            conn.abort()
+            finish("timeout")
+
+    sim.at(timeout * 2, deadline)

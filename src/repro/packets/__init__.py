@@ -1,0 +1,110 @@
+"""Packet construction and parsing substrate (a self-contained mini-scapy).
+
+The paper's measurements require a client platform "with the ability to
+construct raw packets" (Section 1); this package is that ability.  All
+layers serialize to genuine wire bytes with valid checksums so that rule
+engines, reassemblers, and taps operate on the same representation a real
+IDS would.
+"""
+
+from .addressing import (
+    hosts_of,
+    in_network,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip,
+    network_of,
+    parse_cidr,
+    same_prefix,
+)
+from .checksum import internet_checksum, pseudo_header, verify_checksum
+from .dns import (
+    DNSMessage,
+    DNSQuestion,
+    DNSRecord,
+    QTYPE_A,
+    QTYPE_CNAME,
+    QTYPE_MX,
+    QTYPE_NS,
+    QTYPE_TXT,
+    RCODE_NXDOMAIN,
+    RCODE_OK,
+    RCODE_REFUSED,
+    RCODE_SERVFAIL,
+    qtype_name,
+)
+from .flow import FiveTuple, canonical_flow, flow_of
+from .fragment import FragmentReassembler, fragment
+from .http import HTTPRequest, HTTPResponse, parse_http_payload
+from .icmp import (
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    ICMPMessage,
+)
+from .ip import IP_HEADER_LEN, IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .smtp import EmailMessage, SMTPCommand, SMTPReply
+from .tls import ClientHello, ServerHello, sni_of, tls_alert
+from .tcp import ACK, FIN, PSH, RST, SYN, TCPSegment, URG
+from .udp import UDPDatagram
+
+__all__ = [
+    "ACK",
+    "DNSMessage",
+    "DNSQuestion",
+    "DNSRecord",
+    "ClientHello",
+    "EmailMessage",
+    "FIN",
+    "FiveTuple",
+    "FragmentReassembler",
+    "HTTPRequest",
+    "HTTPResponse",
+    "ICMPMessage",
+    "ICMP_DEST_UNREACH",
+    "ICMP_ECHO_REPLY",
+    "ICMP_ECHO_REQUEST",
+    "ICMP_TIME_EXCEEDED",
+    "IPPacket",
+    "IP_HEADER_LEN",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PSH",
+    "QTYPE_A",
+    "QTYPE_CNAME",
+    "QTYPE_MX",
+    "QTYPE_NS",
+    "QTYPE_TXT",
+    "RCODE_NXDOMAIN",
+    "RCODE_OK",
+    "RCODE_REFUSED",
+    "RCODE_SERVFAIL",
+    "RST",
+    "SMTPCommand",
+    "SMTPReply",
+    "ServerHello",
+    "SYN",
+    "TCPSegment",
+    "UDPDatagram",
+    "URG",
+    "canonical_flow",
+    "flow_of",
+    "fragment",
+    "hosts_of",
+    "in_network",
+    "int_to_ip",
+    "internet_checksum",
+    "ip_to_int",
+    "is_valid_ip",
+    "network_of",
+    "parse_cidr",
+    "parse_http_payload",
+    "pseudo_header",
+    "qtype_name",
+    "same_prefix",
+    "sni_of",
+    "tls_alert",
+    "verify_checksum",
+]

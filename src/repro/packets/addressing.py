@@ -1,0 +1,94 @@
+"""IPv4 address helpers used across the packet layer and the simulator.
+
+Addresses travel through the library as plain dotted-quad strings (what a
+user types) and are packed to 32-bit integers only at serialization time.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "parse_cidr",
+    "in_network",
+    "network_of",
+    "same_prefix",
+    "hosts_of",
+    "is_valid_ip",
+]
+
+
+def ip_to_int(addr: str) -> int:
+    """Convert a dotted-quad IPv4 string to a 32-bit integer."""
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {addr!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet in {addr!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_valid_ip(addr: str) -> bool:
+    """Return True if ``addr`` parses as a dotted-quad IPv4 address."""
+    try:
+        ip_to_int(addr)
+    except (ValueError, AttributeError):
+        return False
+    return True
+
+
+def parse_cidr(cidr: str) -> tuple[int, int]:
+    """Parse ``a.b.c.d/len`` into (network_int, prefix_len)."""
+    try:
+        base, prefix_text = cidr.split("/")
+    except ValueError:
+        raise ValueError(f"invalid CIDR (missing '/'): {cidr!r}") from None
+    prefix = int(prefix_text)
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"invalid prefix length in {cidr!r}")
+    mask = 0xFFFFFFFF << (32 - prefix) & 0xFFFFFFFF if prefix else 0
+    return ip_to_int(base) & mask, prefix
+
+
+def in_network(addr: str, cidr: str) -> bool:
+    """Return True if ``addr`` falls inside the ``cidr`` network."""
+    network, prefix = parse_cidr(cidr)
+    mask = 0xFFFFFFFF << (32 - prefix) & 0xFFFFFFFF if prefix else 0
+    return ip_to_int(addr) & mask == network
+
+
+def network_of(addr: str, prefix: int) -> str:
+    """Return the CIDR network containing ``addr`` at ``prefix`` length."""
+    mask = 0xFFFFFFFF << (32 - prefix) & 0xFFFFFFFF if prefix else 0
+    return f"{int_to_ip(ip_to_int(addr) & mask)}/{prefix}"
+
+
+def same_prefix(a: str, b: str, prefix: int) -> bool:
+    """Return True if ``a`` and ``b`` share the same ``prefix``-bit network."""
+    mask = 0xFFFFFFFF << (32 - prefix) & 0xFFFFFFFF if prefix else 0
+    return ip_to_int(a) & mask == ip_to_int(b) & mask
+
+
+def hosts_of(cidr: str, count: int, start: int = 1):
+    """Yield up to ``count`` host addresses from ``cidr``, starting at offset.
+
+    Offsets are relative to the network address, so ``start=1`` skips the
+    network address itself.
+    """
+    network, prefix = parse_cidr(cidr)
+    size = 1 << (32 - prefix)
+    if start + count > size:
+        raise ValueError(f"{cidr} holds fewer than {start + count} addresses")
+    for offset in range(start, start + count):
+        yield int_to_ip(network + offset)

@@ -1,0 +1,37 @@
+"""Internet checksum (RFC 1071) and pseudo-header helpers.
+
+Both the censorship and surveillance reference systems match on real packet
+bytes, so the packet layer computes genuine ones-complement checksums: a
+middlebox (or a test) can verify that injected packets are well formed the
+same way a real IDS preprocessor would.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["internet_checksum", "pseudo_header", "verify_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit ones-complement checksum over ``data``.
+
+    Odd-length input is zero-padded on the right, per RFC 1071.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    """Build the IPv4 pseudo-header used by TCP/UDP checksums."""
+    return struct.pack("!IIBBH", src_ip, dst_ip, 0, protocol, length)
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True if ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0

@@ -1,0 +1,68 @@
+"""Flow identification: 5-tuples and direction-insensitive flow keys.
+
+Both the censor's TCP reassembler and the surveillance system's metadata
+store index traffic by flow, mirroring how Snort's stream preprocessor and
+NetFlow-style collectors work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .ip import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+__all__ = ["FiveTuple", "flow_of", "canonical_flow"]
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """A directed flow identifier."""
+
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    protocol: int
+
+    def reversed(self) -> "FiveTuple":
+        """The same flow seen from the other direction."""
+        return FiveTuple(self.dst, self.dport, self.src, self.sport, self.protocol)
+
+    def canonical(self) -> "FiveTuple":
+        """A direction-insensitive key: the lexicographically smaller side first."""
+        forward = (self.src, self.sport)
+        backward = (self.dst, self.dport)
+        return self if forward <= backward else self.reversed()
+
+    @property
+    def proto_name(self) -> str:
+        return {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}.get(
+            self.protocol, str(self.protocol)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.proto_name} {self.src}:{self.sport} -> {self.dst}:{self.dport}"
+        )
+
+
+def flow_of(packet: IPPacket) -> Optional[FiveTuple]:
+    """Extract the directed 5-tuple from a packet, or None for non-TCP/UDP."""
+    if packet.tcp is not None:
+        return FiveTuple(
+            packet.src, packet.tcp.sport, packet.dst, packet.tcp.dport, PROTO_TCP
+        )
+    if packet.udp is not None:
+        return FiveTuple(
+            packet.src, packet.udp.sport, packet.dst, packet.udp.dport, PROTO_UDP
+        )
+    if packet.icmp is not None:
+        return FiveTuple(packet.src, 0, packet.dst, 0, PROTO_ICMP)
+    return None
+
+
+def canonical_flow(packet: IPPacket) -> Optional[FiveTuple]:
+    """Direction-insensitive flow key for a packet."""
+    directed = flow_of(packet)
+    return directed.canonical() if directed is not None else None

@@ -1,0 +1,158 @@
+"""IPv4 fragmentation and reassembly.
+
+Fragmentation matters to censorship measurement twice over: the classic
+evasion literature (Clayton et al., Khattak et al.) probes whether the
+censor reassembles IP fragments before matching, and end hosts must
+reassemble correctly for fragmented measurements to work at all.
+
+``fragment`` splits a packet into wire-faithful fragments (8-byte-aligned
+offsets, MF flag, shared ident); ``FragmentReassembler`` rebuilds the
+original from fragments arriving in any order, with a timeout for
+incomplete groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ip import IPPacket, IP_HEADER_LEN
+
+__all__ = ["fragment", "FragmentReassembler"]
+
+MF_FLAG = 0x1  # "more fragments"
+DF_FLAG = 0x2  # "don't fragment"
+
+
+def fragment(packet: IPPacket, mtu: int) -> List[IPPacket]:
+    """Split ``packet`` into fragments that fit ``mtu`` bytes on the wire.
+
+    Returns ``[packet]`` unchanged when it already fits.  Raises if the
+    packet has DF set and does not fit (the sender would instead receive
+    ICMP fragmentation-needed in a fuller model).
+    """
+    if mtu < IP_HEADER_LEN + 8:
+        raise ValueError(f"mtu {mtu} cannot carry any payload")
+    body = packet.payload_bytes()
+    if IP_HEADER_LEN + len(body) <= mtu:
+        return [packet]
+    if packet.flags & DF_FLAG:
+        raise ValueError("packet has DF set but exceeds the MTU")
+
+    # Fragment payload sizes must be multiples of 8 (offset is in units
+    # of 8 bytes), except for the final fragment.
+    chunk = (mtu - IP_HEADER_LEN) // 8 * 8
+    fragments: List[IPPacket] = []
+    offset = 0
+    while offset < len(body):
+        piece = body[offset : offset + chunk]
+        last = offset + len(piece) >= len(body)
+        fragments.append(
+            IPPacket(
+                src=packet.src,
+                dst=packet.dst,
+                payload=piece,
+                protocol=packet.protocol,
+                ttl=packet.ttl,
+                ident=packet.ident,
+                tos=packet.tos,
+                flags=0 if last else MF_FLAG,
+                frag_offset=offset // 8,
+            )
+        )
+        offset += len(piece)
+    return fragments
+
+
+@dataclass
+class _Group:
+    """Fragments collected for one (src, dst, protocol, ident) key."""
+
+    first_seen: float
+    pieces: Dict[int, bytes] = field(default_factory=dict)  # offset-> bytes
+    total_length: Optional[int] = None  # known once the last fragment arrives
+    template: Optional[IPPacket] = None
+
+    def add(self, packet: IPPacket) -> None:
+        body = (
+            packet.payload
+            if isinstance(packet.payload, (bytes, bytearray))
+            else packet.payload_bytes()
+        )
+        self.pieces[packet.frag_offset * 8] = bytes(body)
+        if not packet.flags & MF_FLAG:
+            self.total_length = packet.frag_offset * 8 + len(body)
+        if self.template is None or packet.frag_offset == 0:
+            self.template = packet
+
+    def complete(self) -> bool:
+        if self.total_length is None:
+            return False
+        covered = 0
+        for offset in sorted(self.pieces):
+            if offset > covered:
+                return False  # hole
+            covered = max(covered, offset + len(self.pieces[offset]))
+        return covered >= self.total_length
+
+    def assemble(self) -> bytes:
+        out = bytearray(self.total_length or 0)
+        for offset, piece in self.pieces.items():
+            out[offset : offset + len(piece)] = piece
+        return bytes(out)
+
+
+class FragmentReassembler:
+    """Rebuilds original packets from fragments (host or middlebox side)."""
+
+    def __init__(self, timeout: float = 30.0) -> None:
+        self.timeout = timeout
+        self._groups: Dict[Tuple[str, str, int, int], _Group] = {}
+        self.reassembled = 0
+        self.expired = 0
+
+    def feed(self, packet: IPPacket, now: float) -> Optional[IPPacket]:
+        """Offer a packet; returns the reassembled original when complete.
+
+        Non-fragment packets come straight back.  Fragments are buffered
+        until their group completes; expired groups are dropped.
+        """
+        self._expire(now)
+        if packet.frag_offset == 0 and not packet.flags & MF_FLAG:
+            return packet  # not a fragment
+        key = (packet.src, packet.dst, packet.protocol, packet.ident)
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(first_seen=now)
+            self._groups[key] = group
+        group.add(packet)
+        if not group.complete():
+            return None
+        del self._groups[key]
+        self.reassembled += 1
+        body = group.assemble()
+        rebuilt_wire = IPPacket(
+            src=packet.src,
+            dst=packet.dst,
+            payload=body,
+            protocol=packet.protocol,
+            ttl=packet.ttl,
+            ident=packet.ident,
+            tos=packet.tos,
+            flags=DF_FLAG,
+            frag_offset=0,
+        ).to_bytes()
+        return IPPacket.from_bytes(rebuilt_wire)
+
+    def _expire(self, now: float) -> None:
+        stale = [
+            key for key, group in self._groups.items()
+            if now - group.first_seen > self.timeout
+        ]
+        for key in stale:
+            del self._groups[key]
+            self.expired += 1
+
+    @property
+    def pending_groups(self) -> int:
+        return len(self._groups)

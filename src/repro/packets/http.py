@@ -1,0 +1,143 @@
+"""HTTP/1.1 request and response modelling.
+
+The DDoS measurement method (paper Section 3.1, Method #3) and the overt
+HTTP baseline both speak this; the censor's HTTP filter matches on the
+serialized request line and Host header, exactly as the GFC does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["HTTPRequest", "HTTPResponse", "parse_http_payload"]
+
+CRLF = "\r\n"
+
+
+def _render_headers(headers: Dict[str, str]) -> str:
+    return "".join(f"{key}: {value}{CRLF}" for key, value in headers.items())
+
+
+def _parse_headers(lines: list[str]) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            break
+        key, _, value = line.partition(":")
+        headers[key.strip()] = value.strip()
+    return headers
+
+
+@dataclass
+class HTTPRequest:
+    """An HTTP request; ``to_bytes`` yields the exact wire text."""
+
+    method: str = "GET"
+    path: str = "/"
+    host: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        if self.host and "Host" not in headers:
+            headers = {"Host": self.host, **headers}
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        text = (
+            f"{self.method} {self.path} {self.version}{CRLF}"
+            f"{_render_headers(headers)}{CRLF}"
+        )
+        return text.encode("latin-1") + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HTTPRequest":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1", errors="replace").split(CRLF)
+        try:
+            method, path, version = lines[0].split(" ", 2)
+        except ValueError:
+            raise ValueError(f"malformed HTTP request line: {lines[0]!r}") from None
+        headers = _parse_headers(lines[1:])
+        return cls(
+            method=method,
+            path=path,
+            host=headers.get("Host", ""),
+            headers=headers,
+            body=body,
+            version=version,
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}{self.path}"
+
+
+@dataclass
+class HTTPResponse:
+    """An HTTP response."""
+
+    status: int = 200
+    reason: str = "OK"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        text = (
+            f"{self.version} {self.status} {self.reason}{CRLF}"
+            f"{_render_headers(headers)}{CRLF}"
+        )
+        return text.encode("latin-1") + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HTTPResponse":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1", errors="replace").split(CRLF)
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ValueError(f"malformed HTTP status line: {lines[0]!r}")
+        reason = parts[2] if len(parts) == 3 else ""
+        return cls(
+            status=int(parts[1]),
+            reason=reason,
+            headers=_parse_headers(lines[1:]),
+            body=body,
+            version=parts[0],
+        )
+
+    @classmethod
+    def block_page(cls, message: str = "This content is blocked") -> "HTTPResponse":
+        """The censor's injected block page (403)."""
+        body = f"<html><body><h1>403 Forbidden</h1><p>{message}</p></body></html>"
+        return cls(
+            status=403,
+            reason="Forbidden",
+            headers={"Content-Type": "text/html"},
+            body=body.encode(),
+        )
+
+
+def parse_http_payload(data: bytes) -> Optional[object]:
+    """Best-effort parse of a TCP payload as an HTTP request or response.
+
+    Returns an ``HTTPRequest``, ``HTTPResponse``, or None when the payload
+    is not HTTP — middleboxes use this to sniff application content without
+    assuming well-known ports.
+    """
+    if data.startswith(b"HTTP/"):
+        try:
+            return HTTPResponse.from_bytes(data)
+        except (ValueError, IndexError):
+            return None
+    first_word = data.split(b" ", 1)[0]
+    if first_word in (b"GET", b"POST", b"HEAD", b"PUT", b"DELETE", b"OPTIONS"):
+        try:
+            return HTTPRequest.from_bytes(data)
+        except (ValueError, IndexError):
+            return None
+    return None

@@ -1,0 +1,81 @@
+"""ICMP message model (echo, destination unreachable, time exceeded).
+
+Time-exceeded matters here: the stateful-mimicry technique (Section 4.1 of
+the paper) TTL-limits replies so they die inside the network, and routers in
+the simulator emit real ICMP time-exceeded messages when that happens.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .checksum import internet_checksum
+
+__all__ = [
+    "ICMPMessage",
+    "ICMP_ECHO_REPLY",
+    "ICMP_DEST_UNREACH",
+    "ICMP_ECHO_REQUEST",
+    "ICMP_TIME_EXCEEDED",
+]
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACH = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+
+@dataclass
+class ICMPMessage:
+    """An ICMP message.
+
+    For error messages (unreachable / time exceeded), ``payload`` holds the
+    offending packet's IP header + first 8 bytes, per RFC 792.
+    """
+
+    icmp_type: int
+    code: int = 0
+    ident: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+    metadata: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def to_bytes(self, src_ip: str = "", dst_ip: str = "") -> bytes:
+        """Serialize; ICMP checksums do not use a pseudo-header."""
+        header = struct.pack(
+            "!BBHHH", self.icmp_type, self.code, 0, self.ident, self.sequence
+        )
+        cksum = internet_checksum(header + self.payload)
+        return header[:2] + struct.pack("!H", cksum) + header[4:] + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ICMPMessage":
+        if len(data) < 8:
+            raise ValueError("truncated ICMP message")
+        icmp_type, code, _cksum, ident, sequence = struct.unpack("!BBHHH", data[:8])
+        return cls(
+            icmp_type=icmp_type,
+            code=code,
+            ident=ident,
+            sequence=sequence,
+            payload=data[8:],
+        )
+
+    @classmethod
+    def time_exceeded(cls, original: bytes) -> "ICMPMessage":
+        """Build a TTL-expired error quoting the original packet."""
+        return cls(icmp_type=ICMP_TIME_EXCEEDED, code=0, payload=original[:28])
+
+    @classmethod
+    def dest_unreachable(cls, original: bytes, code: int = 1) -> "ICMPMessage":
+        """Build a destination-unreachable error (default: host unreachable)."""
+        return cls(icmp_type=ICMP_DEST_UNREACH, code=code, payload=original[:28])
+
+    @classmethod
+    def echo_request(cls, ident: int = 0, sequence: int = 0, data: bytes = b"") -> "ICMPMessage":
+        return cls(ICMP_ECHO_REQUEST, 0, ident, sequence, data)
+
+    @classmethod
+    def echo_reply(cls, request: "ICMPMessage") -> "ICMPMessage":
+        return cls(ICMP_ECHO_REPLY, 0, request.ident, request.sequence, request.payload)

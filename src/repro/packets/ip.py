@@ -1,0 +1,182 @@
+"""IPv4 packet model.
+
+``IPPacket`` is the unit that traverses the simulated network.  Its payload
+is a transport-layer object (``TCPSegment``, ``UDPDatagram``,
+``ICMPMessage``) or raw bytes; ``to_bytes``/``from_bytes`` round-trip the
+real wire format so rule engines can match on bytes when they want to.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .addressing import int_to_ip, ip_to_int
+from .checksum import internet_checksum
+
+__all__ = ["IPPacket", "PROTO_ICMP", "PROTO_TCP", "PROTO_UDP", "IP_HEADER_LEN"]
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+IP_HEADER_LEN = 20
+DEFAULT_TTL = 64
+
+
+@dataclass
+class IPPacket:
+    """An IPv4 packet with a typed transport payload.
+
+    The payload may be a transport object or raw ``bytes``.  When the payload
+    is an object, ``protocol`` is derived from its class unless explicitly
+    set; when it is bytes, ``protocol`` must be given.
+    """
+
+    src: str
+    dst: str
+    payload: Union["object", bytes] = b""
+    ttl: int = DEFAULT_TTL
+    protocol: Optional[int] = None
+    ident: int = 0
+    tos: int = 0
+    flags: int = 2  # DF set, like most modern stacks
+    frag_offset: int = 0
+    metadata: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.protocol is None:
+            self.protocol = self._infer_protocol()
+
+    def _infer_protocol(self) -> int:
+        # Imported lazily to avoid a circular import at module load time.
+        from .icmp import ICMPMessage
+        from .tcp import TCPSegment
+        from .udp import UDPDatagram
+
+        if isinstance(self.payload, TCPSegment):
+            return PROTO_TCP
+        if isinstance(self.payload, UDPDatagram):
+            return PROTO_UDP
+        if isinstance(self.payload, ICMPMessage):
+            return PROTO_ICMP
+        if isinstance(self.payload, (bytes, bytearray)):
+            raise ValueError("protocol must be set when payload is raw bytes")
+        raise TypeError(f"unsupported payload type: {type(self.payload)!r}")
+
+    # -- wire format -------------------------------------------------------
+
+    def payload_bytes(self) -> bytes:
+        """Serialize the payload, computing transport checksums."""
+        if isinstance(self.payload, (bytes, bytearray)):
+            return bytes(self.payload)
+        return self.payload.to_bytes(self.src, self.dst)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the IPv4 wire format with a valid header checksum."""
+        body = self.payload_bytes()
+        total_len = IP_HEADER_LEN + len(body)
+        ver_ihl = (4 << 4) | (IP_HEADER_LEN // 4)
+        flags_frag = (self.flags << 13) | self.frag_offset
+        header = struct.pack(
+            "!BBHHHBBHII",
+            ver_ihl,
+            self.tos,
+            total_len,
+            self.ident,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,
+            ip_to_int(self.src),
+            ip_to_int(self.dst),
+        )
+        cksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", cksum) + header[12:]
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPPacket":
+        """Parse wire bytes into an ``IPPacket`` with a typed payload."""
+        if len(data) < IP_HEADER_LEN:
+            raise ValueError("truncated IPv4 header")
+        (
+            ver_ihl,
+            tos,
+            total_len,
+            ident,
+            flags_frag,
+            ttl,
+            protocol,
+            _cksum,
+            src_i,
+            dst_i,
+        ) = struct.unpack("!BBHHHBBHII", data[:IP_HEADER_LEN])
+        if ver_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        ihl = (ver_ihl & 0xF) * 4
+        body = data[ihl:total_len]
+        payload: Union[object, bytes]
+        from .icmp import ICMPMessage
+        from .tcp import TCPSegment
+        from .udp import UDPDatagram
+
+        if protocol == PROTO_TCP:
+            payload = TCPSegment.from_bytes(body)
+        elif protocol == PROTO_UDP:
+            payload = UDPDatagram.from_bytes(body)
+        elif protocol == PROTO_ICMP:
+            payload = ICMPMessage.from_bytes(body)
+        else:
+            payload = body
+        return cls(
+            src=int_to_ip(src_i),
+            dst=int_to_ip(dst_i),
+            payload=payload,
+            ttl=ttl,
+            protocol=protocol,
+            ident=ident,
+            tos=tos,
+            flags=flags_frag >> 13,
+            frag_offset=flags_frag & 0x1FFF,
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def tcp(self):
+        """The TCP payload, or None."""
+        from .tcp import TCPSegment
+
+        return self.payload if isinstance(self.payload, TCPSegment) else None
+
+    @property
+    def udp(self):
+        """The UDP payload, or None."""
+        from .udp import UDPDatagram
+
+        return self.payload if isinstance(self.payload, UDPDatagram) else None
+
+    @property
+    def icmp(self):
+        """The ICMP payload, or None."""
+        from .icmp import ICMPMessage
+
+        return self.payload if isinstance(self.payload, ICMPMessage) else None
+
+    def copy(self) -> "IPPacket":
+        """Deep-ish copy: payload objects are re-parsed from wire bytes."""
+        return IPPacket.from_bytes(self.to_bytes())
+
+    def summary(self) -> str:
+        """One-line human-readable description, for logs and debugging."""
+        proto = {PROTO_TCP: "TCP", PROTO_UDP: "UDP", PROTO_ICMP: "ICMP"}.get(
+            self.protocol, str(self.protocol)
+        )
+        detail = ""
+        if self.tcp is not None:
+            detail = f" {self.tcp.sport}->{self.tcp.dport} [{self.tcp.flag_names()}]"
+        elif self.udp is not None:
+            detail = f" {self.udp.sport}->{self.udp.dport}"
+        return f"IP {self.src} -> {self.dst} {proto}{detail} ttl={self.ttl}"

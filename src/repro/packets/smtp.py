@@ -1,0 +1,111 @@
+"""SMTP command/reply modelling and RFC 822-style message building.
+
+The spam measurement method (paper Section 3.1, Method #2) completes a real
+SMTP dialog so that, on the wire, its traffic is indistinguishable from a
+spam bot's delivery attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["SMTPCommand", "SMTPReply", "EmailMessage"]
+
+CRLF = "\r\n"
+
+
+@dataclass(frozen=True)
+class SMTPCommand:
+    """A client-side SMTP command line."""
+
+    verb: str
+    argument: str = ""
+
+    def to_bytes(self) -> bytes:
+        line = self.verb if not self.argument else f"{self.verb} {self.argument}"
+        return (line + CRLF).encode("latin-1")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SMTPCommand":
+        line = data.decode("latin-1").rstrip(CRLF)
+        verb, _, argument = line.partition(" ")
+        return cls(verb=verb.upper(), argument=argument.strip())
+
+
+@dataclass(frozen=True)
+class SMTPReply:
+    """A server-side SMTP reply line."""
+
+    code: int
+    text: str = ""
+
+    def to_bytes(self) -> bytes:
+        return f"{self.code} {self.text}{CRLF}".encode("latin-1")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SMTPReply":
+        line = data.decode("latin-1").rstrip(CRLF)
+        code_text, _, text = line.partition(" ")
+        return cls(code=int(code_text), text=text)
+
+    @property
+    def is_positive(self) -> bool:
+        return 200 <= self.code < 400
+
+
+@dataclass
+class EmailMessage:
+    """A minimal RFC 822 message with headers and a text body."""
+
+    sender: str
+    recipient: str
+    subject: str = ""
+    body: str = ""
+    extra_headers: Dict[str, str] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        headers = {
+            "From": self.sender,
+            "To": self.recipient,
+            "Subject": self.subject,
+            **self.extra_headers,
+        }
+        head = "".join(f"{key}: {value}{CRLF}" for key, value in headers.items())
+        return head + CRLF + self.body
+
+    def to_bytes(self) -> bytes:
+        return self.to_text().encode("utf-8")
+
+    @classmethod
+    def from_text(cls, text: str) -> "EmailMessage":
+        head, _, body = text.partition(CRLF + CRLF)
+        headers: Dict[str, str] = {}
+        for line in head.split(CRLF):
+            key, _, value = line.partition(":")
+            if key:
+                headers[key.strip()] = value.strip()
+        known = {"From", "To", "Subject"}
+        return cls(
+            sender=headers.get("From", ""),
+            recipient=headers.get("To", ""),
+            subject=headers.get("Subject", ""),
+            body=body,
+            extra_headers={k: v for k, v in headers.items() if k not in known},
+        )
+
+    def words(self) -> List[str]:
+        """Lower-cased tokens of subject + body, for spam-filter features."""
+        import re
+
+        return re.findall(r"[a-z0-9$!']+", (self.subject + " " + self.body).lower())
+
+
+def dialog_script(message: EmailMessage, helo_name: str = "mail.example.com") -> List[SMTPCommand]:
+    """The client command sequence that delivers ``message``."""
+    return [
+        SMTPCommand("HELO", helo_name),
+        SMTPCommand("MAIL", f"FROM:<{message.sender}>"),
+        SMTPCommand("RCPT", f"TO:<{message.recipient}>"),
+        SMTPCommand("DATA"),
+    ]

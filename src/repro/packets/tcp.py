@@ -1,0 +1,128 @@
+"""TCP segment model with real flag semantics and checksums."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .addressing import ip_to_int
+from .checksum import internet_checksum, pseudo_header
+
+__all__ = [
+    "TCPSegment",
+    "FIN",
+    "SYN",
+    "RST",
+    "PSH",
+    "ACK",
+    "URG",
+    "TCP_HEADER_LEN",
+]
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+_FLAG_NAMES = [("F", FIN), ("S", SYN), ("R", RST), ("P", PSH), ("A", ACK), ("U", URG)]
+
+TCP_HEADER_LEN = 20
+PROTO_TCP = 6
+
+
+@dataclass
+class TCPSegment:
+    """A TCP segment; ``payload`` carries application bytes."""
+
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    urgent: int = 0
+    payload: bytes = b""
+    options: bytes = b""
+    metadata: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # -- flag helpers --------------------------------------------------------
+
+    def has(self, mask: int) -> bool:
+        """Return True if every flag bit in ``mask`` is set."""
+        return self.flags & mask == mask
+
+    @property
+    def is_syn(self) -> bool:
+        return self.has(SYN) and not self.has(ACK)
+
+    @property
+    def is_synack(self) -> bool:
+        return self.has(SYN | ACK)
+
+    @property
+    def is_rst(self) -> bool:
+        return self.has(RST)
+
+    @property
+    def is_fin(self) -> bool:
+        return self.has(FIN)
+
+    @property
+    def is_ack_only(self) -> bool:
+        return self.flags == ACK and not self.payload
+
+    def flag_names(self) -> str:
+        """Render flags as e.g. ``"SA"`` for SYN+ACK (nmap/tcpdump style)."""
+        return "".join(name for name, bit in _FLAG_NAMES if self.flags & bit)
+
+    # -- wire format ---------------------------------------------------------
+
+    def header_len(self) -> int:
+        pad = (-len(self.options)) % 4
+        return TCP_HEADER_LEN + len(self.options) + pad
+
+    def to_bytes(self, src_ip: str, dst_ip: str) -> bytes:
+        """Serialize with a valid checksum over the IPv4 pseudo-header."""
+        opts = self.options + b"\x00" * ((-len(self.options)) % 4)
+        data_offset = (TCP_HEADER_LEN + len(opts)) // 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.sport,
+            self.dport,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset << 4,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        )
+        segment = header + opts + self.payload
+        pseudo = pseudo_header(
+            ip_to_int(src_ip), ip_to_int(dst_ip), PROTO_TCP, len(segment)
+        )
+        cksum = internet_checksum(pseudo + segment)
+        return segment[:16] + struct.pack("!H", cksum) + segment[18:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TCPSegment":
+        if len(data) < TCP_HEADER_LEN:
+            raise ValueError("truncated TCP header")
+        sport, dport, seq, ack, off_bits, flags, window, _cksum, urgent = struct.unpack(
+            "!HHIIBBHHH", data[:TCP_HEADER_LEN]
+        )
+        header_len = (off_bits >> 4) * 4
+        options = data[TCP_HEADER_LEN:header_len]
+        return cls(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            payload=data[header_len:],
+            options=options,
+        )

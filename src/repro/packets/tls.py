@@ -1,0 +1,139 @@
+"""Minimal TLS records: ClientHello with SNI, ServerHello, fatal alerts.
+
+Modern HTTPS censorship keys on the plaintext SNI field of the ClientHello
+— the GFC resets TLS flows whose SNI names a blocked domain.  This module
+builds wire-plausible TLS handshake records (correct record/handshake
+framing, real SNI extension layout) so byte-matching rule engines see the
+hostname exactly where a real IDS would.
+
+Only the fields censorship measurement touches are modelled; there is no
+cryptography here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ClientHello",
+    "ServerHello",
+    "tls_alert",
+    "sni_of",
+    "TLS_HANDSHAKE",
+    "TLS_ALERT",
+]
+
+TLS_HANDSHAKE = 0x16
+TLS_ALERT = 0x15
+TLS_VERSION_1_2 = b"\x03\x03"
+HANDSHAKE_CLIENT_HELLO = 0x01
+HANDSHAKE_SERVER_HELLO = 0x02
+EXT_SERVER_NAME = 0x0000
+
+
+def _record(content_type: int, body: bytes) -> bytes:
+    return bytes([content_type]) + TLS_VERSION_1_2 + struct.pack("!H", len(body)) + body
+
+
+def _handshake(handshake_type: int, body: bytes) -> bytes:
+    return bytes([handshake_type]) + len(body).to_bytes(3, "big") + body
+
+
+@dataclass
+class ClientHello:
+    """A ClientHello with an SNI extension."""
+
+    server_name: str
+    random: bytes = b"\x00" * 32
+    session_id: bytes = b""
+    cipher_suites: bytes = b"\x13\x01\x13\x02\xc0\x2f"  # plausible modern set
+
+    def to_bytes(self) -> bytes:
+        name = self.server_name.encode("ascii")
+        # SNI extension: list(type=host_name(0), length-prefixed name).
+        sni_entry = b"\x00" + struct.pack("!H", len(name)) + name
+        sni_list = struct.pack("!H", len(sni_entry)) + sni_entry
+        extension = struct.pack("!HH", EXT_SERVER_NAME, len(sni_list)) + sni_list
+        extensions = struct.pack("!H", len(extension)) + extension
+        body = (
+            TLS_VERSION_1_2
+            + self.random[:32].ljust(32, b"\x00")
+            + bytes([len(self.session_id)]) + self.session_id
+            + struct.pack("!H", len(self.cipher_suites)) + self.cipher_suites
+            + b"\x01\x00"  # compression methods: null
+            + extensions
+        )
+        return _record(TLS_HANDSHAKE, _handshake(HANDSHAKE_CLIENT_HELLO, body))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ClientHello":
+        name = sni_of(data)
+        if name is None:
+            raise ValueError("no SNI extension found")
+        return cls(server_name=name)
+
+
+@dataclass
+class ServerHello:
+    """A minimal ServerHello record (enough to signal 'handshake began')."""
+
+    random: bytes = b"\x01" * 32
+
+    def to_bytes(self) -> bytes:
+        body = (
+            TLS_VERSION_1_2
+            + self.random[:32].ljust(32, b"\x00")
+            + b"\x00"          # empty session id
+            + b"\x13\x01"      # chosen cipher
+            + b"\x00"          # null compression
+        )
+        return _record(TLS_HANDSHAKE, _handshake(HANDSHAKE_SERVER_HELLO, body))
+
+    @classmethod
+    def is_server_hello(cls, data: bytes) -> bool:
+        return (
+            len(data) >= 6
+            and data[0] == TLS_HANDSHAKE
+            and data[5] == HANDSHAKE_SERVER_HELLO
+        )
+
+
+def tls_alert(description: int = 40) -> bytes:
+    """A fatal TLS alert record (default: handshake_failure)."""
+    return _record(TLS_ALERT, bytes([2, description]))
+
+
+def sni_of(data: bytes) -> Optional[str]:
+    """Extract the SNI host name from a ClientHello record, or None.
+
+    Tolerant parser: walks the record/handshake framing and the extension
+    list the way a middlebox does.
+    """
+    try:
+        if data[0] != TLS_HANDSHAKE or data[5] != HANDSHAKE_CLIENT_HELLO:
+            return None
+        offset = 9  # record header (5) + handshake header (4)
+        offset += 2 + 32  # version + random
+        session_len = data[offset]
+        offset += 1 + session_len
+        (cipher_len,) = struct.unpack("!H", data[offset : offset + 2])
+        offset += 2 + cipher_len
+        compression_len = data[offset]
+        offset += 1 + compression_len
+        (extensions_len,) = struct.unpack("!H", data[offset : offset + 2])
+        offset += 2
+        end = offset + extensions_len
+        while offset + 4 <= end:
+            ext_type, ext_len = struct.unpack("!HH", data[offset : offset + 4])
+            offset += 4
+            if ext_type == EXT_SERVER_NAME:
+                # list length (2), entry type (1), name length (2), name.
+                (name_len,) = struct.unpack("!H", data[offset + 3 : offset + 5])
+                name = data[offset + 5 : offset + 5 + name_len]
+                return name.decode("ascii")
+            offset += ext_len
+        return None
+    except (IndexError, struct.error, UnicodeDecodeError):
+        return None

@@ -1,0 +1,41 @@
+"""UDP datagram model."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .addressing import ip_to_int
+from .checksum import internet_checksum, pseudo_header
+
+__all__ = ["UDPDatagram", "UDP_HEADER_LEN"]
+
+UDP_HEADER_LEN = 8
+PROTO_UDP = 17
+
+
+@dataclass
+class UDPDatagram:
+    """A UDP datagram; ``payload`` carries application bytes."""
+
+    sport: int
+    dport: int
+    payload: bytes = b""
+    metadata: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def to_bytes(self, src_ip: str, dst_ip: str) -> bytes:
+        """Serialize with a valid checksum over the IPv4 pseudo-header."""
+        length = UDP_HEADER_LEN + len(self.payload)
+        header = struct.pack("!HHHH", self.sport, self.dport, length, 0)
+        pseudo = pseudo_header(ip_to_int(src_ip), ip_to_int(dst_ip), PROTO_UDP, length)
+        cksum = internet_checksum(pseudo + header + self.payload)
+        if cksum == 0:  # RFC 768: transmitted as all-ones when computed zero
+            cksum = 0xFFFF
+        return header[:6] + struct.pack("!H", cksum) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UDPDatagram":
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        sport, dport, length, _cksum = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
+        return cls(sport=sport, dport=dport, payload=data[UDP_HEADER_LEN:length])

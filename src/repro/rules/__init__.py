@@ -1,0 +1,50 @@
+"""Snort-subset rule language, matchers, stream reassembly, and engine."""
+
+from .engine import Alert, RuleEngine
+from .language import Rule, RuleParseError, ThresholdSpec, parse_rule, parse_ruleset
+from .matcher import (
+    AddressSpec,
+    ContentOption,
+    DsizeOption,
+    FlagsOption,
+    PcreOption,
+    PortSpec,
+)
+from .reassembly import FlowRecord, StreamReassembler, StreamUpdate
+from .rulesets import (
+    BLOCKED_DOMAINS,
+    DEFAULT_VARIABLES,
+    DISCARD_CLASSTYPES,
+    GFC_KEYWORDS,
+    RETAIN_CLASSTYPES,
+    censor_ruleset_text,
+    mvr_detection_ruleset_text,
+    surveillance_interest_ruleset_text,
+)
+
+__all__ = [
+    "AddressSpec",
+    "Alert",
+    "BLOCKED_DOMAINS",
+    "ContentOption",
+    "DEFAULT_VARIABLES",
+    "DISCARD_CLASSTYPES",
+    "DsizeOption",
+    "FlagsOption",
+    "FlowRecord",
+    "GFC_KEYWORDS",
+    "PcreOption",
+    "PortSpec",
+    "RETAIN_CLASSTYPES",
+    "Rule",
+    "RuleEngine",
+    "RuleParseError",
+    "StreamReassembler",
+    "StreamUpdate",
+    "ThresholdSpec",
+    "censor_ruleset_text",
+    "mvr_detection_ruleset_text",
+    "parse_rule",
+    "parse_ruleset",
+    "surveillance_interest_ruleset_text",
+]

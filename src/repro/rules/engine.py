@@ -1,0 +1,266 @@
+"""The rule-evaluation engine (the Snort analogue).
+
+One engine instance is the core of both reference systems: the censorship
+middlebox runs it with GFC-style ``reject``/``drop`` rules, and the
+surveillance MVR runs it with detection/policy ``alert`` rules.  Leaked
+documents indicate both real systems are off-path signature-based IDSes
+(paper Section 3.2.1), so one shared engine is the faithful model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .language import Rule, ThresholdSpec, parse_ruleset
+from .reassembly import StreamReassembler, StreamUpdate
+
+__all__ = ["Alert", "RuleEngine"]
+
+_PROTO_OF = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+
+
+@dataclass
+class Alert:
+    """One rule firing on one packet."""
+
+    time: float
+    sid: int
+    msg: str
+    action: str
+    classtype: str
+    priority: int
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    rule: Rule = field(repr=False, default=None)  # type: ignore[assignment]
+    packet: IPPacket = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:.3f}] [{self.sid}] {self.action.upper()} "
+            f"{self.msg} {self.src}:{self.sport} -> {self.dst}:{self.dport}"
+        )
+
+
+class _ThresholdState:
+    """Sliding-window event counting for threshold/detection_filter."""
+
+    def __init__(self) -> None:
+        self._events: Dict[Tuple[int, str], deque] = {}
+        self._fired_in_window: Dict[Tuple[int, str], float] = {}
+
+    def should_alert(self, spec: ThresholdSpec, sid: int, key_ip: str, now: float) -> bool:
+        key = (sid, key_ip)
+        window = self._events.setdefault(key, deque())
+        window.append(now)
+        while window and now - window[0] > spec.seconds:
+            window.popleft()
+        count = len(window)
+        if spec.kind == "limit":
+            return count <= spec.count
+        if spec.kind == "threshold":
+            return count % spec.count == 0
+        # "both": once per window, after count reached
+        if count >= spec.count:
+            last = self._fired_in_window.get(key)
+            if last is None or now - last > spec.seconds:
+                self._fired_in_window[key] = now
+                return True
+        return False
+
+
+class RuleEngine:
+    """Evaluates a ruleset against a packet stream.
+
+    Usage: ``engine.process(packet, now)`` returns the alerts the packet
+    raised, in ruleset order, with ``pass`` rules suppressing everything
+    else for that packet (Snort's pass-before-alert ordering).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[List[Rule]] = None,
+        variables: Optional[Dict[str, str]] = None,
+        stream_depth: int = 8192,
+        overlap_policy: str = "first",
+    ) -> None:
+        self.variables = dict(variables or {})
+        self.rules: List[Rule] = list(rules or [])
+        self.reassembler = StreamReassembler(
+            stream_depth=stream_depth, overlap_policy=overlap_policy
+        )
+        self.alerts: List[Alert] = []
+        self.packets_processed = 0
+        self._thresholds = _ThresholdState()
+
+    @classmethod
+    def from_text(
+        cls,
+        ruleset_text: str,
+        variables: Optional[Dict[str, str]] = None,
+        stream_depth: int = 8192,
+        overlap_policy: str = "first",
+    ) -> "RuleEngine":
+        variables = dict(variables or {})
+        return cls(
+            rules=parse_ruleset(ruleset_text, variables),
+            variables=variables,
+            stream_depth=stream_depth,
+            overlap_policy=overlap_policy,
+        )
+
+    def add_rules(self, ruleset_text: str) -> None:
+        self.rules.extend(parse_ruleset(ruleset_text, self.variables))
+
+    def rule_by_sid(self, sid: int) -> Optional[Rule]:
+        for rule in self.rules:
+            if rule.sid == sid:
+                return rule
+        return None
+
+    # -- evaluation -------------------------------------------------------------
+
+    def process(self, packet: IPPacket, now: float) -> List[Alert]:
+        """Run the packet through reassembly and every rule."""
+        self.packets_processed += 1
+        update = self.reassembler.feed(packet, now)
+        matches: List[Alert] = []
+        for rule in self.rules:
+            if not self._header_matches(rule, packet):
+                continue
+            if not self._options_match(rule, packet, update):
+                continue
+            if rule.action == "pass":
+                return []  # pass rules defeat all later rules for this packet
+            if rule.threshold is not None:
+                key_ip = packet.src if rule.threshold.track == "by_src" else packet.dst
+                if not self._thresholds.should_alert(rule.threshold, rule.sid, key_ip, now):
+                    continue
+            if update is not None and rule.needs_payload():
+                # Stream-context matches fire once per flow per sid, like a
+                # flushed-stream alert, not once per subsequent packet.
+                if rule.sid in update.flow.alerted_sids:
+                    continue
+                update.flow.alerted_sids.add(rule.sid)
+            matches.append(self._alert(rule, packet, now))
+        self.alerts.extend(matches)
+        return matches
+
+    def _alert(self, rule: Rule, packet: IPPacket, now: float) -> Alert:
+        sport, dport = _ports_of(packet)
+        return Alert(
+            time=now,
+            sid=rule.sid,
+            msg=rule.msg,
+            action=rule.action,
+            classtype=rule.classtype,
+            priority=rule.priority,
+            src=packet.src,
+            dst=packet.dst,
+            sport=sport,
+            dport=dport,
+            rule=rule,
+            packet=packet,
+        )
+
+    def _header_matches(self, rule: Rule, packet: IPPacket) -> bool:
+        if rule.protocol != "ip" and _PROTO_OF[rule.protocol] != packet.protocol:
+            return False
+        sport, dport = _ports_of(packet)
+        forward = (
+            rule.src.matches(packet.src)
+            and rule.sport.matches(sport)
+            and rule.dst.matches(packet.dst)
+            and rule.dport.matches(dport)
+        )
+        if forward:
+            return True
+        if rule.bidirectional:
+            return (
+                rule.src.matches(packet.dst)
+                and rule.sport.matches(dport)
+                and rule.dst.matches(packet.src)
+                and rule.dport.matches(sport)
+            )
+        return False
+
+    def _options_match(
+        self, rule: Rule, packet: IPPacket, update: Optional[StreamUpdate]
+    ) -> bool:
+        if rule.flags is not None:
+            if packet.tcp is None or not rule.flags.matches(packet.tcp.flags):
+                return False
+        if rule.itype is not None:
+            if packet.icmp is None or packet.icmp.icmp_type != rule.itype:
+                return False
+        if rule.icode is not None:
+            if packet.icmp is None or packet.icmp.code != rule.icode:
+                return False
+
+        payload = _payload_of(packet)
+        if rule.dsize is not None and not rule.dsize.matches(len(payload)):
+            return False
+
+        if rule.flow:
+            if not self._flow_matches(rule.flow, packet, update):
+                return False
+
+        if rule.needs_payload():
+            haystack = payload
+            if update is not None:
+                # Match against the reassembled stream so keywords split
+                # across segments are still seen (and evasion by splitting
+                # is defeated, as with the real GFC).
+                haystack = update.flow.buffer(update.direction)
+            if not haystack:
+                return False
+            for content in rule.contents:
+                if not content.matches(haystack):
+                    return False
+            for pcre in rule.pcres:
+                if not pcre.matches(haystack):
+                    return False
+        return True
+
+    def _flow_matches(
+        self, flow_opts: List[str], packet: IPPacket, update: Optional[StreamUpdate]
+    ) -> bool:
+        if "stateless" in flow_opts:
+            return True
+        if update is None:
+            return False
+        flow = update.flow
+        for option in flow_opts:
+            if option == "established" and not flow.established:
+                return False
+            if option == "to_server" and update.direction != "c2s":
+                return False
+            if option == "to_client" and update.direction != "s2c":
+                return False
+            if option == "not_established" and flow.established:
+                return False
+        return True
+
+
+def _ports_of(packet: IPPacket) -> Tuple[int, int]:
+    if packet.tcp is not None:
+        return packet.tcp.sport, packet.tcp.dport
+    if packet.udp is not None:
+        return packet.udp.sport, packet.udp.dport
+    return 0, 0
+
+
+def _payload_of(packet: IPPacket) -> bytes:
+    if packet.tcp is not None:
+        return packet.tcp.payload
+    if packet.udp is not None:
+        return packet.udp.payload
+    if packet.icmp is not None:
+        return packet.icmp.payload
+    if isinstance(packet.payload, (bytes, bytearray)):
+        return bytes(packet.payload)
+    return b""

@@ -1,0 +1,182 @@
+"""TCP stream reassembly for the rule engine (Snort stream5 analogue).
+
+Censorship systems "need only store enough data to reassemble flows and
+store access control lists" (paper Section 1); this module is that state.
+It tracks handshake progress per flow, accumulates in-order payload per
+direction up to a configurable depth, and reports which side initiated the
+flow so ``flow:to_server``/``to_client`` rule options work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..packets import FiveTuple, IPPacket, flow_of
+
+__all__ = ["FlowRecord", "StreamReassembler", "StreamUpdate"]
+
+DEFAULT_STREAM_DEPTH = 8192
+
+
+@dataclass
+class FlowRecord:
+    """Per-flow reassembly state."""
+
+    key: FiveTuple  # canonical (direction-insensitive)
+    initiator: str = ""
+    responder: str = ""
+    syn_seen: bool = False
+    synack_seen: bool = False
+    established: bool = False
+    reset: bool = False
+    closed: bool = False
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    packets: int = 0
+    #: reassembled application bytes per direction key ("c2s" / "s2c")
+    buffers: Dict[str, bytearray] = field(
+        default_factory=lambda: {"c2s": bytearray(), "s2c": bytearray()}
+    )
+    next_seq: Dict[str, Optional[int]] = field(
+        default_factory=lambda: {"c2s": None, "s2c": None}
+    )
+    #: sids that already alerted on this flow's stream content
+    alerted_sids: Set[int] = field(default_factory=set)
+
+    def direction_of(self, packet: IPPacket) -> str:
+        return "c2s" if packet.src == self.initiator else "s2c"
+
+    def buffer(self, direction: str) -> bytes:
+        return bytes(self.buffers[direction])
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(buf) for buf in self.buffers.values())
+
+
+@dataclass
+class StreamUpdate:
+    """What one packet did to its flow."""
+
+    flow: FlowRecord
+    direction: str
+    new_data: bytes
+    is_new_flow: bool
+
+
+class StreamReassembler:
+    """Tracks TCP flows and reassembles payload in order.
+
+    ``stream_depth`` caps buffered bytes per direction — the same knob a
+    real IDS has, and the thing evasion-by-overflow attacks target.
+    """
+
+    def __init__(
+        self,
+        stream_depth: int = DEFAULT_STREAM_DEPTH,
+        max_flows: int = 100_000,
+        overlap_policy: str = "first",
+    ) -> None:
+        if overlap_policy not in ("first", "last"):
+            raise ValueError("overlap_policy must be 'first' or 'last'")
+        self.stream_depth = stream_depth
+        self.max_flows = max_flows
+        #: How retransmitted/overlapping data is resolved: "first" keeps
+        #: the bytes already buffered (BSD-style), "last" lets a
+        #: retransmission overwrite them (Windows-style).  Ptacek &
+        #: Newsham's insertion/evasion attacks live in the gap between an
+        #: IDS's policy and the end host's.
+        self.overlap_policy = overlap_policy
+        self.flows: Dict[FiveTuple, FlowRecord] = {}
+        self.evicted_flows = 0
+
+    def feed(self, packet: IPPacket, now: float) -> Optional[StreamUpdate]:
+        """Advance flow state with ``packet``; returns None for non-TCP."""
+        segment = packet.tcp
+        directed = flow_of(packet)
+        if segment is None or directed is None:
+            return None
+        key = directed.canonical()
+        flow = self.flows.get(key)
+        is_new = flow is None
+        if flow is None:
+            if len(self.flows) >= self.max_flows:
+                self._evict_oldest()
+            flow = FlowRecord(key=key, first_seen=now)
+            # Whoever we see first is provisionally the initiator; a SYN
+            # observed later corrects this (matters for mid-flow pickup).
+            flow.initiator, flow.responder = packet.src, packet.dst
+            self.flows[key] = flow
+        flow.last_seen = now
+        flow.packets += 1
+
+        if segment.is_syn:
+            flow.syn_seen = True
+            flow.initiator, flow.responder = packet.src, packet.dst
+        elif segment.is_synack:
+            flow.synack_seen = True
+            flow.initiator, flow.responder = packet.dst, packet.src
+        elif segment.has(0x10) and flow.syn_seen and flow.synack_seen:  # ACK
+            flow.established = True
+        if segment.is_rst:
+            flow.reset = True
+        if segment.is_fin:
+            flow.closed = True
+
+        direction = flow.direction_of(packet)
+        new_data = b""
+        if segment.payload:
+            new_data = self._append(flow, direction, segment)
+        return StreamUpdate(flow=flow, direction=direction, new_data=new_data, is_new_flow=is_new)
+
+    def _append(self, flow: FlowRecord, direction: str, segment) -> bytes:
+        expected = flow.next_seq[direction]
+        if expected is not None and segment.seq < expected:
+            if self.overlap_policy == "last":
+                self._overwrite(flow, direction, segment, expected)
+            return b""  # retransmission / injected duplicate
+        buffer = flow.buffers[direction]
+        room = self.stream_depth - len(buffer)
+        if room <= 0:
+            return b""  # beyond inspection depth
+        data = segment.payload[:room]
+        buffer.extend(data)
+        flow.next_seq[direction] = segment.seq + len(segment.payload)
+        return data
+
+    def _overwrite(self, flow: FlowRecord, direction: str, segment, expected: int) -> None:
+        """Last-wins: a retransmission replaces already-buffered bytes.
+
+        The buffer tail corresponds to sequence numbers
+        [expected - len(buffer), expected); map the segment onto it.
+        """
+        buffer = flow.buffers[direction]
+        buffer_start_seq = expected - len(buffer)
+        offset = segment.seq - buffer_start_seq
+        if offset < 0:
+            data = segment.payload[-offset:]
+            offset = 0
+        else:
+            data = segment.payload
+        data = data[: max(0, len(buffer) - offset)]
+        buffer[offset : offset + len(data)] = data
+        # A sid that alerted on the old bytes may now face different
+        # content; allow re-evaluation of stream rules on this flow.
+        flow.alerted_sids.clear()
+
+    def _evict_oldest(self) -> None:
+        oldest_key = min(self.flows, key=lambda key: self.flows[key].last_seen)
+        del self.flows[oldest_key]
+        self.evicted_flows += 1
+
+    def flush_flow(self, key: FiveTuple) -> None:
+        """Drop a flow's state (e.g. after the censor kills it)."""
+        self.flows.pop(key.canonical(), None)
+
+    def expire(self, now: float, idle: float = 60.0) -> int:
+        """Remove flows idle longer than ``idle`` seconds; returns count."""
+        stale = [key for key, flow in self.flows.items() if now - flow.last_seen > idle]
+        for key in stale:
+            del self.flows[key]
+        return len(stale)

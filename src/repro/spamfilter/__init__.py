@@ -1,0 +1,25 @@
+"""Proofpoint-analogue spam filter and synthetic mail corpora."""
+
+from .corpus import (
+    HAM_SUBJECTS,
+    SPAM_SUBJECTS,
+    generate_ham,
+    generate_spam,
+    measurement_spam_email,
+)
+from .features import SPAM_PHRASES, SpamFeatures, extract_features
+from .scorer import DEFAULT_WEIGHTS, SPAM_THRESHOLD, SpamScorer
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "HAM_SUBJECTS",
+    "SPAM_PHRASES",
+    "SPAM_SUBJECTS",
+    "SPAM_THRESHOLD",
+    "SpamFeatures",
+    "SpamScorer",
+    "extract_features",
+    "generate_ham",
+    "generate_spam",
+    "measurement_spam_email",
+]

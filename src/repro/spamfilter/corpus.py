@@ -1,0 +1,154 @@
+"""Synthetic mail corpora: spam templates, ham templates, and the
+measurement-cloaking builder.
+
+``measurement_spam_email`` is what the spam measurement technique (paper
+Method #2) actually sends: a message that any commercial filter scores as
+spam, so the surveillance MVR classes the whole transaction as commodity
+spam-bot output and discards it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..packets import EmailMessage
+
+__all__ = [
+    "generate_spam",
+    "generate_ham",
+    "measurement_spam_email",
+    "SPAM_SUBJECTS",
+    "HAM_SUBJECTS",
+]
+
+SPAM_SUBJECTS = [
+    "YOU ARE A WINNER - CLAIM YOUR PRIZE",
+    "Act now! Limited time offer inside",
+    "CHEAP MEDS no prescription needed",
+    "Re: your $5,000,000 inheritance",
+    "URGENT: wire transfer waiting",
+    "Lose weight fast - 100% guaranteed miracle",
+    "FREE casino cash bonus - click here",
+    "Refinance today, no obligation",
+]
+
+SPAM_BODIES = [
+    (
+        "Dear friend! You have been selected as our lottery WINNER!!! "
+        "Claim your prize of $1,000,000 now at http://win.example-prizes.biz "
+        "This is a risk free, 100% guaranteed special offer. Act now! "
+        "Click here to unsubscribe."
+    ),
+    (
+        "Get cheap meds online NOW! Viagra and miracle weight loss pills, "
+        "special offer, order now at www.cheap-meds-4u.example! "
+        "No obligation, earn money as a reseller! Limited time!!!"
+    ),
+    (
+        "URGENT business proposal. I am contacting you about an inheritance "
+        "of $5,000,000 USD in Nigeria. Send a wire transfer of $200 for "
+        "processing. This is 100% guaranteed and risk free! Act now!"
+    ),
+    (
+        "CONGRATULATIONS!!! FREE casino cash bonus waiting for you. "
+        "Click here http://casino.example-bonus.biz to claim $500 now! "
+        "Winner winner! Limited time special offer, no obligation!"
+    ),
+]
+
+SPAM_SENDERS = [
+    "promo@example-prizes.biz",
+    "deals@cheap-meds-4u.example",
+    "barrister@example-lagos.example",
+    "bonus@casino-example.biz",
+]
+
+HAM_SUBJECTS = [
+    "Meeting notes from Tuesday",
+    "Re: quarterly report draft",
+    "Lunch on Friday?",
+    "Homework 3 clarification",
+    "Build failure on branch main",
+    "Photos from the hike",
+]
+
+HAM_BODIES = [
+    (
+        "Hi, attaching the notes from Tuesday's meeting. The main action "
+        "item is to review the draft by Thursday. Let me know if you have "
+        "questions. Thanks!"
+    ),
+    (
+        "Hello professor, for problem 2 of homework 3, should we assume the "
+        "network is reliable, or do we need to handle packet loss? Thanks."
+    ),
+    (
+        "The nightly build failed on main with a linker error in the "
+        "simulator module. I bisected it to yesterday's refactor. Can you "
+        "take a look when you get a chance?"
+    ),
+    (
+        "Great seeing everyone this weekend. I uploaded the photos from the "
+        "hike to the shared album. The view from the ridge came out really "
+        "well."
+    ),
+]
+
+HAM_SENDERS = [
+    "alice@university.edu",
+    "bob@university.edu",
+    "carol@company.example",
+    "dave@university.edu",
+]
+
+
+def generate_spam(rng: random.Random, count: int, recipient: str = "victim@example.com") -> List[EmailMessage]:
+    """Sample ``count`` spam messages from the template pool."""
+    messages = []
+    for _ in range(count):
+        subject = rng.choice(SPAM_SUBJECTS)
+        body = rng.choice(SPAM_BODIES)
+        messages.append(
+            EmailMessage(
+                sender=rng.choice(SPAM_SENDERS),
+                recipient=recipient,
+                subject=subject,
+                body=body,
+                extra_headers={"Reply-To": "reply@different-domain.example"},
+            )
+        )
+    return messages
+
+
+def generate_ham(rng: random.Random, count: int, recipient: str = "colleague@university.edu") -> List[EmailMessage]:
+    """Sample ``count`` legitimate messages from the template pool."""
+    messages = []
+    for _ in range(count):
+        messages.append(
+            EmailMessage(
+                sender=rng.choice(HAM_SENDERS),
+                recipient=recipient,
+                subject=rng.choice(HAM_SUBJECTS),
+                body=rng.choice(HAM_BODIES),
+            )
+        )
+    return messages
+
+
+def measurement_spam_email(
+    rng: random.Random, target_domain: str, mailbox: str = "info"
+) -> EmailMessage:
+    """Build the spam-cloaked measurement message for ``target_domain``.
+
+    The recipient is an address at the (potentially censored) target; the
+    content is drawn from the spam pool so filters — and therefore the
+    surveillance MVR — classify the transaction as bulk spam.
+    """
+    return EmailMessage(
+        sender=rng.choice(SPAM_SENDERS),
+        recipient=f"{mailbox}@{target_domain}",
+        subject=rng.choice(SPAM_SUBJECTS),
+        body=rng.choice(SPAM_BODIES),
+        extra_headers={"Reply-To": "reply@different-domain.example"},
+    )

@@ -1,0 +1,113 @@
+"""Feature extraction for the spam scorer.
+
+Features mirror the classic content signals commercial filters (the paper
+used the university's Proofpoint deployment) weigh: spammy phrases,
+shouting, URLs, money talk, and header oddities.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict
+
+from ..packets import EmailMessage
+
+__all__ = ["SpamFeatures", "extract_features", "SPAM_PHRASES"]
+
+SPAM_PHRASES = [
+    "free",
+    "winner",
+    "viagra",
+    "act now",
+    "limited time",
+    "click here",
+    "no obligation",
+    "risk free",
+    "100% guaranteed",
+    "earn money",
+    "weight loss",
+    "cheap meds",
+    "casino",
+    "lottery",
+    "prize",
+    "urgent",
+    "wire transfer",
+    "nigeria",
+    "inheritance",
+    "refinance",
+    "enlargement",
+    "miracle",
+    "unsubscribe",
+    "special offer",
+    "order now",
+    "cash bonus",
+]
+
+_URL_RE = re.compile(r"https?://[^\s>]+|www\.[^\s>]+", re.IGNORECASE)
+_MONEY_RE = re.compile(r"[$€£]\s?\d[\d,\.]*|\d+\s?(?:dollars|usd|eur)", re.IGNORECASE)
+
+
+@dataclass
+class SpamFeatures:
+    """Numeric features for one message."""
+
+    phrase_hits: int
+    caps_ratio: float
+    exclamations: int
+    urls: int
+    money_mentions: int
+    domain_mismatch: bool
+    subject_shouting: bool
+    body_length: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "phrase_hits": float(self.phrase_hits),
+            "caps_ratio": self.caps_ratio,
+            "exclamations": float(self.exclamations),
+            "urls": float(self.urls),
+            "money_mentions": float(self.money_mentions),
+            "domain_mismatch": float(self.domain_mismatch),
+            "subject_shouting": float(self.subject_shouting),
+            "body_length": float(self.body_length),
+        }
+
+
+def _domain_of(address: str) -> str:
+    _, _, domain = address.partition("@")
+    return domain.strip(" <>").lower()
+
+
+def extract_features(message: EmailMessage) -> SpamFeatures:
+    """Compute content and header features for ``message``."""
+    text = f"{message.subject}\n{message.body}"
+    lowered = text.lower()
+
+    phrase_hits = sum(lowered.count(phrase) for phrase in SPAM_PHRASES)
+
+    letters = [char for char in text if char.isalpha()]
+    caps = sum(1 for char in letters if char.isupper())
+    caps_ratio = caps / len(letters) if letters else 0.0
+
+    sender_domain = _domain_of(message.sender)
+    claimed_domain = _domain_of(message.extra_headers.get("Reply-To", message.sender))
+    domain_mismatch = bool(
+        sender_domain and claimed_domain and sender_domain != claimed_domain
+    )
+
+    subject_letters = [char for char in message.subject if char.isalpha()]
+    subject_shouting = bool(subject_letters) and all(
+        char.isupper() for char in subject_letters
+    )
+
+    return SpamFeatures(
+        phrase_hits=phrase_hits,
+        caps_ratio=caps_ratio,
+        exclamations=text.count("!"),
+        urls=len(_URL_RE.findall(text)),
+        money_mentions=len(_MONEY_RE.findall(text)),
+        domain_mismatch=domain_mismatch,
+        subject_shouting=subject_shouting,
+        body_length=len(message.body),
+    )

@@ -1,0 +1,61 @@
+"""The Proofpoint-analogue spam scorer: message -> score in [0, 100].
+
+A weighted-logistic content scorer.  Absolute calibration does not matter
+for the reproduction; what Figure 2 needs is that spam-cloaked measurement
+messages land decisively in the spam range (the paper's CDF sits in the
+high-score region) while normal mail does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..packets import EmailMessage
+from .features import SpamFeatures, extract_features
+
+__all__ = ["SpamScorer", "DEFAULT_WEIGHTS", "SPAM_THRESHOLD"]
+
+#: Score at or above which the filter classifies a message as spam.
+SPAM_THRESHOLD = 50.0
+
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "phrase_hits": 0.30,
+    "caps_ratio": 2.0,
+    "exclamations": 0.15,
+    "urls": 0.35,
+    "money_mentions": 0.40,
+    "domain_mismatch": 0.6,
+    "subject_shouting": 0.7,
+    "bias": -2.6,
+}
+
+
+@dataclass
+class SpamScorer:
+    """Deterministic feature-weighted scorer."""
+
+    weights: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+
+    def raw_score(self, features: SpamFeatures) -> float:
+        """The pre-squash linear score."""
+        w = self.weights
+        return (
+            w["phrase_hits"] * min(features.phrase_hits, 12)
+            + w["caps_ratio"] * features.caps_ratio
+            + w["exclamations"] * min(features.exclamations, 10)
+            + w["urls"] * min(features.urls, 6)
+            + w["money_mentions"] * min(features.money_mentions, 6)
+            + w["domain_mismatch"] * features.domain_mismatch
+            + w["subject_shouting"] * features.subject_shouting
+            + w["bias"]
+        )
+
+    def score(self, message: EmailMessage) -> float:
+        """Score in [0, 100]; higher is spammier."""
+        raw = self.raw_score(extract_features(message))
+        return 100.0 / (1.0 + math.exp(-raw))
+
+    def is_spam(self, message: EmailMessage, threshold: float = SPAM_THRESHOLD) -> bool:
+        return self.score(message) >= threshold

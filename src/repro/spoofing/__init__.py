@@ -1,0 +1,27 @@
+"""IP-spoofing feasibility (SAV model) and TTL-limited reply planning."""
+
+from .sav import (
+    BEVERLY_PROFILE,
+    SAVFilter,
+    SPOOF_ANY,
+    SPOOF_NONE,
+    SpoofingProfile,
+    feasibility_summary,
+    sample_scopes,
+    scope_permits,
+)
+from .ttl import HopEstimate, TTLEstimator, plan_reply_ttl
+
+__all__ = [
+    "BEVERLY_PROFILE",
+    "HopEstimate",
+    "SAVFilter",
+    "SPOOF_ANY",
+    "SPOOF_NONE",
+    "SpoofingProfile",
+    "TTLEstimator",
+    "feasibility_summary",
+    "plan_reply_ttl",
+    "sample_scopes",
+    "scope_permits",
+]

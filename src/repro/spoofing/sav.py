@@ -1,0 +1,144 @@
+"""Source-address validation (SAV) model, after Beverly et al. (IMC 2009).
+
+The paper's Section 4.2 feasibility argument rests on the measured
+prevalence of spoofing capability: 77 % of clients can spoof addresses
+within their own /24 and 11 % within their own /16, consistently across
+regions.  This module models both the *per-client capability* distribution
+and the *network-side filter* that enforces it at the AS edge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..packets.addressing import same_prefix
+
+__all__ = [
+    "SPOOF_ANY",
+    "SPOOF_NONE",
+    "SpoofingProfile",
+    "BEVERLY_PROFILE",
+    "SAVFilter",
+    "sample_scopes",
+    "feasibility_summary",
+]
+
+#: Scope sentinel: host cannot spoof at all (only its own address passes).
+SPOOF_NONE: Optional[int] = None
+#: Scope value: host can spoof arbitrary addresses (no filtering).
+SPOOF_ANY = 0
+
+
+@dataclass(frozen=True)
+class SpoofingProfile:
+    """Population-level spoofing capability distribution.
+
+    Fractions are cumulative-style, matching how Beverly et al. report them:
+    ``frac_slash24`` is the fraction able to spoof within their /24 (which
+    includes the /16-capable), ``frac_slash16`` within their /16, and
+    ``frac_any`` with no filtering at all.
+    """
+
+    frac_slash24: float = 0.77
+    frac_slash16: float = 0.11
+    frac_any: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frac_any <= self.frac_slash16 <= self.frac_slash24 <= 1:
+            raise ValueError(
+                "fractions must satisfy 0 <= any <= /16 <= /24 <= 1 "
+                f"(got any={self.frac_any}, /16={self.frac_slash16}, /24={self.frac_slash24})"
+            )
+
+    def draw_scope(self, rng: random.Random) -> Optional[int]:
+        """Sample one client's spoofing scope."""
+        roll = rng.random()
+        if roll < self.frac_any:
+            return SPOOF_ANY
+        if roll < self.frac_slash16:
+            return 16
+        if roll < self.frac_slash24:
+            return 24
+        return SPOOF_NONE
+
+
+#: The distribution measured by Beverly et al. and cited in the paper.
+BEVERLY_PROFILE = SpoofingProfile()
+
+
+def scope_permits(scope: Optional[int], claimed_src: str, true_src: str) -> bool:
+    """Whether a host with ``scope`` may emit packets claiming ``claimed_src``."""
+    if claimed_src == true_src:
+        return True
+    if scope is SPOOF_NONE:
+        return False
+    if scope == SPOOF_ANY:
+        return True
+    return same_prefix(claimed_src, true_src, scope)
+
+
+class SAVFilter:
+    """The network-side ingress filter installed at an AS edge router.
+
+    ``scope_lookup`` maps a true origin address to that host's spoofing
+    scope; packets whose claimed source falls outside the scope are dropped
+    (uRPF-style filtering as deployed — i.e., incompletely).
+    """
+
+    def __init__(self, scope_lookup: Callable[[str], Optional[int]]) -> None:
+        self._scope_lookup = scope_lookup
+        self.checked = 0
+        self.rejected = 0
+
+    @classmethod
+    def strict(cls) -> "SAVFilter":
+        """A filter that forbids all spoofing (full uRPF deployment)."""
+        return cls(lambda _ip: SPOOF_NONE)
+
+    @classmethod
+    def permissive(cls) -> "SAVFilter":
+        """A filter that allows all spoofing (no SAV at all)."""
+        return cls(lambda _ip: SPOOF_ANY)
+
+    @classmethod
+    def from_network(cls, network) -> "SAVFilter":
+        """Build a filter from per-host ``spoof_scope`` attributes."""
+
+        def lookup(ip: str) -> Optional[int]:
+            host = network.owner_of(ip)
+            return host.spoof_scope if host is not None else SPOOF_ANY
+
+        return cls(lookup)
+
+    def permits(self, claimed_src: str, true_src: str) -> bool:
+        self.checked += 1
+        allowed = scope_permits(self._scope_lookup(true_src), claimed_src, true_src)
+        if not allowed:
+            self.rejected += 1
+        return allowed
+
+
+def sample_scopes(
+    rng: random.Random, count: int, profile: SpoofingProfile = BEVERLY_PROFILE
+) -> List[Optional[int]]:
+    """Sample spoofing scopes for ``count`` clients."""
+    return [profile.draw_scope(rng) for _ in range(count)]
+
+
+def feasibility_summary(scopes: Iterable[Optional[int]]) -> dict:
+    """Fractions able to spoof at each granularity (reproduces E7 rows)."""
+    scope_list = list(scopes)
+    total = len(scope_list)
+    if total == 0:
+        return {"total": 0, "frac_slash24": 0.0, "frac_slash16": 0.0, "frac_any": 0.0}
+    can24 = sum(1 for s in scope_list if s is not SPOOF_NONE and (s == SPOOF_ANY or s <= 24))
+    can16 = sum(1 for s in scope_list if s is not SPOOF_NONE and (s == SPOOF_ANY or s <= 16))
+    can_any = sum(1 for s in scope_list if s == SPOOF_ANY)
+    return {
+        "total": total,
+        "frac_slash24": can24 / total,
+        "frac_slash16": can16 / total,
+        "frac_any": can_any / total,
+    }

@@ -1,0 +1,29 @@
+"""Reference surveillance system (NSA / campus-IDS model)."""
+
+from .analyst import Analyst, Investigation
+from .attribution import AttributionEngine, SuspectReport
+from .classify import TrafficClass, classify_alerts, classify_packet
+from .normalizer import TTLAnomaly, TTLNormalizer
+from .profile import CAMPUS_PROFILE, NSA_PROFILE, SurveillanceProfile
+from .storage import ContentRecord, FlowMetadata, RetentionStore, StoredAlert
+from .system import SurveillanceSystem
+
+__all__ = [
+    "Analyst",
+    "AttributionEngine",
+    "CAMPUS_PROFILE",
+    "ContentRecord",
+    "FlowMetadata",
+    "Investigation",
+    "NSA_PROFILE",
+    "RetentionStore",
+    "StoredAlert",
+    "SurveillanceProfile",
+    "SuspectReport",
+    "SurveillanceSystem",
+    "TTLAnomaly",
+    "TTLNormalizer",
+    "TrafficClass",
+    "classify_alerts",
+    "classify_packet",
+]

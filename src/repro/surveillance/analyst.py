@@ -1,0 +1,124 @@
+"""Stage-2 analyst triage.
+
+After Massive Volume Reduction, "surveillance systems pass the data to a
+human analyst" whose responses "are typically expensive; thus, false
+positives are costly" (paper Section 2.1).  This stage models that
+selectivity: a user is escalated only above an alert threshold, and the
+analyst can only open a bounded number of investigations per day —
+whence the paper's Syria argument that alarming on all censored queries is
+infeasible (1.57 % of a population is far beyond capacity).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .profile import SurveillanceProfile
+from .storage import StoredAlert
+
+__all__ = ["Investigation", "Analyst"]
+
+DAY = 86_400.0
+
+
+@dataclass
+class Investigation:
+    """One opened case against a user."""
+
+    user: str
+    opened_at: float
+    alert_count: int
+    reasons: List[str] = field(default_factory=list)
+
+
+class Analyst:
+    """Threshold-based triage with bounded daily capacity."""
+
+    def __init__(
+        self,
+        profile: SurveillanceProfile,
+        escalation_threshold: int = 3,
+        window: float = DAY,
+    ) -> None:
+        self.profile = profile
+        self.escalation_threshold = escalation_threshold
+        self.window = window
+        self.investigations: List[Investigation] = []
+        self.escalations_denied_capacity = 0
+        self._investigated_users = set()
+
+    def triage(self, alerts: List[StoredAlert], now: float) -> List[Investigation]:
+        """Review retained alerts; open investigations within capacity.
+
+        Returns the investigations opened by this call.
+        """
+        recent: Dict[str, List[StoredAlert]] = defaultdict(list)
+        for stored in alerts:
+            if stored.user is not None and now - stored.time <= self.window:
+                recent[stored.user].append(stored)
+
+        candidates = [
+            (user, user_alerts)
+            for user, user_alerts in recent.items()
+            if len(user_alerts) >= self.escalation_threshold
+            and user not in self._investigated_users
+        ]
+        # Most-alerting users first: the analyst spends capacity wisely.
+        candidates.sort(key=lambda item: (-len(item[1]), item[0]))
+
+        opened: List[Investigation] = []
+        already_today = sum(
+            1 for inv in self.investigations if now - inv.opened_at < DAY
+        )
+        capacity = self.profile.analyst_capacity_per_day - already_today
+
+        # Process tie-groups of equal alert count, most-suspicious first.
+        # A tie-group larger than remaining capacity is *indiscriminate*:
+        # the analyst has no basis to pick within it, and acting on a
+        # random subset is exactly the costly false-positive behaviour the
+        # paper rules out ("protests against random police action").  The
+        # whole group — and everything less suspicious — is denied.  This
+        # is what spoofed cover traffic exploits.
+        index = 0
+        while index < len(candidates):
+            count = len(candidates[index][1])
+            group = [c for c in candidates[index:] if len(c[1]) == count]
+            if capacity <= 0 or len(group) > capacity:
+                self.escalations_denied_capacity += len(candidates) - index
+                break
+            for user, user_alerts in group:
+                investigation = Investigation(
+                    user=user,
+                    opened_at=now,
+                    alert_count=len(user_alerts),
+                    reasons=sorted(
+                        {
+                            stored.alert.msg
+                            for stored in user_alerts
+                            if stored.alert is not None
+                        }
+                    ),
+                )
+                self.investigations.append(investigation)
+                self._investigated_users.add(user)
+                opened.append(investigation)
+                capacity -= 1
+            index += len(group)
+        return opened
+
+    def is_under_investigation(self, user: str) -> bool:
+        return user in self._investigated_users
+
+    def required_capacity(self, alerts: List[StoredAlert], now: float) -> int:
+        """How many users *would* cross the threshold with unbounded capacity.
+
+        This is the quantity the Syria analysis computes: when it exceeds
+        plausible analyst capacity, user-focused targeting breaks down.
+        """
+        recent: Dict[str, int] = defaultdict(int)
+        for stored in alerts:
+            if stored.user is not None and now - stored.time <= self.window:
+                recent[stored.user] += 1
+        return sum(1 for count in recent.values() if count >= self.escalation_threshold)

@@ -1,0 +1,90 @@
+"""Stage-1 traffic classification for Massive Volume Reduction.
+
+The MVR must decide, per packet, whether the traffic has intelligence
+value.  Classification combines the commodity IDS detections (scan / DDoS /
+spam / p2p classtypes) with cheap protocol heuristics — the same toolbox a
+real reduction stage has at line rate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..packets import IPPacket, PROTO_TCP, PROTO_UDP
+from ..rules import Alert
+from ..rules.rulesets import DISCARD_CLASSTYPES, RETAIN_CLASSTYPES
+
+__all__ = ["TrafficClass", "classify_packet", "classify_alerts"]
+
+
+class TrafficClass:
+    """Coarse traffic classes the MVR reasons about."""
+
+    P2P = "p2p"
+    SCAN = "scan"
+    DDOS = "ddos"
+    SPAM = "spam"
+    WEB = "web"
+    DNS = "dns"
+    MAIL = "mail"
+    ICMP = "icmp"
+    OTHER = "other"
+
+    #: Classes MVR discards wholesale (commodity/botnet noise).
+    DISCARDED = frozenset({P2P, SCAN, DDOS, SPAM})
+
+
+_CLASSTYPE_TO_TRAFFIC = {
+    "attempted-recon": TrafficClass.SCAN,
+    "denial-of-service": TrafficClass.DDOS,
+    "spam": TrafficClass.SPAM,
+    "p2p": TrafficClass.P2P,
+}
+
+
+def classify_alerts(alerts: List[Alert]) -> Optional[str]:
+    """Map commodity-detection alerts to a traffic class, if any."""
+    for alert in alerts:
+        traffic_class = _CLASSTYPE_TO_TRAFFIC.get(alert.classtype)
+        if traffic_class is not None:
+            return traffic_class
+    return None
+
+
+def classify_packet(packet: IPPacket, alerts: List[Alert]) -> str:
+    """Classify one packet given the detections it raised.
+
+    Detection classtypes dominate; port-based heuristics fill in the rest.
+    """
+    from_alerts = classify_alerts(alerts)
+    if from_alerts is not None:
+        return from_alerts
+    if packet.protocol == PROTO_TCP and packet.tcp is not None:
+        ports = {packet.tcp.sport, packet.tcp.dport}
+        if ports & {80, 8080, 443}:
+            return TrafficClass.WEB
+        if 25 in ports:
+            return TrafficClass.MAIL
+        if ports & set(range(6881, 7000)):
+            return TrafficClass.P2P
+        return TrafficClass.OTHER
+    if packet.protocol == PROTO_UDP and packet.udp is not None:
+        ports = {packet.udp.sport, packet.udp.dport}
+        if 53 in ports:
+            return TrafficClass.DNS
+        if ports & set(range(6881, 7000)):
+            return TrafficClass.P2P
+        return TrafficClass.OTHER
+    if packet.icmp is not None:
+        return TrafficClass.ICMP
+    return TrafficClass.OTHER
+
+
+def has_retainable_alert(alerts: List[Alert]) -> bool:
+    """Whether any alert belongs to the user-focused retain set."""
+    return any(alert.classtype in RETAIN_CLASSTYPES for alert in alerts)
+
+
+def has_discardable_alert(alerts: List[Alert]) -> bool:
+    """Whether any alert marks the packet as commodity noise."""
+    return any(alert.classtype in DISCARD_CLASSTYPES for alert in alerts)

@@ -1,0 +1,84 @@
+"""Traffic normalization — the countermeasure the paper anticipates (§4.2).
+
+"Traffic normalization may be able to identify odd TTL values in our
+packets, but these approaches come at a high cost; for example, they may
+require disabling traceroute and ping" (Handley et al., USENIX Security
+2001).  This middlebox implements both halves so the trade-off can be
+measured:
+
+- **detect**: flag transiting packets whose TTL is anomalously low for
+  their position (the signature of TTL-limited mimicry replies);
+- **normalize**: additionally rewrite low TTLs up to a floor, which
+  defeats TTL-limiting — the reply now reaches the spoofed client, whose
+  replay RST corrupts the mimicry — but simultaneously breaks every
+  legitimate hop-limited diagnostic (traceroute, low-TTL probing) crossing
+  the tap, which is the deployment cost the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..packets import ICMP_ECHO_REQUEST, IPPacket
+from ..netsim.middlebox import Action, Middlebox, TapContext
+
+__all__ = ["TTLAnomaly", "TTLNormalizer"]
+
+
+@dataclass
+class TTLAnomaly:
+    """One flagged low-TTL packet."""
+
+    time: float
+    src: str
+    dst: str
+    ttl: int
+
+
+class TTLNormalizer(Middlebox):
+    """Flags (and optionally rewrites) anomalously low TTLs.
+
+    ``floor`` is the minimum TTL considered plausible for traffic at this
+    tap; real deployments pick it from observed initial-TTL fingerprints
+    minus expected path length.
+    """
+
+    name = "ttl-normalizer"
+
+    def __init__(self, floor: int = 8, normalize: bool = True) -> None:
+        if floor < 1:
+            raise ValueError("floor must be >= 1")
+        self.floor = floor
+        self.normalize = normalize
+        self.anomalies: List[TTLAnomaly] = []
+        self.packets_normalized = 0
+        #: Legitimate hop-limited diagnostics destroyed by normalization —
+        #: the cost side of the trade-off.
+        self.diagnostics_broken = 0
+
+    def sees_own_injections(self) -> bool:
+        return True  # never injects
+
+    def process(self, packet: IPPacket, ctx: TapContext) -> Action:
+        if packet.ttl >= self.floor:
+            return Action.PASS
+        self.anomalies.append(
+            TTLAnomaly(time=ctx.now, src=packet.src, dst=packet.dst, ttl=packet.ttl)
+        )
+        if self.normalize:
+            # A low-TTL ICMP echo is a traceroute-style probe whose entire
+            # purpose is to expire in the network; "fixing" it breaks it.
+            if packet.icmp is not None and packet.icmp.icmp_type == ICMP_ECHO_REQUEST:
+                self.diagnostics_broken += 1
+            packet.ttl = self.floor
+            self.packets_normalized += 1
+        return Action.PASS
+
+    def flagged_sources(self) -> List[str]:
+        """Distinct sources of anomalous-TTL packets, most recent last."""
+        seen: List[str] = []
+        for anomaly in self.anomalies:
+            if anomaly.src not in seen:
+                seen.append(anomaly.src)
+        return seen

@@ -1,0 +1,62 @@
+"""Surveillance system sizing profiles.
+
+Constants come straight from the paper's Section 2.1: the NSA (as of 2009)
+could retain only 7.5 % of traffic received, stored content for three days
+and connection metadata for 30; the campus network kept flow records for
+about 36 hours and IDS alerts for about a year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SurveillanceProfile", "NSA_PROFILE", "CAMPUS_PROFILE"]
+
+DAY = 86_400.0
+HOUR = 3_600.0
+
+
+@dataclass(frozen=True)
+class SurveillanceProfile:
+    """Retention and capacity parameters for a surveillance deployment."""
+
+    name: str
+    #: Fraction of observed volume the system can afford to retain.
+    storage_fraction: float
+    #: Full-content retention window (seconds).
+    content_retention: float
+    #: Connection-metadata retention window (seconds).
+    metadata_retention: float
+    #: Alert retention window (seconds).
+    alert_retention: float
+    #: Whether full content is captured at all.
+    captures_content: bool = True
+    #: How many users the analyst stage can investigate per day.
+    analyst_capacity_per_day: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.storage_fraction <= 1:
+            raise ValueError("storage_fraction must be in (0, 1]")
+
+
+#: The NSA model from the TEMPORA / MVR disclosures cited in the paper.
+NSA_PROFILE = SurveillanceProfile(
+    name="nsa",
+    storage_fraction=0.075,
+    content_retention=3 * DAY,
+    metadata_retention=30 * DAY,
+    alert_retention=365 * DAY,
+    captures_content=True,
+    analyst_capacity_per_day=10,
+)
+
+#: The campus-IDS model: no full capture, ~36 h flow records, 1 y alerts.
+CAMPUS_PROFILE = SurveillanceProfile(
+    name="campus",
+    storage_fraction=0.075,
+    content_retention=0.0,
+    metadata_retention=36 * HOUR,
+    alert_retention=365 * DAY,
+    captures_content=False,
+    analyst_capacity_per_day=5,
+)

@@ -1,0 +1,23 @@
+"""Population ("cover") traffic generators."""
+
+from .dnsload import DNSWorkload
+from .mix import PopulationMix, install_standard_servers
+from .p2p import BITTORRENT_HANDSHAKE, P2PPeer, P2PWorkload
+from .scanners import COMMON_PORTS, DURUMERIC_2014, BackgroundScanners, DarknetStats
+from .spammers import SpamWorkload
+from .web import WebWorkload
+
+__all__ = [
+    "BITTORRENT_HANDSHAKE",
+    "BackgroundScanners",
+    "COMMON_PORTS",
+    "DNSWorkload",
+    "DURUMERIC_2014",
+    "DarknetStats",
+    "P2PPeer",
+    "P2PWorkload",
+    "PopulationMix",
+    "SpamWorkload",
+    "WebWorkload",
+    "install_standard_servers",
+]

@@ -1,0 +1,62 @@
+"""Background DNS query workload."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..packets import QTYPE_A, QTYPE_MX
+from ..netsim.dnssrv import DNSResult, resolve
+from ..netsim.node import Host
+
+__all__ = ["DNSWorkload"]
+
+
+class DNSWorkload:
+    """Population hosts resolving names at exponential inter-arrival times."""
+
+    def __init__(
+        self,
+        clients: Sequence[Host],
+        resolver_ip: str,
+        names: Sequence[str],
+        rng: random.Random,
+        mean_interval: float = 0.5,
+        mx_fraction: float = 0.05,
+    ) -> None:
+        if not clients or not names:
+            raise ValueError("dns workload needs clients and names")
+        self.clients = list(clients)
+        self.resolver_ip = resolver_ip
+        self.names = list(names)
+        self.rng = rng
+        self.mean_interval = mean_interval
+        self.mx_fraction = mx_fraction
+        self.results: List[DNSResult] = []
+        self.queries_issued = 0
+        self._stopped = False
+
+    def start(self, until: float) -> None:
+        sim = self.clients[0].stack.sim
+        self._schedule_next(sim, until)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self, sim, until: float) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_interval)
+        if sim.now + delay > until or self._stopped:
+            return
+
+        def fire() -> None:
+            self._query_once()
+            self._schedule_next(sim, until)
+
+        sim.at(delay, fire)
+
+    def _query_once(self) -> None:
+        client = self.rng.choice(self.clients)
+        name = self.rng.choice(self.names)
+        qtype = QTYPE_MX if self.rng.random() < self.mx_fraction else QTYPE_A
+        self.queries_issued += 1
+        resolve(client, self.resolver_ip, name, qtype=qtype, callback=self.results.append)

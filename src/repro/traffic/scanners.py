@@ -1,0 +1,113 @@
+"""Background Internet scanning (the noise floor the scan method hides in).
+
+Durumeric et al. ("An Internet-Wide View of Internet-Wide Scanning",
+USENIX Security 2014) observed 10.8 M scans from 1.76 M source hosts at a
+darknet of 5.5 M addresses in January 2014.  The paper cites these numbers
+to argue that scan traffic is so common that the MVR discards it; this
+module reproduces both the packet-level background scanners and the
+population-statistics arithmetic for experiment E10.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..packets import IPPacket, SYN, TCPSegment
+from ..netsim.node import Host
+
+__all__ = ["DURUMERIC_2014", "DarknetStats", "BackgroundScanners"]
+
+
+@dataclass(frozen=True)
+class DarknetStats:
+    """Published darknet observations, with scaling helpers."""
+
+    scans: int
+    source_hosts: int
+    darknet_size: int
+    period_days: int
+
+    def scans_per_ip_per_day(self) -> float:
+        """Average scan probes crossing any single address per day."""
+        return self.scans / self.darknet_size / self.period_days
+
+    def expected_background(self, address_count: int, days: float) -> float:
+        """Expected background scan arrivals for a network of given size."""
+        return self.scans_per_ip_per_day() * address_count * days
+
+
+#: January 2014 numbers from Durumeric et al., as cited by the paper.
+DURUMERIC_2014 = DarknetStats(
+    scans=10_800_000, source_hosts=1_760_000, darknet_size=5_500_000, period_days=31
+)
+
+#: The nmap-style "top ports" (first entries of nmap's top-1000 ordering).
+COMMON_PORTS: List[int] = [
+    80, 23, 443, 21, 22, 25, 3389, 110, 445, 139,
+    143, 53, 135, 3306, 8080, 1723, 111, 995, 993, 5900,
+    1025, 587, 8888, 199, 1720, 465, 548, 113, 81, 6001,
+]
+
+
+class BackgroundScanners:
+    """External hosts randomly SYN-probing addresses inside the AS.
+
+    Probes are raw SYNs (no connection state), just like real scanners;
+    targets answer RST or SYN/ACK per their stack, and the scanner's stack
+    resets unexpected SYN/ACKs — all of which the border taps observe.
+    """
+
+    def __init__(
+        self,
+        scanners: Sequence[Host],
+        target_ips: Sequence[str],
+        rng: random.Random,
+        mean_interval: float = 0.5,
+        ports: Sequence[int] = tuple(COMMON_PORTS),
+    ) -> None:
+        if not scanners or not target_ips:
+            raise ValueError("background scanning needs scanners and targets")
+        self.scanners = list(scanners)
+        self.target_ips = list(target_ips)
+        self.ports = list(ports)
+        self.rng = rng
+        self.mean_interval = mean_interval
+        self.probes_sent = 0
+        self._stopped = False
+
+    def start(self, until: float) -> None:
+        sim = self.scanners[0].stack.sim
+        self._schedule_next(sim, until)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self, sim, until: float) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_interval)
+        if sim.now + delay > until or self._stopped:
+            return
+
+        def fire() -> None:
+            self._probe_once()
+            self._schedule_next(sim, until)
+
+        sim.at(delay, fire)
+
+    def _probe_once(self) -> None:
+        scanner = self.rng.choice(self.scanners)
+        target = self.rng.choice(self.target_ips)
+        port = self.rng.choice(self.ports)
+        self.probes_sent += 1
+        probe = IPPacket(
+            src=scanner.ip,
+            dst=target,
+            payload=TCPSegment(
+                sport=scanner.stack.ephemeral_port(),
+                dport=port,
+                seq=self.rng.randrange(1, 2**31),
+                flags=SYN,
+            ),
+        )
+        scanner.send_raw(probe)

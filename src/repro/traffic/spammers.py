@@ -1,0 +1,63 @@
+"""Bulk-spam population workload (the cover the spam method blends into).
+
+Real spammers enumerate entire zones — the paper notes a never-published
+.COM blackhole domain that still receives high spam volumes — so spam to
+*any* domain, censored or not, is unremarkable to the MVR.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..netsim.mailsrv import SMTPResult, send_mail
+from ..netsim.node import Host
+from ..spamfilter.corpus import generate_spam
+
+__all__ = ["SpamWorkload"]
+
+
+class SpamWorkload:
+    """Spam-bot hosts delivering template spam to mail servers."""
+
+    def __init__(
+        self,
+        bots: Sequence[Host],
+        mail_servers: Sequence[Tuple[str, str]],  # (ip, domain)
+        rng: random.Random,
+        mean_interval: float = 2.0,
+    ) -> None:
+        if not bots or not mail_servers:
+            raise ValueError("spam workload needs bots and mail servers")
+        self.bots = list(bots)
+        self.mail_servers = list(mail_servers)
+        self.rng = rng
+        self.mean_interval = mean_interval
+        self.results: List[SMTPResult] = []
+        self.messages_attempted = 0
+        self._stopped = False
+
+    def start(self, until: float) -> None:
+        sim = self.bots[0].stack.sim
+        self._schedule_next(sim, until)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self, sim, until: float) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_interval)
+        if sim.now + delay > until or self._stopped:
+            return
+
+        def fire() -> None:
+            self._send_one()
+            self._schedule_next(sim, until)
+
+        sim.at(delay, fire)
+
+    def _send_one(self) -> None:
+        bot = self.rng.choice(self.bots)
+        server_ip, domain = self.rng.choice(self.mail_servers)
+        message = generate_spam(self.rng, 1, recipient=f"user@{domain}")[0]
+        self.messages_attempted += 1
+        send_mail(bot, server_ip, message, callback=self.results.append)

@@ -1,0 +1,72 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import Summary, summarize_samples, wilson_interval
+
+
+class TestSummary:
+    def test_basic_statistics(self):
+        summary = summarize_samples([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.stddev == pytest.approx(math.sqrt(5 / 3))
+
+    def test_single_sample(self):
+        summary = summarize_samples([7.0])
+        assert summary.stddev == 0.0
+        assert summary.ci95_halfwidth() == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+    def test_str_is_readable(self):
+        text = str(summarize_samples([1.0, 2.0, 3.0]))
+        assert "mean=2" in text and "n=3" in text
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_mean_within_range(self, values):
+        summary = summarize_samples(values)
+        epsilon = 1e-6 * max(1.0, abs(summary.mean))  # float summation slack
+        assert summary.minimum - epsilon <= summary.mean <= summary.maximum + epsilon
+
+
+class TestWilson:
+    def test_zero_successes_nonzero_upper(self):
+        low, high = wilson_interval(0, 6)
+        assert low == 0.0
+        assert 0.3 < high < 0.5  # 0/6 still admits up to ~39 %
+
+    def test_all_successes(self):
+        low, high = wilson_interval(6, 6)
+        assert high == 1.0
+        assert 0.5 < low < 0.7
+
+    def test_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.2
+
+    def test_interval_shrinks_with_n(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(trials=st.integers(1, 500), data=st.data())
+    def test_interval_contains_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0

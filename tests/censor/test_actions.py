@@ -1,0 +1,109 @@
+"""Unit tests for censor packet-crafting actions."""
+
+import pytest
+
+from repro.censor import craft_block_page, craft_poisoned_response, craft_rst_pair
+from repro.packets import (
+    ACK,
+    DNSMessage,
+    HTTPResponse,
+    IPPacket,
+    PSH,
+    QTYPE_MX,
+    TCPSegment,
+    UDPDatagram,
+)
+
+
+def http_request_packet(payload=b"GET / HTTP/1.1\r\nHost: x.com\r\n\r\n"):
+    return IPPacket(
+        src="10.1.0.5",
+        dst="203.0.113.10",
+        payload=TCPSegment(sport=40000, dport=80, seq=1000, ack=2000,
+                           flags=PSH | ACK, payload=payload),
+    )
+
+
+class TestRstPair:
+    def test_resets_target_both_endpoints(self):
+        packet = http_request_packet()
+        to_sender, to_receiver = craft_rst_pair(packet)
+        assert to_sender.dst == "10.1.0.5"
+        assert to_sender.src == "203.0.113.10"
+        assert to_receiver.dst == "203.0.113.10"
+
+    def test_sequence_numbers_in_window(self):
+        packet = http_request_packet(payload=b"x" * 10)
+        to_sender, to_receiver = craft_rst_pair(packet)
+        # Toward the receiver: continues the sender's sequence space.
+        assert to_receiver.tcp.seq == 1000 + 10
+        # Toward the sender: uses the acknowledged sequence.
+        assert to_sender.tcp.seq == 2000
+
+    def test_ports_swapped_correctly(self):
+        to_sender, to_receiver = craft_rst_pair(http_request_packet())
+        assert (to_sender.tcp.sport, to_sender.tcp.dport) == (80, 40000)
+        assert (to_receiver.tcp.sport, to_receiver.tcp.dport) == (40000, 80)
+
+    def test_rst_flag_set(self):
+        for rst in craft_rst_pair(http_request_packet()):
+            assert rst.tcp.is_rst
+
+    def test_non_tcp_raises(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=UDPDatagram(sport=1, dport=2))
+        with pytest.raises(ValueError):
+            craft_rst_pair(packet)
+
+
+class TestPoisonedResponse:
+    def _query_packet(self, qtype=1):
+        query = DNSMessage.query("twitter.com", qtype=qtype, txid=0xBEEF)
+        packet = IPPacket(
+            src="10.1.0.5", dst="8.8.8.8",
+            payload=UDPDatagram(sport=33000, dport=53, payload=query.to_bytes()),
+        )
+        return packet, query
+
+    def test_forged_source_is_resolver(self):
+        packet, query = self._query_packet()
+        forged = craft_poisoned_response(packet, query, "8.7.198.45")
+        assert forged.src == "8.8.8.8"
+        assert forged.dst == "10.1.0.5"
+
+    def test_txid_echoed(self):
+        packet, query = self._query_packet()
+        forged = craft_poisoned_response(packet, query, "8.7.198.45")
+        message = DNSMessage.from_bytes(forged.udp.payload)
+        assert message.txid == 0xBEEF
+
+    def test_bogus_a_record_injected_even_for_mx(self):
+        packet, query = self._query_packet(qtype=QTYPE_MX)
+        forged = craft_poisoned_response(packet, query, "8.7.198.45")
+        message = DNSMessage.from_bytes(forged.udp.payload)
+        assert message.a_records() == ["8.7.198.45"]
+        assert message.mx_records() == []
+
+    def test_ports_swapped(self):
+        packet, query = self._query_packet()
+        forged = craft_poisoned_response(packet, query, "8.7.198.45")
+        assert forged.udp.sport == 53
+        assert forged.udp.dport == 33000
+
+
+class TestBlockPage:
+    def test_block_page_sequence(self):
+        packet = http_request_packet(payload=b"GET /x HTTP/1.1\r\n\r\n")
+        page, fin, to_server = craft_block_page(packet, "blocked!")
+        response = HTTPResponse.from_bytes(page.tcp.payload)
+        assert response.status == 403
+        assert b"blocked!" in response.body
+        assert page.tcp.seq == 2000  # takes over the server's sequence space
+        assert fin.tcp.seq == 2000 + len(page.tcp.payload)
+        assert to_server.tcp.is_rst
+
+    def test_non_tcp_raises(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=UDPDatagram(sport=1, dport=2))
+        with pytest.raises(ValueError):
+            craft_block_page(packet)

@@ -1,0 +1,56 @@
+"""Unit tests for censorship policy."""
+
+from repro.censor import CensorshipPolicy
+
+
+class TestToggles:
+    def test_default_enabled(self):
+        assert CensorshipPolicy().enabled()
+
+    def test_disabled_factory(self):
+        policy = CensorshipPolicy.disabled()
+        assert not policy.enabled()
+        assert not policy.dns_poisoning
+        assert not policy.keyword_filtering
+        assert not policy.http_host_filtering
+        assert not policy.ip_blocking
+
+    def test_partial_enable(self):
+        policy = CensorshipPolicy.disabled()
+        policy.dns_poisoning = True
+        assert policy.enabled()
+
+
+class TestDomainMatching:
+    def test_exact_domain(self):
+        policy = CensorshipPolicy(blocked_domains=["twitter.com"])
+        assert policy.domain_is_blocked("twitter.com")
+        assert not policy.domain_is_blocked("example.org")
+
+    def test_subdomain_blocked(self):
+        policy = CensorshipPolicy(blocked_domains=["twitter.com"])
+        assert policy.domain_is_blocked("www.twitter.com")
+        assert policy.domain_is_blocked("api.mobile.twitter.com")
+
+    def test_similar_domain_not_blocked(self):
+        policy = CensorshipPolicy(blocked_domains=["twitter.com"])
+        assert not policy.domain_is_blocked("nottwitter.com")
+
+    def test_case_and_trailing_dot_insensitive(self):
+        policy = CensorshipPolicy(blocked_domains=["twitter.com"])
+        assert policy.domain_is_blocked("TWITTER.COM.")
+
+
+class TestEndpointMatching:
+    def test_blocked_ip_any_port(self):
+        policy = CensorshipPolicy(blocked_ips={"203.0.113.10"})
+        assert policy.endpoint_is_blocked("203.0.113.10", 80)
+        assert policy.endpoint_is_blocked("203.0.113.10", 443)
+
+    def test_blocked_endpoint_specific_port(self):
+        policy = CensorshipPolicy(blocked_endpoints={("203.0.113.10", 80)})
+        assert policy.endpoint_is_blocked("203.0.113.10", 80)
+        assert not policy.endpoint_is_blocked("203.0.113.10", 443)
+
+    def test_unblocked(self):
+        assert not CensorshipPolicy().endpoint_is_blocked("8.8.8.8", 53)

@@ -1,0 +1,71 @@
+"""Tests for censorship regime presets and their observable signatures."""
+
+import pytest
+
+from repro.censor import CensorshipPolicy
+from repro.core import DDoSMeasurement, OvertHTTPMeasurement, Verdict
+from repro.core.evaluation import build_environment
+
+
+class TestPresetShapes:
+    def test_gfc_preset_is_default(self):
+        preset = CensorshipPolicy.gfc_preset()
+        assert preset.dns_poisoning
+        assert preset.keyword_filtering
+        assert preset.residual_block_seconds > 0
+
+    def test_blockpage_preset(self):
+        preset = CensorshipPolicy.blockpage_preset()
+        assert preset.http_block_page
+        assert not preset.keyword_filtering
+        assert preset.residual_block_seconds == 0.0
+        assert preset.enabled()
+
+    def test_nullroute_preset(self):
+        preset = CensorshipPolicy.nullroute_preset({"203.0.113.10"})
+        assert preset.ip_blocking
+        assert not preset.dns_poisoning
+        assert not preset.http_host_filtering
+        assert preset.endpoint_is_blocked("203.0.113.10", 80)
+
+
+class TestRegimeSignatures:
+    """Each regime has a distinct measurable signature — the paper's
+    repeated-sampling argument (Method #3) is what surfaces it."""
+
+    def _measure(self, policy_factory):
+        env = build_environment(censored=True, seed=15, population_size=4)
+        policy = policy_factory(env)
+        policy.dns_poisoning = False  # isolate the HTTP-layer signature
+        env.censor.set_policy(policy)
+        technique = DDoSMeasurement(env.ctx, ["twitter.com"], requests_per_target=12)
+        technique.start()
+        env.run(duration=60.0)
+        return technique.results[0].verdict
+
+    def test_gfc_signature_is_reset(self):
+        verdict = self._measure(lambda env: CensorshipPolicy.gfc_preset())
+        assert verdict is Verdict.BLOCKED_RST
+
+    def test_blockpage_signature(self):
+        verdict = self._measure(lambda env: CensorshipPolicy.blockpage_preset())
+        assert verdict is Verdict.HTTP_BLOCKPAGE
+
+    def test_nullroute_signature_is_timeout(self):
+        verdict = self._measure(
+            lambda env: CensorshipPolicy.nullroute_preset({env.topo.blocked_web.ip})
+        )
+        assert verdict is Verdict.BLOCKED_TIMEOUT
+
+    def test_nullroute_leaves_dns_clean(self):
+        env = build_environment(censored=True, seed=15, population_size=4)
+        env.censor.set_policy(
+            CensorshipPolicy.nullroute_preset({env.topo.blocked_web.ip})
+        )
+        technique = OvertHTTPMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=60.0)
+        # DNS resolves fine; the block manifests only at the HTTP stage.
+        result = technique.results[0]
+        assert result.verdict is Verdict.BLOCKED_TIMEOUT
+        assert result.evidence["stage"] == "http"

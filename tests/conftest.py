@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.evaluation import build_environment
+from repro.netsim import build_censored_as, build_three_node
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+@pytest.fixture
+def three_node():
+    return build_three_node(seed=1)
+
+
+@pytest.fixture
+def censored_as():
+    return build_censored_as(seed=1, population_size=8)
+
+
+@pytest.fixture
+def env_censored():
+    return build_environment(censored=True, seed=1, population_size=8)
+
+
+@pytest.fixture
+def env_open():
+    return build_environment(censored=False, seed=1, population_size=8)

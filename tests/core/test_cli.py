@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("matrix", "vantage", "risk", "syria", "sav", "ethics"):
+            args = parser.parse_args([command] if command != "risk"
+                                     else [command, "--technique", "spam"])
+            assert args.command == command
+
+    def test_risk_technique_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["risk", "--technique", "nonsense"])
+
+
+class TestCommands:
+    def test_ethics(self, capsys):
+        assert main(["ethics", "--prefix", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "65536" in out
+
+    def test_ethics_custom_prefix(self, capsys):
+        assert main(["ethics", "--prefix", "24", "--queries-per-ip", "2"]) == 0
+        assert "512" in capsys.readouterr().out
+
+    def test_sav(self, capsys):
+        assert main(["sav", "--clients", "2000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "can spoof within /24" in out
+
+    def test_syria(self, capsys):
+        assert main(["syria", "--population", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "users touching censored content" in out
+
+    def test_vantage(self, capsys):
+        assert main(["vantage", "--duration", "20", "--domains",
+                     "twitter.com", "example.org"]) == 0
+        out = capsys.readouterr().out
+        assert "INJECTED" in out
+        assert "open" in out
+
+    def test_vantage_open_network(self, capsys):
+        assert main(["vantage", "--open", "--duration", "20", "--domains",
+                     "twitter.com"]) == 0
+        out = capsys.readouterr().out
+        assert "INJECTED" not in out
+
+    def test_vantage_unknown_domain_warns(self, capsys):
+        assert main(["vantage", "--duration", "5", "--domains", "unknown.example"]) == 0
+        assert "skipping" in capsys.readouterr().err
+
+    def test_risk_spam_evades(self, capsys):
+        assert main(["risk", "--technique", "spam", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "evaded (paper criterion)" in out
+        assert "True" in out
+
+    def test_risk_overt_attributed(self, capsys):
+        assert main(["risk", "--technique", "overt-dns", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "attributed alerts" in out
+
+
+class TestMatrixCommand:
+    def test_matrix_runs_and_reports(self, capsys):
+        assert main(["matrix", "--duration", "30", "--cover", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy/evasion matrix" in out
+        assert "SUCCESS" in out
+        assert "fails-evasion" in out  # the overt baseline row
+
+
+class TestDeckCommand:
+    def test_deck_stealthy(self, capsys):
+        assert main(["deck", "--posture", "stealthy", "--duration", "60",
+                     "--domains", "twitter.com", "example.org"]) == 0
+        out = capsys.readouterr().out
+        assert "deck results" in out
+        assert "blocked domains: twitter.com" in out
+        assert "evaded=True" in out
+
+    def test_deck_json_output(self, capsys):
+        assert main(["deck", "--posture", "stealthy", "--duration", "60",
+                     "--domains", "twitter.com", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "campaign"' in out

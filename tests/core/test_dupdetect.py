@@ -1,0 +1,78 @@
+"""Tests for duplicate-DNS-response injection detection."""
+
+import pytest
+
+from repro.core import build_environment
+from repro.core.dupdetect import DuplicateResponseDetector
+from repro.netsim import resolve
+
+
+class TestDuplicateDetection:
+    def test_injection_produces_contradictory_duplicates(self):
+        """Off-path injection cannot suppress the real answer, so the
+        client sees both — and they disagree."""
+        env = build_environment(censored=True, seed=14, population_size=3)
+        detector = DuplicateResponseDetector(env.ctx.client)
+        resolve(env.ctx.client, env.ctx.resolver_ip, "twitter.com",
+                callback=lambda r: None)
+        env.run(duration=10.0)
+        pair = detector.pair_for("twitter.com")
+        assert pair is not None
+        assert pair.duplicated
+        assert pair.contradictory
+        answers = pair.distinct_answers()
+        assert [env.censor.policy.poison_ip] in answers
+        assert [env.topo.blocked_web.ip] in answers
+
+    def test_forged_answer_arrives_first(self):
+        """The injected response wins the race (it is born at the border)."""
+        env = build_environment(censored=True, seed=14, population_size=3)
+        detector = DuplicateResponseDetector(env.ctx.client)
+        results = []
+        resolve(env.ctx.client, env.ctx.resolver_ip, "twitter.com",
+                callback=results.append)
+        env.run(duration=10.0)
+        assert results[0].addresses == [env.censor.policy.poison_ip]
+        pair = detector.pair_for("twitter.com")
+        assert pair.responses[0].a_records() == [env.censor.policy.poison_ip]
+
+    def test_clean_resolution_single_response(self):
+        env = build_environment(censored=True, seed=14, population_size=3)
+        detector = DuplicateResponseDetector(env.ctx.client)
+        resolve(env.ctx.client, env.ctx.resolver_ip, "example.org",
+                callback=lambda r: None)
+        env.run(duration=10.0)
+        pair = detector.pair_for("example.org")
+        assert pair is not None
+        assert not pair.duplicated
+        assert detector.injection_evidence() == []
+
+    def test_censor_off_no_duplicates(self):
+        env = build_environment(censored=False, seed=14, population_size=3)
+        detector = DuplicateResponseDetector(env.ctx.client)
+        for domain in ("twitter.com", "example.org"):
+            resolve(env.ctx.client, env.ctx.resolver_ip, domain,
+                    callback=lambda r: None)
+        env.run(duration=10.0)
+        assert detector.duplicate_rate() == 0.0
+
+    def test_duplicate_rate(self):
+        env = build_environment(censored=True, seed=14, population_size=3)
+        detector = DuplicateResponseDetector(env.ctx.client)
+        for domain in ("twitter.com", "youtube.com", "example.org", "weather.gov"):
+            resolve(env.ctx.client, env.ctx.resolver_ip, domain,
+                    callback=lambda r: None)
+        env.run(duration=10.0)
+        assert detector.duplicate_rate() == pytest.approx(0.5)
+        assert len(detector.injection_evidence()) == 2
+
+    def test_detection_needs_no_ground_truth(self):
+        """Unlike poison-IP lists, duplicate detection is self-contained."""
+        env = build_environment(censored=True, seed=14, population_size=3)
+        env.ctx.known_poison_ips = frozenset()      # no list
+        env.ctx.expected_addresses = {}             # no expectations
+        detector = DuplicateResponseDetector(env.ctx.client)
+        resolve(env.ctx.client, env.ctx.resolver_ip, "twitter.com",
+                callback=lambda r: None)
+        env.run(duration=10.0)
+        assert detector.injection_evidence()

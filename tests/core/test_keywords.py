@@ -1,0 +1,90 @@
+"""Tests for keyword probing and ConceptDoppler-style isolation."""
+
+import pytest
+
+from repro.core import Verdict, build_environment
+from repro.core.keywords import KeywordIsolator, KeywordProbeMeasurement
+
+
+@pytest.fixture
+def env():
+    environment = build_environment(censored=True, seed=17, population_size=4)
+    environment.censor.policy.dns_poisoning = False
+    return environment
+
+
+class TestKeywordProbe:
+    def _run(self, env, keywords):
+        technique = KeywordProbeMeasurement(
+            env.ctx, keywords, env.topo.control_web.ip, hostname="example.org"
+        )
+        technique.start()
+        env.run(duration=60.0)
+        return technique
+
+    def test_censored_keywords_detected(self, env):
+        technique = self._run(env, ["falun", "weather", "tiananmen", "recipes"])
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["falun"] is Verdict.BLOCKED_RST
+        assert verdicts["tiananmen"] is Verdict.BLOCKED_RST
+        assert verdicts["weather"] is Verdict.ACCESSIBLE
+        assert verdicts["recipes"] is Verdict.ACCESSIBLE
+        assert sorted(technique.censored_keywords()) == ["falun", "tiananmen"]
+
+    def test_open_network_nothing_censored(self):
+        env = build_environment(censored=False, seed=17, population_size=4)
+        technique = KeywordProbeMeasurement(
+            env.ctx, ["falun", "weather"], env.topo.control_web.ip,
+            hostname="example.org",
+        )
+        technique.start()
+        env.run(duration=60.0)
+        assert technique.censored_keywords() == []
+
+    def test_broken_path_yields_inconclusive(self, env):
+        env.censor.policy.blocked_ips.add(env.topo.control_web.ip)
+        technique = self._run(env, ["falun", "weather"])
+        assert all(r.verdict is Verdict.INCONCLUSIVE for r in technique.results)
+        assert "control probe failed" in technique.results[0].detail
+
+    def test_done_property(self, env):
+        technique = self._run(env, ["falun"])
+        assert technique.done
+
+
+class TestKeywordIsolator:
+    def _isolate(self, env, terms, max_probes=64):
+        isolator = KeywordIsolator(
+            env.ctx, env.topo.control_web.ip, hostname="example.org",
+            max_probes=max_probes,
+        )
+        found = []
+        isolator.isolate(terms, found.append)
+        env.run(duration=120.0)
+        return isolator, (found[0] if found else None)
+
+    def test_isolates_single_culprit(self, env):
+        terms = ["alpha", "bravo", "falun", "delta", "echo", "foxtrot"]
+        isolator, culprits = self._isolate(env, terms)
+        assert culprits == ["falun"]
+
+    def test_isolates_multiple_culprits(self, env):
+        terms = ["alpha", "tiananmen", "bravo", "falun"]
+        _isolator, culprits = self._isolate(env, terms)
+        assert culprits == ["falun", "tiananmen"]
+
+    def test_clean_terms_empty_result(self, env):
+        _isolator, culprits = self._isolate(env, ["alpha", "bravo", "charlie"])
+        assert culprits == []
+
+    def test_probe_cost_logarithmic(self, env):
+        terms = [f"term{i}" for i in range(15)] + ["falun"]
+        isolator, culprits = self._isolate(env, terms)
+        assert culprits == ["falun"]
+        # Bisection: ~2*log2(16)+1 probes, far below linear scanning.
+        assert isolator.probes_sent <= 12
+
+    def test_probe_budget_respected(self, env):
+        terms = ["falun"] * 1 + [f"t{i}" for i in range(7)]
+        isolator, _culprits = self._isolate(env, terms, max_probes=2)
+        assert isolator.probes_sent <= 2

@@ -1,0 +1,77 @@
+"""Tests for the longitudinal (censorship weather) campaign."""
+
+import pytest
+
+from repro.core import OvertDNSMeasurement, Verdict, build_environment
+from repro.core.longitudinal import DAY, LongitudinalCampaign
+
+
+def weather_world(epochs=5, interval=DAY):
+    env = build_environment(censored=True, seed=34, population_size=3)
+    campaign = LongitudinalCampaign(
+        env.sim,
+        technique_factory=lambda: OvertDNSMeasurement(
+            env.ctx, ["twitter.com", "example.org", "archive.org"]
+        ),
+        interval=interval,
+        epochs=epochs,
+    )
+    return env, campaign
+
+
+class TestCampaign:
+    def test_runs_all_epochs(self):
+        env, campaign = weather_world(epochs=4)
+        campaign.start()
+        env.run(duration=4 * DAY)
+        assert len(campaign.epochs) == 4
+        assert all(len(epoch.verdicts) == 3 for epoch in campaign.epochs)
+
+    def test_stable_blocklist_no_transitions(self):
+        env, campaign = weather_world(epochs=3)
+        campaign.start()
+        env.run(duration=3 * DAY)
+        assert campaign.transitions() == []
+        timeline = campaign.timeline("twitter.com")
+        assert all(v is Verdict.DNS_POISONED for v in timeline)
+
+    def test_detects_newly_blocked_domain(self):
+        env, campaign = weather_world(epochs=5)
+        # On day 2 the censor adds archive.org to the blocklist.
+        env.sim.at(2 * DAY - 100.0,
+                   lambda: env.censor.policy.blocked_domains.append("archive.org"))
+        campaign.start()
+        env.run(duration=5 * DAY)
+        changes = campaign.transitions()
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.target == "archive.org"
+        assert change.epoch == 2
+        assert change.newly_blocked
+        assert not change.newly_unblocked
+
+    def test_detects_unblocking(self):
+        env, campaign = weather_world(epochs=4)
+        env.sim.at(DAY + 50.0,
+                   lambda: env.censor.policy.blocked_domains.remove("twitter.com"))
+        campaign.start()
+        env.run(duration=4 * DAY)
+        unblocked = [c for c in campaign.transitions() if c.newly_unblocked]
+        assert len(unblocked) == 1
+        assert unblocked[0].target == "twitter.com"
+        assert campaign.timeline("twitter.com")[0] is Verdict.DNS_POISONED
+        assert campaign.timeline("twitter.com")[-1] is Verdict.ACCESSIBLE
+
+    def test_weather_report_renders(self):
+        env, campaign = weather_world(epochs=2)
+        campaign.start()
+        env.run(duration=2 * DAY)
+        report = campaign.weather_report()
+        assert "censorship weather" in report
+        assert "twitter.com" in report
+        assert "BLOCKED" in report and "open" in report
+
+    def test_epoch_count_validated(self):
+        env, _ = weather_world()
+        with pytest.raises(ValueError):
+            LongitudinalCampaign(env.sim, lambda: None, epochs=0)

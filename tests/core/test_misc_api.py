@@ -1,0 +1,87 @@
+"""Tests for smaller public-API surfaces not covered elsewhere."""
+
+import pytest
+
+from repro.core import MeasurementResult, Verdict, build_environment
+from repro.core.measurement import MeasurementContext, MeasurementTechnique
+from repro.packets import EmailMessage, IPPacket, SYN, TCPSegment
+from repro.packets.smtp import dialog_script
+from repro.rules import RuleEngine
+from repro.surveillance.classify import (
+    classify_alerts,
+    has_discardable_alert,
+    has_retainable_alert,
+)
+
+
+class TestSubscribers:
+    def test_on_result_callback_fires(self):
+        env = build_environment(censored=False, seed=31, population_size=3)
+
+        class OneShot(MeasurementTechnique):
+            name = "oneshot"
+
+            def start(self):
+                self._emit(MeasurementResult("oneshot", "x", Verdict.ACCESSIBLE))
+
+        technique = OneShot(env.ctx)
+        seen = []
+        technique.on_result(seen.append)
+        technique.start()
+        assert len(seen) == 1
+        assert seen[0].technique == "oneshot"
+        assert seen[0].time == env.sim.now
+
+    def test_base_start_not_implemented(self):
+        env = build_environment(censored=False, seed=31, population_size=3)
+        technique = MeasurementTechnique(env.ctx)
+        with pytest.raises(NotImplementedError):
+            technique.start()
+
+
+class TestClassifyHelpers:
+    def _alerts(self, classtype):
+        engine = RuleEngine.from_text(
+            f'alert tcp any any -> any any (msg:"m"; flags:S; '
+            f"classtype:{classtype}; sid:1;)"
+        )
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=TCPSegment(sport=1, dport=2, flags=SYN))
+        return engine.process(packet, 0.0)
+
+    def test_classify_alerts_maps_classtypes(self):
+        assert classify_alerts(self._alerts("attempted-recon")) == "scan"
+        assert classify_alerts(self._alerts("denial-of-service")) == "ddos"
+        assert classify_alerts(self._alerts("spam")) == "spam"
+        assert classify_alerts(self._alerts("p2p")) == "p2p"
+        assert classify_alerts(self._alerts("censorship-interest")) is None
+        assert classify_alerts([]) is None
+
+    def test_retainable_and_discardable(self):
+        interest = self._alerts("censorship-interest")
+        commodity = self._alerts("attempted-recon")
+        assert has_retainable_alert(interest)
+        assert not has_retainable_alert(commodity)
+        assert has_discardable_alert(commodity)
+        assert not has_discardable_alert(interest)
+
+
+class TestSMTPDialogScript:
+    def test_script_order(self):
+        message = EmailMessage("a@b.com", "c@d.com", "s", "body")
+        script = dialog_script(message, helo_name="probe.example")
+        verbs = [command.verb for command in script]
+        assert verbs == ["HELO", "MAIL", "RCPT", "DATA"]
+        assert script[0].argument == "probe.example"
+        assert "a@b.com" in script[1].argument
+        assert "c@d.com" in script[2].argument
+
+
+class TestMeasurementContext:
+    def test_default_poison_ips_include_known_injectors(self):
+        env = build_environment(censored=False, seed=31, population_size=3)
+        assert "8.7.198.45" in env.ctx.known_poison_ips
+
+    def test_sim_property(self):
+        env = build_environment(censored=False, seed=31, population_size=3)
+        assert env.ctx.sim is env.sim

@@ -1,0 +1,86 @@
+"""Tests for the overt baseline measurements."""
+
+import pytest
+
+from repro.core import OvertDNSMeasurement, OvertHTTPMeasurement, Verdict
+from repro.core.evaluation import build_environment
+
+
+class TestOvertDNS:
+    def test_detects_poisoning(self):
+        env = build_environment(censored=True, seed=10, population_size=4)
+        technique = OvertDNSMeasurement(env.ctx, ["twitter.com", "example.org"])
+        technique.start()
+        env.run(duration=20.0)
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["twitter.com"] is Verdict.DNS_POISONED
+        assert verdicts["example.org"] is Verdict.ACCESSIBLE
+
+    def test_clean_network_all_accessible(self):
+        env = build_environment(censored=False, seed=10, population_size=4)
+        technique = OvertDNSMeasurement(env.ctx, ["twitter.com", "example.org"])
+        technique.start()
+        env.run(duration=20.0)
+        assert all(r.verdict is Verdict.ACCESSIBLE for r in technique.results)
+        assert technique.done
+
+    def test_nxdomain_reported_as_dns_failure(self):
+        env = build_environment(censored=False, seed=10, population_size=4)
+        technique = OvertDNSMeasurement(env.ctx, ["no-such-name.example"])
+        technique.start()
+        env.run(duration=20.0)
+        assert technique.results[0].verdict is Verdict.DNS_FAILURE
+
+    def test_poison_detected_by_expectation_mismatch(self):
+        """Even without the known-poison-IP list, out-of-band expected
+        addresses expose the forged answer."""
+        env = build_environment(censored=True, seed=10, population_size=4)
+        env.ctx.known_poison_ips = frozenset()
+        technique = OvertDNSMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=20.0)
+        assert technique.results[0].verdict is Verdict.DNS_POISONED
+        assert "contradicts expected" in technique.results[0].detail
+
+
+class TestOvertHTTP:
+    def test_detects_dns_stage_blocking(self):
+        env = build_environment(censored=True, seed=11, population_size=4)
+        technique = OvertHTTPMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=20.0)
+        result = technique.results[0]
+        assert result.verdict is Verdict.DNS_POISONED
+        assert result.evidence["stage"] == "dns"
+
+    def test_detects_http_reset_when_dns_clean(self):
+        env = build_environment(censored=True, seed=11, population_size=4)
+        env.censor.policy.dns_poisoning = False  # force the HTTP stage
+        technique = OvertHTTPMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=20.0)
+        assert technique.results[0].verdict is Verdict.BLOCKED_RST
+
+    def test_detects_block_page(self):
+        env = build_environment(censored=True, seed=11, population_size=4)
+        env.censor.policy.dns_poisoning = False
+        env.censor.policy.http_block_page = True
+        technique = OvertHTTPMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=20.0)
+        assert technique.results[0].verdict is Verdict.HTTP_BLOCKPAGE
+
+    def test_control_accessible(self):
+        env = build_environment(censored=True, seed=11, population_size=4)
+        technique = OvertHTTPMeasurement(env.ctx, ["example.org"])
+        technique.start()
+        env.run(duration=20.0)
+        assert technique.results[0].verdict is Verdict.ACCESSIBLE
+
+    def test_overt_http_is_attributed_when_content_flows(self):
+        """The baseline's defining risk: surveillance attributes the user."""
+        env = build_environment(censored=False, seed=11, population_size=4)
+        technique = OvertHTTPMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=20.0)
+        assert env.surveillance.attributed_alerts_for_user("measurer")

@@ -1,0 +1,64 @@
+"""Tests for the measurement platform and its risk postures."""
+
+import json
+
+import pytest
+
+from repro.core import build_environment
+from repro.core.platform import MeasurementPlatform, RISK_POSTURES
+
+DOMAINS = ["twitter.com", "example.org"]
+
+
+def run_platform(posture, censored=True, seed=22):
+    env = build_environment(censored=censored, seed=seed, population_size=14)
+    platform = MeasurementPlatform(env, posture=posture)
+    report = platform.run_deck(DOMAINS, duration=120.0)
+    return env, report
+
+
+class TestPostures:
+    def test_unknown_posture_rejected(self):
+        env = build_environment(censored=False, seed=22, population_size=4)
+        with pytest.raises(ValueError):
+            MeasurementPlatform(env, posture="reckless")
+
+    @pytest.mark.parametrize("posture", RISK_POSTURES)
+    def test_every_posture_finds_the_blocking(self, posture):
+        _env, report = run_platform(posture)
+        assert report.blocked_domains() == ["twitter.com"]
+
+    @pytest.mark.parametrize("posture", RISK_POSTURES)
+    def test_every_posture_clean_when_open(self, posture):
+        _env, report = run_platform(posture, censored=False)
+        assert report.blocked_domains() == []
+
+    def test_overt_posture_attributed(self):
+        env, report = run_platform("overt", censored=False)
+        # Open network so the HTTP content flows and the interest rule fires.
+        assert not report.risk.evaded
+
+    def test_stealthy_posture_evades(self):
+        _env, report = run_platform("stealthy")
+        assert report.risk.evaded
+
+    def test_paranoid_posture_diluted(self):
+        _env, report = run_platform("paranoid")
+        assert report.risk.attribution_confidence < 0.5
+
+
+class TestDeckReport:
+    def test_deck_runs_all_tests(self):
+        _env, report = run_platform("stealthy")
+        assert set(report.results_by_test) == {
+            "dns_consistency", "http_reachability", "tcp_reachability",
+        }
+        assert all(results for results in report.results_by_test.values())
+
+    def test_json_document(self):
+        _env, report = run_platform("stealthy")
+        parsed = json.loads(report.to_json())
+        assert parsed["metadata"]["posture"] == "stealthy"
+        assert parsed["metadata"]["domains"] == DOMAINS
+        assert "dns_consistency" in parsed["techniques"]
+        assert parsed["risks"][0]["evaded"] is True

@@ -1,0 +1,57 @@
+"""Tests for the residual-blocking (penalty window) measurement."""
+
+import pytest
+
+from repro.core import Verdict, build_environment
+from repro.core.residual import ResidualBlockingMeasurement
+
+
+def run_measurement(residual_seconds, probe_interval=1.0, max_wait=60.0, seed=29):
+    env = build_environment(censored=True, seed=seed, population_size=4)
+    env.censor.policy.dns_poisoning = False
+    env.censor.policy.residual_block_seconds = residual_seconds
+    technique = ResidualBlockingMeasurement(
+        env.ctx,
+        env.topo.control_web.ip,  # an unblocked server; the keyword triggers
+        probe_interval=probe_interval,
+        max_wait=max_wait,
+    )
+    technique.start()
+    env.run(duration=max_wait + residual_seconds + 30.0)
+    return env, technique
+
+
+class TestResidualMeasurement:
+    def test_measures_penalty_duration(self):
+        env, technique = run_measurement(residual_seconds=10.0)
+        result = technique.results[0]
+        assert result.verdict is Verdict.BLOCKED_RST
+        measured = result.evidence["penalty_seconds"]
+        # Granularity: one probe interval of slack past the true window.
+        assert 10.0 <= measured <= 12.5
+        assert env.censor.residual_drops > 0
+
+    def test_longer_penalty_measured_longer(self):
+        _env, short = run_measurement(residual_seconds=5.0)
+        _env2, long = run_measurement(residual_seconds=20.0)
+        assert (
+            short.results[0].evidence["penalty_seconds"]
+            < long.results[0].evidence["penalty_seconds"]
+        )
+
+    def test_zero_penalty_recovers_immediately(self):
+        _env, technique = run_measurement(residual_seconds=0.0)
+        result = technique.results[0]
+        measured = result.evidence["penalty_seconds"]
+        assert measured <= 2.5  # first or second probe already succeeds
+
+    def test_trigger_reset_observed(self):
+        _env, technique = run_measurement(residual_seconds=5.0)
+        assert technique.results[0].evidence["trigger_reset_seen"]
+
+    def test_gives_up_past_max_wait(self):
+        _env, technique = run_measurement(residual_seconds=500.0, max_wait=15.0)
+        result = technique.results[0]
+        assert result.verdict is Verdict.BLOCKED_TIMEOUT
+        assert "still active" in result.detail
+        assert technique.done

@@ -1,0 +1,68 @@
+"""Tests for the resolver-in-AS evaluation environment."""
+
+import pytest
+
+from repro.core import (
+    OvertDNSMeasurement,
+    SpamMeasurement,
+    Verdict,
+    build_environment,
+)
+
+
+class TestResolverInAS:
+    def test_environment_exposes_resolver(self):
+        env = build_environment(censored=False, seed=19, population_size=4,
+                                resolver_in_as=True)
+        assert env.local_resolver is not None
+        assert env.ctx.resolver_ip == "10.1.250.53"
+
+    def test_resolution_works_through_resolver(self):
+        env = build_environment(censored=False, seed=19, population_size=4,
+                                resolver_in_as=True)
+        technique = OvertDNSMeasurement(env.ctx, ["example.org"])
+        technique.start()
+        env.run(duration=30.0)
+        assert technique.results[0].verdict is Verdict.ACCESSIBLE
+        assert env.local_resolver.upstream_queries == 1
+
+    def test_poisoning_detected_through_resolver(self):
+        """The forged answer poisons the resolver's upstream lookup; the
+        client still observes it, via the cache."""
+        env = build_environment(censored=True, seed=19, population_size=4,
+                                resolver_in_as=True)
+        technique = OvertDNSMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=30.0)
+        assert technique.results[0].verdict is Verdict.DNS_POISONED
+        # The poison is now cached inside the AS.
+        cached = env.local_resolver.cached_answer("twitter.com")
+        assert cached is not None
+        assert cached.a_records() == [env.censor.policy.poison_ip]
+
+    def test_spam_method_through_resolver(self):
+        env = build_environment(censored=True, seed=19, population_size=4,
+                                resolver_in_as=True)
+        technique = SpamMeasurement(env.ctx, ["twitter.com", "example.org"])
+        technique.start()
+        env.run(duration=30.0)
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["twitter.com"] is Verdict.DNS_POISONED
+        assert verdicts["example.org"] is Verdict.ACCESSIBLE
+
+    def test_client_dns_hidden_from_border(self):
+        """Measurement DNS queries no longer cross the border at all —
+        the resolver's upstream lookup is the only visible artifact."""
+        from repro.netsim import PacketCapture
+        from repro.netsim.capture import dns_only
+
+        env = build_environment(censored=True, seed=19, population_size=4,
+                                resolver_in_as=True)
+        capture = PacketCapture(predicate=dns_only)
+        env.topo.border_router.add_tap(capture)
+        technique = OvertDNSMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=30.0)
+        sources = {cap.packet.src for cap in capture.packets}
+        assert env.topo.measurement_client.ip not in sources
+        assert "10.1.250.53" in sources

@@ -1,0 +1,99 @@
+"""Unit tests for verdicts, results, and campaign scheduling."""
+
+import pytest
+
+from repro.core import MeasurementCampaign, MeasurementResult, Verdict, summarize
+from repro.core.results import blocked_verdicts
+from repro.netsim import Simulator
+
+
+class TestVerdict:
+    def test_blocking_verdicts(self):
+        assert Verdict.BLOCKED_RST.indicates_blocking
+        assert Verdict.BLOCKED_TIMEOUT.indicates_blocking
+        assert Verdict.DNS_POISONED.indicates_blocking
+        assert Verdict.HTTP_BLOCKPAGE.indicates_blocking
+        assert Verdict.DNS_FAILURE.indicates_blocking
+
+    def test_non_blocking_verdicts(self):
+        assert not Verdict.ACCESSIBLE.indicates_blocking
+        assert not Verdict.INCONCLUSIVE.indicates_blocking
+
+    def test_blocked_verdicts_set(self):
+        assert Verdict.BLOCKED_RST in blocked_verdicts()
+        assert Verdict.ACCESSIBLE not in blocked_verdicts()
+
+
+class TestMeasurementResult:
+    def test_blocked_property(self):
+        result = MeasurementResult("t", "x.com", Verdict.BLOCKED_RST)
+        assert result.blocked
+        assert not MeasurementResult("t", "x.com", Verdict.ACCESSIBLE).blocked
+
+    def test_str_contains_fields(self):
+        result = MeasurementResult("scan", "x.com", Verdict.ACCESSIBLE, detail="ok")
+        assert "scan" in str(result) and "x.com" in str(result)
+
+    def test_summarize(self):
+        results = [
+            MeasurementResult("t", "a", Verdict.ACCESSIBLE),
+            MeasurementResult("t", "b", Verdict.ACCESSIBLE),
+            MeasurementResult("t", "c", Verdict.BLOCKED_RST),
+        ]
+        assert summarize(results) == {"accessible": 2, "blocked_rst": 1}
+
+
+class _FakeTechnique:
+    name = "fake"
+
+    def __init__(self, sim, results_to_emit=1):
+        self.sim = sim
+        self.results = []
+        self._count = results_to_emit
+        self.started_at = None
+
+    def start(self):
+        self.started_at = self.sim.now
+        for index in range(self._count):
+            self.results.append(
+                MeasurementResult("fake", f"target{index}", Verdict.ACCESSIBLE)
+            )
+
+    @property
+    def done(self):
+        return len(self.results) >= self._count
+
+
+class TestCampaign:
+    def test_staggered_starts(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        first, second = _FakeTechnique(sim), _FakeTechnique(sim)
+        campaign.add(first, at=0.0).add(second, at=5.0)
+        campaign.run(duration=10.0)
+        assert first.started_at == 0.0
+        assert second.started_at == 5.0
+
+    def test_all_results_aggregated(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        campaign.add(_FakeTechnique(sim, 2)).add(_FakeTechnique(sim, 3))
+        campaign.run(duration=1.0)
+        assert len(campaign.all_results()) == 5
+
+    def test_results_by_technique(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        campaign.add(_FakeTechnique(sim, 2))
+        campaign.run(duration=1.0)
+        assert len(campaign.results_by_technique()["fake"]) == 2
+
+    def test_done_tracks_all(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        campaign.add(_FakeTechnique(sim), at=0.0)
+        campaign.add(_FakeTechnique(sim), at=100.0)
+        campaign.run(duration=1.0)
+        assert not campaign.done  # second never started
+        sim.run(until=200.0)
+        assert campaign.done

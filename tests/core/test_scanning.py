@@ -1,0 +1,89 @@
+"""Tests for Method #1 (scanning-cloaked measurement)."""
+
+import pytest
+
+from repro.core import ScanMeasurement, ScanTarget, Verdict, top_ports
+from repro.core.evaluation import build_environment
+
+
+class TestTopPorts:
+    def test_small_count_returns_head(self):
+        assert top_ports(3) == [80, 23, 443]
+
+    def test_large_count_fills_deterministically(self):
+        ports = top_ports(200)
+        assert len(ports) == 200
+        assert len(set(ports)) == 200
+        assert top_ports(200) == ports  # deterministic
+
+    def test_thousand_ports(self):
+        assert len(top_ports(1000)) == 1000
+
+
+class TestScanTarget:
+    def test_label_defaults_to_ip(self):
+        target = ScanTarget("1.2.3.4", [80])
+        assert target.label == "1.2.3.4"
+
+    def test_requires_expected_ports(self):
+        with pytest.raises(ValueError):
+            ScanTarget("1.2.3.4", [])
+
+
+class TestScanMeasurement:
+    def _scan(self, env, port_count=40):
+        targets = [
+            ScanTarget(env.topo.blocked_web.ip, [80], "blocked-service"),
+            ScanTarget(env.topo.control_web.ip, [80], "control-service"),
+        ]
+        technique = ScanMeasurement(env.ctx, targets, port_count=port_count)
+        technique.start()
+        env.run(duration=30.0)
+        return technique
+
+    def test_open_network_all_accessible(self):
+        env = build_environment(censored=False, seed=20, population_size=4)
+        technique = self._scan(env)
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["blocked-service"] is Verdict.ACCESSIBLE
+        assert verdicts["control-service"] is Verdict.ACCESSIBLE
+        assert technique.done
+
+    def test_null_route_detected_as_timeout(self):
+        env = build_environment(censored=True, seed=20, population_size=4)
+        env.censor.policy.blocked_ips.add(env.topo.blocked_web.ip)
+        technique = self._scan(env)
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["blocked-service"] is Verdict.BLOCKED_TIMEOUT
+        assert verdicts["control-service"] is Verdict.ACCESSIBLE
+
+    def test_rst_blocking_detected(self):
+        env = build_environment(censored=True, seed=20, population_size=4)
+        env.censor.policy.rst_endpoints.add((env.topo.blocked_web.ip, 80))
+        technique = self._scan(env)
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["blocked-service"] is Verdict.BLOCKED_RST
+
+    def test_port_states_recorded(self):
+        env = build_environment(censored=False, seed=20, population_size=4)
+        technique = self._scan(env)
+        evidence = technique.results[0].evidence
+        assert evidence["port_states"][80] == "open"
+        assert evidence["open_ports"] >= 1
+        assert evidence["ports_scanned"] >= 40
+
+    def test_scan_classified_as_recon_and_discarded(self):
+        """The evasion half: the MVR must classify the scan as commodity
+        recon, so the measurer gets no attributed alert."""
+        env = build_environment(censored=True, seed=20, population_size=4)
+        env.censor.policy.blocked_ips.add(env.topo.blocked_web.ip)
+        self._scan(env, port_count=60)
+        assert env.surveillance.attributed_alerts_for_user("measurer") == []
+        assert env.surveillance.discarded_by_class.get("scan", 0) > 0
+
+    def test_closed_ports_reported_closed(self):
+        env = build_environment(censored=False, seed=20, population_size=4)
+        technique = self._scan(env)
+        states = technique.results[1].evidence["port_states"]
+        closed = [port for port, state in states.items() if state == "closed"]
+        assert closed  # most scanned ports are closed on the web server

@@ -1,0 +1,107 @@
+"""Tests for TLS record modelling and SNI-filtering measurement."""
+
+import pytest
+
+from repro.core import TLSReachabilityMeasurement, Verdict, build_environment
+from repro.netsim import TLSServer, tls_probe
+from repro.packets import ClientHello, ServerHello, sni_of, tls_alert
+
+
+class TestTLSRecords:
+    def test_client_hello_round_trip(self):
+        hello = ClientHello(server_name="twitter.com")
+        assert sni_of(hello.to_bytes()) == "twitter.com"
+        assert ClientHello.from_bytes(hello.to_bytes()).server_name == "twitter.com"
+
+    def test_sni_bytes_visible_in_plaintext(self):
+        """The content-match premise: the raw domain appears on the wire."""
+        assert b"twitter.com" in ClientHello(server_name="twitter.com").to_bytes()
+
+    def test_sni_of_rejects_non_tls(self):
+        assert sni_of(b"GET / HTTP/1.1\r\n\r\n") is None
+        assert sni_of(b"") is None
+        assert sni_of(b"\x16\x03\x03\x00\x05junk?") is None
+
+    def test_server_hello_detection(self):
+        assert ServerHello.is_server_hello(ServerHello().to_bytes())
+        assert not ServerHello.is_server_hello(ClientHello("x.com").to_bytes())
+
+    def test_alert_record_framing(self):
+        alert = tls_alert(40)
+        assert alert[0] == 0x15
+        assert alert[-1] == 40
+
+    def test_session_id_round_trip(self):
+        hello = ClientHello(server_name="a.example", session_id=b"\xaa" * 8)
+        assert sni_of(hello.to_bytes()) == "a.example"
+
+
+class TestTLSProbe:
+    def test_handshake_against_server(self):
+        from repro.netsim import build_three_node
+
+        topo = build_three_node(seed=28)
+        server = TLSServer(topo.server)
+        results = []
+        tls_probe(topo.client, topo.server.ip, "example.org", callback=results.append)
+        topo.run()
+        assert results[0].ok
+        assert server.sni_log == ["example.org"]
+
+    def test_timeout_against_closed_port(self):
+        from repro.netsim import build_three_node
+
+        topo = build_three_node(seed=28)
+        results = []
+        tls_probe(topo.client, topo.server.ip, "example.org",
+                  callback=results.append, timeout=0.5)
+        topo.run()
+        assert results[0].status == "reset"  # closed port answers RST
+
+
+class TestSNIMeasurement:
+    def test_sni_filtering_detected(self):
+        env = build_environment(censored=True, seed=28, population_size=4)
+        env.censor.policy.dns_poisoning = False  # isolate the TLS layer
+        technique = TLSReachabilityMeasurement(env.ctx, ["twitter.com", "example.org"])
+        technique.start()
+        env.run(duration=60.0)
+        verdicts = {r.target: r.verdict for r in technique.results}
+        assert verdicts["twitter.com"] is Verdict.BLOCKED_RST
+        assert verdicts["example.org"] is Verdict.ACCESSIBLE
+
+    def test_decoy_control_identifies_name_keyed_block(self):
+        env = build_environment(censored=True, seed=28, population_size=4)
+        env.censor.policy.dns_poisoning = False
+        technique = TLSReachabilityMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=60.0)
+        result = technique.results[0]
+        assert result.evidence["control_status"] == "ok"
+        assert "name-keyed block" in result.detail
+
+    def test_open_network_all_reachable(self):
+        env = build_environment(censored=False, seed=28, population_size=4)
+        technique = TLSReachabilityMeasurement(env.ctx, ["twitter.com", "example.org"])
+        technique.start()
+        env.run(duration=60.0)
+        assert all(r.verdict is Verdict.ACCESSIBLE for r in technique.results)
+        assert technique.done
+
+    def test_dns_stage_short_circuits(self):
+        env = build_environment(censored=True, seed=28, population_size=4)
+        technique = TLSReachabilityMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=60.0)
+        assert technique.results[0].verdict is Verdict.DNS_POISONED
+        assert technique.results[0].evidence["stage"] == "dns"
+
+    def test_censor_records_sni_mechanism(self):
+        env = build_environment(censored=True, seed=28, population_size=4)
+        env.censor.policy.dns_poisoning = False
+        technique = TLSReachabilityMeasurement(env.ctx, ["twitter.com"],
+                                               run_control=False)
+        technique.start()
+        env.run(duration=60.0)
+        sni_events = [e for e in env.censor.events if "SNI" in e.detail]
+        assert sni_events

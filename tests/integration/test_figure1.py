@@ -1,0 +1,96 @@
+"""Literal reproduction of the paper's Figure 1 controlled environment.
+
+Three nodes — a client, a software switch, a server — with two IDS
+instances on the switch: one configured as the censor, one as the
+surveillance MVR.  "We declared a measurement successful if it can detect
+blocking (as controlled by our modifications to the censorship system)
+without triggering the MVR to log its traffic."
+"""
+
+import pytest
+
+from repro.censor import CensorshipPolicy, GreatFirewall
+from repro.core import (
+    MeasurementContext,
+    ScanMeasurement,
+    ScanTarget,
+    Verdict,
+)
+from repro.netsim import WebServer, build_three_node, http_get
+from repro.surveillance import AttributionEngine, SurveillanceSystem
+
+VARIABLES = {"HOME_NET": "10.0.0.0/24", "EXTERNAL_NET": "any"}
+
+
+def figure1(censored: bool):
+    topo = build_three_node(seed=13)
+    topo.client.user = "tester"
+    policy = CensorshipPolicy() if censored else CensorshipPolicy.disabled()
+    censor = GreatFirewall(policy=policy, variables=VARIABLES)
+    mvr = SurveillanceSystem(
+        attribution=AttributionEngine.from_network(topo.network),
+        variables=VARIABLES,
+    )
+    # Both IDS instances ride the same switch, like the two Snort
+    # processes on the OVS box.
+    topo.switch.add_tap(mvr)
+    topo.switch.add_tap(censor)
+    WebServer(topo.server, default_body="<html>served content</html>")
+    return topo, censor, mvr
+
+
+class TestKeywordMeasurement:
+    def test_detects_blocking_when_censor_on(self):
+        topo, censor, mvr = figure1(censored=True)
+        results = []
+        http_get(topo.client, topo.server.ip, "example.com", "/falun",
+                 callback=results.append)
+        topo.run()
+        assert results[0].status == "reset"
+        assert censor.events_by_mechanism("keyword")
+
+    def test_silent_when_censor_off(self):
+        topo, censor, mvr = figure1(censored=False)
+        results = []
+        http_get(topo.client, topo.server.ip, "example.com", "/falun",
+                 callback=results.append)
+        topo.run()
+        assert results[0].ok
+        assert censor.events == []
+
+
+class TestScanMeasurementOnFigure1:
+    def _scan(self, censored: bool):
+        topo, censor, mvr = figure1(censored=censored)
+        if censored:
+            censor.policy.blocked_ips.add(topo.server.ip)
+        ctx = MeasurementContext(client=topo.client)
+        technique = ScanMeasurement(
+            ctx, [ScanTarget(topo.server.ip, [80], "server")], port_count=50
+        )
+        technique.start()
+        topo.sim.run(until=topo.sim.now + 30.0)
+        return topo, censor, mvr, technique
+
+    def test_accuracy_both_conditions(self):
+        _, _, _, blocked_run = self._scan(censored=True)
+        _, _, _, open_run = self._scan(censored=False)
+        assert blocked_run.results[0].verdict is Verdict.BLOCKED_TIMEOUT
+        assert open_run.results[0].verdict is Verdict.ACCESSIBLE
+
+    def test_evasion_mvr_never_logs_the_tester(self):
+        for censored in (True, False):
+            _, _, mvr, _ = self._scan(censored=censored)
+            assert mvr.attributed_alerts_for_user("tester") == []
+
+    def test_mvr_classified_the_scan_as_recon(self):
+        _, _, mvr, _ = self._scan(censored=False)
+        assert mvr.discarded_by_class.get("scan", 0) > 0
+
+    def test_success_criterion_met(self):
+        """The paper's definition, verbatim: detect blocking without
+        triggering the MVR to log the traffic."""
+        _, censor, mvr, technique = self._scan(censored=True)
+        detected = technique.results[0].verdict.indicates_blocking
+        logged = bool(mvr.attributed_alerts_for_user("tester"))
+        assert detected and not logged

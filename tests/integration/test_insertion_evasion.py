@@ -1,0 +1,119 @@
+"""Insertion-attack study against the censor's reassembler.
+
+Ptacek & Newsham's classic, in the form Khattak et al. applied to the GFC:
+send a junk segment with a TTL that crosses the censor but dies before the
+server.  The censor's reassembler consumes the junk at that sequence
+position; when the real keyword bytes arrive at the same sequence number,
+the censor treats them as a retransmission and ignores them — while the
+server, which never saw the junk, reads the keyword.
+
+These are accuracy-hazard tests, not a circumvention feature: a keyword
+measurement must know whether the censor in front of it is desync-able,
+or it will report "not censored" for content that is.
+"""
+
+import pytest
+
+from repro.censor import GreatFirewall
+from repro.core import MeasurementContext, build_environment
+from repro.packets import ACK, IPPacket, PSH, SYN, TCPSegment
+
+
+def raw_flow(env, ttl_to_censor_only):
+    """Open a raw flow from the measurement client to the control web
+    server and return helpers for crafting segments on it."""
+    client = env.ctx.client
+    server_ip = env.topo.control_web.ip
+    client.stack.closed_port_rst = False
+    sport = 47000
+    state = {"client_isn": 5000}
+
+    def sniff(packet):
+        if packet.tcp is not None and packet.tcp.is_synack and packet.src == server_ip:
+            state["server_isn"] = packet.tcp.seq
+
+    client.stack.add_sniffer(sniff)
+
+    def send(flags, seq, payload=b"", ttl=64):
+        client.send_raw(IPPacket(
+            src=client.ip, dst=server_ip, ttl=ttl,
+            payload=TCPSegment(sport=sport, dport=80, seq=seq,
+                               ack=state.get("server_isn", 0) + 1,
+                               flags=flags, payload=payload),
+        ))
+
+    # Handshake.
+    send(SYN, state["client_isn"], ttl=64)
+    env.run(duration=2.0)
+    send(ACK, state["client_isn"] + 1)
+    env.run(duration=2.0)
+    return send, state
+
+
+# Path: client - internal(router) - border(censor tap) - transit - server.
+# The border router decrements before its taps inspect, so a segment
+# needs TTL 3 to survive internal (3->2) and border (2->1) decrements —
+# the censor tap then sees it at TTL 1 — and die at transit (1->0):
+# the censor sees the segment; the server never does.
+TTL_CENSOR_ONLY = 3
+
+
+class TestInsertionAttack:
+    def test_censor_only_ttl_reaches_tap_not_server(self):
+        env = build_environment(censored=True, seed=32, population_size=3)
+        env.censor.policy.dns_poisoning = False
+        seen_at_server = []
+        env.topo.control_web.stack.add_sniffer(
+            lambda p: seen_at_server.append(p) if p.tcp is not None else None
+        )
+        send, _state = raw_flow(env, TTL_CENSOR_ONLY)
+        server_packets_before = len(seen_at_server)
+        send(PSH | ACK, 5001, b"probe", ttl=TTL_CENSOR_ONLY)
+        env.run(duration=2.0)
+        assert len(seen_at_server) == server_packets_before  # died in transit
+
+    def test_desync_blinds_the_censor(self):
+        """Junk at seq N (censor-only TTL), then the keyword at seq N with
+        full TTL: censor ignores the 'retransmission', server reads it."""
+        env = build_environment(censored=True, seed=32, population_size=3)
+        env.censor.policy.dns_poisoning = False
+        send, state = raw_flow(env, TTL_CENSOR_ONLY)
+        request = b"GET /falun HTTP/1.1\r\nHost: x\r\n\r\n"
+        # 1. Insertion: junk of the same length, censor-only TTL.
+        send(PSH | ACK, state["client_isn"] + 1, b"X" * len(request),
+             ttl=TTL_CENSOR_ONLY)
+        env.run(duration=2.0)
+        # 2. The real keyword bytes at the same sequence position.
+        send(PSH | ACK, state["client_isn"] + 1, request, ttl=64)
+        env.run(duration=5.0)
+        # Censor never fired; the server served the keyword request.
+        assert env.censor.events_by_mechanism("keyword") == []
+        assert env.servers["control_web"].request_log
+        assert "falun" in env.servers["control_web"].request_log[0].path
+
+    def test_without_insertion_the_censor_fires(self):
+        """Control condition: the same flow minus the junk gets reset."""
+        env = build_environment(censored=True, seed=32, population_size=3)
+        env.censor.policy.dns_poisoning = False
+        send, state = raw_flow(env, TTL_CENSOR_ONLY)
+        request = b"GET /falun HTTP/1.1\r\nHost: x\r\n\r\n"
+        send(PSH | ACK, state["client_isn"] + 1, request, ttl=64)
+        env.run(duration=5.0)
+        assert env.censor.events_by_mechanism("keyword")
+
+    def test_measurement_accuracy_hazard(self):
+        """A keyword probe riding a desynced flow wrongly reads 'open':
+        the hazard the docstring warns about, demonstrated end-to-end."""
+        env = build_environment(censored=True, seed=32, population_size=3)
+        env.censor.policy.dns_poisoning = False
+        send, state = raw_flow(env, TTL_CENSOR_ONLY)
+        request = b"GET /falun HTTP/1.1\r\nHost: x\r\n\r\n"
+        send(PSH | ACK, state["client_isn"] + 1, b"Y" * len(request),
+             ttl=TTL_CENSOR_ONLY)
+        env.run(duration=2.0)
+        send(PSH | ACK, state["client_isn"] + 1, request, ttl=64)
+        env.run(duration=5.0)
+        # Ground truth says this keyword IS censored (the control test
+        # above proves it), yet this flow completed without a reset —
+        # a false 'accessible' verdict if the prober trusted it.
+        assert env.censor.rst_injections == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the packet-capture tap."""
+
+import pytest
+
+from repro.netsim import PacketCapture, build_censored_as, http_get, resolve
+from repro.netsim.capture import dns_only, tcp_only
+from repro.packets import PROTO_TCP, PROTO_UDP
+from repro.traffic import install_standard_servers
+
+
+@pytest.fixture
+def world():
+    topo = build_censored_as(seed=8, population_size=3)
+    capture = PacketCapture()
+    topo.border_router.add_tap(capture)
+    install_standard_servers(topo)
+    return topo, capture
+
+
+class TestCapture:
+    def test_captures_transiting_traffic(self, world):
+        topo, capture = world
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        assert len(capture) >= 2  # query + response
+        assert capture.total_bytes() > 0
+
+    def test_timestamps_monotonic(self, world):
+        topo, capture = world
+        http_get(topo.measurement_client, topo.control_web.ip, "example.org",
+                 callback=lambda r: None)
+        topo.run()
+        times = [cap.time for cap in capture.packets]
+        assert times == sorted(times)
+
+    def test_predicate_filters(self, world):
+        topo, capture = world
+        dns_capture = PacketCapture(predicate=dns_only)
+        topo.border_router.add_tap(dns_capture)
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        http_get(topo.measurement_client, topo.control_web.ip, "example.org",
+                 callback=lambda r: None)
+        topo.run()
+        assert len(dns_capture) >= 2
+        assert all(cap.packet.udp is not None for cap in dns_capture.packets)
+        assert len(dns_capture) < len(capture)
+
+    def test_involving_and_protocol_queries(self, world):
+        topo, capture = world
+        http_get(topo.measurement_client, topo.control_web.ip, "example.org",
+                 callback=lambda r: None)
+        topo.run()
+        mine = capture.involving(topo.measurement_client.ip)
+        assert mine
+        assert all(
+            topo.measurement_client.ip in (c.packet.src, c.packet.dst) for c in mine
+        )
+        assert capture.by_protocol(PROTO_TCP)
+
+    def test_between_window(self, world):
+        topo, capture = world
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        all_window = capture.between(0.0, 1e9)
+        assert len(all_window) == len(capture)
+        assert capture.between(1e8, 1e9) == []
+
+    def test_ring_buffer_overflow(self, world):
+        topo, _ = world
+        small = PacketCapture(max_packets=1)
+        topo.border_router.add_tap(small)
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        assert len(small) == 1
+        assert small.dropped_overflow >= 1
+
+    def test_text_log_and_clear(self, world):
+        topo, capture = world
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        log = capture.text_log(limit=1)
+        assert "border" in log
+        assert "more packets" in log
+        capture.clear()
+        assert len(capture) == 0
+
+    def test_protocol_mix(self, world):
+        topo, capture = world
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        http_get(topo.measurement_client, topo.control_web.ip, "example.org",
+                 callback=lambda r: None)
+        topo.run()
+        mix = capture.protocol_mix()
+        assert mix.get("udp", 0) > 0
+        assert mix.get("tcp", 0) > 0
+
+    def test_tcp_only_predicate(self):
+        from repro.packets import IPPacket, TCPSegment, UDPDatagram, SYN
+
+        tcp = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                       payload=TCPSegment(sport=1, dport=2, flags=SYN))
+        udp = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                       payload=UDPDatagram(sport=1, dport=53))
+        assert tcp_only(tcp) and not tcp_only(udp)
+        assert dns_only(udp) and not dns_only(tcp)

@@ -1,0 +1,109 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(2.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.at(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.at(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.at(-0.1, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.at(1.0, lambda: seen.append(("inner", sim.now)))
+        sim.at(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_for_advances_relative(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run_for(3.0)
+        assert sim.now == 3.0
+        sim.run_for(2.0)
+        assert sim.now == 5.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+        def loop():
+            sim.at(0.0, loop)
+        sim.at(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.at(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestTimers:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.at(1.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        timer = sim.at(1.0, lambda: None)
+        sim.run()
+        timer.cancel()  # must not raise
+
+
+class TestDeterminism:
+    def test_same_seed_same_randoms(self):
+        a, b = Simulator(seed=9), Simulator(seed=9)
+        assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+    def test_different_seed_differs(self):
+        a, b = Simulator(seed=1), Simulator(seed=2)
+        assert a.rng.random() != b.rng.random()

@@ -1,0 +1,63 @@
+"""Tests for lossy links."""
+
+import pytest
+
+from repro.netsim import Host, Network, Simulator
+from repro.packets import IPPacket, UDPDatagram
+
+
+def lossy_pair(loss):
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    a = net.add(Host("a", "10.0.0.1"))
+    b = net.add(Host("b", "10.0.0.2"))
+    net.connect(a, b, loss=loss)
+    return sim, net, a, b
+
+
+class TestLossyLinks:
+    def test_invalid_loss_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        with pytest.raises(ValueError):
+            net.connect(a, b, loss=1.0)
+        with pytest.raises(ValueError):
+            net.connect(a, b, loss=-0.1)
+
+    def test_zero_loss_delivers_everything(self):
+        sim, net, a, b = lossy_pair(0.0)
+        got = []
+        b.stack.add_sniffer(lambda p: got.append(p) if p.udp else None)
+        for index in range(100):
+            a.send_ip(IPPacket(src=a.ip, dst=b.ip,
+                               payload=UDPDatagram(sport=1, dport=index + 1)))
+        sim.run()
+        # 100 datagrams + ICMP replies; count only the datagrams.
+        assert len(got) == 100
+
+    def test_loss_rate_approximately_respected(self):
+        sim, net, a, b = lossy_pair(0.3)
+        got = []
+        b.stack.add_sniffer(lambda p: got.append(p) if p.udp else None)
+        b.stack.udp_listen(7, lambda *args: None)  # swallow silently
+        for _ in range(500):
+            a.send_ip(IPPacket(src=a.ip, dst=b.ip,
+                               payload=UDPDatagram(sport=1, dport=7)))
+        sim.run()
+        delivered_fraction = len(got) / 500
+        assert 0.6 < delivered_fraction < 0.8
+        assert net.links[0].packets_lost == 500 - len(got)
+
+    def test_loss_surfaces_as_tcp_timeout(self):
+        """Without retransmission, a lost handshake packet = timeout."""
+        sim, net, a, b = lossy_pair(0.9)
+        def acceptor(conn):
+            conn.handler = lambda e, d: None
+        b.stack.tcp_listen(80, acceptor)
+        events = []
+        for _ in range(10):
+            a.stack.tcp_connect(b.ip, 80, lambda e, d: events.append(e), timeout=0.5)
+        sim.run()
+        assert "timeout" in events

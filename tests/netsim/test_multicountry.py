@@ -1,0 +1,87 @@
+"""Tests for the two-country comparative topology."""
+
+import pytest
+
+from repro.censor import CensorshipPolicy, GreatFirewall
+from repro.netsim import DNSServer, WebServer, Zone, http_get, resolve
+from repro.netsim.multicountry import build_two_country
+from repro.packets import QTYPE_A
+
+
+@pytest.fixture
+def world():
+    topo = build_two_country(seed=24, clients_per_country=3)
+    zone = Zone()
+    for domain, ip in topo.domains.items():
+        zone.add_a(domain, ip)
+    DNSServer(topo.dns_server, zone)
+    WebServer(topo.blocked_web)
+    WebServer(topo.control_web)
+    # Country alpha: GFC regime.  Country beta: block-page regime with DNS
+    # left truthful (it blocks at HTTP only).
+    gfc = GreatFirewall(policy=CensorshipPolicy.gfc_preset(),
+                        variables={"HOME_NET": "10.10.0.0/16", "EXTERNAL_NET": "any"})
+    blockpage_policy = CensorshipPolicy.blockpage_preset()
+    blockpage_policy.dns_poisoning = False
+    blockpage = GreatFirewall(policy=blockpage_policy,
+                              variables={"HOME_NET": "10.20.0.0/16", "EXTERNAL_NET": "any"})
+    topo.country_a.border_router.add_tap(gfc)
+    topo.country_b.border_router.add_tap(blockpage)
+    return topo, gfc, blockpage
+
+
+class TestTopology:
+    def test_distinct_address_spaces(self, world):
+        topo, _, _ = world
+        assert all(c.ip.startswith("10.10.") for c in topo.country_a.clients)
+        assert all(c.ip.startswith("10.20.") for c in topo.country_b.clients)
+
+    def test_cross_country_reachability(self, world):
+        topo, _, _ = world
+        got = []
+        topo.country_b.clients[1].stack.udp_listen(9, lambda d, *r: got.append(d))
+        topo.country_a.clients[0].stack.udp_send(
+            topo.country_b.clients[1].ip, 9, b"hello"
+        )
+        topo.run()
+        assert got == [b"hello"]
+
+
+class TestComparativeVantage:
+    def test_same_domain_three_vantages(self, world):
+        """One domain, three answers: DNS-injected in alpha, truthful-but-
+        HTTP-blocked in beta, fully open from the control."""
+        topo, gfc, blockpage = world
+        answers = {}
+        for label, vantage in (
+            ("alpha", topo.country_a.vantage),
+            ("beta", topo.country_b.vantage),
+            ("control", topo.control_vantage),
+        ):
+            resolve(vantage, topo.dns_server.ip, "twitter.com", qtype=QTYPE_A,
+                    callback=lambda r, l=label: answers.setdefault(l, r))
+        topo.run()
+        assert answers["alpha"].addresses == [gfc.policy.poison_ip]
+        assert answers["beta"].addresses == [topo.blocked_web.ip]
+        assert answers["control"].addresses == [topo.blocked_web.ip]
+
+    def test_http_signatures_differ(self, world):
+        topo, _, _ = world
+        outcomes = {}
+        for label, vantage in (
+            ("beta", topo.country_b.vantage),
+            ("control", topo.control_vantage),
+        ):
+            http_get(vantage, topo.blocked_web.ip, "twitter.com",
+                     callback=lambda r, l=label: outcomes.setdefault(l, r))
+        topo.run()
+        assert outcomes["beta"].ok and outcomes["beta"].response.status == 403
+        assert outcomes["control"].ok and outcomes["control"].response.status == 200
+
+    def test_censors_act_independently(self, world):
+        topo, gfc, blockpage = world
+        resolve(topo.country_a.vantage, topo.dns_server.ip, "twitter.com",
+                callback=lambda r: None)
+        topo.run()
+        assert gfc.dns_injections == 1
+        assert blockpage.dns_injections == 0

@@ -1,0 +1,229 @@
+"""Unit tests for the network graph, routing, taps, and TTL handling."""
+
+import pytest
+
+from repro.netsim import Action, Host, Middlebox, Network, Router, Simulator, Switch
+from repro.packets import ICMP_TIME_EXCEEDED, IPPacket, SYN, TCPSegment, UDPDatagram
+
+
+def linear_network(router_count=1, latency=0.001):
+    """a — r1 — ... — rN — b"""
+    sim = Simulator(seed=0)
+    net = Network(sim, default_latency=latency)
+    a = net.add(Host("a", "10.0.0.1"))
+    b = net.add(Host("b", "10.0.0.2"))
+    routers = [net.add(Router(f"r{i}")) for i in range(router_count)]
+    chain = [a] + routers + [b]
+    for left, right in zip(chain, chain[1:]):
+        net.connect(left, right)
+    return sim, net, a, b, routers
+
+
+class TestTopologyConstruction:
+    def test_duplicate_node_name_rejected(self):
+        net = Network(Simulator())
+        net.add(Host("a", "10.0.0.1"))
+        with pytest.raises(ValueError):
+            net.add(Host("a", "10.0.0.2"))
+
+    def test_duplicate_ip_rejected(self):
+        net = Network(Simulator())
+        net.add(Host("a", "10.0.0.1"))
+        with pytest.raises(ValueError):
+            net.add(Host("b", "10.0.0.1"))
+
+    def test_connect_unattached_node_rejected(self):
+        net = Network(Simulator())
+        a = net.add(Host("a", "10.0.0.1"))
+        stray = Host("stray", "10.0.0.9")
+        with pytest.raises(ValueError):
+            net.connect(a, stray)
+
+    def test_host_lookup(self):
+        net = Network(Simulator())
+        a = net.add(Host("a", "10.0.0.1"))
+        assert net.host("a") is a
+        with pytest.raises(KeyError):
+            net.host("nope")
+
+    def test_owner_of(self):
+        net = Network(Simulator())
+        a = net.add(Host("a", "10.0.0.1"))
+        assert net.owner_of("10.0.0.1") is a
+        assert net.owner_of("9.9.9.9") is None
+
+
+class TestForwarding:
+    def test_delivery_across_switch(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        s = net.add(Switch("s"))
+        net.connect(a, s)
+        net.connect(s, b)
+        received = []
+        b.stack.add_sniffer(received.append)
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=1, dport=9)))
+        sim.run()
+        assert len(received) >= 1
+        assert received[0].udp.dport == 9
+
+    def test_unroutable_destination_dropped(self):
+        sim, net, a, b, _ = linear_network()
+        a.send_ip(IPPacket(src=a.ip, dst="203.0.113.99",
+                           payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        assert net.dropped_no_route == 1
+
+    def test_latency_accumulates_per_hop(self):
+        sim, net, a, b, _ = linear_network(router_count=2, latency=0.01)
+        arrival = []
+        b.stack.add_sniffer(lambda p: arrival.append(sim.now))
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=1, dport=9)))
+        sim.run()
+        # 3 links of 10 ms each.
+        assert arrival and abs(arrival[0] - 0.03) < 1e-9
+
+    def test_link_byte_accounting(self):
+        sim, net, a, b, _ = linear_network()
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=1, dport=2, payload=b"x" * 100)))
+        sim.run()
+        assert net.total_packets_carried() >= 2  # both links
+        assert net.total_bytes_carried() > 200
+
+
+class TestTTL:
+    def test_switch_does_not_decrement(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        s = net.add(Switch("s"))
+        net.connect(a, s)
+        net.connect(s, b)
+        seen = []
+        b.stack.add_sniffer(lambda p: seen.append(p.ttl))
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, ttl=10, payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        assert seen == [10]
+
+    def test_router_decrements(self):
+        sim, net, a, b, _ = linear_network(router_count=3)
+        seen = []
+        b.stack.add_sniffer(lambda p: seen.append(p.ttl))
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, ttl=10, payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        assert seen == [7]
+
+    def test_ttl_expiry_drops_and_sends_time_exceeded(self):
+        sim, net, a, b, routers = linear_network(router_count=3)
+        delivered = []
+        b.stack.add_sniffer(delivered.append)
+        errors = []
+        a.stack.add_sniffer(
+            lambda p: errors.append(p) if p.icmp is not None else None
+        )
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, ttl=2, payload=UDPDatagram(sport=7, dport=2)))
+        sim.run()
+        assert delivered == []
+        assert routers[1].ttl_drops == 1
+        assert errors and errors[0].icmp.icmp_type == ICMP_TIME_EXCEEDED
+
+    def test_time_exceeded_can_be_disabled(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        r = net.add(Router("r", send_time_exceeded=False))
+        net.connect(a, r)
+        net.connect(r, b)
+        icmp_seen = []
+        a.stack.add_sniffer(lambda p: icmp_seen.append(p) if p.icmp else None)
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, ttl=1, payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        assert icmp_seen == []
+
+
+class _CountingTap(Middlebox):
+    name = "counter"
+
+    def __init__(self, action=Action.PASS):
+        self.seen = []
+        self.action = action
+
+    def process(self, packet, ctx):
+        self.seen.append(packet)
+        return self.action
+
+
+class _InjectingTap(Middlebox):
+    name = "injector"
+
+    def __init__(self, reply_to):
+        self.reply_to = reply_to
+
+    def process(self, packet, ctx):
+        if packet.udp is not None and packet.metadata.get("injected_by") != self.name:
+            ctx.inject(
+                IPPacket(src=packet.dst, dst=packet.src,
+                         payload=UDPDatagram(sport=99, dport=packet.udp.sport)),
+                tag=self.name,
+            )
+        return Action.PASS
+
+
+class TestTaps:
+    def _net_with_tap(self, tap):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        s = net.add(Switch("s"))
+        s.add_tap(tap)
+        net.connect(a, s)
+        net.connect(s, b)
+        return sim, net, a, b
+
+    def test_tap_sees_transiting_packets(self):
+        tap = _CountingTap()
+        sim, net, a, b = self._net_with_tap(tap)
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        # The datagram transits, and so does the ICMP port-unreachable reply.
+        udp_seen = [p for p in tap.seen if p.udp is not None]
+        assert len(udp_seen) == 1
+
+    def test_dropping_tap_blocks_delivery(self):
+        tap = _CountingTap(action=Action.DROP)
+        sim, net, a, b = self._net_with_tap(tap)
+        got = []
+        b.stack.add_sniffer(got.append)
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        assert got == []
+
+    def test_injected_packet_not_reprocessed_by_injector(self):
+        tap = _InjectingTap(reply_to="10.0.0.1")
+        sim, net, a, b = self._net_with_tap(tap)
+        replies = []
+        a.stack.add_sniffer(lambda p: replies.append(p) if p.udp else None)
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=5, dport=2)))
+        sim.run()
+        # Exactly one injected reply: the tap skipped its own injection.
+        assert len([p for p in replies if p.udp.sport == 99]) == 1
+
+    def test_tap_order_is_attachment_order(self):
+        first, second = _CountingTap(), _CountingTap(action=Action.DROP)
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        s = net.add(Switch("s"))
+        s.add_tap(first)
+        s.add_tap(second)
+        net.connect(a, s)
+        net.connect(s, b)
+        a.send_ip(IPPacket(src=a.ip, dst=b.ip, payload=UDPDatagram(sport=1, dport=2)))
+        sim.run()
+        assert len(first.seen) == 1 and len(second.seen) == 1

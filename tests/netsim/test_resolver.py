@@ -1,0 +1,126 @@
+"""Tests for the caching recursive resolver, including poisoning persistence."""
+
+import pytest
+
+from repro.censor import GreatFirewall
+from repro.netsim import Host, build_censored_as, resolve
+from repro.netsim.resolver import CachingResolver
+from repro.packets import QTYPE_A
+from repro.traffic import install_standard_servers
+
+
+@pytest.fixture
+def world():
+    """Censored AS with an in-AS caching resolver at 10.1.250.53."""
+    topo = build_censored_as(seed=12, population_size=4)
+    install_standard_servers(topo)
+    resolver_host = topo.network.add(Host("resolver", "10.1.250.53"))
+    topo.network.connect(resolver_host, topo.internal_router)
+    resolver = CachingResolver(resolver_host, upstream_ip=topo.dns_server.ip)
+    return topo, resolver, resolver_host
+
+
+class TestResolution:
+    def test_recursive_resolution(self, world):
+        topo, resolver, resolver_host = world
+        results = []
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=results.append)
+        topo.run()
+        assert results[0].ok
+        assert results[0].addresses == [topo.control_web.ip]
+        assert resolver.misses == 1
+        assert resolver.upstream_queries == 1
+
+    def test_cache_hit_skips_upstream(self, world):
+        topo, resolver, resolver_host = world
+        for client in topo.population[:3]:
+            resolve(client, resolver_host.ip, "example.org", callback=lambda r: None)
+            topo.run()
+        assert resolver.upstream_queries == 1
+        assert resolver.hits == 2
+
+    def test_cached_answer_peek(self, world):
+        topo, resolver, resolver_host = world
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        cached = resolver.cached_answer("example.org", QTYPE_A)
+        assert cached is not None
+        assert cached.a_records() == [topo.control_web.ip]
+
+    def test_nxdomain_negative_cached(self, world):
+        topo, resolver, resolver_host = world
+        results = []
+        for _ in range(2):
+            resolve(topo.population[0], resolver_host.ip, "missing.example",
+                    callback=results.append)
+            topo.run()
+        assert all(r.status == "nxdomain" for r in results)
+        assert resolver.upstream_queries == 1  # second served from negative cache
+
+    def test_cache_expiry_refetches(self, world):
+        topo, resolver, resolver_host = world
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        topo.sim.run_for(400.0)  # past the 300 s record TTL
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        assert resolver.upstream_queries == 2
+
+    def test_flush(self, world):
+        topo, resolver, resolver_host = world
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        assert resolver.flush() == 1
+        assert resolver.cached_answer("example.org") is None
+
+    def test_upstream_timeout_yields_servfail(self, world):
+        topo, resolver, resolver_host = world
+        # Point at a black-holed upstream; give up before the client does.
+        resolver.upstream_ip = "203.0.113.254"
+        resolver.upstream_timeout = 0.5
+        results = []
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=results.append)
+        topo.run()
+        assert results[0].status == "servfail"
+        assert resolver.upstream_timeouts == 1
+
+
+class TestPoisoningPersistence:
+    def test_one_injection_poisons_the_whole_as(self, world):
+        """The cache amplifies a single on-path injection: every client
+        gets the forged answer while the censor acted exactly once."""
+        topo, resolver, resolver_host = world
+        gfw = GreatFirewall()
+        topo.border_router.add_tap(gfw)
+
+        results = []
+        for client in topo.population:
+            resolve(client, resolver_host.ip, "twitter.com", callback=results.append)
+            topo.run()
+        assert len(results) == len(topo.population)
+        assert all(r.addresses == [gfw.policy.poison_ip] for r in results)
+        # One upstream query crossed the border; one injection happened.
+        assert resolver.upstream_queries == 1
+        assert gfw.dns_injections == 1
+
+    def test_client_queries_never_cross_border(self, world):
+        """With an in-AS resolver, client DNS stays inside the AS — the
+        border taps only ever see the resolver's traffic."""
+        from repro.netsim import PacketCapture
+        from repro.netsim.capture import dns_only
+
+        topo, resolver, resolver_host = world
+        capture = PacketCapture(predicate=dns_only)
+        topo.border_router.add_tap(capture)
+        resolve(topo.population[0], resolver_host.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        sources = {cap.packet.src for cap in capture.packets}
+        assert topo.population[0].ip not in sources
+        assert resolver_host.ip in sources

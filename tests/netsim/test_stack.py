@@ -1,0 +1,273 @@
+"""Unit tests for the host protocol stack (TCP state machine, UDP, ICMP)."""
+
+import pytest
+
+from repro.netsim import Host, Network, Simulator, Switch, build_three_node
+from repro.packets import (
+    ACK,
+    ICMP_DEST_UNREACH,
+    ICMPMessage,
+    IPPacket,
+    RST,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+)
+
+
+@pytest.fixture
+def pair():
+    topo = build_three_node(seed=3)
+    return topo.sim, topo.client, topo.server
+
+
+class TestTCPHandshake:
+    def test_connect_and_exchange_data(self, pair):
+        sim, client, server = pair
+        server_events, client_events = [], []
+
+        def acceptor(conn):
+            conn.handler = lambda e, d: server_events.append((e, d))
+            # Echo on data.
+            original = conn.handler
+            def handler(e, d):
+                server_events.append((e, d))
+                if e == "data":
+                    conn.send(b"echo:" + d)
+            conn.handler = handler
+
+        server.stack.tcp_listen(7, acceptor)
+        conn = client.stack.tcp_connect(server.ip, 7,
+                                        lambda e, d: client_events.append((e, d)))
+        sim.run()
+        assert ("connected", b"") in client_events
+        conn.send(b"hi")
+        sim.run()
+        assert ("data", b"hi") in server_events
+        assert ("data", b"echo:hi") in client_events
+
+    def test_send_before_connected_is_buffered(self, pair):
+        sim, client, server = pair
+        received = []
+
+        def acceptor(conn):
+            conn.handler = lambda e, d: received.append((e, d)) if e == "data" else None
+
+        server.stack.tcp_listen(8, acceptor)
+        conn = client.stack.tcp_connect(server.ip, 8, lambda e, d: None)
+        conn.send(b"early")  # before handshake completes
+        sim.run()
+        assert ("data", b"early") in received
+
+    def test_connect_to_closed_port_resets(self, pair):
+        sim, client, server = pair
+        events = []
+        client.stack.tcp_connect(server.ip, 9999, lambda e, d: events.append(e))
+        sim.run()
+        assert "reset" in events
+
+    def test_connect_timeout_when_no_route(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        s = net.add(Switch("s"))
+        net.connect(a, s)
+        events = []
+        a.stack.tcp_connect("203.0.113.1", 80, lambda e, d: events.append(e), timeout=1.0)
+        sim.run()
+        assert events == ["timeout"]
+
+    def test_byte_counters(self, pair):
+        sim, client, server = pair
+        def acceptor(conn):
+            conn.handler = lambda e, d: None
+        server.stack.tcp_listen(5, acceptor)
+        conn = client.stack.tcp_connect(server.ip, 5, lambda e, d: None)
+        sim.run()
+        conn.send(b"x" * 100)
+        sim.run()
+        assert conn.bytes_sent == 100
+
+
+class TestTCPTeardown:
+    def _connected_pair(self, pair, port=20):
+        sim, client, server = pair
+        server_conns = []
+        def acceptor(conn):
+            conn.handler = lambda e, d: None
+            server_conns.append(conn)
+        server.stack.tcp_listen(port, acceptor)
+        client_events = []
+        conn = client.stack.tcp_connect(server.ip, port,
+                                        lambda e, d: client_events.append(e))
+        sim.run()
+        return sim, conn, server_conns[0], client_events
+
+    def test_fin_close_sequence(self, pair):
+        sim, client_conn, server_conn, client_events = self._connected_pair(pair)
+        fin_seen = []
+        server_conn.handler = lambda e, d: fin_seen.append(e)
+        client_conn.close()
+        sim.run()
+        assert "fin" in fin_seen
+        server_conn.close()
+        sim.run()
+        assert "closed" in client_events
+        assert client_conn.state == "CLOSED"
+
+    def test_abort_sends_rst(self, pair):
+        sim, client_conn, server_conn, _ = self._connected_pair(pair, port=21)
+        events = []
+        server_conn.handler = lambda e, d: events.append(e)
+        client_conn.abort()
+        sim.run()
+        assert "reset" in events
+
+    def test_rst_mid_stream_resets_both(self, pair):
+        sim, client_conn, server_conn, client_events = self._connected_pair(pair, port=22)
+        # Forge an in-window RST from a third party (like a censor).
+        rst = IPPacket(
+            src=server_conn.stack.host.ip,
+            dst=client_conn.stack.host.ip,
+            payload=TCPSegment(
+                sport=server_conn.local_port,
+                dport=client_conn.local_port,
+                seq=client_conn.rcv_nxt,
+                flags=RST,
+            ),
+        )
+        server_conn.stack.host.network.originate(rst, server_conn.stack.host)
+        sim.run()
+        assert "reset" in client_events
+
+
+class TestClosedPortBehaviour:
+    def test_unsolicited_syn_gets_rst_ack(self, pair):
+        sim, client, server = pair
+        answers = []
+        client.stack.add_sniffer(lambda p: answers.append(p) if p.tcp else None)
+        syn = IPPacket(src=client.ip, dst=server.ip,
+                       payload=TCPSegment(sport=100, dport=4444, seq=50, flags=SYN))
+        client.send_raw(syn)
+        sim.run()
+        rsts = [p for p in answers if p.tcp.is_rst]
+        assert rsts
+        assert rsts[0].tcp.ack == 51  # seq + 1 for the SYN
+
+    def test_unsolicited_synack_gets_rst(self, pair):
+        # The spoofed-client replay problem: a SYN/ACK for a connection the
+        # host never opened draws a RST (paper Section 4.1).
+        sim, client, server = pair
+        seen_at_server = []
+        server.stack.add_sniffer(lambda p: seen_at_server.append(p) if p.tcp else None)
+        synack = IPPacket(src=server.ip, dst=client.ip,
+                          payload=TCPSegment(sport=80, dport=5555, seq=10, ack=99,
+                                             flags=SYN | ACK))
+        server.send_raw(synack)
+        sim.run()
+        rsts = [p for p in seen_at_server if p.tcp.is_rst and p.src == client.ip]
+        assert rsts
+        assert rsts[0].tcp.seq == 99  # RST seq = incoming ack
+
+    def test_rst_never_answered_with_rst(self, pair):
+        sim, client, server = pair
+        seen = []
+        client.stack.add_sniffer(lambda p: seen.append(p) if p.tcp else None)
+        rst = IPPacket(src=client.ip, dst=server.ip,
+                       payload=TCPSegment(sport=1, dport=2, seq=5, flags=RST))
+        client.send_raw(rst)
+        sim.run()
+        assert seen == []
+
+    def test_firewalled_host_silent(self, pair):
+        sim, client, server = pair
+        server.stack.closed_port_rst = False
+        seen = []
+        client.stack.add_sniffer(lambda p: seen.append(p) if p.tcp else None)
+        client.send_raw(IPPacket(src=client.ip, dst=server.ip,
+                                 payload=TCPSegment(sport=1, dport=4444, flags=SYN)))
+        sim.run()
+        assert seen == []
+
+
+class TestUDP:
+    def test_request_reply(self, pair):
+        sim, client, server = pair
+        server.stack.udp_listen(53, lambda data, src, sport, reply: reply(b"pong:" + data))
+        replies = []
+        client.stack.udp_request(server.ip, 53, b"ping",
+                                 on_reply=lambda d, p: replies.append(d))
+        sim.run()
+        assert replies == [b"pong:ping"]
+
+    def test_request_timeout(self, pair):
+        sim, client, server = pair
+        timeouts = []
+        # Server listens on 53 but never replies.
+        server.stack.udp_listen(53, lambda *args: None)
+        client.stack.udp_request(server.ip, 53, b"ping",
+                                 on_reply=lambda d, p: None,
+                                 on_timeout=lambda: timeouts.append(1),
+                                 timeout=0.5)
+        sim.run()
+        assert timeouts == [1]
+
+    def test_closed_udp_port_gets_icmp_unreachable(self, pair):
+        sim, client, server = pair
+        icmp = []
+        client.stack.add_sniffer(lambda p: icmp.append(p) if p.icmp else None)
+        client.stack.udp_send(server.ip, 9999, b"data")
+        sim.run()
+        assert icmp
+        assert icmp[0].icmp.icmp_type == ICMP_DEST_UNREACH
+
+    def test_icmp_unreachable_cancels_pending_request(self, pair):
+        sim, client, server = pair
+        timeouts = []
+        client.stack.udp_request(server.ip, 9999, b"q",
+                                 on_reply=lambda d, p: None,
+                                 on_timeout=lambda: timeouts.append(1),
+                                 timeout=30.0)
+        sim.run(until=5.0)
+        assert timeouts == [1]  # ICMP arrived long before the timeout
+
+    def test_duplicate_bind_rejected(self, pair):
+        _, client, _ = pair
+        client.stack.udp_listen(1000, lambda *a: None)
+        with pytest.raises(ValueError):
+            client.stack.udp_listen(1000, lambda *a: None)
+
+
+class TestICMPEcho:
+    def test_ping_reply(self, pair):
+        sim, client, server = pair
+        replies = []
+        client.stack.add_sniffer(lambda p: replies.append(p) if p.icmp else None)
+        client.send_ip(IPPacket(src=client.ip, dst=server.ip,
+                                payload=ICMPMessage.echo_request(ident=3)))
+        sim.run()
+        assert replies and replies[0].icmp.ident == 3
+
+    def test_ping_disabled(self, pair):
+        sim, client, server = pair
+        server.stack.respond_to_ping = False
+        replies = []
+        client.stack.add_sniffer(lambda p: replies.append(p) if p.icmp else None)
+        client.send_ip(IPPacket(src=client.ip, dst=server.ip,
+                                payload=ICMPMessage.echo_request()))
+        sim.run()
+        assert replies == []
+
+
+class TestEphemeralPorts:
+    def test_ports_increment(self, pair):
+        _, client, _ = pair
+        first = client.stack.ephemeral_port()
+        second = client.stack.ephemeral_port()
+        assert second == first + 1
+
+    def test_ports_wrap(self, pair):
+        _, client, _ = pair
+        client.stack._next_ephemeral = 60999
+        assert client.stack.ephemeral_port() == 60999
+        assert client.stack.ephemeral_port() == 32768

@@ -1,0 +1,114 @@
+"""Unit tests for the reference topologies."""
+
+import pytest
+
+from repro.netsim import build_censored_as, build_three_node
+from repro.packets import IPPacket, UDPDatagram
+from repro.spoofing import SAVFilter
+
+
+class TestThreeNode:
+    def test_structure(self):
+        topo = build_three_node()
+        assert topo.client.ip == "10.0.0.1"
+        assert topo.server.ip == "192.0.2.10"
+        assert topo.switch.name == "s1"
+
+    def test_client_server_connectivity(self):
+        topo = build_three_node()
+        got = []
+        topo.server.stack.add_sniffer(got.append)
+        topo.client.send_ip(IPPacket(src=topo.client.ip, dst=topo.server.ip,
+                                     payload=UDPDatagram(sport=1, dport=2)))
+        topo.run()
+        assert len(got) == 1
+
+    def test_deterministic_given_seed(self):
+        a, b = build_three_node(seed=7), build_three_node(seed=7)
+        assert a.sim.rng.random() == b.sim.rng.random()
+
+
+class TestCensoredAS:
+    def test_population_size(self):
+        topo = build_censored_as(population_size=12)
+        assert len(topo.population) == 12
+        assert len(topo.all_clients) == 13
+
+    def test_unique_ips(self):
+        topo = build_censored_as(population_size=50)
+        ips = [host.ip for host in topo.all_clients]
+        assert len(set(ips)) == len(ips)
+
+    def test_users_assigned(self):
+        topo = build_censored_as(population_size=3)
+        assert topo.measurement_client.user == "measurer"
+        assert all(host.user for host in topo.population)
+
+    def test_domains_cover_blocked_and_control(self):
+        topo = build_censored_as()
+        assert topo.domains["twitter.com"] == topo.blocked_web.ip
+        assert topo.domains["example.org"] == topo.control_web.ip
+
+    def test_cross_border_connectivity(self):
+        topo = build_censored_as(population_size=2)
+        got = []
+        topo.dns_server.stack.add_sniffer(got.append)
+        client = topo.population[0]
+        client.send_ip(IPPacket(src=client.ip, dst=topo.dns_server.ip,
+                                payload=UDPDatagram(sport=1, dport=9)))
+        topo.run()
+        assert len(got) == 1
+
+    def test_reply_ttl_dies_inside(self):
+        """A server reply with the planned TTL crosses the border router but
+        never reaches the client — the paper's TTL-limiting requirement."""
+        topo = build_censored_as(population_size=2)
+        ttl = topo.reply_ttl_dying_inside()
+        client = topo.population[0]
+        at_border, at_client = [], []
+        # Observe at the border via a tap.
+        from repro.netsim import Action, Middlebox
+
+        class Probe(Middlebox):
+            name = "probe"
+            def process(self, packet, ctx):
+                if packet.udp is not None and packet.udp.dport == 7777:
+                    at_border.append(packet)
+                return Action.PASS
+
+        topo.border_router.add_tap(Probe())
+        client.stack.add_sniffer(
+            lambda p: at_client.append(p) if p.udp and p.udp.dport == 7777 else None
+        )
+        reply = IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=ttl,
+                         payload=UDPDatagram(sport=80, dport=7777))
+        topo.measurement_server.send_ip(reply)
+        topo.run()
+        assert len(at_border) == 1  # crossed the surveillance tap
+        assert at_client == []      # died before the client
+
+    def test_normal_ttl_reaches_client(self):
+        topo = build_censored_as(population_size=2)
+        client = topo.population[0]
+        got = []
+        client.stack.add_sniffer(lambda p: got.append(p) if p.udp else None)
+        topo.measurement_server.send_ip(
+            IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=64,
+                     payload=UDPDatagram(sport=80, dport=7777))
+        )
+        topo.run()
+        assert len(got) == 1
+
+    def test_sav_filter_installed_at_border(self):
+        sav = SAVFilter.strict()
+        topo = build_censored_as(population_size=2, sav_filter=sav)
+        client = topo.population[0]
+        other = topo.population[1]
+        got = []
+        topo.dns_server.stack.add_sniffer(got.append)
+        spoofed = IPPacket(src=other.ip, dst=topo.dns_server.ip,
+                           payload=UDPDatagram(sport=1, dport=9))
+        client.send_raw(spoofed)
+        topo.run()
+        assert got == []
+        assert topo.border_router.sav_drops == 1

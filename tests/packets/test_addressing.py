@@ -1,0 +1,86 @@
+"""Unit tests for IPv4 addressing helpers."""
+
+import pytest
+
+from repro.packets import (
+    hosts_of,
+    in_network,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip,
+    network_of,
+    parse_cidr,
+    same_prefix,
+)
+
+
+class TestIpIntConversion:
+    def test_round_trip(self):
+        for addr in ("0.0.0.0", "255.255.255.255", "10.1.2.3", "192.0.2.1"):
+            assert int_to_ip(ip_to_int(addr)) == addr
+
+    def test_known_values(self):
+        assert ip_to_int("1.0.0.0") == 1 << 24
+        assert ip_to_int("0.0.0.1") == 1
+        assert int_to_ip(0xC0A80101) == "192.168.1.1"
+
+    def test_invalid_addresses_raise(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_int_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    def test_is_valid_ip(self):
+        assert is_valid_ip("10.0.0.1")
+        assert not is_valid_ip("10.0.0")
+        assert not is_valid_ip("10.0.0.999")
+
+
+class TestCidr:
+    def test_parse_cidr(self):
+        network, prefix = parse_cidr("10.1.0.0/16")
+        assert network == ip_to_int("10.1.0.0")
+        assert prefix == 16
+
+    def test_parse_cidr_masks_host_bits(self):
+        network, _ = parse_cidr("10.1.2.3/16")
+        assert network == ip_to_int("10.1.0.0")
+
+    def test_parse_cidr_rejects_bad_input(self):
+        for bad in ("10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1"):
+            with pytest.raises(ValueError):
+                parse_cidr(bad)
+
+    def test_in_network(self):
+        assert in_network("10.1.5.9", "10.1.0.0/16")
+        assert not in_network("10.2.5.9", "10.1.0.0/16")
+        assert in_network("1.2.3.4", "0.0.0.0/0")
+
+    def test_network_of(self):
+        assert network_of("10.1.2.3", 24) == "10.1.2.0/24"
+        assert network_of("10.1.2.3", 16) == "10.1.0.0/16"
+
+    def test_same_prefix(self):
+        assert same_prefix("10.1.2.3", "10.1.2.200", 24)
+        assert not same_prefix("10.1.2.3", "10.1.3.3", 24)
+        assert same_prefix("10.1.2.3", "10.1.3.3", 16)
+        assert same_prefix("1.2.3.4", "9.9.9.9", 0)
+
+
+class TestHostsOf:
+    def test_yields_host_addresses(self):
+        hosts = list(hosts_of("192.0.2.0/28", 3))
+        assert hosts == ["192.0.2.1", "192.0.2.2", "192.0.2.3"]
+
+    def test_custom_start(self):
+        hosts = list(hosts_of("192.0.2.0/28", 2, start=5))
+        assert hosts == ["192.0.2.5", "192.0.2.6"]
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            list(hosts_of("192.0.2.0/30", 10))

@@ -1,0 +1,50 @@
+"""Unit tests for the internet checksum."""
+
+import struct
+
+import pytest
+
+from repro.packets import internet_checksum, pseudo_header, verify_checksum
+
+
+def test_zero_data_checksum_is_all_ones():
+    assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+
+def test_known_rfc1071_example():
+    # The classic example from RFC 1071 section 3.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    total = internet_checksum(data)
+    # Sum of words + checksum must be all-ones.
+    words = [0x0001, 0xF203, 0xF4F5, 0xF6F7, total]
+    acc = 0
+    for word in words:
+        acc += word
+        acc = (acc & 0xFFFF) + (acc >> 16)
+    assert acc == 0xFFFF
+
+
+def test_odd_length_padded():
+    even = internet_checksum(b"\xab\xcd\xef\x00")
+    odd = internet_checksum(b"\xab\xcd\xef")
+    assert even == odd
+
+
+def test_verify_checksum_round_trip():
+    data = b"hello world!"
+    cksum = internet_checksum(data)
+    # Append the checksum; the whole thing must verify.
+    padded = data if len(data) % 2 == 0 else data + b"\x00"
+    assert verify_checksum(padded + struct.pack("!H", cksum))
+
+
+def test_checksum_is_16_bit():
+    for blob in (b"", b"\xff" * 40, b"\x00" * 3, bytes(range(256))):
+        assert 0 <= internet_checksum(blob) <= 0xFFFF
+
+
+def test_pseudo_header_layout():
+    header = pseudo_header(0x0A000001, 0x0A000002, 6, 20)
+    assert len(header) == 12
+    src, dst, zero, proto, length = struct.unpack("!IIBBH", header)
+    assert (src, dst, zero, proto, length) == (0x0A000001, 0x0A000002, 0, 6, 20)

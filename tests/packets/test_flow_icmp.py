@@ -1,0 +1,86 @@
+"""Unit tests for flow keys and ICMP messages."""
+
+import pytest
+
+from repro.packets import (
+    FiveTuple,
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    ICMPMessage,
+    IPPacket,
+    PROTO_TCP,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+    canonical_flow,
+    flow_of,
+)
+
+
+class TestFiveTuple:
+    def test_reversed(self):
+        tup = FiveTuple("1.1.1.1", 100, "2.2.2.2", 80, PROTO_TCP)
+        rev = tup.reversed()
+        assert rev.src == "2.2.2.2" and rev.dport == 100
+
+    def test_canonical_is_direction_insensitive(self):
+        a = FiveTuple("1.1.1.1", 100, "2.2.2.2", 80, PROTO_TCP)
+        assert a.canonical() == a.reversed().canonical()
+
+    def test_str_mentions_protocol(self):
+        assert "tcp" in str(FiveTuple("1.1.1.1", 1, "2.2.2.2", 2, PROTO_TCP))
+
+
+class TestFlowOf:
+    def test_tcp_flow(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=TCPSegment(sport=5, dport=80, flags=SYN))
+        flow = flow_of(packet)
+        assert flow == FiveTuple("1.1.1.1", 5, "2.2.2.2", 80, PROTO_TCP)
+
+    def test_udp_flow(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=UDPDatagram(sport=5, dport=53))
+        assert flow_of(packet).dport == 53
+
+    def test_canonical_flow_matches_both_directions(self):
+        fwd = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                       payload=TCPSegment(sport=5, dport=80, flags=SYN))
+        rev = IPPacket(src="2.2.2.2", dst="1.1.1.1",
+                       payload=TCPSegment(sport=80, dport=5))
+        assert canonical_flow(fwd) == canonical_flow(rev)
+
+
+class TestICMP:
+    def test_echo_round_trip(self):
+        echo = ICMPMessage.echo_request(ident=7, sequence=3, data=b"ping")
+        parsed = ICMPMessage.from_bytes(echo.to_bytes())
+        assert parsed.icmp_type == ICMP_ECHO_REQUEST
+        assert parsed.ident == 7
+        assert parsed.sequence == 3
+        assert parsed.payload == b"ping"
+
+    def test_echo_reply_copies_ident(self):
+        request = ICMPMessage.echo_request(ident=9, sequence=1, data=b"x")
+        reply = ICMPMessage.echo_reply(request)
+        assert reply.icmp_type == ICMP_ECHO_REPLY
+        assert reply.ident == 9
+        assert reply.payload == b"x"
+
+    def test_time_exceeded_quotes_original(self):
+        original = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                            payload=TCPSegment(sport=1, dport=2, flags=SYN)).to_bytes()
+        error = ICMPMessage.time_exceeded(original)
+        assert error.icmp_type == ICMP_TIME_EXCEEDED
+        assert error.payload == original[:28]
+
+    def test_dest_unreachable_default_code(self):
+        error = ICMPMessage.dest_unreachable(b"\x00" * 28)
+        assert error.icmp_type == ICMP_DEST_UNREACH
+        assert error.code == 1
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            ICMPMessage.from_bytes(b"\x08\x00")

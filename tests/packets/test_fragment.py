@@ -1,0 +1,202 @@
+"""Tests for IPv4 fragmentation and reassembly."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packets import (
+    FragmentReassembler,
+    IPPacket,
+    PSH,
+    ACK,
+    TCPSegment,
+    UDPDatagram,
+    fragment,
+)
+
+
+def big_packet(size=1000, protocol_payload=None):
+    payload = protocol_payload or UDPDatagram(sport=5, dport=9, payload=b"x" * size)
+    return IPPacket(src="10.0.0.1", dst="10.0.0.2", payload=payload, flags=0)
+
+
+class TestFragment:
+    def test_small_packet_untouched(self):
+        packet = big_packet(10)
+        assert fragment(packet, mtu=1500) == [packet]
+
+    def test_fragments_fit_mtu(self):
+        for frag in fragment(big_packet(2000), mtu=500):
+            assert len(frag.to_bytes()) <= 500
+
+    def test_offsets_eight_byte_aligned(self):
+        frags = fragment(big_packet(2000), mtu=500)
+        sizes = [len(f.payload) for f in frags[:-1]]
+        assert all(size % 8 == 0 for size in sizes)
+
+    def test_mf_flags(self):
+        frags = fragment(big_packet(2000), mtu=500)
+        assert all(f.flags & 0x1 for f in frags[:-1])
+        assert not frags[-1].flags & 0x1
+
+    def test_shared_ident(self):
+        packet = big_packet(2000)
+        packet.ident = 777
+        frags = fragment(packet, mtu=500)
+        assert all(f.ident == 777 for f in frags)
+
+    def test_df_packet_raises(self):
+        packet = big_packet(2000)
+        packet.flags = 0x2  # DF
+        with pytest.raises(ValueError):
+            fragment(packet, mtu=500)
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            fragment(big_packet(100), mtu=20)
+
+
+class TestReassembler:
+    def test_round_trip_in_order(self):
+        packet = big_packet(1500)
+        reasm = FragmentReassembler()
+        rebuilt = None
+        for frag in fragment(packet, mtu=400):
+            rebuilt = reasm.feed(frag, now=0.0)
+        assert rebuilt is not None
+        assert rebuilt.udp.payload == b"x" * 1500
+        assert reasm.reassembled == 1
+
+    def test_round_trip_out_of_order(self):
+        packet = big_packet(1500)
+        frags = fragment(packet, mtu=400)
+        reasm = FragmentReassembler()
+        rebuilt = [reasm.feed(f, now=0.0) for f in reversed(frags)]
+        final = [r for r in rebuilt if r is not None]
+        assert len(final) == 1
+        assert final[0].udp.payload == b"x" * 1500
+
+    def test_non_fragment_passthrough(self):
+        packet = big_packet(10)
+        reasm = FragmentReassembler()
+        assert reasm.feed(packet, now=0.0) is packet
+
+    def test_incomplete_group_returns_none(self):
+        frags = fragment(big_packet(1500), mtu=400)
+        reasm = FragmentReassembler()
+        assert reasm.feed(frags[0], now=0.0) is None
+        assert reasm.pending_groups == 1
+
+    def test_timeout_expires_group(self):
+        frags = fragment(big_packet(1500), mtu=400)
+        reasm = FragmentReassembler(timeout=5.0)
+        reasm.feed(frags[0], now=0.0)
+        reasm.feed(IPPacket(src="9.9.9.9", dst="8.8.8.8", payload=b"z" * 8,
+                            protocol=17, flags=0x1, frag_offset=0), now=10.0)
+        assert reasm.expired == 1
+
+    def test_groups_keyed_by_ident(self):
+        a = big_packet(1500)
+        b = big_packet(1500)
+        a.ident, b.ident = 1, 2
+        reasm = FragmentReassembler()
+        frags_a = fragment(a, mtu=400)
+        frags_b = fragment(b, mtu=400)
+        # Interleave two groups; both must complete independently.
+        outcomes = []
+        for fa, fb in zip(frags_a, frags_b):
+            outcomes.append(reasm.feed(fa, now=0.0))
+            outcomes.append(reasm.feed(fb, now=0.0))
+        assert sum(1 for o in outcomes if o is not None) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=st.integers(1, 3000), mtu=st.integers(68, 600))
+    def test_property_round_trip(self, size, mtu):
+        packet = big_packet(size)
+        frags = fragment(packet, mtu=mtu)
+        reasm = FragmentReassembler()
+        rebuilt = None
+        for frag in frags:
+            result = reasm.feed(frag, now=0.0)
+            if result is not None:
+                rebuilt = result
+        assert rebuilt is not None
+        assert rebuilt.udp.payload == b"x" * size
+
+
+class TestEndToEndFragmentation:
+    def test_fragmented_datagram_delivered(self):
+        """Host stacks reassemble: a fragmented send arrives whole."""
+        from repro.netsim import build_three_node
+
+        topo = build_three_node(seed=23)
+        received = []
+        topo.server.stack.udp_listen(9, lambda data, *rest: received.append(data))
+        packet = IPPacket(src=topo.client.ip, dst=topo.server.ip, flags=0,
+                          payload=UDPDatagram(sport=5, dport=9, payload=b"y" * 900))
+        for frag in fragment(packet, mtu=300):
+            topo.client.send_raw(frag)
+        topo.run()
+        assert received == [b"y" * 900]
+
+    def _keyword_over_fragments(self, reassemble):
+        """Establish a real TCP flow, then send the keyword-bearing data
+        segment split across IP fragments."""
+        from repro.censor import GreatFirewall
+        from repro.netsim import WebServer, build_three_node
+        from repro.packets import SYN
+
+        topo = build_three_node(seed=23)
+        censor = GreatFirewall()
+        censor.policy.reassemble_fragments = reassemble
+        topo.switch.add_tap(censor)
+        web = WebServer(topo.server)
+        client, server = topo.client, topo.server
+        # The raw-socket measurement tool suppresses the kernel's RST to
+        # unsolicited SYN/ACKs (what nmap does with firewall rules).
+        client.stack.closed_port_rst = False
+        sport, client_isn = 45000, 1000
+        state = {}
+
+        def sniff(packet):
+            if packet.tcp is not None and packet.tcp.is_synack:
+                state["server_isn"] = packet.tcp.seq
+
+        client.stack.add_sniffer(sniff)
+        client.send_raw(IPPacket(
+            src=client.ip, dst=server.ip,
+            payload=TCPSegment(sport=sport, dport=80, seq=client_isn, flags=SYN),
+        ))
+        topo.run()
+
+        def seg(flags, seq, data=b""):
+            return IPPacket(
+                src=client.ip, dst=server.ip, flags=0,
+                payload=TCPSegment(sport=sport, dport=80, seq=seq,
+                                   ack=state["server_isn"] + 1,
+                                   flags=flags, payload=data),
+            )
+
+        client.send_raw(seg(ACK, client_isn + 1))
+        topo.run()
+        request = b"GET /falun-material HTTP/1.1\r\nHost: x\r\n\r\n"
+        data_packet = seg(PSH | ACK, client_isn + 1, request)
+        for frag in fragment(data_packet, mtu=36):  # 16-byte payload pieces
+            client.send_raw(frag)
+        topo.run()
+        return topo, censor, web
+
+    def test_non_reassembling_censor_evaded(self):
+        """The classic evasion: a keyword split across IP fragments is
+        invisible to a censor without fragment reassembly."""
+        _topo, censor, web = self._keyword_over_fragments(reassemble=False)
+        assert censor.events_by_mechanism("keyword") == []
+        # The server itself reassembled fine and saw the keyword request.
+        assert web.request_log
+        assert "falun" in web.request_log[0].path
+
+    def test_reassembling_censor_catches_split_keyword(self):
+        _topo, censor, _web = self._keyword_over_fragments(reassemble=True)
+        events = censor.events_by_mechanism("keyword")
+        assert len(events) == 1
+        assert "(reassembled)" in events[0].detail

@@ -1,0 +1,124 @@
+"""Unit tests for HTTP and SMTP message modelling."""
+
+import pytest
+
+from repro.packets import (
+    EmailMessage,
+    HTTPRequest,
+    HTTPResponse,
+    SMTPCommand,
+    SMTPReply,
+    parse_http_payload,
+)
+
+
+class TestHTTPRequest:
+    def test_round_trip(self):
+        request = HTTPRequest(method="GET", path="/index.html", host="example.com",
+                              headers={"User-Agent": "test"})
+        parsed = HTTPRequest.from_bytes(request.to_bytes())
+        assert parsed.method == "GET"
+        assert parsed.path == "/index.html"
+        assert parsed.host == "example.com"
+        assert parsed.headers["User-Agent"] == "test"
+
+    def test_host_header_emitted_once(self):
+        request = HTTPRequest(host="example.com", headers={"Host": "other.com"})
+        wire = request.to_bytes()
+        assert wire.count(b"Host:") == 1
+
+    def test_body_and_content_length(self):
+        request = HTTPRequest(method="POST", path="/submit", host="x.com", body=b"a=1")
+        wire = request.to_bytes()
+        assert b"Content-Length: 3" in wire
+        assert HTTPRequest.from_bytes(wire).body == b"a=1"
+
+    def test_url_property(self):
+        request = HTTPRequest(path="/a", host="h.com")
+        assert request.url == "http://h.com/a"
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(ValueError):
+            HTTPRequest.from_bytes(b"GARBAGE\r\n\r\n")
+
+
+class TestHTTPResponse:
+    def test_round_trip(self):
+        response = HTTPResponse(status=200, reason="OK", body=b"<html></html>")
+        parsed = HTTPResponse.from_bytes(response.to_bytes())
+        assert parsed.status == 200
+        assert parsed.reason == "OK"
+        assert parsed.body == b"<html></html>"
+        assert parsed.headers["Content-Length"] == "13"
+
+    def test_block_page_is_403_html(self):
+        page = HTTPResponse.block_page("nope")
+        assert page.status == 403
+        assert b"nope" in page.body
+        assert page.headers["Content-Type"] == "text/html"
+
+    def test_malformed_status_line_raises(self):
+        with pytest.raises(ValueError):
+            HTTPResponse.from_bytes(b"NOT-HTTP\r\n\r\n")
+
+
+class TestParseHttpPayload:
+    def test_detects_request(self):
+        parsed = parse_http_payload(b"GET / HTTP/1.1\r\nHost: a.com\r\n\r\n")
+        assert isinstance(parsed, HTTPRequest)
+
+    def test_detects_response(self):
+        parsed = parse_http_payload(b"HTTP/1.1 200 OK\r\n\r\nbody")
+        assert isinstance(parsed, HTTPResponse)
+
+    def test_non_http_returns_none(self):
+        assert parse_http_payload(b"\x13BitTorrent protocol") is None
+        assert parse_http_payload(b"EHLO example.com\r\n") is None
+
+
+class TestSMTP:
+    def test_command_round_trip(self):
+        command = SMTPCommand("MAIL", "FROM:<a@b.com>")
+        parsed = SMTPCommand.from_bytes(command.to_bytes())
+        assert parsed.verb == "MAIL"
+        assert parsed.argument == "FROM:<a@b.com>"
+
+    def test_command_verb_uppercased(self):
+        assert SMTPCommand.from_bytes(b"helo me\r\n").verb == "HELO"
+
+    def test_bare_command(self):
+        assert SMTPCommand("DATA").to_bytes() == b"DATA\r\n"
+
+    def test_reply_round_trip(self):
+        reply = SMTPReply(250, "ok")
+        parsed = SMTPReply.from_bytes(reply.to_bytes())
+        assert parsed.code == 250
+        assert parsed.text == "ok"
+        assert parsed.is_positive
+
+    def test_negative_reply(self):
+        assert not SMTPReply(554, "rejected").is_positive
+
+
+class TestEmailMessage:
+    def test_round_trip(self):
+        message = EmailMessage(
+            sender="a@b.com",
+            recipient="c@d.com",
+            subject="Hi",
+            body="line one\r\nline two",
+            extra_headers={"Reply-To": "z@y.com"},
+        )
+        parsed = EmailMessage.from_text(message.to_text())
+        assert parsed.sender == "a@b.com"
+        assert parsed.recipient == "c@d.com"
+        assert parsed.subject == "Hi"
+        assert parsed.body == "line one\r\nline two"
+        assert parsed.extra_headers["Reply-To"] == "z@y.com"
+
+    def test_words_tokenization(self):
+        message = EmailMessage("a@b", "c@d", "WIN $100!", "Click here NOW")
+        words = message.words()
+        assert "win" in words
+        assert "click" in words
+        assert any(word.startswith("$100") for word in words)

@@ -1,0 +1,142 @@
+"""Unit tests for IP/TCP/UDP wire formats."""
+
+import pytest
+
+from repro.packets import (
+    ACK,
+    IPPacket,
+    PROTO_TCP,
+    PROTO_UDP,
+    PSH,
+    RST,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+    internet_checksum,
+    pseudo_header,
+    ip_to_int,
+)
+
+
+class TestIPPacket:
+    def test_round_trip_tcp(self):
+        packet = IPPacket(
+            src="10.0.0.1",
+            dst="192.0.2.9",
+            payload=TCPSegment(sport=1234, dport=80, seq=42, ack=7, flags=SYN | ACK,
+                               payload=b"hello"),
+            ttl=17,
+        )
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.src == "10.0.0.1"
+        assert parsed.dst == "192.0.2.9"
+        assert parsed.ttl == 17
+        assert parsed.protocol == PROTO_TCP
+        assert parsed.tcp.sport == 1234
+        assert parsed.tcp.dport == 80
+        assert parsed.tcp.seq == 42
+        assert parsed.tcp.ack == 7
+        assert parsed.tcp.flags == SYN | ACK
+        assert parsed.tcp.payload == b"hello"
+
+    def test_round_trip_udp(self):
+        packet = IPPacket(
+            src="10.0.0.1", dst="8.8.8.8",
+            payload=UDPDatagram(sport=5353, dport=53, payload=b"\x01\x02\x03"),
+        )
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.protocol == PROTO_UDP
+        assert parsed.udp.sport == 5353
+        assert parsed.udp.payload == b"\x01\x02\x03"
+
+    def test_header_checksum_valid(self):
+        packet = IPPacket(src="1.2.3.4", dst="5.6.7.8",
+                          payload=UDPDatagram(sport=1, dport=2))
+        raw = packet.to_bytes()
+        assert internet_checksum(raw[:20]) == 0
+
+    def test_raw_payload_requires_protocol(self):
+        with pytest.raises(ValueError):
+            IPPacket(src="1.2.3.4", dst="5.6.7.8", payload=b"raw")
+        packet = IPPacket(src="1.2.3.4", dst="5.6.7.8", payload=b"raw", protocol=99)
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.payload == b"raw"
+
+    def test_unsupported_payload_type_raises(self):
+        with pytest.raises(TypeError):
+            IPPacket(src="1.2.3.4", dst="5.6.7.8", payload=object())
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ValueError):
+            IPPacket.from_bytes(b"\x45\x00\x00")
+
+    def test_copy_is_independent(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=TCPSegment(sport=1, dport=2, flags=SYN))
+        clone = packet.copy()
+        clone.ttl = 1
+        assert packet.ttl != 1
+
+    def test_summary_mentions_endpoints(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=TCPSegment(sport=1000, dport=80, flags=SYN))
+        text = packet.summary()
+        assert "1.1.1.1" in text and "2.2.2.2" in text and "S" in text
+
+
+class TestTCPSegment:
+    def test_checksum_includes_pseudo_header(self):
+        segment = TCPSegment(sport=1, dport=2, seq=3, ack=4, flags=ACK, payload=b"x")
+        wire = segment.to_bytes("10.0.0.1", "10.0.0.2")
+        pseudo = pseudo_header(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), 6, len(wire))
+        assert internet_checksum(pseudo + wire) == 0
+
+    def test_flag_helpers(self):
+        assert TCPSegment(sport=1, dport=2, flags=SYN).is_syn
+        assert not TCPSegment(sport=1, dport=2, flags=SYN | ACK).is_syn
+        assert TCPSegment(sport=1, dport=2, flags=SYN | ACK).is_synack
+        assert TCPSegment(sport=1, dport=2, flags=RST).is_rst
+        assert TCPSegment(sport=1, dport=2, flags=ACK).is_ack_only
+        assert not TCPSegment(sport=1, dport=2, flags=ACK, payload=b"d").is_ack_only
+
+    def test_flag_names(self):
+        assert TCPSegment(sport=1, dport=2, flags=SYN | ACK).flag_names() == "SA"
+        assert TCPSegment(sport=1, dport=2, flags=PSH | ACK).flag_names() == "PA"
+
+    def test_options_padded_to_word(self):
+        segment = TCPSegment(sport=1, dport=2, options=b"\x02\x04\x05")
+        wire = segment.to_bytes("1.1.1.1", "2.2.2.2")
+        parsed = TCPSegment.from_bytes(wire)
+        assert parsed.options == b"\x02\x04\x05\x00"
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TCPSegment.from_bytes(b"\x00" * 10)
+
+    def test_sequence_numbers_wrap(self):
+        segment = TCPSegment(sport=1, dport=2, seq=2**32 + 5)
+        parsed = TCPSegment.from_bytes(segment.to_bytes("1.1.1.1", "2.2.2.2"))
+        assert parsed.seq == 5
+
+
+class TestUDPDatagram:
+    def test_round_trip(self):
+        datagram = UDPDatagram(sport=1000, dport=53, payload=b"query")
+        parsed = UDPDatagram.from_bytes(datagram.to_bytes("1.1.1.1", "2.2.2.2"))
+        assert parsed == UDPDatagram(sport=1000, dport=53, payload=b"query")
+
+    def test_checksum_valid(self):
+        datagram = UDPDatagram(sport=1, dport=2, payload=b"abc")
+        wire = datagram.to_bytes("10.0.0.1", "10.0.0.2")
+        pseudo = pseudo_header(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), 17, len(wire))
+        assert internet_checksum(pseudo + wire) == 0
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            UDPDatagram.from_bytes(b"\x00" * 4)
+
+    def test_length_field_honoured_on_parse(self):
+        datagram = UDPDatagram(sport=1, dport=2, payload=b"abcd")
+        wire = datagram.to_bytes("1.1.1.1", "2.2.2.2") + b"trailing-garbage"
+        parsed = UDPDatagram.from_bytes(wire)
+        assert parsed.payload == b"abcd"

@@ -1,0 +1,116 @@
+"""Property-based tests: wire-format round-trips always hold."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packets import (
+    DNSMessage,
+    DNSRecord,
+    EmailMessage,
+    HTTPRequest,
+    ICMPMessage,
+    IPPacket,
+    QTYPE_A,
+    QTYPE_MX,
+    TCPSegment,
+    UDPDatagram,
+    int_to_ip,
+    internet_checksum,
+)
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
+ports = st.integers(min_value=0, max_value=65535)
+payloads = st.binary(max_size=256)
+labels = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=20)
+names = st.lists(labels, min_size=1, max_size=4).map(".".join)
+
+
+@given(data=st.binary(max_size=512))
+def test_checksum_in_range_and_verifies(data):
+    cksum = internet_checksum(data)
+    assert 0 <= cksum <= 0xFFFF
+    padded = data if len(data) % 2 == 0 else data + b"\x00"
+    assert internet_checksum(padded + cksum.to_bytes(2, "big")) in (0, 0xFFFF)
+
+
+@given(src=ips, dst=ips, sport=ports, dport=ports,
+       seq=st.integers(min_value=0, max_value=2**32 - 1),
+       ack=st.integers(min_value=0, max_value=2**32 - 1),
+       flags=st.integers(min_value=0, max_value=0x3F),
+       ttl=st.integers(min_value=1, max_value=255),
+       payload=payloads)
+def test_ip_tcp_round_trip(src, dst, sport, dport, seq, ack, flags, ttl, payload):
+    packet = IPPacket(
+        src=src, dst=dst, ttl=ttl,
+        payload=TCPSegment(sport=sport, dport=dport, seq=seq, ack=ack,
+                           flags=flags, payload=payload),
+    )
+    parsed = IPPacket.from_bytes(packet.to_bytes())
+    assert (parsed.src, parsed.dst, parsed.ttl) == (src, dst, ttl)
+    tcp = parsed.tcp
+    assert (tcp.sport, tcp.dport, tcp.seq, tcp.ack, tcp.flags, tcp.payload) == (
+        sport, dport, seq, ack, flags, payload
+    )
+
+
+@given(src=ips, dst=ips, sport=ports, dport=ports, payload=payloads)
+def test_ip_udp_round_trip(src, dst, sport, dport, payload):
+    packet = IPPacket(src=src, dst=dst,
+                      payload=UDPDatagram(sport=sport, dport=dport, payload=payload))
+    parsed = IPPacket.from_bytes(packet.to_bytes())
+    assert parsed.udp.payload == payload
+    assert parsed.udp.sport == sport
+
+
+@given(icmp_type=st.integers(min_value=0, max_value=255),
+       code=st.integers(min_value=0, max_value=255),
+       ident=ports, sequence=ports, payload=payloads)
+def test_icmp_round_trip(icmp_type, code, ident, sequence, payload):
+    message = ICMPMessage(icmp_type=icmp_type, code=code, ident=ident,
+                          sequence=sequence, payload=payload)
+    parsed = ICMPMessage.from_bytes(message.to_bytes())
+    assert parsed == message
+
+
+@given(name=names, txid=ports, address=ips, preference=st.integers(0, 65535),
+       exchange=names)
+def test_dns_round_trip(name, txid, address, preference, exchange):
+    message = DNSMessage(
+        txid=txid,
+        is_response=True,
+        answers=[
+            DNSRecord(name, QTYPE_A, address),
+            DNSRecord(name, QTYPE_MX, (preference, exchange)),
+        ],
+    )
+    parsed = DNSMessage.from_bytes(message.to_bytes())
+    assert parsed.txid == txid
+    assert parsed.a_records() == [address]
+    assert parsed.mx_records() == [(preference, exchange)]
+
+
+@given(path=st.text(alphabet=string.ascii_letters + string.digits + "/_-.", min_size=1, max_size=40),
+       host=names, body=payloads)
+def test_http_request_round_trip(path, host, body):
+    request = HTTPRequest(method="POST", path="/" + path, host=host, body=body)
+    parsed = HTTPRequest.from_bytes(request.to_bytes())
+    assert parsed.path == "/" + path
+    assert parsed.host == host
+    assert parsed.body == body
+
+
+_header_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .@-_", max_size=40
+)
+
+
+@given(sender=_header_text, recipient=_header_text, subject=_header_text,
+       body=st.text(alphabet=string.printable.replace("\r", "").replace("\n", ""), max_size=200))
+def test_email_round_trip(sender, recipient, subject, body):
+    message = EmailMessage(sender=sender.strip(), recipient=recipient.strip(),
+                           subject=subject.strip(), body=body)
+    parsed = EmailMessage.from_text(message.to_text())
+    assert parsed.sender == sender.strip()
+    assert parsed.subject == subject.strip()
+    assert parsed.body == body

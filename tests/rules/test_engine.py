@@ -1,0 +1,232 @@
+"""Unit tests for the rule-evaluation engine."""
+
+import pytest
+
+from repro.packets import ACK, ICMPMessage, IPPacket, PSH, RST, SYN, TCPSegment, UDPDatagram
+from repro.rules import RuleEngine
+
+
+def tcp(src, dst, sport, dport, flags, seq=0, ack=0, payload=b""):
+    return IPPacket(src=src, dst=dst,
+                    payload=TCPSegment(sport=sport, dport=dport, seq=seq, ack=ack,
+                                       flags=flags, payload=payload))
+
+
+def http_flow(engine, payload, c="10.1.0.5", s="203.0.113.10", cp=40000, sp=80, t0=0.0):
+    """Run a full handshake + request through the engine; return all alerts."""
+    alerts = []
+    alerts += engine.process(tcp(c, s, cp, sp, SYN, seq=100), t0)
+    alerts += engine.process(tcp(s, c, sp, cp, SYN | ACK, seq=500, ack=101), t0 + 0.01)
+    alerts += engine.process(tcp(c, s, cp, sp, ACK, seq=101, ack=501), t0 + 0.02)
+    alerts += engine.process(
+        tcp(c, s, cp, sp, PSH | ACK, seq=101, ack=501, payload=payload), t0 + 0.03
+    )
+    return alerts
+
+
+class TestHeaderMatching:
+    def test_protocol_filtering(self):
+        engine = RuleEngine.from_text(
+            'alert udp any any -> any 53 (msg:"dns"; sid:1;)'
+        )
+        tcp_packet = tcp("1.1.1.1", "2.2.2.2", 5, 53, SYN)
+        udp_packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                              payload=UDPDatagram(sport=5, dport=53, payload=b"x"))
+        assert engine.process(tcp_packet, 0) == []
+        assert len(engine.process(udp_packet, 0)) == 1
+
+    def test_ip_protocol_matches_everything(self):
+        engine = RuleEngine.from_text('alert ip any any -> any any (msg:"all"; sid:1;)')
+        assert engine.process(tcp("1.1.1.1", "2.2.2.2", 1, 2, SYN), 0)
+        icmp = IPPacket(src="1.1.1.1", dst="2.2.2.2", payload=ICMPMessage.echo_request())
+        assert engine.process(icmp, 0)
+
+    def test_port_matching(self):
+        engine = RuleEngine.from_text('alert tcp any any -> any 80 (msg:"web"; sid:1;)')
+        assert engine.process(tcp("1.1.1.1", "2.2.2.2", 5, 80, SYN), 0)
+        assert not engine.process(tcp("1.1.1.1", "2.2.2.2", 5, 81, SYN), 0)
+
+    def test_bidirectional_rule(self):
+        engine = RuleEngine.from_text('alert tcp any any <> any 80 (msg:"bi"; sid:1;)')
+        assert engine.process(tcp("1.1.1.1", "2.2.2.2", 5, 80, SYN), 0)
+        assert engine.process(tcp("2.2.2.2", "1.1.1.1", 80, 5, SYN | ACK), 0)
+
+    def test_directional_rule_ignores_reverse(self):
+        engine = RuleEngine.from_text('alert tcp any any -> any 80 (msg:"fw"; sid:1;)')
+        assert not engine.process(tcp("2.2.2.2", "1.1.1.1", 80, 5, SYN | ACK), 0)
+
+    def test_source_network_constraint(self):
+        engine = RuleEngine.from_text(
+            'alert tcp 10.1.0.0/16 any -> any any (msg:"home"; sid:1;)'
+        )
+        assert engine.process(tcp("10.1.9.9", "2.2.2.2", 1, 2, SYN), 0)
+        assert not engine.process(tcp("192.0.2.1", "2.2.2.2", 1, 2, SYN), 0)
+
+
+class TestPayloadMatching:
+    def test_content_on_stream(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any 80 (msg:"kw"; content:"falun"; sid:1;)'
+        )
+        alerts = http_flow(engine, b"GET /falun HTTP/1.1\r\n\r\n")
+        assert [a.sid for a in alerts] == [1]
+
+    def test_content_split_across_segments_detected(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any 80 (msg:"kw"; content:"falun"; sid:1;)'
+        )
+        alerts = []
+        alerts += http_flow(engine, b"GET /fal")
+        alerts += engine.process(
+            tcp("10.1.0.5", "203.0.113.10", 40000, 80, PSH | ACK,
+                seq=101 + 8, ack=501, payload=b"un HTTP/1.1"), 0.05
+        )
+        assert [a.sid for a in alerts] == [1]
+
+    def test_stream_alert_fires_once_per_flow(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any 80 (msg:"kw"; content:"falun"; sid:1;)'
+        )
+        alerts = http_flow(engine, b"falun")
+        # More data on the same flow must not re-alert.
+        alerts += engine.process(
+            tcp("10.1.0.5", "203.0.113.10", 40000, 80, PSH | ACK,
+                seq=106, ack=501, payload=b"more falun data"), 1.0
+        )
+        assert len(alerts) == 1
+
+    def test_flags_option(self):
+        engine = RuleEngine.from_text('alert tcp any any -> any any (flags:S; msg:"syn"; sid:1;)')
+        assert engine.process(tcp("1.1.1.1", "2.2.2.2", 1, 2, SYN), 0)
+        assert not engine.process(tcp("1.1.1.1", "2.2.2.2", 1, 2, SYN | ACK), 0)
+
+    def test_dsize_option(self):
+        engine = RuleEngine.from_text(
+            'alert udp any any -> any any (dsize:>10; msg:"big"; sid:1;)'
+        )
+        small = IPPacket(src="1.1.1.1", dst="2.2.2.2", payload=UDPDatagram(sport=1, dport=2, payload=b"short"))
+        big = IPPacket(src="1.1.1.1", dst="2.2.2.2", payload=UDPDatagram(sport=1, dport=2, payload=b"x" * 20))
+        assert not engine.process(small, 0)
+        assert engine.process(big, 0)
+
+    def test_itype(self):
+        engine = RuleEngine.from_text('alert icmp any any -> any any (itype:8; msg:"ping"; sid:1;)')
+        ping = IPPacket(src="1.1.1.1", dst="2.2.2.2", payload=ICMPMessage.echo_request())
+        pong = IPPacket(src="1.1.1.1", dst="2.2.2.2", payload=ICMPMessage(icmp_type=0))
+        assert engine.process(ping, 0)
+        assert not engine.process(pong, 0)
+
+
+class TestFlowOptions:
+    def test_established_requires_handshake(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any 80 (msg:"est"; content:"x"; flow:established; sid:1;)'
+        )
+        # Data without a handshake: flow exists but not established.
+        alerts = engine.process(
+            tcp("1.1.1.1", "2.2.2.2", 5, 80, PSH | ACK, seq=1, payload=b"x"), 0
+        )
+        assert alerts == []
+        alerts = http_flow(engine, b"x", c="3.3.3.3")
+        assert len(alerts) == 1
+
+    def test_to_server_direction(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any <> any any (msg:"up"; content:"data"; flow:to_server; sid:1;)'
+        )
+        alerts = http_flow(engine, b"data")
+        # server->client data should not fire
+        alerts += engine.process(
+            tcp("203.0.113.10", "10.1.0.5", 80, 40000, PSH | ACK, seq=501, ack=109,
+                payload=b"data"), 0.1
+        )
+        assert len(alerts) == 1
+
+    def test_stateless_matches_anything(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any any (msg:"sl"; flags:S; flow:stateless; sid:1;)'
+        )
+        assert engine.process(tcp("1.1.1.1", "2.2.2.2", 1, 2, SYN), 0)
+
+
+class TestThresholds:
+    def test_both_fires_once_at_count(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any any (msg:"scan"; flags:S; '
+            "threshold: type both, track by_src, count 5, seconds 10; sid:1;)"
+        )
+        alerts = []
+        for i in range(8):
+            alerts += engine.process(tcp("1.1.1.1", "2.2.2.2", 100 + i, i + 1, SYN), i * 0.1)
+        assert len(alerts) == 1
+
+    def test_both_refires_next_window(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any any (msg:"scan"; flags:S; '
+            "threshold: type both, track by_src, count 3, seconds 1; sid:1;)"
+        )
+        alerts = []
+        for i in range(3):
+            alerts += engine.process(tcp("1.1.1.1", "2.2.2.2", 100 + i, 1, SYN), i * 0.1)
+        for i in range(3):
+            alerts += engine.process(tcp("1.1.1.1", "2.2.2.2", 200 + i, 1, SYN), 10 + i * 0.1)
+        assert len(alerts) == 2
+
+    def test_tracking_by_src_separates_sources(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any any (msg:"scan"; flags:S; '
+            "threshold: type both, track by_src, count 4, seconds 10; sid:1;)"
+        )
+        alerts = []
+        for i in range(3):
+            alerts += engine.process(tcp("1.1.1.1", "9.9.9.9", 100 + i, 1, SYN), i * 0.01)
+        for i in range(3):
+            alerts += engine.process(tcp("2.2.2.2", "9.9.9.9", 100 + i, 1, SYN), i * 0.01)
+        assert alerts == []  # neither source reached 4
+
+    def test_limit_mutes_after_count(self):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any any (msg:"lim"; flags:S; '
+            "threshold: type limit, track by_src, count 2, seconds 100; sid:1;)"
+        )
+        alerts = []
+        for i in range(6):
+            alerts += engine.process(tcp("1.1.1.1", "2.2.2.2", 100 + i, 1, SYN), i * 0.1)
+        assert len(alerts) == 2
+
+
+class TestActionsAndOrdering:
+    def test_pass_rule_suppresses_alerts(self):
+        engine = RuleEngine.from_text(
+            'pass tcp 10.0.0.1 any -> any any (msg:"whitelist"; sid:1;)\n'
+            'alert tcp any any -> any any (msg:"catchall"; flags:S; sid:2;)'
+        )
+        assert engine.process(tcp("10.0.0.1", "2.2.2.2", 1, 2, SYN), 0) == []
+        assert engine.process(tcp("10.0.0.2", "2.2.2.2", 1, 2, SYN), 0)
+
+    def test_alert_records_metadata(self):
+        engine = RuleEngine.from_text(
+            'reject tcp any any -> any 80 (msg:"kw"; content:"bad"; '
+            "classtype:censorship; priority:1; sid:42;)"
+        )
+        alerts = http_flow(engine, b"bad request")
+        alert = alerts[0]
+        assert alert.sid == 42
+        assert alert.action == "reject"
+        assert alert.classtype == "censorship"
+        assert alert.src == "10.1.0.5"
+        assert alert.dport == 80
+        assert "42" in str(alert)
+
+    def test_alert_log_accumulates(self):
+        engine = RuleEngine.from_text('alert tcp any any -> any any (flags:S; msg:"s"; sid:1;)')
+        engine.process(tcp("1.1.1.1", "2.2.2.2", 1, 2, SYN), 0)
+        engine.process(tcp("1.1.1.1", "2.2.2.2", 2, 3, SYN), 1)
+        assert len(engine.alerts) == 2
+        assert engine.packets_processed == 2
+
+    def test_add_rules_and_rule_by_sid(self):
+        engine = RuleEngine.from_text('alert tcp any any -> any any (flags:S; msg:"a"; sid:1;)')
+        engine.add_rules('alert udp any any -> any 53 (msg:"b"; sid:2;)')
+        assert engine.rule_by_sid(2).msg == "b"
+        assert engine.rule_by_sid(99) is None

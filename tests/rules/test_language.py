@@ -1,0 +1,178 @@
+"""Unit tests for the rule-language parser."""
+
+import pytest
+
+from repro.rules import RuleParseError, ThresholdSpec, parse_rule, parse_ruleset
+
+
+GOOD = 'alert tcp any any -> any 80 (msg:"test rule"; content:"abc"; sid:1; rev:2;)'
+
+
+class TestHeaderParsing:
+    def test_basic_fields(self):
+        rule = parse_rule(GOOD)
+        assert rule.action == "alert"
+        assert rule.protocol == "tcp"
+        assert rule.msg == "test rule"
+        assert rule.sid == 1
+        assert rule.rev == 2
+        assert not rule.bidirectional
+
+    def test_bidirectional(self):
+        rule = parse_rule('alert tcp any any <> any any (msg:"x"; sid:2;)')
+        assert rule.bidirectional
+
+    def test_all_actions(self):
+        for action in ("alert", "log", "pass", "drop", "reject"):
+            rule = parse_rule(f'{action} tcp any any -> any any (msg:"x"; sid:3;)')
+            assert rule.action == action
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('explode tcp any any -> any any (sid:1;)')
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert sctp any any -> any any (sid:1;)')
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any >> any any (sid:1;)')
+
+    def test_missing_options_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("alert tcp any any -> any any")
+
+    def test_missing_sid_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (msg:"no sid";)')
+
+    def test_variables_in_header(self):
+        rule = parse_rule(
+            'alert tcp $HOME_NET any -> $EXTERNAL_NET 80 (msg:"v"; sid:4;)',
+            {"HOME_NET": "10.1.0.0/16", "EXTERNAL_NET": "any"},
+        )
+        assert rule.src.matches("10.1.2.3")
+        assert rule.dst.any
+
+
+class TestOptionParsing:
+    def test_content_with_modifiers(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (msg:"m"; content:"Host\\: x.com"; '
+            "nocase; offset:4; depth:100; sid:5;)"
+        )
+        content = rule.contents[0]
+        assert content.nocase
+        assert content.offset == 4
+        assert content.depth == 100
+        assert content.pattern == b"Host: x.com"
+
+    def test_multiple_contents(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"a"; content:"b"; sid:6;)'
+        )
+        assert len(rule.contents) == 2
+
+    def test_negated_content(self):
+        rule = parse_rule('alert tcp any any -> any any (content:!"evil"; sid:7;)')
+        assert rule.contents[0].negated
+
+    def test_modifier_without_content_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (nocase; sid:8;)')
+
+    def test_pcre(self):
+        rule = parse_rule('alert tcp any any -> any any (pcre:"/fal+un/i"; sid:9;)')
+        assert rule.pcres[0].matches(b"FALLLUN")
+
+    def test_flags(self):
+        rule = parse_rule('alert tcp any any -> any any (flags:S; sid:10;)')
+        assert rule.flags.matches(0x02)
+
+    def test_dsize(self):
+        rule = parse_rule('alert tcp any any -> any any (dsize:>100; sid:11;)')
+        assert rule.dsize.matches(200)
+
+    def test_itype_icode(self):
+        rule = parse_rule('alert icmp any any -> any any (itype:11; icode:0; sid:12;)')
+        assert rule.itype == 11 and rule.icode == 0
+
+    def test_flow(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (flow:to_server,established; sid:13;)'
+        )
+        assert rule.flow == ["to_server", "established"]
+
+    def test_threshold(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any '
+            "(threshold: type both, track by_src, count 30, seconds 10; sid:14;)"
+        )
+        assert rule.threshold.kind == "both"
+        assert rule.threshold.track == "by_src"
+        assert rule.threshold.count == 30
+        assert rule.threshold.seconds == 10
+
+    def test_classtype_and_priority(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (classtype:attempted-recon; priority:1; sid:15;)'
+        )
+        assert rule.classtype == "attempted-recon"
+        assert rule.priority == 1
+
+    def test_reference_collected(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (reference:url,example.com; sid:16;)'
+        )
+        assert rule.references == ["url,example.com"]
+
+    def test_unsupported_option_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (frobnicate:yes; sid:17;)')
+
+    def test_needs_payload(self):
+        with_content = parse_rule('alert tcp any any -> any any (content:"x"; sid:18;)')
+        without = parse_rule('alert tcp any any -> any any (flags:S; sid:19;)')
+        assert with_content.needs_payload()
+        assert not without.needs_payload()
+
+
+class TestRulesetParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = """
+        # a comment
+
+        alert tcp any any -> any any (msg:"one"; sid:1;)
+        alert udp any any -> any 53 (msg:"two"; sid:2;)
+        """
+        rules = parse_ruleset(text)
+        assert [r.sid for r in rules] == [1, 2]
+
+    def test_duplicate_sid_raises(self):
+        text = (
+            'alert tcp any any -> any any (sid:1; msg:"a";)\n'
+            'alert tcp any any -> any any (sid:1; msg:"b";)'
+        )
+        with pytest.raises(RuleParseError):
+            parse_ruleset(text)
+
+    def test_error_reports_line_number(self):
+        text = 'alert tcp any any -> any any (sid:1;)\nbogus line here ()'
+        with pytest.raises(RuleParseError, match="line 2"):
+            parse_ruleset(text)
+
+
+class TestThresholdSpec:
+    def test_parse(self):
+        spec = ThresholdSpec.parse("type limit, track by_dst, count 5, seconds 60")
+        assert spec.kind == "limit"
+        assert spec.track == "by_dst"
+
+    def test_missing_field_raises(self):
+        with pytest.raises(RuleParseError):
+            ThresholdSpec.parse("type limit, count 5")
+
+    def test_bad_chunk_raises(self):
+        with pytest.raises(RuleParseError):
+            ThresholdSpec.parse("nonsense")

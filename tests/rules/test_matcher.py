@@ -1,0 +1,203 @@
+"""Unit tests for header/payload matchers."""
+
+import pytest
+
+from repro.rules import AddressSpec, ContentOption, DsizeOption, FlagsOption, PcreOption, PortSpec
+from repro.rules.matcher import RuleParseError
+
+
+class TestAddressSpec:
+    def test_any(self):
+        spec = AddressSpec.parse("any")
+        assert spec.matches("1.2.3.4")
+
+    def test_single_ip(self):
+        spec = AddressSpec.parse("10.0.0.1")
+        assert spec.matches("10.0.0.1")
+        assert not spec.matches("10.0.0.2")
+
+    def test_cidr(self):
+        spec = AddressSpec.parse("10.1.0.0/16")
+        assert spec.matches("10.1.200.3")
+        assert not spec.matches("10.2.0.1")
+
+    def test_negation(self):
+        spec = AddressSpec.parse("!10.1.0.0/16")
+        assert not spec.matches("10.1.0.5")
+        assert spec.matches("192.0.2.1")
+
+    def test_list(self):
+        spec = AddressSpec.parse("[10.0.0.1,192.0.2.0/24]")
+        assert spec.matches("10.0.0.1")
+        assert spec.matches("192.0.2.77")
+        assert not spec.matches("8.8.8.8")
+
+    def test_variable_resolution(self):
+        spec = AddressSpec.parse("$HOME_NET", {"HOME_NET": "10.1.0.0/16"})
+        assert spec.matches("10.1.2.3")
+
+    def test_negated_variable(self):
+        spec = AddressSpec.parse("!$HOME_NET", {"HOME_NET": "10.1.0.0/16"})
+        assert not spec.matches("10.1.2.3")
+        assert spec.matches("8.8.8.8")
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(RuleParseError):
+            AddressSpec.parse("$NOPE")
+
+    def test_not_any_raises(self):
+        with pytest.raises(RuleParseError):
+            AddressSpec.parse("!any")
+
+    def test_invalid_address_raises(self):
+        with pytest.raises(RuleParseError):
+            AddressSpec.parse("not-an-ip")
+
+
+class TestPortSpec:
+    def test_any(self):
+        assert PortSpec.parse("any").matches(12345)
+
+    def test_single(self):
+        spec = PortSpec.parse("80")
+        assert spec.matches(80)
+        assert not spec.matches(81)
+
+    def test_range(self):
+        spec = PortSpec.parse("1000:2000")
+        assert spec.matches(1000) and spec.matches(2000) and spec.matches(1500)
+        assert not spec.matches(999)
+
+    def test_open_ranges(self):
+        assert PortSpec.parse(":1023").matches(80)
+        assert not PortSpec.parse(":1023").matches(2000)
+        assert PortSpec.parse("49152:").matches(60000)
+
+    def test_list(self):
+        spec = PortSpec.parse("[80,443,8080]")
+        assert spec.matches(443)
+        assert not spec.matches(22)
+
+    def test_negated(self):
+        spec = PortSpec.parse("!80")
+        assert not spec.matches(80)
+        assert spec.matches(81)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(RuleParseError):
+            PortSpec.parse("70000")
+
+
+class TestContentOption:
+    def test_simple_match(self):
+        opt = ContentOption(pattern=b"falun")
+        assert opt.matches(b"GET /falun-gong HTTP/1.1")
+        assert not opt.matches(b"GET / HTTP/1.1")
+
+    def test_nocase(self):
+        opt = ContentOption(pattern=b"FaLuN", nocase=True)
+        assert opt.matches(b"...falun...")
+        assert opt.matches(b"...FALUN...")
+
+    def test_case_sensitive_by_default(self):
+        assert not ContentOption(pattern=b"falun").matches(b"FALUN")
+
+    def test_offset(self):
+        opt = ContentOption(pattern=b"abc", offset=3)
+        assert opt.matches(b"xyzabc")
+        assert not opt.matches(b"abcxyz")
+
+    def test_depth(self):
+        opt = ContentOption(pattern=b"abc", depth=3)
+        assert opt.matches(b"abczzz")
+        assert not opt.matches(b"zabczz")
+
+    def test_negated(self):
+        opt = ContentOption(pattern=b"abc", negated=True)
+        assert opt.matches(b"xyz")
+        assert not opt.matches(b"abc")
+
+    def test_hex_pattern_parsing(self):
+        pattern = ContentOption.parse_pattern("|13|BitTorrent")
+        assert pattern == b"\x13BitTorrent"
+
+    def test_hex_with_spaces(self):
+        assert ContentOption.parse_pattern("|0D 0A|end") == b"\r\nend"
+
+    def test_mixed_text_hex_text(self):
+        assert ContentOption.parse_pattern("a|00|b") == b"a\x00b"
+
+    def test_unterminated_hex_raises(self):
+        with pytest.raises(RuleParseError):
+            ContentOption.parse_pattern("|0D end")
+
+
+class TestPcreOption:
+    def test_basic(self):
+        opt = PcreOption.parse("/twi(tter|mlight)/")
+        assert opt.matches(b"www.twitter.com")
+        assert not opt.matches(b"example.org")
+
+    def test_case_insensitive_flag(self):
+        opt = PcreOption.parse("/falun/i")
+        assert opt.matches(b"FALUN GONG")
+
+    def test_negated(self):
+        opt = PcreOption.parse("!/falun/")
+        assert opt.matches(b"hello")
+        assert not opt.matches(b"falun")
+
+    def test_missing_slash_raises(self):
+        with pytest.raises(RuleParseError):
+            PcreOption.parse("falun")
+
+
+class TestFlagsOption:
+    def test_exact(self):
+        opt = FlagsOption.parse("S")
+        assert opt.matches(0x02)
+        assert not opt.matches(0x12)  # SYN+ACK
+
+    def test_plus(self):
+        opt = FlagsOption.parse("SA+")
+        assert opt.matches(0x12)
+        assert opt.matches(0x1A)  # SYN+ACK+PSH
+        assert not opt.matches(0x02)
+
+    def test_any(self):
+        opt = FlagsOption.parse("*SF")
+        assert opt.matches(0x01)
+        assert opt.matches(0x02)
+        assert not opt.matches(0x10)
+
+    def test_not(self):
+        opt = FlagsOption.parse("!R")
+        assert opt.matches(0x02)
+        assert not opt.matches(0x04)
+
+    def test_unknown_flag_raises(self):
+        with pytest.raises(RuleParseError):
+            FlagsOption.parse("Z")
+
+
+class TestDsizeOption:
+    def test_exact(self):
+        opt = DsizeOption.parse("10")
+        assert opt.matches(10)
+        assert not opt.matches(9)
+
+    def test_greater(self):
+        opt = DsizeOption.parse(">100")
+        assert opt.matches(101)
+        assert not opt.matches(100)
+
+    def test_less(self):
+        opt = DsizeOption.parse("<100")
+        assert opt.matches(99)
+        assert not opt.matches(100)
+
+    def test_between(self):
+        opt = DsizeOption.parse("10<>20")
+        assert opt.matches(15)
+        assert not opt.matches(10)
+        assert not opt.matches(20)

@@ -1,0 +1,92 @@
+"""Tests for reassembly overlap policies (Ptacek–Newsham discrepancies)."""
+
+import pytest
+
+from repro.packets import ACK, IPPacket, PSH, SYN, TCPSegment
+from repro.rules import RuleEngine, StreamReassembler
+
+
+def seg(src, dst, sport, dport, flags, seq=0, ack=0, payload=b""):
+    return IPPacket(src=src, dst=dst,
+                    payload=TCPSegment(sport=sport, dport=dport, seq=seq, ack=ack,
+                                       flags=flags, payload=payload))
+
+
+def handshaken(reasm):
+    reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, SYN, seq=100), 0.0)
+    reasm.feed(seg("2.2.2.2", "1.1.1.1", 80, 1000, SYN | ACK, seq=500, ack=101), 0.0)
+    update = reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, ACK, seq=101, ack=501), 0.0)
+    return update.flow
+
+
+class TestPolicies:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            StreamReassembler(overlap_policy="random")
+
+    def test_first_wins_keeps_original(self):
+        reasm = StreamReassembler(overlap_policy="first")
+        flow = handshaken(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"ORIGINAL"), 0.0)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"OVERWRIT"), 0.0)
+        assert flow.buffer("c2s") == b"ORIGINAL"
+
+    def test_last_wins_overwrites(self):
+        reasm = StreamReassembler(overlap_policy="last")
+        flow = handshaken(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"ORIGINAL"), 0.0)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"OVERWRIT"), 0.0)
+        assert flow.buffer("c2s") == b"OVERWRIT"
+
+    def test_last_wins_partial_overlap(self):
+        reasm = StreamReassembler(overlap_policy="last")
+        flow = handshaken(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"AAAABBBB"), 0.0)
+        # Overwrite only the middle four bytes.
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=103,
+                       payload=b"XXXX"), 0.0)
+        assert flow.buffer("c2s") == b"AAXXXXBB"
+
+    def test_last_wins_overlap_before_buffer_start_clipped(self):
+        reasm = StreamReassembler(overlap_policy="last")
+        flow = handshaken(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"DATA"), 0.0)
+        # Retransmission starting before the buffered window.
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=99,
+                       payload=b"..ZZ"), 0.0)
+        assert flow.buffer("c2s") == b"ZZTA"
+
+
+class TestPolicyDiscrepancy:
+    def _run_engine(self, policy):
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any 80 (msg:"kw"; content:"falun"; sid:1;)',
+            overlap_policy=policy,
+        )
+        alerts = []
+        alerts += engine.process(seg("1.1.1.1", "2.2.2.2", 1000, 80, SYN, seq=100), 0.0)
+        alerts += engine.process(seg("2.2.2.2", "1.1.1.1", 80, 1000, SYN | ACK,
+                                     seq=500, ack=101), 0.0)
+        alerts += engine.process(seg("1.1.1.1", "2.2.2.2", 1000, 80, ACK,
+                                     seq=101, ack=501), 0.0)
+        # Innocuous bytes first, then a 'retransmission' carrying the keyword.
+        alerts += engine.process(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK,
+                                     seq=101, payload=b"xxxxx"), 0.0)
+        alerts += engine.process(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK,
+                                     seq=101, payload=b"falun"), 0.0)
+        return alerts
+
+    def test_first_wins_engine_blind_to_retransmitted_keyword(self):
+        """An IDS with BSD semantics never sees keyword bytes smuggled as a
+        retransmission — the evasion half of Ptacek–Newsham."""
+        assert self._run_engine("first") == []
+
+    def test_last_wins_engine_catches_it(self):
+        alerts = self._run_engine("last")
+        assert [a.sid for a in alerts] == [1]

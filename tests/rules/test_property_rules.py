@@ -1,0 +1,150 @@
+"""Property-based tests for the rule engine's matchers and reassembly."""
+
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.packets import ACK, IPPacket, PSH, SYN, TCPSegment
+from repro.rules import ContentOption, PortSpec, RuleEngine, StreamReassembler
+from repro.rules.matcher import DsizeOption, FlagsOption
+
+payload_bytes = st.binary(min_size=0, max_size=200)
+needles = st.binary(min_size=1, max_size=10)
+
+
+class TestContentProperties:
+    @given(haystack=payload_bytes, needle=needles)
+    def test_matches_iff_substring(self, haystack, needle):
+        option = ContentOption(pattern=needle)
+        assert option.matches(haystack) == (needle in haystack)
+
+    @given(haystack=payload_bytes, needle=needles)
+    def test_nocase_superset_of_case_sensitive(self, haystack, needle):
+        sensitive = ContentOption(pattern=needle)
+        insensitive = ContentOption(pattern=needle, nocase=True)
+        if sensitive.matches(haystack):
+            assert insensitive.matches(haystack)
+
+    @given(haystack=payload_bytes, needle=needles)
+    def test_negation_is_complement(self, haystack, needle):
+        positive = ContentOption(pattern=needle)
+        negative = ContentOption(pattern=needle, negated=True)
+        assert positive.matches(haystack) != negative.matches(haystack)
+
+    @given(haystack=payload_bytes, needle=needles,
+           offset=st.integers(0, 50), depth=st.integers(1, 100))
+    def test_offset_depth_window_semantics(self, haystack, needle, offset, depth):
+        option = ContentOption(pattern=needle, offset=offset, depth=depth)
+        window = haystack[offset : offset + depth]
+        assert option.matches(haystack) == (needle in window)
+
+    @given(text=st.text(alphabet=string.printable.replace("|", ""), max_size=30))
+    def test_parse_pattern_plain_text_identity(self, text):
+        assert ContentOption.parse_pattern(text) == text.encode("latin-1")
+
+    @given(blob=st.binary(min_size=1, max_size=20))
+    def test_parse_pattern_hex_round_trip(self, blob):
+        hex_text = "|" + " ".join(f"{b:02x}" for b in blob) + "|"
+        assert ContentOption.parse_pattern(hex_text) == blob
+
+
+class TestPortSpecProperties:
+    @given(port=st.integers(0, 65535))
+    def test_any_matches_all(self, port):
+        assert PortSpec.parse("any").matches(port)
+
+    @given(lo=st.integers(0, 65535), hi=st.integers(0, 65535),
+           port=st.integers(0, 65535))
+    def test_range_semantics(self, lo, hi, port):
+        assume(lo <= hi)
+        spec = PortSpec.parse(f"{lo}:{hi}")
+        assert spec.matches(port) == (lo <= port <= hi)
+
+    @given(port=st.integers(0, 65535), probe=st.integers(0, 65535))
+    def test_negation_complement(self, port, probe):
+        positive = PortSpec.parse(str(port))
+        negative = PortSpec.parse(f"!{port}")
+        assert positive.matches(probe) != negative.matches(probe)
+
+
+class TestDsizeProperties:
+    @given(size=st.integers(0, 10000), threshold=st.integers(0, 10000))
+    def test_greater_less_partition(self, size, threshold):
+        greater = DsizeOption.parse(f">{threshold}")
+        less = DsizeOption.parse(f"<{threshold}")
+        exact = DsizeOption.parse(str(threshold))
+        assert greater.matches(size) + less.matches(size) + exact.matches(size) == 1
+
+
+class TestFlagsProperties:
+    @given(flags=st.integers(0, 0x3F))
+    def test_plus_mode_subset(self, flags):
+        option = FlagsOption.parse("S+")
+        assert option.matches(flags) == bool(flags & 0x02 == 0x02)
+
+    @given(flags=st.integers(0, 0x3F))
+    def test_not_mode_complement_of_plus(self, flags):
+        plus = FlagsOption.parse("R+")
+        negated = FlagsOption.parse("!R")
+        assert plus.matches(flags) != negated.matches(flags)
+
+
+class TestReassemblyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=300),
+           cut_points=st.lists(st.integers(1, 299), max_size=5, unique=True),
+           data=st.data())
+    def test_any_segmentation_yields_same_stream(self, payload, cut_points, data):
+        """However a sender fragments its bytes, the reassembled buffer is
+        identical — the keyword censor cannot be evaded by splitting."""
+        cuts = sorted({c for c in cut_points if c < len(payload)})
+        pieces = []
+        last = 0
+        for cut in cuts + [len(payload)]:
+            if cut > last:
+                pieces.append(payload[last:cut])
+                last = cut
+
+        reasm = StreamReassembler()
+        client, server = "10.0.0.1", "10.0.0.2"
+        reasm.feed(_seg(client, server, SYN, seq=100), 0.0)
+        reasm.feed(_seg(server, client, SYN | ACK, seq=500, ack=101, sport=80, dport=999), 0.0)
+        update = reasm.feed(_seg(client, server, ACK, seq=101, ack=501), 0.0)
+        seq = 101
+        for piece in pieces:
+            update = reasm.feed(
+                _seg(client, server, PSH | ACK, seq=seq, ack=501, payload=piece), 0.0
+            )
+            seq += len(piece)
+        assert update.flow.buffer("c2s") == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(keyword_pos=st.integers(0, 50), chunk=st.integers(1, 8))
+    def test_engine_detects_keyword_any_chunking(self, keyword_pos, chunk):
+        payload = b"x" * keyword_pos + b"falun" + b"y" * 10
+        engine = RuleEngine.from_text(
+            'alert tcp any any -> any any (msg:"kw"; content:"falun"; sid:1;)'
+        )
+        client, server = "10.0.0.1", "10.0.0.2"
+        engine.process(_seg(client, server, SYN, seq=100), 0.0)
+        engine.process(_seg(server, client, SYN | ACK, seq=500, ack=101, sport=80, dport=999), 0.0)
+        engine.process(_seg(client, server, ACK, seq=101, ack=501), 0.0)
+        alerts = []
+        seq = 101
+        for start in range(0, len(payload), chunk):
+            piece = payload[start : start + chunk]
+            alerts += engine.process(
+                _seg(client, server, PSH | ACK, seq=seq, ack=501, payload=piece), 0.0
+            )
+            seq += len(piece)
+        assert len(alerts) == 1
+
+
+def _seg(src, dst, flags, seq=0, ack=0, payload=b"", sport=999, dport=80):
+    if src == "10.0.0.2":
+        pass  # server side already carries its own ports via kwargs
+    return IPPacket(
+        src=src, dst=dst,
+        payload=TCPSegment(sport=sport, dport=dport, seq=seq, ack=ack,
+                           flags=flags, payload=payload),
+    )

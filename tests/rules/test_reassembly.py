@@ -1,0 +1,145 @@
+"""Unit tests for TCP stream reassembly."""
+
+import pytest
+
+from repro.packets import ACK, FIN, IPPacket, PSH, RST, SYN, TCPSegment
+from repro.rules import StreamReassembler
+
+
+def seg(src, dst, sport, dport, flags, seq=0, ack=0, payload=b""):
+    return IPPacket(src=src, dst=dst,
+                    payload=TCPSegment(sport=sport, dport=dport, seq=seq, ack=ack,
+                                       flags=flags, payload=payload))
+
+
+def handshake(reasm, c="1.1.1.1", s="2.2.2.2", cp=1000, sp=80, t0=0.0):
+    reasm.feed(seg(c, s, cp, sp, SYN, seq=100), t0)
+    reasm.feed(seg(s, c, sp, cp, SYN | ACK, seq=500, ack=101), t0 + 0.01)
+    update = reasm.feed(seg(c, s, cp, sp, ACK, seq=101, ack=501), t0 + 0.02)
+    return update.flow
+
+
+class TestHandshakeTracking:
+    def test_establishment(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        assert flow.syn_seen and flow.synack_seen and flow.established
+        assert flow.initiator == "1.1.1.1"
+        assert flow.responder == "2.2.2.2"
+
+    def test_not_established_without_final_ack(self):
+        reasm = StreamReassembler()
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, SYN, seq=100), 0)
+        update = reasm.feed(seg("2.2.2.2", "1.1.1.1", 80, 1000, SYN | ACK, seq=5, ack=101), 0)
+        assert not update.flow.established
+
+    def test_mid_flow_pickup_provisional_initiator(self):
+        reasm = StreamReassembler()
+        update = reasm.feed(
+            seg("2.2.2.2", "1.1.1.1", 80, 1000, PSH | ACK, seq=1, payload=b"data"), 0
+        )
+        assert update.flow.initiator == "2.2.2.2"  # first seen wins provisionally
+
+    def test_rst_marks_flow(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.feed(seg("2.2.2.2", "1.1.1.1", 80, 1000, RST, seq=501), 1.0)
+        assert flow.reset
+
+    def test_fin_marks_closed(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, FIN | ACK, seq=101, ack=501), 1.0)
+        assert flow.closed
+
+
+class TestPayloadAssembly:
+    def test_in_order_accumulation(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101, ack=501,
+                       payload=b"GET /fal"), 1.0)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=109, ack=501,
+                       payload=b"un HTTP/1.1"), 1.1)
+        assert flow.buffer("c2s") == b"GET /falun HTTP/1.1"
+
+    def test_keyword_split_across_segments_visible(self):
+        # The GFC reassembles; splitting a keyword across segments must not
+        # evade the buffer view.
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101, payload=b"fal"), 1.0)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=104, payload=b"un"), 1.1)
+        assert b"falun" in flow.buffer("c2s")
+
+    def test_duplicate_segment_ignored(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        packet = seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101, payload=b"abc")
+        reasm.feed(packet, 1.0)
+        update = reasm.feed(packet.copy(), 1.1)
+        assert update.new_data == b""
+        assert flow.buffer("c2s") == b"abc"
+
+    def test_directions_kept_separate(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101, payload=b"req"), 1.0)
+        reasm.feed(seg("2.2.2.2", "1.1.1.1", 80, 1000, PSH | ACK, seq=501, payload=b"resp"), 1.1)
+        assert flow.buffer("c2s") == b"req"
+        assert flow.buffer("s2c") == b"resp"
+
+    def test_stream_depth_cap(self):
+        reasm = StreamReassembler(stream_depth=10)
+        flow = handshake(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101,
+                       payload=b"0123456789ABCDEF"), 1.0)
+        assert len(flow.buffer("c2s")) == 10
+
+    def test_total_bytes(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, PSH | ACK, seq=101, payload=b"abc"), 1.0)
+        assert flow.total_bytes == 3
+
+
+class TestFlowLifecycle:
+    def test_non_tcp_returns_none(self):
+        from repro.packets import UDPDatagram
+
+        reasm = StreamReassembler()
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2",
+                          payload=UDPDatagram(sport=1, dport=2))
+        assert reasm.feed(packet, 0) is None
+
+    def test_flush_flow(self):
+        reasm = StreamReassembler()
+        flow = handshake(reasm)
+        reasm.flush_flow(flow.key)
+        assert len(reasm.flows) == 0
+
+    def test_expire_idle_flows(self):
+        reasm = StreamReassembler()
+        handshake(reasm)
+        assert reasm.expire(now=100.0, idle=60.0) == 1
+        assert len(reasm.flows) == 0
+
+    def test_expire_keeps_active(self):
+        reasm = StreamReassembler()
+        handshake(reasm, t0=90.0)
+        assert reasm.expire(now=100.0, idle=60.0) == 0
+
+    def test_eviction_when_full(self):
+        reasm = StreamReassembler(max_flows=2)
+        handshake(reasm, c="1.1.1.1", t0=0.0)
+        handshake(reasm, c="1.1.1.2", t0=1.0)
+        handshake(reasm, c="1.1.1.3", t0=2.0)
+        assert len(reasm.flows) == 2
+        assert reasm.evicted_flows == 1
+
+    def test_is_new_flow_flag(self):
+        reasm = StreamReassembler()
+        first = reasm.feed(seg("1.1.1.1", "2.2.2.2", 1000, 80, SYN, seq=1), 0)
+        second = reasm.feed(seg("2.2.2.2", "1.1.1.1", 80, 1000, SYN | ACK, seq=9, ack=2), 0)
+        assert first.is_new_flow
+        assert not second.is_new_flow

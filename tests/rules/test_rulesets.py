@@ -1,0 +1,91 @@
+"""Unit tests for the stock rulesets."""
+
+import pytest
+
+from repro.rules import (
+    BLOCKED_DOMAINS,
+    DEFAULT_VARIABLES,
+    DISCARD_CLASSTYPES,
+    GFC_KEYWORDS,
+    RETAIN_CLASSTYPES,
+    RuleEngine,
+    censor_ruleset_text,
+    mvr_detection_ruleset_text,
+    parse_ruleset,
+    surveillance_interest_ruleset_text,
+)
+
+
+class TestRulesetsParse:
+    def test_censor_ruleset_parses(self):
+        rules = parse_ruleset(censor_ruleset_text(), DEFAULT_VARIABLES)
+        # One keyword rule per keyword, plus Host and SNI rules per domain.
+        assert len(rules) == len(GFC_KEYWORDS) + 2 * len(BLOCKED_DOMAINS)
+        assert all(rule.action == "reject" for rule in rules)
+
+    def test_mvr_ruleset_parses(self):
+        rules = parse_ruleset(mvr_detection_ruleset_text(), DEFAULT_VARIABLES)
+        assert all(rule.action == "alert" for rule in rules)
+        classtypes = {rule.classtype for rule in rules}
+        assert classtypes <= DISCARD_CLASSTYPES
+
+    def test_interest_ruleset_parses(self):
+        rules = parse_ruleset(surveillance_interest_ruleset_text(), DEFAULT_VARIABLES)
+        assert all(rule.classtype in RETAIN_CLASSTYPES for rule in rules)
+
+    def test_combined_rulesets_have_unique_sids(self):
+        text = "\n".join([
+            censor_ruleset_text(),
+            mvr_detection_ruleset_text(),
+            surveillance_interest_ruleset_text(),
+        ])
+        rules = parse_ruleset(text, DEFAULT_VARIABLES)
+        sids = [rule.sid for rule in rules]
+        assert len(sids) == len(set(sids))
+
+    def test_classtype_sets_disjoint(self):
+        assert not (DISCARD_CLASSTYPES & RETAIN_CLASSTYPES)
+
+    def test_custom_keywords(self):
+        text = censor_ruleset_text(keywords=["foo"], blocked_domains=[])
+        rules = parse_ruleset(text)
+        assert len(rules) == 1
+        assert rules[0].contents[0].pattern == b"foo"
+
+    def test_no_per_lookup_dns_interest_rules(self):
+        """The Syria argument: per-lookup DNS alerts are infeasible, so the
+        interest ruleset must only have the bulk-resolution threshold rule."""
+        rules = parse_ruleset(surveillance_interest_ruleset_text(), DEFAULT_VARIABLES)
+        dns_rules = [rule for rule in rules if rule.protocol == "udp"]
+        assert len(dns_rules) == 1
+        assert dns_rules[0].threshold is not None
+
+
+class TestRulesetSemantics:
+    def test_bittorrent_handshake_detected(self):
+        from repro.traffic import BITTORRENT_HANDSHAKE
+        from tests.rules.test_engine import http_flow
+
+        engine = RuleEngine.from_text(mvr_detection_ruleset_text(), DEFAULT_VARIABLES)
+        alerts = http_flow(engine, BITTORRENT_HANDSHAKE, sp=6881)
+        assert any(a.classtype == "p2p" for a in alerts)
+
+    def test_spam_content_detected(self):
+        from tests.rules.test_engine import http_flow
+
+        engine = RuleEngine.from_text(mvr_detection_ruleset_text(), DEFAULT_VARIABLES)
+        alerts = http_flow(engine, b"Subject: YOU ARE A WINNER\r\n", sp=25)
+        assert any(a.classtype == "spam" for a in alerts)
+
+    def test_gfc_keyword_rule_bidirectional(self):
+        from tests.rules.test_engine import http_flow, tcp
+        from repro.packets import ACK, PSH
+
+        engine = RuleEngine.from_text(censor_ruleset_text(), DEFAULT_VARIABLES)
+        # server->client direction must also trigger (GFC filters responses)
+        http_flow(engine, b"GET / HTTP/1.1\r\n\r\n")
+        alerts = engine.process(
+            tcp("203.0.113.10", "10.1.0.5", 80, 40000, PSH | ACK, seq=501, ack=120,
+                payload=b"<html>falun dafa</html>"), 0.1
+        )
+        assert any("falun" in a.msg for a in alerts)

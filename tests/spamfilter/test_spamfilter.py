@@ -1,0 +1,123 @@
+"""Unit tests for the spam filter: features, scorer, corpora."""
+
+import random
+
+import pytest
+
+from repro.packets import EmailMessage
+from repro.spamfilter import (
+    SPAM_THRESHOLD,
+    SpamScorer,
+    extract_features,
+    generate_ham,
+    generate_spam,
+    measurement_spam_email,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(11)
+
+
+@pytest.fixture
+def scorer():
+    return SpamScorer()
+
+
+class TestFeatures:
+    def test_phrase_hits(self):
+        message = EmailMessage("a@b", "c@d", "free prize", "click here to act now")
+        features = extract_features(message)
+        assert features.phrase_hits >= 3
+
+    def test_caps_ratio(self):
+        shouty = extract_features(EmailMessage("a@b", "c@d", "", "HELLO WORLD"))
+        calm = extract_features(EmailMessage("a@b", "c@d", "", "hello world"))
+        assert shouty.caps_ratio == 1.0
+        assert calm.caps_ratio == 0.0
+
+    def test_caps_ratio_empty_body(self):
+        features = extract_features(EmailMessage("a@b", "c@d", "", "123 456"))
+        assert features.caps_ratio == 0.0
+
+    def test_url_count(self):
+        message = EmailMessage("a@b", "c@d", "", "see http://x.com and www.y.com")
+        assert extract_features(message).urls == 2
+
+    def test_money_mentions(self):
+        message = EmailMessage("a@b", "c@d", "", "send $1,000,000 or 500 dollars")
+        assert extract_features(message).money_mentions == 2
+
+    def test_domain_mismatch(self):
+        message = EmailMessage("a@real.com", "c@d", "", "",
+                               extra_headers={"Reply-To": "x@fake.com"})
+        assert extract_features(message).domain_mismatch
+
+    def test_no_mismatch_without_reply_to(self):
+        assert not extract_features(EmailMessage("a@real.com", "c@d", "", "")).domain_mismatch
+
+    def test_subject_shouting(self):
+        assert extract_features(EmailMessage("a@b", "c@d", "BUY NOW", "")).subject_shouting
+        assert not extract_features(EmailMessage("a@b", "c@d", "Buy now", "")).subject_shouting
+
+    def test_exclamations(self):
+        assert extract_features(EmailMessage("a@b", "c@d", "hi!!", "wow!")).exclamations == 3
+
+    def test_as_dict_keys(self):
+        features = extract_features(EmailMessage("a@b", "c@d", "s", "b"))
+        assert set(features.as_dict()) >= {"phrase_hits", "caps_ratio", "urls"}
+
+
+class TestScorer:
+    def test_score_range(self, scorer, rng):
+        for message in generate_spam(rng, 20) + generate_ham(rng, 20):
+            assert 0.0 <= scorer.score(message) <= 100.0
+
+    def test_spam_scores_high(self, scorer, rng):
+        scores = [scorer.score(m) for m in generate_spam(rng, 50)]
+        assert min(scores) >= 70.0
+
+    def test_ham_scores_low(self, scorer, rng):
+        scores = [scorer.score(m) for m in generate_ham(rng, 50)]
+        assert max(scores) < 30.0
+
+    def test_is_spam_threshold(self, scorer, rng):
+        spam = generate_spam(rng, 10)
+        ham = generate_ham(rng, 10)
+        assert all(scorer.is_spam(m) for m in spam)
+        assert not any(scorer.is_spam(m) for m in ham)
+
+    def test_deterministic(self, scorer, rng):
+        message = generate_spam(rng, 1)[0]
+        assert scorer.score(message) == scorer.score(message)
+
+    def test_custom_weights(self, rng):
+        aggressive = SpamScorer(weights={**SpamScorer().weights, "bias": 5.0})
+        message = generate_ham(rng, 1)[0]
+        assert aggressive.score(message) > SpamScorer().score(message)
+
+
+class TestCorpora:
+    def test_generate_counts(self, rng):
+        assert len(generate_spam(rng, 7)) == 7
+        assert len(generate_ham(rng, 3)) == 3
+
+    def test_spam_recipient_override(self, rng):
+        message = generate_spam(rng, 1, recipient="t@target.com")[0]
+        assert message.recipient == "t@target.com"
+
+    def test_measurement_email_targets_domain(self, rng):
+        message = measurement_spam_email(rng, "twitter.com")
+        assert message.recipient == "info@twitter.com"
+
+    def test_measurement_email_classifies_as_spam(self, scorer, rng):
+        # The paper's Figure 2 criterion: cloaked measurements score as spam.
+        scores = [scorer.score(measurement_spam_email(rng, "twitter.com"))
+                  for _ in range(100)]
+        assert all(score >= SPAM_THRESHOLD for score in scores)
+        assert sum(scores) / len(scores) >= 85.0
+
+    def test_custom_mailbox(self, rng):
+        message = measurement_spam_email(rng, "x.com", mailbox="postmaster")
+        assert message.recipient == "postmaster@x.com"

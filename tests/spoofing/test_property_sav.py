@@ -1,0 +1,77 @@
+"""Property-based tests for the SAV model and netsim invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packets import int_to_ip, same_prefix
+from repro.spoofing import (
+    BEVERLY_PROFILE,
+    SPOOF_ANY,
+    SPOOF_NONE,
+    SpoofingProfile,
+    feasibility_summary,
+    sample_scopes,
+    scope_permits,
+)
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
+scopes = st.sampled_from([SPOOF_NONE, 24, 16, SPOOF_ANY])
+
+
+class TestScopeProperties:
+    @given(scope=scopes, ip=ips)
+    def test_own_address_always_permitted(self, scope, ip):
+        assert scope_permits(scope, ip, ip)
+
+    @given(claimed=ips, true=ips)
+    def test_none_permits_only_self(self, claimed, true):
+        assert scope_permits(SPOOF_NONE, claimed, true) == (claimed == true)
+
+    @given(claimed=ips, true=ips)
+    def test_any_permits_everything(self, claimed, true):
+        assert scope_permits(SPOOF_ANY, claimed, true)
+
+    @given(claimed=ips, true=ips)
+    def test_wider_scope_is_superset(self, claimed, true):
+        """Anything a /24 scope permits, a /16 scope also permits."""
+        if scope_permits(24, claimed, true):
+            assert scope_permits(16, claimed, true)
+        if scope_permits(16, claimed, true):
+            assert scope_permits(SPOOF_ANY, claimed, true)
+
+    @given(claimed=ips, true=ips, prefix=st.sampled_from([16, 24]))
+    def test_scope_matches_prefix_definition(self, claimed, true, prefix):
+        assert scope_permits(prefix, claimed, true) == (
+            claimed == true or same_prefix(claimed, true, prefix)
+        )
+
+
+class TestProfileProperties:
+    @given(
+        frac_any=st.floats(0, 0.2),
+        extra16=st.floats(0, 0.3),
+        extra24=st.floats(0, 0.5),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_fractions_track_profile(self, frac_any, extra16, extra24, seed):
+        frac16 = frac_any + extra16
+        frac24 = frac16 + extra24
+        if frac24 > 1:
+            return
+        profile = SpoofingProfile(
+            frac_slash24=frac24, frac_slash16=frac16, frac_any=frac_any
+        )
+        scopes_drawn = sample_scopes(random.Random(seed), 5000, profile)
+        summary = feasibility_summary(scopes_drawn)
+        assert abs(summary["frac_slash24"] - frac24) < 0.05
+        assert abs(summary["frac_slash16"] - frac16) < 0.05
+        assert abs(summary["frac_any"] - frac_any) < 0.05
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_summary_fractions_are_nested(self, seed):
+        scopes_drawn = sample_scopes(random.Random(seed), 2000, BEVERLY_PROFILE)
+        summary = feasibility_summary(scopes_drawn)
+        assert summary["frac_any"] <= summary["frac_slash16"] <= summary["frac_slash24"] <= 1

@@ -1,0 +1,98 @@
+"""Unit tests for the SAV / spoofing-feasibility model."""
+
+import random
+
+import pytest
+
+from repro.spoofing import (
+    BEVERLY_PROFILE,
+    SAVFilter,
+    SPOOF_ANY,
+    SPOOF_NONE,
+    SpoofingProfile,
+    feasibility_summary,
+    sample_scopes,
+    scope_permits,
+)
+
+
+class TestScopePermits:
+    def test_own_address_always_allowed(self):
+        assert scope_permits(SPOOF_NONE, "10.0.0.1", "10.0.0.1")
+
+    def test_none_blocks_all_spoofing(self):
+        assert not scope_permits(SPOOF_NONE, "10.0.0.2", "10.0.0.1")
+
+    def test_any_allows_everything(self):
+        assert scope_permits(SPOOF_ANY, "203.0.113.9", "10.0.0.1")
+
+    def test_slash24_scope(self):
+        assert scope_permits(24, "10.0.0.99", "10.0.0.1")
+        assert not scope_permits(24, "10.0.1.99", "10.0.0.1")
+
+    def test_slash16_scope(self):
+        assert scope_permits(16, "10.0.200.99", "10.0.0.1")
+        assert not scope_permits(16, "10.1.0.99", "10.0.0.1")
+
+
+class TestSpoofingProfile:
+    def test_beverly_defaults(self):
+        assert BEVERLY_PROFILE.frac_slash24 == 0.77
+        assert BEVERLY_PROFILE.frac_slash16 == 0.11
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            SpoofingProfile(frac_slash24=0.1, frac_slash16=0.5)
+
+    def test_draw_scope_distribution(self):
+        rng = random.Random(3)
+        scopes = [BEVERLY_PROFILE.draw_scope(rng) for _ in range(20000)]
+        summary = feasibility_summary(scopes)
+        assert abs(summary["frac_slash24"] - 0.77) < 0.02
+        assert abs(summary["frac_slash16"] - 0.11) < 0.02
+
+    def test_sample_scopes_length(self):
+        rng = random.Random(1)
+        assert len(sample_scopes(rng, 10)) == 10
+
+    def test_feasibility_summary_empty(self):
+        summary = feasibility_summary([])
+        assert summary["total"] == 0
+        assert summary["frac_slash24"] == 0.0
+
+    def test_feasibility_inclusive_semantics(self):
+        # A /16-capable host can also spoof within its /24.
+        summary = feasibility_summary([16, 24, SPOOF_NONE, SPOOF_ANY])
+        assert summary["frac_slash24"] == 0.75
+        assert summary["frac_slash16"] == 0.5
+        assert summary["frac_any"] == 0.25
+
+
+class TestSAVFilter:
+    def test_strict_blocks_spoofing(self):
+        sav = SAVFilter.strict()
+        assert sav.permits("10.0.0.1", "10.0.0.1")
+        assert not sav.permits("10.0.0.2", "10.0.0.1")
+        assert sav.checked == 2
+        assert sav.rejected == 1
+
+    def test_permissive_allows_all(self):
+        sav = SAVFilter.permissive()
+        assert sav.permits("203.0.113.1", "10.0.0.1")
+        assert sav.rejected == 0
+
+    def test_scope_lookup_filter(self):
+        scopes = {"10.0.0.1": 24, "10.0.0.2": SPOOF_NONE}
+        sav = SAVFilter(lambda ip: scopes.get(ip, SPOOF_NONE))
+        assert sav.permits("10.0.0.77", "10.0.0.1")
+        assert not sav.permits("10.0.0.77", "10.0.0.2")
+
+    def test_from_network(self):
+        from repro.netsim import build_censored_as
+
+        topo = build_censored_as(population_size=2, spoof_scope=24)
+        sav = SAVFilter.from_network(topo.network)
+        host = topo.population[0]
+        same_24 = host.ip.rsplit(".", 1)[0] + ".250"
+        assert sav.permits(same_24, host.ip)
+        assert not sav.permits("10.99.0.1", host.ip)

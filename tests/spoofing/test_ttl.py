@@ -1,0 +1,70 @@
+"""Unit tests for TTL estimation and reply planning."""
+
+import pytest
+
+from repro.netsim import build_censored_as
+from repro.spoofing import TTLEstimator, plan_reply_ttl
+
+
+class TestPlanReplyTTL:
+    def test_dies_one_hop_short(self):
+        assert plan_reply_ttl(hops_to_client=3) == 2
+
+    def test_dies_two_hops_short(self):
+        assert plan_reply_ttl(hops_to_client=5, die_short_by=2) == 3
+
+    def test_zero_die_short_rejected(self):
+        with pytest.raises(ValueError):
+            plan_reply_ttl(hops_to_client=3, die_short_by=0)
+
+    def test_path_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            plan_reply_ttl(hops_to_client=1, die_short_by=1)
+
+
+class TestTTLEstimator:
+    def test_estimates_router_hops(self):
+        topo = build_censored_as(population_size=2)
+        estimator = TTLEstimator(topo.measurement_server)
+        estimates = []
+        estimator.estimate(topo.population[0].ip, estimates.append)
+        topo.run()
+        assert estimates[0].ok
+        # server -> transit -> border -> internal -> client: 3 router hops.
+        assert estimates[0].hops == 3
+
+    def test_planned_ttl_round_trip(self):
+        """Estimate hops, plan a TTL, verify the reply dies inside the AS."""
+        from repro.packets import IPPacket, UDPDatagram
+
+        topo = build_censored_as(population_size=2)
+        client = topo.population[0]
+        estimator = TTLEstimator(topo.measurement_server)
+        estimates = []
+        estimator.estimate(client.ip, estimates.append)
+        topo.run()
+        ttl = plan_reply_ttl(estimates[0].hops)
+        delivered = []
+        client.stack.add_sniffer(lambda p: delivered.append(p) if p.udp else None)
+        topo.measurement_server.send_ip(
+            IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=ttl,
+                     payload=UDPDatagram(sport=80, dport=7000))
+        )
+        topo.run()
+        assert delivered == []
+
+    def test_timeout_on_unreachable(self):
+        topo = build_censored_as(population_size=1)
+        estimator = TTLEstimator(topo.measurement_server, timeout=0.5)
+        estimates = []
+        estimator.estimate("203.0.113.99", estimates.append)
+        topo.run()
+        assert not estimates[0].ok
+
+    def test_error_offset_applied(self):
+        topo = build_censored_as(population_size=1)
+        estimator = TTLEstimator(topo.measurement_server, error=2)
+        estimates = []
+        estimator.estimate(topo.population[0].ip, estimates.append)
+        topo.run()
+        assert estimates[0].hops == 5  # true 3 + injected error 2

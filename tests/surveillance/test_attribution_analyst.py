@@ -1,0 +1,128 @@
+"""Unit tests for attribution and analyst triage."""
+
+import math
+
+import pytest
+
+from repro.surveillance import Analyst, AttributionEngine, NSA_PROFILE
+from repro.surveillance.storage import StoredAlert
+
+
+def stored(user, time=0.0):
+    return StoredAlert(time=time, alert=None, user=user, origin_ip=None)
+
+
+class TestSuspectReport:
+    def _engine(self):
+        return AttributionEngine(lambda ip: {"10.0.0.1": "alice", "10.0.0.2": "bob"}.get(ip))
+
+    def test_user_lookup(self):
+        engine = self._engine()
+        assert engine.user_of("10.0.0.1") == "alice"
+        assert engine.user_of("9.9.9.9") is None
+
+    def test_report_counts(self):
+        engine = self._engine()
+        report = engine.report([stored("alice"), stored("alice"), stored("bob")])
+        assert report.counts == {"alice": 2, "bob": 1}
+        assert report.total == 3
+        assert report.suspects == ["alice", "bob"]
+
+    def test_confidence(self):
+        engine = self._engine()
+        report = engine.report([stored("alice"), stored("bob")])
+        assert report.confidence("alice") == 0.5
+        assert report.confidence("carol") == 0.0
+
+    def test_entropy_single_suspect_zero(self):
+        engine = self._engine()
+        report = engine.report([stored("alice")] * 5)
+        assert report.entropy() == 0.0
+
+    def test_entropy_uniform_is_log2_n(self):
+        engine = self._engine()
+        alerts = [stored(f"user{i}") for i in range(8)]
+        report = engine.report(alerts)
+        assert abs(report.entropy() - 3.0) < 1e-9
+
+    def test_empty_report(self):
+        report = self._engine().report([])
+        assert report.total == 0
+        assert report.top_confidence() == 0.0
+        assert report.entropy() == 0.0
+
+    def test_unattributed_alerts_ignored(self):
+        report = self._engine().report([stored(None), stored("alice")])
+        assert report.total == 1
+
+
+class TestAnalyst:
+    def test_escalates_above_threshold(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=3)
+        alerts = [stored("alice", time=float(i)) for i in range(3)]
+        opened = analyst.triage(alerts, now=10.0)
+        assert [inv.user for inv in opened] == ["alice"]
+        assert analyst.is_under_investigation("alice")
+
+    def test_below_threshold_ignored(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=3)
+        opened = analyst.triage([stored("alice")] * 2, now=10.0)
+        assert opened == []
+
+    def test_old_alerts_outside_window_ignored(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=2, window=100.0)
+        alerts = [stored("alice", time=0.0), stored("alice", time=1.0)]
+        assert analyst.triage(alerts, now=1000.0) == []
+
+    def test_capacity_bound(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=1)
+        # Distinct alert volumes: user i has i+1 alerts, so the analyst can
+        # rank them and spends exactly its capacity on the top of the list.
+        alerts = [stored(f"user{i:02d}", time=5.0)
+                  for i in range(50) for _ in range(i + 1)]
+        opened = analyst.triage(alerts, now=10.0)
+        assert len(opened) == NSA_PROFILE.analyst_capacity_per_day
+        assert analyst.escalations_denied_capacity > 0
+        assert opened[0].user == "user49"  # loudest first
+
+    def test_indiscriminate_tie_group_denied(self):
+        """A crowd of equally-suspicious users exceeds what the analyst can
+        act on without random policing — nobody is investigated (the
+        paper's false-positive-cost argument, and what spoofed cover
+        traffic exploits)."""
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=1)
+        alerts = [stored(f"user{i}", time=5.0) for i in range(50)]
+        opened = analyst.triage(alerts, now=10.0)
+        assert opened == []
+        assert analyst.escalations_denied_capacity == 50
+
+    def test_no_duplicate_investigations(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=1)
+        alerts = [stored("alice", time=5.0)]
+        assert len(analyst.triage(alerts, now=10.0)) == 1
+        assert analyst.triage(alerts, now=11.0) == []
+
+    def test_most_alerting_user_prioritized(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=1)
+        alerts = [stored("quiet", time=5.0)] + [stored("loud", time=5.0)] * 5
+        opened = analyst.triage(alerts, now=10.0)
+        assert opened[0].user == "loud"
+
+    def test_required_capacity(self):
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=2)
+        alerts = [stored("a", 1.0), stored("a", 2.0), stored("b", 1.0)]
+        assert analyst.required_capacity(alerts, now=10.0) == 1
+
+    def test_investigation_reasons_deduplicated(self):
+        from repro.rules.engine import Alert
+        from repro.rules.language import parse_rule
+
+        rule = parse_rule('alert tcp any any -> any any (msg:"m"; sid:1;)')
+        alert = Alert(time=0, sid=1, msg="same reason", action="alert", classtype="",
+                      priority=3, src="1.1.1.1", dst="2.2.2.2", sport=1, dport=2,
+                      rule=rule, packet=None)
+        alerts = [StoredAlert(time=5.0, alert=alert, user="alice", origin_ip=None)
+                  for _ in range(4)]
+        analyst = Analyst(NSA_PROFILE, escalation_threshold=2)
+        opened = analyst.triage(alerts, now=10.0)
+        assert opened[0].reasons == ["same reason"]

@@ -1,0 +1,100 @@
+"""Unit tests for the TTL traffic normalizer countermeasure."""
+
+import pytest
+
+from repro.core import StatefulMimicryMeasurement, Verdict, build_environment
+from repro.netsim import build_censored_as
+from repro.packets import ICMPMessage, IPPacket, UDPDatagram
+from repro.surveillance import TTLNormalizer
+
+
+class TestDetection:
+    def test_flags_low_ttl(self):
+        topo = build_censored_as(seed=9, population_size=2)
+        normalizer = TTLNormalizer(floor=8, normalize=False)
+        topo.border_router.add_tap(normalizer)
+        client = topo.population[0]
+        low = IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=3,
+                       payload=UDPDatagram(sport=80, dport=9000))
+        topo.measurement_server.send_ip(low)
+        topo.run()
+        assert len(normalizer.anomalies) == 1
+        assert normalizer.anomalies[0].src == topo.measurement_server.ip
+        assert normalizer.flagged_sources() == [topo.measurement_server.ip]
+        assert normalizer.packets_normalized == 0  # detect-only mode
+
+    def test_normal_ttl_unflagged(self):
+        topo = build_censored_as(seed=9, population_size=2)
+        normalizer = TTLNormalizer(floor=8)
+        topo.border_router.add_tap(normalizer)
+        client = topo.population[0]
+        topo.measurement_server.send_ip(
+            IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=64,
+                     payload=UDPDatagram(sport=80, dport=9000))
+        )
+        topo.run()
+        assert normalizer.anomalies == []
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            TTLNormalizer(floor=0)
+
+
+class TestNormalization:
+    def test_rewrite_delivers_ttl_limited_packet(self):
+        """Normalization defeats TTL-limiting: the reply now reaches the
+        client instead of dying at the internal router."""
+        topo = build_censored_as(seed=9, population_size=2)
+        normalizer = TTLNormalizer(floor=8, normalize=True)
+        topo.border_router.add_tap(normalizer)
+        client = topo.population[0]
+        delivered = []
+        client.stack.add_sniffer(lambda p: delivered.append(p) if p.udp else None)
+        dying_ttl = topo.reply_ttl_dying_inside()
+        topo.measurement_server.send_ip(
+            IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=dying_ttl,
+                     payload=UDPDatagram(sport=80, dport=9000))
+        )
+        topo.run()
+        assert len(delivered) == 1
+        assert normalizer.packets_normalized == 1
+
+    def test_breaks_low_ttl_ping_diagnostics(self):
+        topo = build_censored_as(seed=9, population_size=2)
+        normalizer = TTLNormalizer(floor=8, normalize=True)
+        topo.border_router.add_tap(normalizer)
+        client = topo.population[0]
+        # A traceroute-style hop-limited echo that should expire inside.
+        probe = IPPacket(src=topo.measurement_server.ip, dst=client.ip, ttl=3,
+                         payload=ICMPMessage.echo_request(ident=1))
+        topo.measurement_server.send_ip(probe)
+        topo.run()
+        assert normalizer.diagnostics_broken == 1
+
+
+class TestAgainstStatefulMimicry:
+    def _run(self, with_normalizer):
+        env = build_environment(censored=False, seed=9, population_size=6)
+        if with_normalizer:
+            # Normalizer sits where the surveillance system is: the border.
+            env.topo.border_router.taps.insert(0, TTLNormalizer(floor=8))
+        technique = StatefulMimicryMeasurement(
+            env.ctx, env.mimicry_server,
+            [b"GET /benign HTTP/1.1\r\n\r\n"],
+            cover_ips=env.cover_ips(4),
+        )
+        technique.start()
+        env.run(duration=30.0)
+        return technique
+
+    def test_mimicry_clean_without_normalizer(self):
+        technique = self._run(with_normalizer=False)
+        assert all(r.verdict is Verdict.ACCESSIBLE for r in technique.results)
+
+    def test_normalizer_corrupts_spoofed_flows(self):
+        """The countermeasure works: normalized SYN/ACKs reach the spoofed
+        clients, whose replay RSTs tear the embryonic connections down
+        before the blind ACKs land — every clean flow reads as blocked."""
+        technique = self._run(with_normalizer=True)
+        assert technique.results
+        assert all(r.blocked for r in technique.results)

@@ -1,0 +1,79 @@
+"""Tests for retrospective metadata queries — the residual exposure.
+
+The stealthy techniques defeat *alert* attribution, but flow metadata is
+retained for the metadata window and remains queryable.  These tests pin
+down exactly what leaks and what does not.
+"""
+
+import pytest
+
+from repro.core import SpamMeasurement, StatelessSpoofedDNSMeasurement, build_environment
+
+
+class TestUsersContacting:
+    def test_spam_method_leaves_flow_metadata(self):
+        """Alert-evasive, yes — but the SMTP connect is a flow record."""
+        env = build_environment(censored=False, seed=18, population_size=4)
+        technique = SpamMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=30.0)
+        # No attributed alert (the evasion result)...
+        assert env.surveillance.attributed_alerts_for_user("measurer") == []
+        # ...but a retrospective metadata query names the measurer.
+        users = env.surveillance.users_contacting(
+            env.topo.blocked_mail.ip, now=env.sim.now
+        )
+        assert "measurer" in users
+
+    def test_metadata_window_bounds_the_query(self):
+        env = build_environment(censored=False, seed=18, population_size=4)
+        technique = SpamMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=30.0)
+        # Within the window: visible.
+        assert env.surveillance.users_contacting(
+            env.topo.blocked_mail.ip, now=env.sim.now
+        )
+        # After expiry, the store forgets.
+        later = env.sim.now + 31 * 86400.0
+        env.surveillance.expire(later)
+        assert env.surveillance.users_contacting(
+            env.topo.blocked_mail.ip, now=later
+        ) == []
+
+    def test_spoofed_cover_also_confuses_metadata(self):
+        """Spoofed queries plant flow records for the cover hosts too, so
+        even the metadata view is diluted."""
+        env = build_environment(censored=False, seed=18, population_size=8)
+        technique = StatelessSpoofedDNSMeasurement(
+            env.ctx, ["twitter.com"], env.cover_ips(5)
+        )
+        technique.start()
+        env.run(duration=30.0)
+        users = env.surveillance.users_contacting(
+            env.topo.dns_server.ip, now=env.sim.now
+        )
+        assert "measurer" in users
+        cover_users = [user for user in users if user.startswith("user")]
+        assert len(cover_users) == 5
+
+    def test_uninvolved_host_not_listed(self):
+        env = build_environment(censored=False, seed=18, population_size=4)
+        technique = SpamMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=30.0)
+        users = env.surveillance.users_contacting(
+            env.topo.blocked_mail.ip, now=env.sim.now
+        )
+        assert "user0" not in users
+
+    def test_custom_window(self):
+        env = build_environment(censored=False, seed=18, population_size=4)
+        technique = SpamMeasurement(env.ctx, ["twitter.com"])
+        technique.start()
+        env.run(duration=30.0)
+        # A tiny window placed long after the traffic sees nothing.
+        users = env.surveillance.users_contacting(
+            env.topo.blocked_mail.ip, now=env.sim.now + 1000.0, window=10.0
+        )
+        assert users == []

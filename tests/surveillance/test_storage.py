@@ -1,0 +1,114 @@
+"""Unit tests for retention storage."""
+
+import pytest
+
+from repro.packets import FiveTuple, PROTO_TCP
+from repro.surveillance import CAMPUS_PROFILE, NSA_PROFILE, RetentionStore, SurveillanceProfile
+from repro.surveillance.storage import ContentRecord, StoredAlert
+
+
+def record(time=0.0, size=100, summary="pkt"):
+    return ContentRecord(time=time, src="1.1.1.1", dst="2.2.2.2", size=size,
+                         summary=summary)
+
+
+class TestProfiles:
+    def test_nsa_constants_match_paper(self):
+        assert NSA_PROFILE.storage_fraction == 0.075
+        assert NSA_PROFILE.content_retention == 3 * 86400
+        assert NSA_PROFILE.metadata_retention == 30 * 86400
+
+    def test_campus_constants_match_paper(self):
+        assert not CAMPUS_PROFILE.captures_content
+        assert CAMPUS_PROFILE.metadata_retention == 36 * 3600
+        assert CAMPUS_PROFILE.alert_retention == 365 * 86400
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SurveillanceProfile(name="bad", storage_fraction=0.0,
+                                content_retention=1, metadata_retention=1,
+                                alert_retention=1)
+
+
+class TestBudget:
+    def test_budget_enforced_fifo(self):
+        store = RetentionStore(NSA_PROFILE)
+        store.observe_volume(10_000)  # budget = 750 bytes
+        for index in range(10):
+            store.store_content(record(time=index, size=100, summary=f"p{index}"))
+        assert store.bytes_retained <= 750
+        # Oldest evicted first.
+        assert not store.content_mentioning("p0")
+        assert store.content_mentioning("p9")
+        assert store.bytes_evicted_for_budget > 0
+
+    def test_retained_fraction_bounded(self):
+        store = RetentionStore(NSA_PROFILE)
+        for index in range(100):
+            store.observe_volume(100)
+            store.store_content(record(time=index, size=100))
+        assert store.retained_fraction() <= NSA_PROFILE.storage_fraction + 0.01
+
+    def test_campus_stores_no_content(self):
+        store = RetentionStore(CAMPUS_PROFILE)
+        store.observe_volume(1000)
+        store.store_content(record())
+        assert store.bytes_retained == 0
+        assert len(store.content) == 0
+
+
+class TestExpiry:
+    def test_content_expires_after_window(self):
+        store = RetentionStore(NSA_PROFILE)
+        store.observe_volume(10**9)
+        store.store_content(record(time=0.0))
+        store.expire(now=4 * 86400.0)
+        assert len(store.content) == 0
+        assert store.bytes_expired == 100
+
+    def test_content_kept_within_window(self):
+        store = RetentionStore(NSA_PROFILE)
+        store.observe_volume(10**9)
+        store.store_content(record(time=0.0))
+        store.expire(now=2 * 86400.0)
+        assert len(store.content) == 1
+
+    def test_flow_metadata_expires(self):
+        store = RetentionStore(NSA_PROFILE)
+        key = FiveTuple("1.1.1.1", 1, "2.2.2.2", 2, PROTO_TCP)
+        store.store_flow(key, now=0.0, size=100)
+        store.expire(now=31 * 86400.0)
+        assert store.flows == {}
+
+    def test_alerts_expire_after_a_year(self):
+        store = RetentionStore(NSA_PROFILE)
+        store.store_alert(StoredAlert(time=0.0, alert=None, user="u", origin_ip=None))
+        store.expire(now=366 * 86400.0)
+        assert store.alerts == []
+
+
+class TestFlowRecords:
+    def test_flow_accumulates(self):
+        store = RetentionStore(NSA_PROFILE)
+        key = FiveTuple("1.1.1.1", 1, "2.2.2.2", 2, PROTO_TCP)
+        store.store_flow(key, now=0.0, size=100)
+        store.store_flow(key, now=1.0, size=50)
+        flow = store.flows[key]
+        assert flow.packets == 2
+        assert flow.bytes == 150
+        assert flow.last_seen == 1.0
+
+    def test_flows_touching(self):
+        store = RetentionStore(NSA_PROFILE)
+        store.store_flow(FiveTuple("1.1.1.1", 1, "2.2.2.2", 2, PROTO_TCP), 0.0, 10)
+        store.store_flow(FiveTuple("3.3.3.3", 1, "4.4.4.4", 2, PROTO_TCP), 0.0, 10)
+        assert len(store.flows_touching("1.1.1.1")) == 1
+        assert len(store.flows_touching("9.9.9.9")) == 0
+
+
+class TestAlertQueries:
+    def test_alerts_for_user(self):
+        store = RetentionStore(NSA_PROFILE)
+        store.store_alert(StoredAlert(time=0.0, alert=None, user="alice", origin_ip=None))
+        store.store_alert(StoredAlert(time=0.0, alert=None, user="bob", origin_ip=None))
+        assert len(store.alerts_for_user("alice")) == 1

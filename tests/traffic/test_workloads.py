@@ -1,0 +1,151 @@
+"""Unit tests for the population-traffic generators."""
+
+import random
+
+import pytest
+
+from repro.netsim import MailServer, WebServer, build_censored_as
+from repro.traffic import (
+    BackgroundScanners,
+    DNSWorkload,
+    DURUMERIC_2014,
+    P2PWorkload,
+    PopulationMix,
+    SpamWorkload,
+    WebWorkload,
+    install_standard_servers,
+)
+
+
+@pytest.fixture
+def topo():
+    return build_censored_as(seed=6, population_size=6)
+
+
+class TestWebWorkload:
+    def test_issues_requests(self, topo):
+        install_standard_servers(topo)
+        workload = WebWorkload(
+            clients=topo.population,
+            sites=[(topo.control_web.ip, "example.org")],
+            rng=topo.sim.rng,
+            mean_interval=0.2,
+        )
+        workload.start(until=5.0)
+        topo.run(duration=10.0)
+        assert workload.requests_issued > 5
+        assert any(result.ok for result in workload.results)
+
+    def test_censored_fraction_hits_blocked_sites(self, topo):
+        servers = install_standard_servers(topo)
+        workload = WebWorkload(
+            clients=topo.population,
+            sites=[(topo.control_web.ip, "example.org")],
+            censored_sites=[(topo.blocked_web.ip, "twitter.com")],
+            censored_fraction=1.0,  # always censored, for the test
+            rng=topo.sim.rng,
+            mean_interval=0.2,
+        )
+        workload.start(until=3.0)
+        topo.run(duration=6.0)
+        blocked_server = servers["blocked_web"]
+        assert blocked_server.requests_served > 0
+
+    def test_stop(self, topo):
+        install_standard_servers(topo)
+        workload = WebWorkload(
+            clients=topo.population,
+            sites=[(topo.control_web.ip, "example.org")],
+            rng=topo.sim.rng,
+            mean_interval=0.1,
+        )
+        workload.start(until=100.0)
+        topo.run(duration=1.0)
+        workload.stop()
+        count = workload.requests_issued
+        topo.run(duration=5.0)
+        assert workload.requests_issued <= count + 1
+
+    def test_requires_clients_and_sites(self, topo):
+        with pytest.raises(ValueError):
+            WebWorkload(clients=[], sites=[("1.1.1.1", "x")], rng=topo.sim.rng)
+
+
+class TestDNSWorkload:
+    def test_queries_resolve(self, topo):
+        install_standard_servers(topo)
+        workload = DNSWorkload(
+            clients=topo.population,
+            resolver_ip=topo.dns_server.ip,
+            names=["example.org"],
+            rng=topo.sim.rng,
+            mean_interval=0.1,
+        )
+        workload.start(until=2.0)
+        topo.run(duration=5.0)
+        assert workload.queries_issued > 5
+        assert any(result.ok for result in workload.results)
+
+
+class TestP2PWorkload:
+    def test_transfers_complete(self, topo):
+        mix = PopulationMix(topo, p2p_interval=0.2, web_interval=1e9,
+                            dns_interval=1e9, spam_interval=1e9, scan_interval=1e9,
+                            p2p_chunk=2048)
+        install_standard_servers(topo)
+        mix.p2p.start(until=3.0)
+        topo.run(duration=10.0)
+        assert mix.p2p.transfers_started > 0
+        assert mix.p2p.transfers_completed > 0
+
+
+class TestBackgroundScanners:
+    def test_probes_sent(self, topo):
+        mix = PopulationMix(topo)
+        scanners = BackgroundScanners(
+            scanners=mix.scanners,
+            target_ips=[host.ip for host in topo.population],
+            rng=topo.sim.rng,
+            mean_interval=0.05,
+        )
+        scanners.start(until=1.0)
+        topo.run(duration=3.0)
+        assert scanners.probes_sent > 5
+
+    def test_darknet_stats(self):
+        assert DURUMERIC_2014.scans == 10_800_000
+        per_ip_day = DURUMERIC_2014.scans_per_ip_per_day()
+        assert 0.05 < per_ip_day < 0.07
+        expected = DURUMERIC_2014.expected_background(65536, days=1.0)
+        assert expected == pytest.approx(per_ip_day * 65536)
+
+
+class TestSpamWorkload:
+    def test_spam_delivered(self, topo):
+        install_standard_servers(topo)
+        workload = SpamWorkload(
+            bots=topo.population[:2],
+            mail_servers=[(topo.control_mail.ip, "example.org")],
+            rng=topo.sim.rng,
+            mean_interval=0.3,
+        )
+        workload.start(until=3.0)
+        topo.run(duration=10.0)
+        assert workload.messages_attempted > 2
+        assert any(result.ok for result in workload.results)
+
+
+class TestPopulationMix:
+    def test_mix_runs_all_workloads(self, topo):
+        install_standard_servers(topo)
+        mix = PopulationMix(topo, web_interval=0.3, dns_interval=0.3,
+                            p2p_interval=0.5, spam_interval=1.0, scan_interval=0.5)
+        mix.start(until=5.0)
+        topo.run(duration=15.0)
+        stats = mix.stats()
+        assert all(count > 0 for count in stats.values()), stats
+
+    def test_outside_hosts_attached(self, topo):
+        mix = PopulationMix(topo, outside_peer_count=2, scanner_count=4)
+        assert len(mix.outside_peers) == 2
+        assert len(mix.scanners) == 4
