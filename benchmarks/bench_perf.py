@@ -4,6 +4,11 @@ Unlike the E1-E10 reproduction benches (single-shot), these exercise the
 hot loops with real repetition so pytest-benchmark's statistics mean
 something: packet serialization, rule-engine evaluation, stream
 reassembly, and raw simulator event throughput.
+
+All benches carry the ``perf`` marker, which the repo's pytest config
+excludes by default — run them with ``pytest benchmarks/bench_perf.py -m
+perf``.  ``benchmarks/perf_guard.py`` times the same hot paths without
+pytest and checks them against the committed ``BENCH_PERF.json`` baseline.
 """
 
 import pytest
@@ -18,6 +23,8 @@ from repro.rules import (
     mvr_detection_ruleset_text,
     surveillance_interest_ruleset_text,
 )
+
+pytestmark = pytest.mark.perf
 
 
 def _request_packet(index=0):
@@ -78,6 +85,45 @@ def test_perf_rule_engine_full_ruleset(benchmark):
 
     benchmark(run_batch)
     assert engine.packets_processed >= 100
+
+
+def test_perf_rule_dispatch_wide_ports(benchmark):
+    """Dispatch-index showcase: ~200 single-port rules, traffic spread wide.
+
+    A linear scan pays for every rule on every packet here; the port index
+    consults one bucket (a handful of candidates) per packet.
+    """
+    from perf_guard import wide_port_packets, wide_port_ruleset_text
+
+    engine = RuleEngine.from_text(wide_port_ruleset_text())
+    packets = wide_port_packets()
+    state = {"now": 0.0}
+
+    def run_batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    benchmark(run_batch)
+    assert engine.packets_processed >= len(packets)
+    assert engine.alerts  # the token packets really fire their port rules
+
+
+def test_perf_rule_engine_mixed_protocols(benchmark):
+    """Packets/second for a TCP/UDP/ICMP transit mix, full ruleset."""
+    from perf_guard import full_ruleset_text, mixed_protocol_packets
+
+    engine = RuleEngine.from_text(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+    packets = mixed_protocol_packets()
+    state = {"now": 0.0}
+
+    def run_batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    benchmark(run_batch)
+    assert engine.packets_processed >= len(packets)
 
 
 def test_perf_stream_reassembly(benchmark):

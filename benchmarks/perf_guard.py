@@ -1,0 +1,372 @@
+"""Perf-regression guard for the substrate hot paths.
+
+Times each hot path with plain ``perf_counter`` loops (no pytest needed),
+producing machine-readable ops/sec so successive PRs have a throughput
+trajectory to compare against.
+
+Usage::
+
+    python benchmarks/perf_guard.py              # measure and print
+    python benchmarks/perf_guard.py --update     # also (re)write BENCH_PERF.json
+    python benchmarks/perf_guard.py --check      # exit 1 if any hot path is
+                                                 # >30% below the committed
+                                                 # BENCH_PERF.json baseline
+
+Numbers are machine-relative: ``--check`` is meant to compare two runs on
+the *same* machine (pre/post a change, or in one CI job), not to compare a
+laptop against the committed numbers from another host.  Regenerate the
+baseline with ``--update`` when switching machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.netsim import Simulator  # noqa: E402
+from repro.packets import (  # noqa: E402
+    ACK,
+    ICMPMessage,
+    IPPacket,
+    PSH,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+)
+from repro.rules import (  # noqa: E402
+    DEFAULT_VARIABLES,
+    RuleEngine,
+    StreamReassembler,
+    censor_ruleset_text,
+    mvr_detection_ruleset_text,
+    surveillance_interest_ruleset_text,
+)
+
+BASELINE_PATH = REPO_ROOT / "BENCH_PERF.json"
+DEFAULT_TOLERANCE = 0.30
+MIN_SECONDS = 0.25
+
+# -- shared workload builders (also used by bench_perf.py) ---------------------
+
+
+def full_ruleset_text() -> str:
+    return "\n".join(
+        [
+            censor_ruleset_text(),
+            mvr_detection_ruleset_text(),
+            surveillance_interest_ruleset_text(),
+        ]
+    )
+
+
+def http_packet(index: int = 0) -> IPPacket:
+    return IPPacket(
+        src="10.1.0.5",
+        dst="203.0.113.10",
+        payload=TCPSegment(
+            sport=40000 + index % 1000,
+            dport=80,
+            seq=100,
+            ack=500,
+            flags=PSH | ACK,
+            payload=b"GET /index.html HTTP/1.1\r\nHost: example.org\r\n\r\n",
+        ),
+    )
+
+
+def wide_port_ruleset_text(n_rules: int = 200) -> str:
+    """One content rule per port across a wide spread — the workload where a
+    linear scan pays for every rule and the dispatch index pays for one."""
+    lines = []
+    for i in range(n_rules):
+        port = 1000 + i
+        lines.append(
+            f'alert tcp any any -> any {port} '
+            f'(msg:"PERF svc {port}"; content:"token{port}"; sid:{600000 + i};)'
+        )
+    # A few catch-alls so the candidate list is never empty.
+    lines.append('alert tcp any any -> any any (msg:"PERF tcp any"; flags:S; sid:699998;)')
+    lines.append('alert ip any any -> any any (msg:"PERF ip any"; dsize:>4000; sid:699999;)')
+    return "\n".join(lines)
+
+
+def wide_port_packets(count: int = 200) -> list:
+    """Traffic spread across the rule ports; payload hits ~1 rule in 8."""
+    packets = []
+    for i in range(count):
+        port = 1000 + (i * 7) % 200
+        body = f"token{port}".encode() if i % 8 == 0 else b"GET / HTTP/1.1\r\n\r\n"
+        packets.append(
+            IPPacket(
+                src=f"10.1.{i % 4}.{i % 250 + 1}",
+                dst="203.0.113.10",
+                payload=TCPSegment(
+                    sport=30000 + i, dport=port, seq=1, flags=PSH | ACK, payload=body
+                ),
+            )
+        )
+    return packets
+
+
+def mixed_protocol_packets(count: int = 120) -> list:
+    """A TCP/UDP/ICMP mix, matching transit traffic at the tap."""
+    packets = []
+    for i in range(count):
+        kind = i % 3
+        src = f"10.1.0.{i % 200 + 1}"
+        if kind == 0:
+            packets.append(http_packet(i))
+        elif kind == 1:
+            packets.append(
+                IPPacket(
+                    src=src,
+                    dst="8.8.8.8",
+                    payload=UDPDatagram(
+                        sport=20000 + i,
+                        dport=53,
+                        payload=b"\x12\x34\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+                        b"\x07example\x03org\x00\x00\x0f\x00\x01",
+                    ),
+                )
+            )
+        else:
+            packets.append(
+                IPPacket(src=src, dst="203.0.113.10", payload=ICMPMessage.echo_request())
+            )
+    return packets
+
+
+# -- measurement ---------------------------------------------------------------
+
+
+def _measure(
+    batch_fn,
+    units_per_batch: int,
+    min_seconds: float = MIN_SECONDS,
+    warmup_batches: int = 1,
+) -> float:
+    """Run ``batch_fn`` until ``min_seconds`` elapse; return units/sec.
+
+    ``warmup_batches`` runs are discarded first.  Rule-engine paths need a
+    substantial warmup: each batch advances simulated time 1 s, and
+    throughput only stabilizes once the longest threshold window (60 s)
+    has filled and started evicting — measuring earlier under-reports the
+    steady state by ~30%.
+    """
+    for _ in range(warmup_batches):
+        batch_fn()
+    batches = 0
+    start = time.perf_counter()
+    while True:
+        batch_fn()
+        batches += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return batches * units_per_batch / elapsed
+
+
+def _bench_packet_serialization() -> tuple:
+    packet = http_packet()
+    return lambda: [packet.to_bytes() for _ in range(100)], 100, "packets", 1
+
+
+def _bench_packet_parsing() -> tuple:
+    raw = http_packet().to_bytes()
+    return lambda: [IPPacket.from_bytes(raw) for _ in range(100)], 100, "packets", 1
+
+
+def _bench_packet_wire_length() -> tuple:
+    packet = http_packet()
+    return lambda: [packet.wire_length() for _ in range(1000)], 1000, "packets", 1
+
+
+def _bench_rule_engine_full_ruleset() -> tuple:
+    engine = RuleEngine.from_text(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+    packets = [http_packet(i) for i in range(100)]
+    state = {"now": 0.0}
+
+    def batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    return batch, len(packets), "packets", 80
+
+
+def _bench_rule_dispatch_wide_ports() -> tuple:
+    engine = RuleEngine.from_text(wide_port_ruleset_text())
+    packets = wide_port_packets()
+    state = {"now": 0.0}
+
+    def batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    return batch, len(packets), "packets", 80
+
+
+def _bench_rule_engine_mixed_protocols() -> tuple:
+    engine = RuleEngine.from_text(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+    packets = mixed_protocol_packets()
+    state = {"now": 0.0}
+
+    def batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    return batch, len(packets), "packets", 80
+
+
+def _bench_stream_reassembly() -> tuple:
+    def batch():
+        reasm = StreamReassembler()
+        for flow in range(20):
+            client = f"10.1.0.{flow + 1}"
+            reasm.feed(
+                IPPacket(
+                    src=client,
+                    dst="203.0.113.10",
+                    payload=TCPSegment(sport=1000, dport=80, seq=10, flags=SYN),
+                ),
+                0.0,
+            )
+            for index in range(10):
+                reasm.feed(
+                    IPPacket(
+                        src=client,
+                        dst="203.0.113.10",
+                        payload=TCPSegment(
+                            sport=1000,
+                            dport=80,
+                            seq=11 + index * 8,
+                            ack=51,
+                            flags=PSH | ACK,
+                            payload=b"payload!",
+                        ),
+                    ),
+                    0.0,
+                )
+
+    return batch, 220, "segments", 1
+
+
+def _bench_simulator_events() -> tuple:
+    def batch():
+        sim = Simulator()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                sim.at(0.001, tick)
+
+        sim.at(0.0, tick)
+        sim.run()
+
+    return batch, 10_000, "events", 1
+
+
+HOT_PATHS = {
+    "packet_serialization": _bench_packet_serialization,
+    "packet_parsing": _bench_packet_parsing,
+    "packet_wire_length": _bench_packet_wire_length,
+    "rule_engine_full_ruleset": _bench_rule_engine_full_ruleset,
+    "rule_dispatch_wide_ports": _bench_rule_dispatch_wide_ports,
+    "rule_engine_mixed_protocols": _bench_rule_engine_mixed_protocols,
+    "stream_reassembly": _bench_stream_reassembly,
+    "simulator_events": _bench_simulator_events,
+}
+
+
+def run_all(min_seconds: float = MIN_SECONDS) -> dict:
+    results = {}
+    for name, builder in HOT_PATHS.items():
+        batch_fn, units, unit_name, warmup = builder()
+        ops = _measure(batch_fn, units, min_seconds, warmup)
+        results[name] = {"ops_per_sec": round(ops, 1), "unit": unit_name}
+    return results
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    """Return [(name, baseline_ops, current_ops, ratio)] for regressions."""
+    regressions = []
+    for name, entry in baseline.get("hot_paths", {}).items():
+        if name not in current:
+            continue
+        base_ops = entry["ops_per_sec"]
+        cur_ops = current[name]["ops_per_sec"]
+        if base_ops > 0 and cur_ops < base_ops * (1.0 - tolerance):
+            regressions.append((name, base_ops, cur_ops, cur_ops / base_ops))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline; exit 1 on regression")
+    parser.add_argument("--update", action="store_true",
+                        help="write the measured numbers to BENCH_PERF.json")
+    parser.add_argument("--json", type=Path, default=BASELINE_PATH,
+                        help="baseline file (default: BENCH_PERF.json at the repo root)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional slowdown before --check fails (default 0.30)")
+    parser.add_argument("--min-seconds", type=float, default=MIN_SECONDS,
+                        help="minimum measurement time per hot path")
+    args = parser.parse_args(argv)
+
+    current = run_all(args.min_seconds)
+    width = max(len(name) for name in current)
+    for name, entry in current.items():
+        print(f"{name:<{width}}  {entry['ops_per_sec']:>14,.0f} {entry['unit']}/s")
+
+    status = 0
+    if args.check:
+        if not args.json.exists():
+            print(f"\nno baseline at {args.json}; run with --update first", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.json.read_text())
+        regressions = check(current, baseline, args.tolerance)
+        # A single-shot reading can dip on a loaded machine (these paths run
+        # back to back on one core); re-measure just the flagged paths and
+        # keep the best reading before declaring a regression.
+        for attempt in range(2):
+            if not regressions:
+                break
+            for name, _base, _cur, _ratio in regressions:
+                batch_fn, units, unit_name, warmup = HOT_PATHS[name]()
+                ops = _measure(batch_fn, units, args.min_seconds, warmup)
+                if ops > current[name]["ops_per_sec"]:
+                    current[name] = {"ops_per_sec": round(ops, 1), "unit": unit_name}
+            regressions = check(current, baseline, args.tolerance)
+        if regressions:
+            print(f"\nREGRESSIONS (> {args.tolerance:.0%} below baseline):")
+            for name, base_ops, cur_ops, ratio in regressions:
+                print(f"  {name}: {base_ops:,.0f} -> {cur_ops:,.0f} ({ratio:.0%} of baseline)")
+            status = 1
+        else:
+            print(f"\nok: all hot paths within {args.tolerance:.0%} of baseline")
+
+    if args.update:
+        payload = {
+            "schema": 1,
+            "note": (
+                "ops/sec per hot path, measured by benchmarks/perf_guard.py; "
+                "machine-relative — regenerate with --update when hardware changes"
+            ),
+            "hot_paths": current,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

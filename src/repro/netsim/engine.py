@@ -19,15 +19,21 @@ __all__ = ["Simulator", "Timer"]
 class Timer:
     """A cancellable handle for a scheduled event."""
 
-    __slots__ = ("cancelled", "when")
+    __slots__ = ("cancelled", "when", "_fired", "_sim")
 
-    def __init__(self, when: float) -> None:
+    def __init__(self, when: float, sim: "Optional[Simulator]" = None) -> None:
         self.when = when
         self.cancelled = False
+        self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -44,14 +50,30 @@ class Simulator:
         self._queue: list[tuple[float, int, Timer, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        #: cancelled entries still sitting in the heap (popped lazily)
+        self._dead = 0
 
     def at(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        timer = Timer(self.now + delay)
+        timer = Timer(self.now + delay, sim=self)
         heapq.heappush(self._queue, (timer.when, next(self._counter), timer, callback))
         return timer
+
+    def _note_cancelled(self) -> None:
+        """Called by ``Timer.cancel``; compacts the heap when cancellation-
+        heavy workloads leave it mostly dead entries."""
+        self._dead += 1
+        if self._dead > len(self._queue) // 2 and self._dead >= 64:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (order-preserving:
+        the (when, seq) keys are untouched)."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Process events until the queue drains or ``until`` is reached.
@@ -65,7 +87,9 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             if timer.cancelled:
+                self._dead -= 1
                 continue
+            timer._fired = True
             self.now = when
             callback()
             processed += 1
@@ -84,8 +108,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._dead
 
     @property
     def events_processed(self) -> int:

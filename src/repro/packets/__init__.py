@@ -8,10 +8,12 @@ IDS would.
 """
 
 from .addressing import (
+    compile_network,
     hosts_of,
     in_network,
     int_to_ip,
     ip_to_int,
+    ip_to_int_cached,
     is_valid_ip,
     network_of,
     parse_cidr,
@@ -92,11 +94,13 @@ __all__ = [
     "canonical_flow",
     "flow_of",
     "fragment",
+    "compile_network",
     "hosts_of",
     "in_network",
     "int_to_ip",
     "internet_checksum",
     "ip_to_int",
+    "ip_to_int_cached",
     "is_valid_ip",
     "network_of",
     "parse_cidr",

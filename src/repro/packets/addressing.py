@@ -8,8 +8,10 @@ from __future__ import annotations
 
 __all__ = [
     "ip_to_int",
+    "ip_to_int_cached",
     "int_to_ip",
     "parse_cidr",
+    "compile_network",
     "in_network",
     "network_of",
     "same_prefix",
@@ -39,6 +41,24 @@ def int_to_ip(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
 
+# Simulations re-send the same handful of endpoint addresses millions of
+# times; memoizing the string→int conversion takes it off the per-packet
+# hot path.  The cap only guards against pathological address churn.
+_IP_INT_CACHE: dict = {}
+_IP_INT_CACHE_MAX = 1 << 16
+
+
+def ip_to_int_cached(addr: str) -> int:
+    """``ip_to_int`` with memoization for hot-path callers."""
+    value = _IP_INT_CACHE.get(addr)
+    if value is None:
+        value = ip_to_int(addr)
+        if len(_IP_INT_CACHE) >= _IP_INT_CACHE_MAX:
+            _IP_INT_CACHE.clear()
+        _IP_INT_CACHE[addr] = value
+    return value
+
+
 def is_valid_ip(addr: str) -> bool:
     """Return True if ``addr`` parses as a dotted-quad IPv4 address."""
     try:
@@ -59,6 +79,20 @@ def parse_cidr(cidr: str) -> tuple[int, int]:
         raise ValueError(f"invalid prefix length in {cidr!r}")
     mask = 0xFFFFFFFF << (32 - prefix) & 0xFFFFFFFF if prefix else 0
     return ip_to_int(base) & mask, prefix
+
+
+def compile_network(entry: str) -> tuple[int, int]:
+    """Compile an IP or CIDR string to a ``(network_int, mask)`` pair.
+
+    An address ``a`` is inside iff ``ip_to_int(a) & mask == network_int``;
+    a bare host address compiles to a /32.  This is the precomputed form
+    the rule matchers test against, replacing per-match string parsing.
+    """
+    if "/" in entry:
+        network, prefix = parse_cidr(entry)
+        mask = 0xFFFFFFFF << (32 - prefix) & 0xFFFFFFFF if prefix else 0
+        return network, mask
+    return ip_to_int(entry), 0xFFFFFFFF
 
 
 def in_network(addr: str, cidr: str) -> bool:

@@ -41,6 +41,10 @@ class ICMPMessage:
     payload: bytes = b""
     metadata: dict = field(default_factory=dict, repr=False, compare=False)
 
+    def wire_length(self) -> int:
+        """Length of ``to_bytes()`` without serializing."""
+        return 8 + len(self.payload)
+
     def to_bytes(self, src_ip: str = "", dst_ip: str = "") -> bytes:
         """Serialize; ICMP checksums do not use a pseudo-header."""
         header = struct.pack(

@@ -24,6 +24,23 @@ PROTO_UDP = 17
 IP_HEADER_LEN = 20
 DEFAULT_TTL = 64
 
+# The transport classes are imported lazily (ip.py loads before them in the
+# package) but cached after the first lookup: re-running ``from .tcp import
+# TCPSegment`` on every ``packet.tcp`` access dominated the rule-engine
+# profile before this cache existed.
+_TRANSPORT_CLASSES = None
+
+
+def _transport_classes():
+    global _TRANSPORT_CLASSES
+    if _TRANSPORT_CLASSES is None:
+        from .icmp import ICMPMessage
+        from .tcp import TCPSegment
+        from .udp import UDPDatagram
+
+        _TRANSPORT_CLASSES = (TCPSegment, UDPDatagram, ICMPMessage)
+    return _TRANSPORT_CLASSES
+
 
 @dataclass
 class IPPacket:
@@ -50,10 +67,7 @@ class IPPacket:
             self.protocol = self._infer_protocol()
 
     def _infer_protocol(self) -> int:
-        # Imported lazily to avoid a circular import at module load time.
-        from .icmp import ICMPMessage
-        from .tcp import TCPSegment
-        from .udp import UDPDatagram
+        TCPSegment, UDPDatagram, ICMPMessage = _transport_classes()
 
         if isinstance(self.payload, TCPSegment):
             return PROTO_TCP
@@ -72,6 +86,13 @@ class IPPacket:
         if isinstance(self.payload, (bytes, bytearray)):
             return bytes(self.payload)
         return self.payload.to_bytes(self.src, self.dst)
+
+    def wire_length(self) -> int:
+        """Length of ``to_bytes()`` without materializing (or checksumming)
+        the wire bytes — the cheap path for byte-budget accounting."""
+        if isinstance(self.payload, (bytes, bytearray)):
+            return IP_HEADER_LEN + len(self.payload)
+        return IP_HEADER_LEN + self.payload.wire_length()
 
     def to_bytes(self) -> bytes:
         """Serialize to the IPv4 wire format with a valid header checksum."""
@@ -118,9 +139,7 @@ class IPPacket:
         ihl = (ver_ihl & 0xF) * 4
         body = data[ihl:total_len]
         payload: Union[object, bytes]
-        from .icmp import ICMPMessage
-        from .tcp import TCPSegment
-        from .udp import UDPDatagram
+        TCPSegment, UDPDatagram, ICMPMessage = _transport_classes()
 
         if protocol == PROTO_TCP:
             payload = TCPSegment.from_bytes(body)
@@ -147,23 +166,17 @@ class IPPacket:
     @property
     def tcp(self):
         """The TCP payload, or None."""
-        from .tcp import TCPSegment
-
-        return self.payload if isinstance(self.payload, TCPSegment) else None
+        return self.payload if isinstance(self.payload, _transport_classes()[0]) else None
 
     @property
     def udp(self):
         """The UDP payload, or None."""
-        from .udp import UDPDatagram
-
-        return self.payload if isinstance(self.payload, UDPDatagram) else None
+        return self.payload if isinstance(self.payload, _transport_classes()[1]) else None
 
     @property
     def icmp(self):
         """The ICMP payload, or None."""
-        from .icmp import ICMPMessage
-
-        return self.payload if isinstance(self.payload, ICMPMessage) else None
+        return self.payload if isinstance(self.payload, _transport_classes()[2]) else None
 
     def copy(self) -> "IPPacket":
         """Deep-ish copy: payload objects are re-parsed from wire bytes."""

@@ -83,6 +83,10 @@ class TCPSegment:
         pad = (-len(self.options)) % 4
         return TCP_HEADER_LEN + len(self.options) + pad
 
+    def wire_length(self) -> int:
+        """Length of ``to_bytes()`` without serializing."""
+        return self.header_len() + len(self.payload)
+
     def to_bytes(self, src_ip: str, dst_ip: str) -> bytes:
         """Serialize with a valid checksum over the IPv4 pseudo-header."""
         opts = self.options + b"\x00" * ((-len(self.options)) % 4)

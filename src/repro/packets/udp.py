@@ -23,6 +23,10 @@ class UDPDatagram:
     payload: bytes = b""
     metadata: dict = field(default_factory=dict, repr=False, compare=False)
 
+    def wire_length(self) -> int:
+        """Length of ``to_bytes()`` without serializing."""
+        return UDP_HEADER_LEN + len(self.payload)
+
     def to_bytes(self, src_ip: str, dst_ip: str) -> bytes:
         """Serialize with a valid checksum over the IPv4 pseudo-header."""
         length = UDP_HEADER_LEN + len(self.payload)

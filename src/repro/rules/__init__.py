@@ -1,6 +1,7 @@
 """Snort-subset rule language, matchers, stream reassembly, and engine."""
 
 from .engine import Alert, RuleEngine
+from .index import MatchContext, RuleDispatchIndex
 from .language import Rule, RuleParseError, ThresholdSpec, parse_rule, parse_ruleset
 from .matcher import (
     AddressSpec,
@@ -33,10 +34,12 @@ __all__ = [
     "FlagsOption",
     "FlowRecord",
     "GFC_KEYWORDS",
+    "MatchContext",
     "PcreOption",
     "PortSpec",
     "RETAIN_CLASSTYPES",
     "Rule",
+    "RuleDispatchIndex",
     "RuleEngine",
     "RuleParseError",
     "StreamReassembler",

@@ -5,6 +5,14 @@ middlebox runs it with GFC-style ``reject``/``drop`` rules, and the
 surveillance MVR runs it with detection/policy ``alert`` rules.  Leaked
 documents indicate both real systems are off-path signature-based IDSes
 (paper Section 3.2.1), so one shared engine is the faithful model.
+
+Evaluation runs on a fast path by default: a :class:`RuleDispatchIndex`
+limits each packet to candidate rules bucketed by protocol and destination
+port, a shared :class:`MatchContext` computes per-packet facts once, and an
+anchor-literal prefilter skips content rules whose necessary literal is
+absent from the haystack.  ``RuleEngine(use_index=False)`` keeps the naive
+full-scan path alive as the semantic reference (see
+``tests/rules/test_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .index import MatchContext, RuleDispatchIndex
 from .language import Rule, ThresholdSpec, parse_ruleset
 from .reassembly import StreamReassembler, StreamUpdate
 
@@ -47,15 +56,31 @@ class Alert:
 
 
 class _ThresholdState:
-    """Sliding-window event counting for threshold/detection_filter."""
+    """Sliding-window event counting for threshold/detection_filter.
+
+    State is pruned periodically: a ``(sid, ip)`` key whose newest event is
+    older than its spec's window can never influence a future decision, so
+    long multi-user simulations don't accumulate one deque per address
+    forever.
+    """
+
+    #: prune every this-many ``should_alert`` calls
+    PRUNE_INTERVAL = 1024
 
     def __init__(self) -> None:
         self._events: Dict[Tuple[int, str], deque] = {}
         self._fired_in_window: Dict[Tuple[int, str], float] = {}
+        #: the spec window (seconds) last seen per key, for pruning
+        self._windows: Dict[Tuple[int, str], float] = {}
+        self._calls = 0
 
     def should_alert(self, spec: ThresholdSpec, sid: int, key_ip: str, now: float) -> bool:
+        self._calls += 1
+        if self._calls % self.PRUNE_INTERVAL == 0:
+            self.prune(now)
         key = (sid, key_ip)
         window = self._events.setdefault(key, deque())
+        self._windows[key] = spec.seconds
         window.append(now)
         while window and now - window[0] > spec.seconds:
             window.popleft()
@@ -72,6 +97,28 @@ class _ThresholdState:
                 return True
         return False
 
+    def prune(self, now: float) -> int:
+        """Drop keys whose newest event left the window; returns count."""
+        stale = [
+            key
+            for key, window in self._events.items()
+            if not window or now - window[-1] > self._windows.get(key, 0.0)
+        ]
+        for key in stale:
+            del self._events[key]
+            self._windows.pop(key, None)
+        fired_stale = [
+            key
+            for key, last in self._fired_in_window.items()
+            if key not in self._events and now - last > self._windows.get(key, 0.0)
+        ]
+        for key in fired_stale:
+            del self._fired_in_window[key]
+        return len(stale)
+
+    def tracked_keys(self) -> int:
+        return len(self._events)
+
 
 class RuleEngine:
     """Evaluates a ruleset against a packet stream.
@@ -87,6 +134,7 @@ class RuleEngine:
         variables: Optional[Dict[str, str]] = None,
         stream_depth: int = 8192,
         overlap_policy: str = "first",
+        use_index: bool = True,
     ) -> None:
         self.variables = dict(variables or {})
         self.rules: List[Rule] = list(rules or [])
@@ -96,6 +144,11 @@ class RuleEngine:
         self.alerts: List[Alert] = []
         self.packets_processed = 0
         self._thresholds = _ThresholdState()
+        self.use_index = use_index
+        self._index: Optional[RuleDispatchIndex] = (
+            RuleDispatchIndex(self.rules) if use_index else None
+        )
+        self._by_sid: Dict[int, Rule] = {rule.sid: rule for rule in self.rules}
 
     @classmethod
     def from_text(
@@ -104,6 +157,7 @@ class RuleEngine:
         variables: Optional[Dict[str, str]] = None,
         stream_depth: int = 8192,
         overlap_policy: str = "first",
+        use_index: bool = True,
     ) -> "RuleEngine":
         variables = dict(variables or {})
         return cls(
@@ -111,28 +165,45 @@ class RuleEngine:
             variables=variables,
             stream_depth=stream_depth,
             overlap_policy=overlap_policy,
+            use_index=use_index,
         )
 
     def add_rules(self, ruleset_text: str) -> None:
-        self.rules.extend(parse_ruleset(ruleset_text, self.variables))
+        added = parse_ruleset(ruleset_text, self.variables)
+        self.rules.extend(added)
+        if self._index is not None:
+            self._index.add(added)
+        for rule in added:
+            self._by_sid[rule.sid] = rule
 
     def rule_by_sid(self, sid: int) -> Optional[Rule]:
-        for rule in self.rules:
-            if rule.sid == sid:
-                return rule
-        return None
+        return self._by_sid.get(sid)
 
     # -- evaluation -------------------------------------------------------------
 
     def process(self, packet: IPPacket, now: float) -> List[Alert]:
-        """Run the packet through reassembly and every rule."""
+        """Run the packet through reassembly and every candidate rule."""
         self.packets_processed += 1
         update = self.reassembler.feed(packet, now)
+        ctx = MatchContext(packet, update)
+        if self._index is not None:
+            candidates = self._index.candidates(packet.protocol, ctx.dport, ctx.sport)
+            prefilter = True
+        else:
+            candidates = self.rules
+            prefilter = False
         matches: List[Alert] = []
-        for rule in self.rules:
-            if not self._header_matches(rule, packet):
+        for rule in candidates:
+            if not self._header_matches(rule, packet, ctx):
                 continue
-            if not self._options_match(rule, packet, update):
+            if prefilter:
+                anchor = rule.anchor_literal()
+                if anchor is not None:
+                    needle, nocase = anchor
+                    hay = ctx.lower_haystack if nocase else ctx.haystack
+                    if needle not in hay:
+                        continue  # a necessary literal is absent
+            if not self._options_match(rule, packet, update, ctx):
                 continue
             if rule.action == "pass":
                 return []  # pass rules defeat all later rules for this packet
@@ -146,12 +217,11 @@ class RuleEngine:
                 if rule.sid in update.flow.alerted_sids:
                     continue
                 update.flow.alerted_sids.add(rule.sid)
-            matches.append(self._alert(rule, packet, now))
+            matches.append(self._alert(rule, packet, now, ctx))
         self.alerts.extend(matches)
         return matches
 
-    def _alert(self, rule: Rule, packet: IPPacket, now: float) -> Alert:
-        sport, dport = _ports_of(packet)
+    def _alert(self, rule: Rule, packet: IPPacket, now: float, ctx: MatchContext) -> Alert:
         return Alert(
             time=now,
             sid=rule.sid,
@@ -161,48 +231,51 @@ class RuleEngine:
             priority=rule.priority,
             src=packet.src,
             dst=packet.dst,
-            sport=sport,
-            dport=dport,
+            sport=ctx.sport,
+            dport=ctx.dport,
             rule=rule,
             packet=packet,
         )
 
-    def _header_matches(self, rule: Rule, packet: IPPacket) -> bool:
+    def _header_matches(self, rule: Rule, packet: IPPacket, ctx: MatchContext) -> bool:
         if rule.protocol != "ip" and _PROTO_OF[rule.protocol] != packet.protocol:
             return False
-        sport, dport = _ports_of(packet)
+        sport, dport = ctx.sport, ctx.dport
         forward = (
-            rule.src.matches(packet.src)
-            and rule.sport.matches(sport)
-            and rule.dst.matches(packet.dst)
-            and rule.dport.matches(dport)
+            (rule.src.any or rule.src.matches_int(ctx.src_int))
+            and (rule.sport.any or rule.sport.matches(sport))
+            and (rule.dst.any or rule.dst.matches_int(ctx.dst_int))
+            and (rule.dport.any or rule.dport.matches(dport))
         )
         if forward:
             return True
         if rule.bidirectional:
             return (
-                rule.src.matches(packet.dst)
-                and rule.sport.matches(dport)
-                and rule.dst.matches(packet.src)
-                and rule.dport.matches(sport)
+                (rule.src.any or rule.src.matches_int(ctx.dst_int))
+                and (rule.sport.any or rule.sport.matches(dport))
+                and (rule.dst.any or rule.dst.matches_int(ctx.src_int))
+                and (rule.dport.any or rule.dport.matches(sport))
             )
         return False
 
     def _options_match(
-        self, rule: Rule, packet: IPPacket, update: Optional[StreamUpdate]
+        self,
+        rule: Rule,
+        packet: IPPacket,
+        update: Optional[StreamUpdate],
+        ctx: MatchContext,
     ) -> bool:
         if rule.flags is not None:
-            if packet.tcp is None or not rule.flags.matches(packet.tcp.flags):
+            if ctx.tcp is None or not rule.flags.matches(ctx.tcp.flags):
                 return False
         if rule.itype is not None:
-            if packet.icmp is None or packet.icmp.icmp_type != rule.itype:
+            if ctx.icmp is None or ctx.icmp.icmp_type != rule.itype:
                 return False
         if rule.icode is not None:
-            if packet.icmp is None or packet.icmp.code != rule.icode:
+            if ctx.icmp is None or ctx.icmp.code != rule.icode:
                 return False
 
-        payload = _payload_of(packet)
-        if rule.dsize is not None and not rule.dsize.matches(len(payload)):
+        if rule.dsize is not None and not rule.dsize.matches(len(ctx.payload)):
             return False
 
         if rule.flow:
@@ -210,16 +283,15 @@ class RuleEngine:
                 return False
 
         if rule.needs_payload():
-            haystack = payload
-            if update is not None:
-                # Match against the reassembled stream so keywords split
-                # across segments are still seen (and evasion by splitting
-                # is defeated, as with the real GFC).
-                haystack = update.flow.buffer(update.direction)
+            # Match against the reassembled stream so keywords split
+            # across segments are still seen (and evasion by splitting
+            # is defeated, as with the real GFC).
+            haystack = ctx.haystack
             if not haystack:
                 return False
             for content in rule.contents:
-                if not content.matches(haystack):
+                hay = ctx.lower_haystack if content.nocase else haystack
+                if not content.search_in(hay):
                     return False
             for pcre in rule.pcres:
                 if not pcre.matches(haystack):
@@ -244,23 +316,3 @@ class RuleEngine:
             if option == "not_established" and flow.established:
                 return False
         return True
-
-
-def _ports_of(packet: IPPacket) -> Tuple[int, int]:
-    if packet.tcp is not None:
-        return packet.tcp.sport, packet.tcp.dport
-    if packet.udp is not None:
-        return packet.udp.sport, packet.udp.dport
-    return 0, 0
-
-
-def _payload_of(packet: IPPacket) -> bytes:
-    if packet.tcp is not None:
-        return packet.tcp.payload
-    if packet.udp is not None:
-        return packet.udp.payload
-    if packet.icmp is not None:
-        return packet.icmp.payload
-    if isinstance(packet.payload, (bytes, bytearray)):
-        return bytes(packet.payload)
-    return b""

@@ -1,0 +1,218 @@
+"""Fast-path rule dispatch: a protocol/port index and a per-packet context.
+
+Real ISP-scale IDSes never scan their full ruleset per packet — they group
+rules by protocol and destination port and consult only the candidate
+bucket (Snort's port-group / fast-pattern architecture).  This module is
+that layer for the reproduction's engine:
+
+- :class:`MatchContext` computes the per-packet facts every candidate rule
+  needs — transport object, ports, payload, stream haystack, lowercased
+  haystack, integer addresses — exactly once, instead of once per rule.
+- :class:`RuleDispatchIndex` buckets rules at engine construction so
+  ``process()`` evaluates only rules whose protocol and port coverage can
+  possibly match.  Candidate lists are always a *superset* of the rules
+  whose headers match, and preserve ruleset order, so alert semantics
+  (including ``pass``-rule suppression and threshold state) are identical
+  to the naive full scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..packets import PROTO_ICMP, PROTO_TCP, PROTO_UDP, ip_to_int_cached
+from .language import Rule
+from .reassembly import StreamUpdate
+
+__all__ = ["MatchContext", "RuleDispatchIndex", "MAX_ENUMERATED_PORTS"]
+
+_PROTO_NUMBER = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+
+#: A destination-port spec covering more distinct ports than this is treated
+#: as a catch-all rather than enumerated into per-port buckets.
+MAX_ENUMERATED_PORTS = 256
+
+
+class MatchContext:
+    """Per-packet facts, computed once and shared by all candidate rules."""
+
+    __slots__ = (
+        "packet",
+        "update",
+        "tcp",
+        "udp",
+        "icmp",
+        "sport",
+        "dport",
+        "payload",
+        "_src_int",
+        "_dst_int",
+        "_haystack",
+        "_lower_haystack",
+    )
+
+    def __init__(self, packet, update: Optional[StreamUpdate]) -> None:
+        self.packet = packet
+        self.update = update
+        tcp = packet.tcp
+        udp = packet.udp if tcp is None else None
+        icmp = packet.icmp if tcp is None and udp is None else None
+        self.tcp = tcp
+        self.udp = udp
+        self.icmp = icmp
+        if tcp is not None:
+            self.sport, self.dport = tcp.sport, tcp.dport
+            self.payload = tcp.payload
+        elif udp is not None:
+            self.sport, self.dport = udp.sport, udp.dport
+            self.payload = udp.payload
+        else:
+            self.sport = self.dport = 0
+            if icmp is not None:
+                self.payload = icmp.payload
+            elif isinstance(packet.payload, (bytes, bytearray)):
+                self.payload = bytes(packet.payload)
+            else:
+                self.payload = b""
+        self._src_int = None
+        self._dst_int = None
+        self._haystack = None
+        self._lower_haystack = None
+
+    @property
+    def src_int(self) -> int:
+        if self._src_int is None:
+            self._src_int = ip_to_int_cached(self.packet.src)
+        return self._src_int
+
+    @property
+    def dst_int(self) -> int:
+        if self._dst_int is None:
+            self._dst_int = ip_to_int_cached(self.packet.dst)
+        return self._dst_int
+
+    @property
+    def haystack(self) -> bytes:
+        """What payload rules match against: the reassembled stream for TCP
+        flows, the raw payload otherwise.  Materialized once per packet."""
+        if self._haystack is None:
+            update = self.update
+            if update is not None:
+                self._haystack = update.flow.buffer(update.direction)
+            else:
+                self._haystack = self.payload
+        return self._haystack
+
+    @property
+    def lower_haystack(self) -> bytes:
+        """``haystack.lower()``, folded at most once per packet (shared by
+        all ``nocase`` contents and anchor prefilters)."""
+        if self._lower_haystack is None:
+            self._lower_haystack = self.haystack.lower()
+        return self._lower_haystack
+
+
+class _ProtoTable:
+    """Port buckets for one packet protocol."""
+
+    __slots__ = ("port_rules", "catch_all", "catch_all_rules", "merged")
+
+    def __init__(self) -> None:
+        #: enumerated dport -> ordered [(order, rule), ...]
+        self.port_rules: Dict[int, List[Tuple[int, Rule]]] = {}
+        #: rules whose dport coverage is not enumerable, in order
+        self.catch_all: List[Tuple[int, Rule]] = []
+        #: ``catch_all`` stripped to bare rules (the no-bucket fast path)
+        self.catch_all_rules: List[Rule] = []
+        #: dport -> final ordered candidate rules (port bucket ∪ catch-all)
+        self.merged: Dict[int, List[Rule]] = {}
+
+    def finalize(self) -> None:
+        self.catch_all_rules = [rule for _order, rule in self.catch_all]
+        self.merged = {
+            port: [rule for _order, rule in sorted(bucket + self.catch_all)]
+            for port, bucket in self.port_rules.items()
+        }
+
+
+class RuleDispatchIndex:
+    """Buckets rules by protocol and destination-port coverage."""
+
+    def __init__(self, rules: Optional[List[Rule]] = None) -> None:
+        self._tables: Dict[int, _ProtoTable] = {
+            PROTO_TCP: _ProtoTable(),
+            PROTO_UDP: _ProtoTable(),
+            PROTO_ICMP: _ProtoTable(),
+        }
+        #: table consulted for protocols other than tcp/udp/icmp — only
+        #: ``ip`` rules can match those packets
+        self._other = _ProtoTable()
+        self._size = 0
+        if rules:
+            self.add(rules)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, rules: List[Rule]) -> None:
+        """Index ``rules`` (in ruleset order, after any already added)."""
+        all_tables = list(self._tables.values()) + [self._other]
+        for rule in rules:
+            order = self._size
+            self._size += 1
+            if rule.protocol == "ip":
+                tables = all_tables
+            else:
+                tables = [self._tables[_PROTO_NUMBER[rule.protocol]]]
+            ports = _enumerable_ports(rule)
+            for table in tables:
+                if ports is None:
+                    table.catch_all.append((order, rule))
+                else:
+                    for port in ports:
+                        table.port_rules.setdefault(port, []).append((order, rule))
+        for table in all_tables:
+            table.finalize()
+
+    # -- lookup ------------------------------------------------------------
+
+    def candidates(self, protocol: int, dport: int, sport: int) -> List[Rule]:
+        """Ordered candidate rules for a packet — a superset of every rule
+        whose header can match it.
+
+        A bidirectional rule matches in reverse when its dport spec covers
+        the packet's *source* port, so the sport bucket is consulted too.
+        (Forward-only rules surfaced that way are harmless noise: the full
+        header match still rejects them.)
+        """
+        table = self._tables.get(protocol, self._other)
+        extra = table.port_rules.get(sport) if sport != dport else None
+        if not extra:
+            base = table.merged.get(dport)
+            if base is not None:
+                return base
+            return table.catch_all_rules
+        parts = table.catch_all + table.port_rules.get(dport, []) + extra
+        seen = set()
+        out = []
+        for order, rule in sorted(parts):
+            if order not in seen:
+                seen.add(order)
+                out.append(rule)
+        return out
+
+
+def _enumerable_ports(rule: Rule) -> Optional[List[int]]:
+    """The destination ports to index ``rule`` under, or None for catch-all."""
+    spec = rule.dport
+    if spec.any or spec.negated:
+        return None
+    total = sum(hi - lo + 1 for lo, hi in spec.ranges)
+    if total > MAX_ENUMERATED_PORTS:
+        return None
+    ports: List[int] = []
+    for lo, hi in spec.ranges:
+        ports.extend(range(lo, hi + 1))
+    return ports

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..packets import in_network, is_valid_ip
+from ..packets import compile_network, ip_to_int_cached, is_valid_ip
 
 __all__ = [
     "AddressSpec",
@@ -46,6 +46,10 @@ class AddressSpec:
     negated: bool = False
     any: bool = False
     entries: List[str] = field(default_factory=list)  # IPs or CIDRs
+    #: compiled ``(network_int, mask)`` pairs, built lazily from ``entries``
+    _networks: Optional[List[Tuple[int, int]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def parse(cls, token: str, variables: Optional[Dict[str, str]] = None) -> "AddressSpec":
@@ -68,13 +72,29 @@ class AddressSpec:
                 raise RuleParseError(f"invalid address entry: {entry!r}")
         return cls(negated=negated, entries=entries)
 
+    def compiled(self) -> List[Tuple[int, int]]:
+        """The ``(network_int, mask)`` pairs this spec tests against."""
+        if self._networks is None:
+            self._networks = [compile_network(entry) for entry in self.entries]
+        return self._networks
+
     def matches(self, ip: str) -> bool:
         if self.any:
             return True
-        hit = any(
-            in_network(ip, entry) if "/" in entry else ip == entry
-            for entry in self.entries
-        )
+        return self.matches_int(ip_to_int_cached(ip))
+
+    def matches_int(self, ip_int: int) -> bool:
+        """Match a pre-converted 32-bit address (the per-packet fast path)."""
+        if self.any:
+            return True
+        networks = self._networks
+        if networks is None:
+            networks = self.compiled()
+        hit = False
+        for network, mask in networks:
+            if ip_int & mask == network:
+                hit = True
+                break
         return hit != self.negated
 
 
@@ -116,7 +136,11 @@ class PortSpec:
     def matches(self, port: int) -> bool:
         if self.any:
             return True
-        hit = any(lo <= port <= hi for lo, hi in self.ranges)
+        hit = False
+        for lo, hi in self.ranges:
+            if lo <= port <= hi:
+                hit = True
+                break
         return hit != self.negated
 
 
@@ -136,6 +160,8 @@ class ContentOption:
     offset: int = 0
     depth: Optional[int] = None
     negated: bool = False
+    #: lazily cached ``pattern.lower()`` so nocase matches never re-fold
+    _lower_pattern: Optional[bytes] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def parse_pattern(cls, text: str) -> bytes:
@@ -155,17 +181,35 @@ class ContentOption:
             pos = end + 1
         return bytes(out)
 
+    def needle(self) -> bytes:
+        """The compiled search needle (lowered once if ``nocase``)."""
+        if not self.nocase:
+            return self.pattern
+        if self._lower_pattern is None:
+            self._lower_pattern = self.pattern.lower()
+        return self._lower_pattern
+
     def matches(self, data: bytes) -> bool:
-        haystack = data
-        needle = self.pattern
         if self.nocase:
-            haystack = haystack.lower()
-            needle = needle.lower()
-        window = haystack[self.offset :]
-        if self.depth is not None:
-            # Snort semantics: the match must lie entirely within the first
-            # ``depth`` bytes after ``offset``.
-            window = window[: self.depth]
+            data = data.lower()
+        return self.search_in(data)
+
+    def search_in(self, haystack: bytes) -> bool:
+        """Match against a haystack already case-folded when ``nocase``.
+
+        The rule engine calls this with a per-packet shared haystack (and a
+        shared lowercased copy) so each packet is folded at most once rather
+        than once per ``content`` option.
+        """
+        needle = self.needle()
+        if self.offset or self.depth is not None:
+            window = haystack[self.offset :]
+            if self.depth is not None:
+                # Snort semantics: the match must lie entirely within the
+                # first ``depth`` bytes after ``offset``.
+                window = window[: self.depth]
+        else:
+            window = haystack
         found = needle in window
         return found != self.negated
 

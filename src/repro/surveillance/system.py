@@ -85,7 +85,9 @@ class SurveillanceSystem(Middlebox):
 
     def process(self, packet: IPPacket, ctx: TapContext) -> Action:
         self.packets_seen += 1
-        size = len(packet.to_bytes())
+        # wire_length() gives the serialized size without materializing (and
+        # checksumming) the wire bytes for every transit packet.
+        size = packet.wire_length()
         self.store.observe_volume(size)
 
         alerts = self.engine.process(packet, ctx.now)

@@ -107,3 +107,51 @@ class TestDeterminism:
     def test_different_seed_differs(self):
         a, b = Simulator(seed=1), Simulator(seed=2)
         assert a.rng.random() != b.rng.random()
+
+
+class TestHeapCompaction:
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        timers = [sim.at(1.0, lambda: None) for _ in range(10)]
+        assert sim.pending == 10
+        for timer in timers[:4]:
+            timer.cancel()
+        assert sim.pending == 6
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 6
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        timer = sim.at(1.0, lambda: None)
+        sim.at(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim.pending == 1
+
+    def test_compaction_removes_cancelled_entries(self):
+        sim = Simulator()
+        keep = [sim.at(2.0, lambda: None) for _ in range(10)]
+        doomed = [sim.at(1.0, lambda: None) for _ in range(200)]
+        for timer in doomed:
+            timer.cancel()
+        # Mostly-dead heap must have been compacted away.
+        assert len(sim._queue) < 64
+        assert sim.pending == len(keep)
+        assert sim.run() == 10
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        order = []
+        expected = []
+        doomed = []
+        for i in range(300):
+            if i % 3 == 0:
+                sim.at(float(i), lambda i=i: order.append(i))
+                expected.append(i)
+            else:
+                doomed.append(sim.at(float(i), lambda i=i: order.append(i)))
+        for timer in doomed:
+            timer.cancel()
+        sim.run()
+        assert order == expected

@@ -140,3 +140,38 @@ class TestUDPDatagram:
         wire = datagram.to_bytes("1.1.1.1", "2.2.2.2") + b"trailing-garbage"
         parsed = UDPDatagram.from_bytes(wire)
         assert parsed.payload == b"abcd"
+
+
+class TestWireLength:
+    """wire_length() must equal len(to_bytes()) without serializing."""
+
+    def test_tcp(self):
+        packet = IPPacket(src="10.0.0.1", dst="10.0.0.2",
+                          payload=TCPSegment(sport=1, dport=2, flags=PSH | ACK,
+                                             payload=b"hello world"))
+        assert packet.wire_length() == len(packet.to_bytes())
+
+    def test_udp(self):
+        packet = IPPacket(src="10.0.0.1", dst="10.0.0.2",
+                          payload=UDPDatagram(sport=1, dport=2, payload=b"abc"))
+        assert packet.wire_length() == len(packet.to_bytes())
+
+    def test_icmp(self):
+        from repro.packets import ICMPMessage
+
+        packet = IPPacket(src="10.0.0.1", dst="10.0.0.2",
+                          payload=ICMPMessage.echo_request(data=b"ping-data"))
+        assert packet.wire_length() == len(packet.to_bytes())
+
+    def test_raw_bytes_payload(self):
+        packet = IPPacket(src="10.0.0.1", dst="10.0.0.2",
+                          payload=b"\x00" * 37, protocol=47)
+        assert packet.wire_length() == len(packet.to_bytes())
+
+    def test_tracks_payload_growth(self):
+        segment = TCPSegment(sport=1, dport=2, payload=b"")
+        packet = IPPacket(src="10.0.0.1", dst="10.0.0.2", payload=segment)
+        before = packet.wire_length()
+        segment.payload = b"x" * 100
+        assert packet.wire_length() == before + 100
+        assert packet.wire_length() == len(packet.to_bytes())

@@ -1,0 +1,194 @@
+"""Semantic equivalence of the indexed fast path and the naive full scan.
+
+The dispatch index, MatchContext sharing, and anchor-literal prefilter are
+pure optimizations: for any packet trace they must produce *identical*
+alert sequences (same alerts, same order, pass-rule suppression intact) to
+``RuleEngine(use_index=False)``, which still runs the original
+rule-by-rule scan.  This test feeds one deterministic mixed trace — TCP
+with a keyword split across segments, UDP DNS, ICMP, threshold-triggering
+bursts, pass-rule traffic, bidirectional and port-range rules — through
+both paths and compares everything observable.
+"""
+
+import pytest
+
+from repro.packets import (
+    ACK,
+    ICMPMessage,
+    IPPacket,
+    PSH,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+)
+from repro.rules import (
+    DEFAULT_VARIABLES,
+    RuleEngine,
+    censor_ruleset_text,
+    mvr_detection_ruleset_text,
+    surveillance_interest_ruleset_text,
+)
+
+EXTRA_RULES = "\n".join([
+    # pass rule ahead of a catch-all: suppression ordering must survive
+    'pass tcp 10.1.0.99 any -> any any (msg:"EQ whitelist"; sid:910000;)',
+    'alert tcp any any -> any any (msg:"EQ tcp syn catchall"; flags:S; sid:910001;)',
+    # bidirectional rule on a concrete port: reverse direction must dispatch
+    'alert tcp any any <> any 4444 (msg:"EQ bidir 4444"; content:"c2"; sid:910002;)',
+    # port range rule (enumerated bucket) and a negated-port rule (catch-all)
+    'alert udp any any -> any [7000:7004] (msg:"EQ udp range"; dsize:>2; sid:910003;)',
+    'alert tcp any any -> any !80 (msg:"EQ not-80 rst"; flags:R; sid:910004;)',
+    # icmp options
+    'alert icmp any any -> any any (msg:"EQ ping"; itype:8; sid:910005;)',
+    # negated content (no anchor literal possible)
+    'alert udp any any -> any 9999 (msg:"EQ negated"; content:!"benign"; dsize:>0; sid:910006;)',
+])
+
+
+def _ruleset_text():
+    return "\n".join([
+        censor_ruleset_text(),
+        mvr_detection_ruleset_text(),
+        surveillance_interest_ruleset_text(),
+        EXTRA_RULES,
+    ])
+
+
+def _tcp(src, dst, sport, dport, flags, seq=0, ack=0, payload=b""):
+    return IPPacket(src=src, dst=dst,
+                    payload=TCPSegment(sport=sport, dport=dport, seq=seq, ack=ack,
+                                       flags=flags, payload=payload))
+
+
+def _udp(src, dst, sport, dport, payload=b""):
+    return IPPacket(src=src, dst=dst,
+                    payload=UDPDatagram(sport=sport, dport=dport, payload=payload))
+
+
+def _handshake(trace, t, c, s, cp, sp, isn=100, ssn=500):
+    trace.append((t, _tcp(c, s, cp, sp, SYN, seq=isn)))
+    trace.append((t + 0.01, _tcp(s, c, sp, cp, SYN | ACK, seq=ssn, ack=isn + 1)))
+    trace.append((t + 0.02, _tcp(c, s, cp, sp, ACK, seq=isn + 1, ack=ssn + 1)))
+    return isn + 1, ssn + 1
+
+
+def build_trace():
+    """A deterministic packet trace exercising every dispatch shape."""
+    trace = []
+
+    # 1. HTTP flow with a censored keyword split across two segments.
+    cseq, _ = _handshake(trace, 0.0, "10.1.0.5", "203.0.113.10", 40000, 80)
+    trace.append((0.03, _tcp("10.1.0.5", "203.0.113.10", 40000, 80, PSH | ACK,
+                             seq=cseq, payload=b"GET /fal")))
+    trace.append((0.04, _tcp("10.1.0.5", "203.0.113.10", 40000, 80, PSH | ACK,
+                             seq=cseq + 8, payload=b"un HTTP/1.1\r\nHost: example.org\r\n\r\n")))
+
+    # 2. HTTP flow with a blocked Host header (nocase content path).
+    cseq, _ = _handshake(trace, 0.2, "10.1.0.6", "203.0.113.20", 40001, 80)
+    trace.append((0.23, _tcp("10.1.0.6", "203.0.113.20", 40001, 80, PSH | ACK,
+                             seq=cseq, payload=b"GET / HTTP/1.1\r\nHost: TWITTER.com\r\n\r\n")))
+
+    # 3. SYN-scan burst from one source: threshold type both, count 30/10s.
+    for i in range(35):
+        trace.append((1.0 + i * 0.05, _tcp("10.1.0.7", "203.0.113.30",
+                                           31000 + i, 1 + i, SYN)))
+
+    # 4. HTTP GET flood (threshold count 20/5s on port 80, established flow).
+    cseq, _ = _handshake(trace, 4.0, "10.1.0.8", "203.0.113.10", 40500, 80)
+    for i in range(25):
+        trace.append((4.1 + i * 0.1, _tcp("10.1.0.8", "203.0.113.10", 40500, 80,
+                                          PSH | ACK, seq=cseq + i * 16,
+                                          payload=b"GET /x HTTP/1.1\r\n")))
+
+    # 5. Bulk MX lookups for a censored domain (UDP threshold rule).
+    mx_query = (b"\x00\x07\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+                b"\x07twitter\x03com\x00\x00\x0f\x00\x01")
+    for i in range(10):
+        trace.append((8.0 + i * 0.2, _udp("10.1.0.9", "8.8.8.8", 25000 + i, 53, mx_query)))
+
+    # 6. ICMP echo requests (itype rule) and an oversized-payload packet.
+    for i in range(3):
+        trace.append((11.0 + i * 0.1,
+                      IPPacket(src="10.1.0.10", dst="203.0.113.40",
+                               payload=ICMPMessage.echo_request(ident=7, sequence=i))))
+
+    # 7. pass-rule traffic: whitelisted source sending SYNs.
+    trace.append((12.0, _tcp("10.1.0.99", "203.0.113.10", 42000, 80, SYN)))
+    trace.append((12.1, _tcp("10.1.0.99", "203.0.113.10", 42001, 81, SYN)))
+
+    # 8. Bidirectional rule, reverse direction: server on 4444 talks back.
+    cseq, ssn = _handshake(trace, 13.0, "10.1.0.11", "198.51.100.5", 43000, 4444)
+    trace.append((13.05, _tcp("198.51.100.5", "10.1.0.11", 4444, 43000, PSH | ACK,
+                              seq=ssn, ack=cseq, payload=b"c2 beacon")))
+
+    # 9. UDP port-range rule and the negated-content rule.
+    trace.append((14.0, _udp("10.1.0.12", "203.0.113.50", 26000, 7002, b"xyzzy")))
+    trace.append((14.1, _udp("10.1.0.12", "203.0.113.50", 26001, 9999, b"malicious")))
+    trace.append((14.2, _udp("10.1.0.12", "203.0.113.50", 26002, 9999, b"benign bytes")))
+
+    # 10. RST to a non-80 port (negated port spec → catch-all bucket).
+    trace.append((15.0, _tcp("10.1.0.13", "203.0.113.60", 44000, 8443, 0x04)))
+
+    # 11. BitTorrent handshake + DHT ping (content rules, UDP high ports).
+    cseq, _ = _handshake(trace, 16.0, "10.1.0.14", "198.51.100.9", 45000, 51413)
+    trace.append((16.03, _tcp("10.1.0.14", "198.51.100.9", 45000, 51413, PSH | ACK,
+                              seq=cseq, payload=b"\x13BitTorrent protocol" + b"\x00" * 8)))
+    trace.append((16.1, _udp("10.1.0.14", "198.51.100.9", 45001, 6889,
+                             b"d1:ad2:id20:abcdefghij0123456789e1:q4:ping")))
+
+    # 12. Raw-bytes payload with a non-transport protocol (ip rules only).
+    trace.append((17.0, IPPacket(src="10.1.0.15", dst="203.0.113.70",
+                                 payload=b"\x00" * 32, protocol=47)))
+
+    trace.sort(key=lambda item: item[0])
+    return trace
+
+
+def _alert_key(alert):
+    return (round(alert.time, 6), alert.sid, alert.action, alert.classtype,
+            alert.src, alert.dst, alert.sport, alert.dport)
+
+
+@pytest.mark.parametrize("overlap_policy", ["first", "last"])
+def test_indexed_and_naive_paths_emit_identical_alert_sequences(overlap_policy):
+    fast = RuleEngine.from_text(_ruleset_text(), variables=DEFAULT_VARIABLES,
+                                overlap_policy=overlap_policy, use_index=True)
+    naive = RuleEngine.from_text(_ruleset_text(), variables=DEFAULT_VARIABLES,
+                                 overlap_policy=overlap_policy, use_index=False)
+    assert fast.use_index and fast._index is not None
+    assert not naive.use_index and naive._index is None
+
+    per_packet_equal = True
+    for when, packet in build_trace():
+        fast_alerts = fast.process(packet, when)
+        naive_alerts = naive.process(packet, when)
+        if [_alert_key(a) for a in fast_alerts] != [_alert_key(a) for a in naive_alerts]:
+            per_packet_equal = False
+
+    assert per_packet_equal, "some packet produced different alerts on the two paths"
+    assert [_alert_key(a) for a in fast.alerts] == [_alert_key(a) for a in naive.alerts]
+    assert fast.packets_processed == naive.packets_processed
+    # The trace must actually exercise the interesting machinery.
+    sids_fired = {a.sid for a in naive.alerts}
+    assert len(naive.alerts) >= 8
+    assert 910002 in sids_fired  # bidirectional reverse dispatch
+    assert 910003 in sids_fired  # enumerated port-range bucket
+    assert 910005 in sids_fired  # icmp itype
+    assert 910006 in sids_fired  # negated content (no anchor)
+    assert any(a.sid >= 2000000 and a.sid < 2100000 for a in naive.alerts), \
+        "no threshold/detection rule fired"
+
+
+def test_equivalence_under_rule_addition():
+    """add_rules must keep the index in sync with the rule list."""
+    fast = RuleEngine.from_text(_ruleset_text(), variables=DEFAULT_VARIABLES)
+    naive = RuleEngine.from_text(_ruleset_text(), variables=DEFAULT_VARIABLES,
+                                 use_index=False)
+    extra = 'alert tcp any any -> any 8443 (msg:"EQ late rule"; flags:R; sid:920000;)'
+    fast.add_rules(extra)
+    naive.add_rules(extra)
+    for when, packet in build_trace():
+        fast_alerts = fast.process(packet, when)
+        naive_alerts = naive.process(packet, when)
+        assert [_alert_key(a) for a in fast_alerts] == [_alert_key(a) for a in naive_alerts]
+    assert 920000 in {a.sid for a in fast.alerts}
