@@ -29,7 +29,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.netsim import Simulator  # noqa: E402
+from repro.netsim import (  # noqa: E402
+    Host,
+    Network,
+    Simulator,
+    burst_loss_profile,
+)
 from repro.packets import (  # noqa: E402
     ACK,
     ICMPMessage,
@@ -258,6 +263,45 @@ def _bench_stream_reassembly() -> tuple:
     return batch, 220, "segments", 1
 
 
+def _link_forward_bench(impaired: bool) -> tuple:
+    """Hop-by-hop forwarding throughput across one link.
+
+    The lossless variant is the engine fast path (shared clean fate, no
+    per-packet allocation); the impaired variant pays the full pipeline
+    (burst-loss state machine, jitter draw, duplication)."""
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    a = net.add(Host("a", "10.0.0.1"))
+    b = net.add(Host("b", "10.0.0.2"))
+    link = net.connect(a, b)
+    if impaired:
+        link.impair(
+            burst_loss_profile(
+                marginal=0.05, jitter=0.001, duplicate_probability=0.02
+            )
+        )
+    a.stack.udp_listen(7, lambda *args: None)
+    b.stack.udp_listen(7, lambda *args: None)
+    template = IPPacket(
+        src=a.ip, dst=b.ip, payload=UDPDatagram(sport=7, dport=7, payload=b"x" * 64)
+    )
+
+    def batch():
+        for _ in range(500):
+            a.send_ip(template)
+        sim.run()
+
+    return batch, 500, "packets", 1
+
+
+def _bench_link_forward_lossless() -> tuple:
+    return _link_forward_bench(impaired=False)
+
+
+def _bench_link_forward_impaired() -> tuple:
+    return _link_forward_bench(impaired=True)
+
+
 def _bench_simulator_events() -> tuple:
     def batch():
         sim = Simulator()
@@ -283,6 +327,8 @@ HOT_PATHS = {
     "rule_engine_mixed_protocols": _bench_rule_engine_mixed_protocols,
     "stream_reassembly": _bench_stream_reassembly,
     "simulator_events": _bench_simulator_events,
+    "link_forward_lossless": _bench_link_forward_lossless,
+    "link_forward_impaired": _bench_link_forward_impaired,
 }
 
 

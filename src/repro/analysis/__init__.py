@@ -15,7 +15,13 @@ from .ethics import (
     load_comparison,
     spoofed_query_load,
 )
-from .metrics import ConfusionCounts, accuracy_table_row, score_results
+from .metrics import (
+    ConfusionCounts,
+    accuracy_table_row,
+    false_block_curve,
+    link_report,
+    score_results,
+)
 from .report import render_table
 from .stats import Summary, summarize_samples, wilson_interval
 from .syria import (
@@ -40,6 +46,8 @@ __all__ = [
     "analyze_logs",
     "campaign_document",
     "ascii_cdf",
+    "false_block_curve",
+    "link_report",
     "load_comparison",
     "records_from_jsonl",
     "render_table",

@@ -2,17 +2,25 @@
 
 Scores verdicts against ground truth (the controlled censor policy) the way
 the paper's evaluation does, plus standard precision/recall for benches
-that sweep parameters.
+that sweep parameters, the false-block rate that motivates retrying
+policies (a lost SYN/ACK is not censorship), and per-direction link
+accounting reports with packet-conservation checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..core.results import MeasurementResult, Verdict
 
-__all__ = ["ConfusionCounts", "score_results", "accuracy_table_row"]
+__all__ = [
+    "ConfusionCounts",
+    "score_results",
+    "accuracy_table_row",
+    "false_block_curve",
+    "link_report",
+]
 
 
 @dataclass
@@ -56,6 +64,16 @@ class ConfusionCounts:
         p, r = self.precision, self.recall
         return 2 * p * r / (p + r) if p + r else 0.0
 
+    @property
+    def false_block_rate(self) -> float:
+        """Fraction of actually-open targets reported blocked (FP rate).
+
+        The harm metric for lossy paths: every false block is a target a
+        deployment would wrongly list as censored.
+        """
+        denominator = self.false_positive + self.true_negative
+        return self.false_positive / denominator if denominator else 0.0
+
 
 def score_results(
     results: Iterable[MeasurementResult],
@@ -94,3 +112,49 @@ def accuracy_table_row(technique: str, counts: ConfusionCounts) -> str:
         f"{technique:<20} acc={counts.accuracy:.3f} prec={counts.precision:.3f} "
         f"rec={counts.recall:.3f} f1={counts.f1:.3f} n={counts.total}"
     )
+
+
+def false_block_curve(
+    loss_rates: Sequence[float],
+    run_at_loss: Callable[[float], ConfusionCounts],
+) -> List[Tuple[float, float]]:
+    """False-block rate as a function of path loss rate.
+
+    ``run_at_loss`` runs one experiment (typically a scan of known-open
+    targets over an impaired link) at the given loss rate and returns its
+    confusion counts.  The resulting ``(loss_rate, false_block_rate)``
+    points are the paper-style safety curve: a single-shot measurement's
+    curve climbs with loss while a retrying policy's stays near zero.
+    """
+    return [
+        (loss, run_at_loss(loss).false_block_rate) for loss in loss_rates
+    ]
+
+
+def link_report(links: Iterable) -> Dict[str, Dict[str, object]]:
+    """Per-direction accounting for each link, with conservation checks.
+
+    Accepts :class:`~repro.netsim.link.Link` objects and returns, per
+    link and direction, the offered/carried/lost/duplicated counters plus
+    whether ``offered == carried - duplicated + lost`` holds.  A
+    ``conserved = False`` entry means the link's bookkeeping is broken,
+    not that the network misbehaved.
+    """
+    report: Dict[str, Dict[str, object]] = {}
+    for link in links:
+        name = f"{link.a.name}<->{link.b.name}"
+        directions: Dict[str, object] = {}
+        for direction, stats in link.stats.items():
+            entry = stats.as_dict()
+            entry["loss_rate"] = (
+                stats.packets_lost / stats.packets_offered
+                if stats.packets_offered
+                else 0.0
+            )
+            entry["conserved"] = stats.conserved
+            directions[direction] = entry
+        directions["conserved"] = all(
+            stats.conserved for stats in link.stats.values()
+        )
+        report[name] = directions
+    return report

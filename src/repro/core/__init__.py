@@ -22,11 +22,17 @@ from .evaluation import (
 )
 from .keywords import KeywordIsolator, KeywordProbeMeasurement
 from .longitudinal import LongitudinalCampaign
-from .measurement import MeasurementContext, MeasurementTechnique
+from .measurement import MeasurementContext, MeasurementTechnique, RetryPolicy
 from .overt import OvertDNSMeasurement, OvertHTTPMeasurement, interpret_dns
 from .platform import DeckReport, MeasurementPlatform, RISK_POSTURES
 from .residual import ResidualBlockingMeasurement
-from .results import MeasurementResult, Verdict, blocked_verdicts, summarize
+from .results import (
+    MeasurementResult,
+    Verdict,
+    aggregate_attempts,
+    blocked_verdicts,
+    summarize,
+)
 from .risk import RiskAssessment, assess_risk, comparison_table
 from .scanning import ScanMeasurement, ScanTarget, top_ports
 from .scheduler import MeasurementCampaign
@@ -57,6 +63,7 @@ __all__ = [
     "RISK_POSTURES",
     "ResidualBlockingMeasurement",
     "ResponsePair",
+    "RetryPolicy",
     "RiskAssessment",
     "RunRecord",
     "ScanMeasurement",
@@ -67,6 +74,7 @@ __all__ = [
     "StatelessSpoofedDNSMeasurement",
     "TLSReachabilityMeasurement",
     "Verdict",
+    "aggregate_attempts",
     "assess_risk",
     "blocked_verdicts",
     "build_environment",

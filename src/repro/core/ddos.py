@@ -12,11 +12,11 @@ drop vs. block page) with per-sample statistics.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..netsim.dnssrv import DNSResult, resolve
 from ..netsim.websrv import HTTPResult, http_get
-from .measurement import MeasurementContext, MeasurementTechnique
+from .measurement import MeasurementContext, MeasurementTechnique, RetryPolicy
 from .overt import interpret_dns
 from .results import MeasurementResult, Verdict
 
@@ -24,7 +24,14 @@ __all__ = ["DDoSMeasurement"]
 
 
 class DDoSMeasurement(MeasurementTechnique):
-    """A burst of HTTP requests against each target domain."""
+    """A burst of HTTP requests against each target domain.
+
+    DNS-stage timeouts retry with the policy's backoff (a bot re-resolving
+    is in character).  The HTTP burst is its own repeated-sampling design:
+    verdict confidence is the fraction of samples agreeing, and a
+    ``blocked_fraction`` within ``inconclusive_margin`` of the threshold
+    is reported ``inconclusive`` rather than force-classified.
+    """
 
     name = "ddos"
 
@@ -36,15 +43,24 @@ class DDoSMeasurement(MeasurementTechnique):
         burst_interval: float = 0.05,
         blocked_fraction_threshold: float = 0.5,
         dns_retries: int = 2,
+        inconclusive_margin: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(ctx)
         self.domains = list(domains)
         self.requests_per_target = requests_per_target
         self.burst_interval = burst_interval
         self.blocked_fraction_threshold = blocked_fraction_threshold
+        self.retry_policy = retry_policy or ctx.retry_policy
         #: Repeated sampling is the method's whole idea; that extends to
         #: the DNS stage so a single lost datagram cannot flip the verdict.
-        self.dns_retries = dns_retries
+        #: A retrying policy overrides this legacy knob.
+        self.dns_retries = (
+            self.retry_policy.max_attempts - 1
+            if self.retry_policy.retries_enabled
+            else dns_retries
+        )
+        self.inconclusive_margin = inconclusive_margin
         self._sample_outcomes: Dict[str, Counter] = {}
 
     def start(self) -> None:
@@ -60,11 +76,25 @@ class DDoSMeasurement(MeasurementTechnique):
         )
 
     def _after_dns(self, domain: str, res: DNSResult, attempts_left: int = 0) -> None:
+        attempt = self.dns_retries - attempts_left + 1
         if res.status == "timeout" and attempts_left > 0:
-            self._resolve(domain, attempts_left - 1)
+            backoff = self.retry_policy.delay_before(attempt, self.ctx.sim.rng)
+            self.ctx.sim.at(
+                backoff, lambda d=domain, a=attempts_left - 1: self._resolve(d, a)
+            )
             return
         verdict, detail = interpret_dns(self.ctx, domain, res)
         if verdict is not Verdict.ACCESSIBLE:
+            if (
+                verdict is Verdict.BLOCKED_TIMEOUT or verdict is Verdict.DNS_FAILURE
+            ) and res.status == "timeout":
+                confidence = min(
+                    1.0, attempt / self.retry_policy.min_consistent_failures
+                )
+                if attempt < self.retry_policy.min_consistent_failures:
+                    verdict = Verdict.INCONCLUSIVE
+            else:
+                confidence = 1.0
             self._emit(
                 MeasurementResult(
                     technique=self.name,
@@ -72,6 +102,8 @@ class DDoSMeasurement(MeasurementTechnique):
                     verdict=verdict,
                     detail=f"dns stage: {detail}",
                     evidence={"stage": "dns"},
+                    attempts=attempt,
+                    confidence=confidence,
                 )
             )
             return

@@ -1,20 +1,83 @@
-"""Measurement technique base class and execution context.
+"""Measurement technique base class, retry policy, and execution context.
 
 A technique is given a :class:`MeasurementContext` (the client platform:
 a host with raw-packet capability, plus the resolver and target book-
 keeping) and produces :class:`MeasurementResult` records asynchronously as
 the simulation runs — mirroring how OONI/Centinel tests run on a client.
+
+The context carries a :class:`RetryPolicy`: real deployments cannot tell
+a lost SYN/ACK from a censor's silent drop on one sample, so every
+technique re-probes on timeout according to the policy and only calls
+``blocked`` after enough consistent failures.  The default policy is
+single-shot (no retries), preserving the original paper behaviour;
+hostile-network scenarios install a retrying policy.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..netsim.node import Host
 from .results import MeasurementResult
 
-__all__ = ["MeasurementContext", "MeasurementTechnique"]
+__all__ = ["RetryPolicy", "MeasurementContext", "MeasurementTechnique"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how often a technique re-probes an unanswered target.
+
+    ``delay_before(attempt)`` gives the pause inserted before retry
+    number ``attempt`` (1-based: attempt 1 is the first *retry*),
+    growing exponentially with optional deterministic-RNG jitter so
+    retries decorrelate from loss bursts.
+    """
+
+    max_attempts: int = 3
+    timeout: float = 2.0
+    base_delay: float = 0.25
+    backoff: float = 2.0
+    #: fraction of the delay added as uniform jitter (0 = none)
+    jitter: float = 0.1
+    #: consistent failed attempts required before calling ``blocked``
+    min_consistent_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.base_delay < 0 or self.backoff < 1.0 or self.jitter < 0:
+            raise ValueError("invalid backoff configuration")
+
+    @classmethod
+    def single_shot(cls, timeout: float = 2.0) -> "RetryPolicy":
+        """The legacy behaviour: one probe, no retries, 1 failure = verdict."""
+        return cls(max_attempts=1, timeout=timeout, min_consistent_failures=1)
+
+    @property
+    def retries_enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def delay_before(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Backoff delay inserted before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = self.base_delay * (self.backoff ** (attempt - 1))
+        if self.jitter and rng is not None:
+            delay += rng.uniform(0.0, self.jitter * delay)
+        return delay
+
+    def schedule(self) -> List[float]:
+        """The jitter-free backoff schedule, one delay per possible retry."""
+        return [
+            self.base_delay * (self.backoff ** (attempt - 1))
+            for attempt in range(1, self.max_attempts)
+        ]
 
 
 @dataclass
@@ -28,6 +91,8 @@ class MeasurementContext:
     expected_addresses: Dict[str, str] = field(default_factory=dict)
     #: Known bogus addresses injectors use (GFC poison-IP lists are public).
     known_poison_ips: frozenset = frozenset({"8.7.198.45", "159.106.121.75", "46.82.174.68"})
+    #: How techniques re-probe on timeout; single-shot by default.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy.single_shot)
 
     @property
     def sim(self):

@@ -1,12 +1,26 @@
-"""Measurement verdicts and result records."""
+"""Measurement verdicts, result records, and verdict confidence.
+
+A single failed probe does not mean censorship: on a lossy path it
+usually means a lost packet.  Retrying techniques therefore aggregate
+several attempt-level outcomes into one verdict plus a ``confidence``
+(see :func:`aggregate_attempts`): ``blocked`` requires N *consistent*
+failures, a single success proves reachability, and failures that also
+hit the control probes collapse to ``inconclusive`` — the measured-loss
+confound the paper's repeated-sampling designs exist to absorb.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Verdict", "MeasurementResult", "blocked_verdicts"]
+__all__ = [
+    "Verdict",
+    "MeasurementResult",
+    "blocked_verdicts",
+    "aggregate_attempts",
+]
 
 
 class Verdict(enum.Enum):
@@ -53,6 +67,10 @@ class MeasurementResult:
     #: raw per-sample observations, technique-specific
     evidence: Dict[str, object] = field(default_factory=dict)
     samples: int = 1
+    #: probe attempts that fed this verdict (1 = single-shot)
+    attempts: int = 1
+    #: how strongly the evidence supports the verdict, in [0, 1]
+    confidence: float = 1.0
 
     @property
     def blocked(self) -> bool:
@@ -60,6 +78,49 @@ class MeasurementResult:
 
     def __str__(self) -> str:
         return f"[{self.technique}] {self.target}: {self.verdict.value} ({self.detail})"
+
+
+def aggregate_attempts(
+    outcomes: Sequence[Verdict],
+    min_consistent_failures: int = 2,
+    control_outcomes: Optional[Sequence[Verdict]] = None,
+) -> Tuple[Verdict, float]:
+    """Fold attempt-level verdicts into one verdict plus a confidence.
+
+    Rules, in priority order:
+
+    - any successful attempt proves the path works: ``ACCESSIBLE``, with
+      confidence equal to the success fraction (a 4/5 success run under
+      loss is weaker evidence than 5/5);
+    - all attempts failed but the *control* probes (known-open targets
+      measured alongside) also failed: the path itself is broken or
+      lossy — ``INCONCLUSIVE``;
+    - all attempts failed consistently and there are at least
+      ``min_consistent_failures`` of them: the dominant blocking verdict
+      stands, confidence = share of attempts agreeing with it;
+    - all attempts failed but there are too few to call: ``INCONCLUSIVE``.
+    """
+    if not outcomes:
+        return Verdict.INCONCLUSIVE, 0.0
+    successes = sum(1 for verdict in outcomes if verdict is Verdict.ACCESSIBLE)
+    if successes:
+        return Verdict.ACCESSIBLE, successes / len(outcomes)
+    failures = [verdict for verdict in outcomes if verdict.indicates_blocking]
+    if control_outcomes:
+        control_failures = sum(
+            1 for verdict in control_outcomes if verdict.indicates_blocking
+        )
+        if control_failures * 2 >= len(control_outcomes):
+            # The control targets are failing too: we are measuring the
+            # path (loss, outage), not the censor.
+            return Verdict.INCONCLUSIVE, 0.0
+    if len(failures) < min_consistent_failures:
+        return Verdict.INCONCLUSIVE, len(failures) / min_consistent_failures
+    histogram: Dict[Verdict, int] = {}
+    for verdict in failures:
+        histogram[verdict] = histogram.get(verdict, 0) + 1
+    dominant = max(histogram, key=lambda v: histogram[v])
+    return dominant, histogram[dominant] / len(outcomes)
 
 
 def summarize(results: List[MeasurementResult]) -> Dict[str, int]:

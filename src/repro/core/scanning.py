@@ -12,12 +12,12 @@ commodity noise rather than logged against the user.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..packets import IPPacket, SYN, TCPSegment
 from ..traffic.scanners import COMMON_PORTS
-from .measurement import MeasurementContext, MeasurementTechnique
-from .results import MeasurementResult, Verdict
+from .measurement import MeasurementContext, MeasurementTechnique, RetryPolicy
+from .results import MeasurementResult, Verdict, aggregate_attempts
 
 __all__ = ["ScanTarget", "ScanMeasurement", "top_ports"]
 
@@ -63,7 +63,15 @@ class _PortProbe:
 
 
 class ScanMeasurement(MeasurementTechnique):
-    """Half-open SYN scan with censorship inference on expected-open ports."""
+    """Half-open SYN scan with censorship inference on expected-open ports.
+
+    Under a retrying :class:`RetryPolicy`, ports still unresolved
+    ("filtered") after a probe round are re-probed with backoff —
+    spacing retries apart in time so they decorrelate from loss bursts —
+    and ``blocked`` is only reported after the policy's consistent-failure
+    floor.  The default single-shot policy reproduces the paper's
+    original one-SYN-per-port behaviour.
+    """
 
     name = "scan"
 
@@ -74,12 +82,14 @@ class ScanMeasurement(MeasurementTechnique):
         port_count: int = 100,
         probe_interval: float = 0.01,
         timeout: float = 2.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(ctx)
         self.targets = list(targets)
         self.port_count = port_count
         self.probe_interval = probe_interval
         self.timeout = timeout
+        self.retry_policy = retry_policy or ctx.retry_policy
         #: (target_ip, sport) -> probe record
         self._probes: Dict[tuple, _PortProbe] = {}
         self._port_states: Dict[str, Dict[int, str]] = {}
@@ -95,12 +105,35 @@ class ScanMeasurement(MeasurementTechnique):
         for target in self.targets:
             ports = sorted(set(top_ports(self.port_count)) | set(target.expected_open))
             self._port_states[target.ip] = {}
-            for port in ports:
-                self.ctx.sim.at(delay, lambda t=target, p=port: self._probe(t, p))
-                delay += self.probe_interval
             self.ctx.sim.at(
-                delay + self.timeout, lambda t=target: self._conclude(t)
+                delay, lambda t=target, p=ports: self._probe_round(t, p, attempt=1)
             )
+            delay += len(ports) * self.probe_interval + self.timeout
+
+    def _probe_round(self, target: ScanTarget, ports: List[int], attempt: int) -> None:
+        """Probe ``ports``; when the round times out, retry the leftovers."""
+        delay = 0.0
+        for port in ports:
+            self.ctx.sim.at(delay, lambda t=target, p=port: self._probe(t, p))
+            delay += self.probe_interval
+        self.ctx.sim.at(
+            delay + self.timeout,
+            lambda t=target, a=attempt: self._round_done(t, a),
+        )
+
+    def _round_done(self, target: ScanTarget, attempt: int) -> None:
+        states = self._port_states[target.ip]
+        unresolved = sorted(p for p, state in states.items() if state == "filtered")
+        if unresolved and attempt < self.retry_policy.max_attempts:
+            backoff = self.retry_policy.delay_before(attempt, self.ctx.sim.rng)
+            self.ctx.sim.at(
+                backoff,
+                lambda t=target, p=unresolved, a=attempt + 1: self._probe_round(
+                    t, p, a
+                ),
+            )
+            return
+        self._conclude(target, attempts=attempt)
 
     # -- probing ---------------------------------------------------------------
 
@@ -139,25 +172,39 @@ class ScanMeasurement(MeasurementTechnique):
 
     # -- verdicts --------------------------------------------------------------------
 
-    def _conclude(self, target: ScanTarget) -> None:
+    def _conclude(self, target: ScanTarget, attempts: int = 1) -> None:
         states = self._port_states[target.ip]
+        policy = self.retry_policy
         problems = []
+        confidences = []
         for port in target.expected_open:
             state = states.get(port, "filtered")
             if state == "filtered":
-                problems.append((port, Verdict.BLOCKED_TIMEOUT))
+                # Every attempt on this port timed out; whether that is
+                # enough evidence for "blocked" is the policy's call.
+                verdict, confidence = aggregate_attempts(
+                    [Verdict.BLOCKED_TIMEOUT] * attempts,
+                    min_consistent_failures=policy.min_consistent_failures,
+                )
+                problems.append((port, verdict))
+                confidences.append(confidence)
             elif state == "closed":
+                # A RST is an affirmative answer, not a lost packet.
                 problems.append((port, Verdict.BLOCKED_RST))
+                confidences.append(1.0)
         open_count = sum(1 for state in states.values() if state == "open")
+        unresolved = sum(1 for state in states.values() if state == "filtered")
         if not problems:
-            verdict, detail = Verdict.ACCESSIBLE, (
-                f"all {len(target.expected_open)} expected ports open"
-            )
+            verdict, confidence = Verdict.ACCESSIBLE, 1.0
+            detail = f"all {len(target.expected_open)} expected ports open"
         else:
             verdict = problems[0][1]
+            confidence = min(confidences)
             detail = "; ".join(
                 f"port {port}: {v.value}" for port, v in problems
             )
+            if attempts > 1:
+                detail += f" (after {attempts} attempts)"
         self._emit(
             MeasurementResult(
                 technique=self.name,
@@ -168,8 +215,11 @@ class ScanMeasurement(MeasurementTechnique):
                     "port_states": dict(states),
                     "open_ports": open_count,
                     "ports_scanned": len(states),
+                    "unresolved_ports": unresolved,
                 },
                 samples=len(states),
+                attempts=attempts,
+                confidence=confidence,
             )
         )
 

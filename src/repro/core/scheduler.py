@@ -49,6 +49,25 @@ class MeasurementCampaign:
         self.start()
         self.sim.run(until=self.sim.now + duration)
 
+    def run_until_done(
+        self, max_duration: float = 600.0, check_interval: float = 1.0
+    ) -> bool:
+        """Run until every technique reports done (or ``max_duration``).
+
+        Retrying policies make completion times loss-dependent, so a fixed
+        ``run(duration)`` either wastes simulated time or cuts retries
+        short; this advances in ``check_interval`` slices and stops at the
+        first slice boundary where the campaign is done.  Returns whether
+        the campaign completed.
+        """
+        self.start()
+        deadline = self.sim.now + max_duration
+        while self.sim.now < deadline:
+            self.sim.run(until=min(self.sim.now + check_interval, deadline))
+            if self.done:
+                return True
+        return self.done
+
     @property
     def techniques(self) -> List[MeasurementTechnique]:
         return [entry.technique for entry in self._entries]

@@ -12,21 +12,28 @@ and MX lookups (Section 3.2.3).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..netsim.dnssrv import DNSResult, resolve
 from ..netsim.mailsrv import SMTPResult, send_mail
 from ..packets import QTYPE_A, QTYPE_MX
 from ..spamfilter.corpus import measurement_spam_email
-from .measurement import MeasurementContext, MeasurementTechnique
+from .measurement import MeasurementContext, MeasurementTechnique, RetryPolicy
 from .overt import interpret_dns
-from .results import MeasurementResult, Verdict
+from .results import MeasurementResult, Verdict, aggregate_attempts
 
 __all__ = ["SpamMeasurement"]
 
 
 class SpamMeasurement(MeasurementTechnique):
-    """MX lookup -> A lookup -> SMTP delivery, cloaked as bulk spam."""
+    """MX lookup -> A lookup -> SMTP delivery, cloaked as bulk spam.
+
+    A timeout at any stage re-runs the whole pipeline for that domain
+    (a spammer retrying a zone is unremarkable) after the policy's
+    backoff; ``blocked_timeout`` requires the policy's consistent-failure
+    floor, while affirmative answers (RST, poison, block page) conclude
+    immediately — those are censor signals, not loss.
+    """
 
     name = "spam"
 
@@ -35,22 +42,31 @@ class SpamMeasurement(MeasurementTechnique):
         ctx: MeasurementContext,
         domains: Sequence[str],
         deliver_message: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(ctx)
         self.domains = list(domains)
         #: When False, stop after the connection check (lookup-only mode).
         self.deliver_message = deliver_message
+        self.retry_policy = retry_policy or ctx.retry_policy
         self.delivery_results: List[SMTPResult] = []
+        self._attempt_outcomes: Dict[str, List[Verdict]] = {}
+        self._attempt: Dict[str, int] = {}
 
     def start(self) -> None:
         for domain in self.domains:
-            resolve(
-                self.ctx.client,
-                self.ctx.resolver_ip,
-                domain,
-                qtype=QTYPE_MX,
-                callback=lambda res, d=domain: self._after_mx(d, res),
-            )
+            self._attempt_outcomes[domain] = []
+            self._begin(domain, attempt=1)
+
+    def _begin(self, domain: str, attempt: int) -> None:
+        self._attempt[domain] = attempt
+        resolve(
+            self.ctx.client,
+            self.ctx.resolver_ip,
+            domain,
+            qtype=QTYPE_MX,
+            callback=lambda res, d=domain: self._after_mx(d, res),
+        )
 
     # -- stage 1: MX lookup ---------------------------------------------------
 
@@ -141,13 +157,45 @@ class SpamMeasurement(MeasurementTechnique):
         self._finish(domain, verdict, detail, "smtp")
 
     def _finish(self, domain: str, verdict: Verdict, detail: str, stage: str) -> None:
+        attempt = self._attempt[domain]
+        outcomes = self._attempt_outcomes[domain]
+        outcomes.append(verdict)
+        if (
+            verdict is Verdict.BLOCKED_TIMEOUT
+            and attempt < self.retry_policy.max_attempts
+        ):
+            # A silent stage could be the censor or a lost packet; only
+            # repetition distinguishes them.  Everything else (RST,
+            # poison, success) is an affirmative answer — no retry.
+            backoff = self.retry_policy.delay_before(attempt, self.ctx.sim.rng)
+            self.ctx.sim.at(
+                backoff, lambda d=domain, a=attempt + 1: self._begin(d, a)
+            )
+            return
+        if verdict in (Verdict.BLOCKED_TIMEOUT, Verdict.ACCESSIBLE):
+            # Timeouts need the consistency floor; successes after earlier
+            # timeouts keep a success-fraction confidence.
+            final, confidence = aggregate_attempts(
+                outcomes,
+                min_consistent_failures=self.retry_policy.min_consistent_failures,
+            )
+        else:
+            # Poison, RST, block page: the censor answered — full confidence.
+            final, confidence = verdict, 1.0
+        if final is not verdict:
+            detail = f"{detail} ({final.value} after {attempt} attempts)"
         self._emit(
             MeasurementResult(
                 technique=self.name,
                 target=domain,
-                verdict=verdict,
+                verdict=final,
                 detail=detail,
-                evidence={"stage": stage},
+                evidence={
+                    "stage": stage,
+                    "attempt_verdicts": [v.value for v in outcomes],
+                },
+                attempts=attempt,
+                confidence=confidence,
             )
         )
 

@@ -30,7 +30,7 @@ from typing import Dict, Optional, Sequence
 from ..netsim.node import Host
 from ..netsim.stack import TCPConnection
 from ..packets import ACK, IPPacket, PSH, SYN, TCPSegment
-from .measurement import MeasurementContext, MeasurementTechnique
+from .measurement import MeasurementContext, MeasurementTechnique, RetryPolicy
 from .results import MeasurementResult, Verdict
 
 __all__ = ["MimicryServer", "StatefulMimicryMeasurement", "shared_isn"]
@@ -111,6 +111,7 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
         cover_ips: Sequence[str],
         flow_spacing: float = 0.2,
         verdict_delay: float = 2.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(ctx)
         self.server = server
@@ -118,6 +119,7 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
         self.cover_ips = list(cover_ips)
         self.flow_spacing = flow_spacing
         self.verdict_delay = verdict_delay
+        self.retry_policy = retry_policy or ctx.retry_policy
 
     def start(self) -> None:
         delay = 0.0
@@ -132,7 +134,7 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
                 )
                 delay += self.flow_spacing
 
-    def _forge_flow(self, source_ip: str, payload: bytes) -> None:
+    def _forge_flow(self, source_ip: str, payload: bytes, attempt: int = 1) -> None:
         rng = self.ctx.sim.rng
         sport = rng.randrange(32768, 61000)
         client_isn = rng.randrange(1, 2**31)
@@ -163,12 +165,31 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
         )
         sim.at(
             self.verdict_delay,
-            lambda: self._conclude(source_ip, sport, payload),
+            lambda: self._conclude(source_ip, sport, payload, attempt),
         )
 
-    def _conclude(self, source_ip: str, sport: int, payload: bytes) -> None:
+    def _conclude(
+        self, source_ip: str, sport: int, payload: bytes, attempt: int = 1
+    ) -> None:
         observation = self.server.observation_for(source_ip, sport)
         label = payload.decode("latin-1", errors="replace").splitlines()[0][:50]
+        silent = (
+            observation is None
+            or not observation.established
+            or not observation.request_data
+        )
+        if silent and attempt < self.retry_policy.max_attempts:
+            # A blind-paced flow is fragile under loss (no retransmission on
+            # forged segments); re-forge the whole flow with a fresh 4-tuple.
+            backoff = self.retry_policy.delay_before(attempt, self.ctx.sim.rng)
+            self.ctx.sim.at(
+                backoff,
+                lambda s=source_ip, p=payload, a=attempt + 1: self._forge_flow(
+                    s, p, a
+                ),
+            )
+            return
+        confidence = 1.0
         if observation is None or not observation.established:
             verdict, detail = Verdict.BLOCKED_TIMEOUT, "handshake never reached server"
         elif not observation.request_data:
@@ -177,6 +198,15 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
             verdict, detail = Verdict.BLOCKED_RST, "flow reset after request"
         else:
             verdict, detail = Verdict.ACCESSIBLE, "request arrived unreset"
+        if silent:
+            if attempt < self.retry_policy.min_consistent_failures:
+                verdict = Verdict.INCONCLUSIVE
+                detail = f"{detail} ({attempt} attempt(s), below failure floor)"
+            else:
+                detail = f"{detail} (consistent across {attempt} attempt(s))"
+            confidence = min(
+                1.0, attempt / self.retry_policy.min_consistent_failures
+            )
         self._emit(
             MeasurementResult(
                 technique=self.name,
@@ -184,6 +214,8 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
                 verdict=verdict,
                 detail=detail,
                 evidence={"source": source_ip, "spoofed": source_ip != self.ctx.client.ip},
+                attempts=attempt,
+                confidence=confidence,
             )
         )
 

@@ -17,7 +17,7 @@ Two techniques:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..netsim.dnssrv import DNSResult, resolve
 from ..packets import (
@@ -28,7 +28,7 @@ from ..packets import (
     TCPSegment,
     UDPDatagram,
 )
-from .measurement import MeasurementContext, MeasurementTechnique
+from .measurement import MeasurementContext, MeasurementTechnique, RetryPolicy
 from .overt import interpret_dns
 from .results import MeasurementResult, Verdict
 
@@ -48,11 +48,13 @@ class StatelessSpoofedDNSMeasurement(MeasurementTechnique):
         domains: Sequence[str],
         cover_ips: Sequence[str],
         jitter: float = 0.05,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(ctx)
         self.domains = list(domains)
         self.cover_ips = list(cover_ips)
         self.jitter = jitter
+        self.retry_policy = retry_policy or ctx.retry_policy
         self.cover_queries_sent = 0
 
     def start(self) -> None:
@@ -85,16 +87,32 @@ class StatelessSpoofedDNSMeasurement(MeasurementTechnique):
         self.ctx.client.send_raw(packet)
         self.cover_queries_sent += 1
 
-    def _real_query(self, domain: str) -> None:
+    def _real_query(self, domain: str, attempt: int = 1) -> None:
         resolve(
             self.ctx.client,
             self.ctx.resolver_ip,
             domain,
-            callback=lambda res, d=domain: self._conclude(d, res),
+            callback=lambda res, d=domain, a=attempt: self._conclude(d, res, a),
         )
 
-    def _conclude(self, domain: str, res: DNSResult) -> None:
+    def _conclude(self, domain: str, res: DNSResult, attempt: int = 1) -> None:
+        if res.status == "timeout" and attempt < self.retry_policy.max_attempts:
+            # Re-ask under fresh cover-crowd timing; a lost datagram and a
+            # censor's drop look identical on one sample.
+            backoff = self.retry_policy.delay_before(attempt, self.ctx.sim.rng)
+            self.ctx.sim.at(
+                backoff, lambda d=domain, a=attempt + 1: self._real_query(d, a)
+            )
+            return
         verdict, detail = interpret_dns(self.ctx, domain, res)
+        confidence = 1.0
+        if res.status == "timeout":
+            if attempt < self.retry_policy.min_consistent_failures:
+                verdict = Verdict.INCONCLUSIVE
+                detail = f"{detail} (only {attempt} attempt(s), below failure floor)"
+            confidence = min(
+                1.0, attempt / self.retry_policy.min_consistent_failures
+            )
         self._emit(
             MeasurementResult(
                 technique=self.name,
@@ -106,6 +124,8 @@ class StatelessSpoofedDNSMeasurement(MeasurementTechnique):
                     "addresses": res.addresses,
                     "cover_queries": self.cover_queries_sent,
                 },
+                attempts=attempt,
+                confidence=confidence,
             )
         )
 
@@ -132,12 +152,14 @@ class SpoofedSYNReachability(MeasurementTechnique):
         cover_ips: Sequence[str],
         timeout: float = 2.0,
         jitter: float = 0.05,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(ctx)
         self.targets = list(targets)
         self.cover_ips = list(cover_ips)
         self.timeout = timeout
         self.jitter = jitter
+        self.retry_policy = retry_policy or ctx.retry_policy
         self._outcomes: Dict[Tuple[str, int], str] = {}
         self._probe_ports: Dict[Tuple[str, int], Tuple[str, int]] = {}
         self._sniffing = False
@@ -165,7 +187,7 @@ class SpoofedSYNReachability(MeasurementTechnique):
             )
             self.ctx.sim.at(
                 self.jitter * (len(sources) + 2) + self.timeout,
-                lambda t=target_ip, p=port: self._conclude(t, p),
+                lambda t=target_ip, p=port: self._conclude(t, p, attempt=1),
             )
 
     def _send_syn(self, target_ip: str, port: int, source_ip: str) -> None:
@@ -211,21 +233,41 @@ class SpoofedSYNReachability(MeasurementTechnique):
         elif segment.is_rst:
             self._outcomes[key] = "rst"
 
-    def _conclude(self, target_ip: str, port: int) -> None:
+    def _conclude(self, target_ip: str, port: int, attempt: int = 1) -> None:
         outcome = self._outcomes[(target_ip, port)]
+        if outcome == "silent" and attempt < self.retry_policy.max_attempts:
+            # The cover crowd already supplied the cloak; a lone follow-up
+            # SYN after backoff is cheap and decorrelates from loss bursts.
+            backoff = self.retry_policy.delay_before(attempt, self.ctx.sim.rng)
+            self.ctx.sim.at(
+                backoff, lambda t=target_ip, p=port: self._send_real_syn(t, p)
+            )
+            self.ctx.sim.at(
+                backoff + self.timeout,
+                lambda t=target_ip, p=port, a=attempt + 1: self._conclude(t, p, a),
+            )
+            return
+        confidence = 1.0
         if outcome == "synack":
             verdict, detail = Verdict.ACCESSIBLE, "SYN/ACK received"
         elif outcome == "rst":
             verdict, detail = Verdict.BLOCKED_RST, "RST received for expected-open port"
+        elif attempt < self.retry_policy.min_consistent_failures:
+            verdict = Verdict.INCONCLUSIVE
+            detail = f"no answer to SYN ({attempt} attempt(s), below failure floor)"
+            confidence = attempt / self.retry_policy.min_consistent_failures
         else:
-            verdict, detail = Verdict.BLOCKED_TIMEOUT, "no answer to SYN"
+            verdict = Verdict.BLOCKED_TIMEOUT
+            detail = f"no answer to {attempt} SYN attempt(s)"
         self._emit(
             MeasurementResult(
                 technique=self.name,
                 target=f"{target_ip}:{port}",
                 verdict=verdict,
                 detail=detail,
-                evidence={"cover_hosts": len(self.cover_ips)},
+                evidence={"cover_hosts": len(self.cover_ips), "outcome": outcome},
+                attempts=attempt,
+                confidence=confidence,
             )
         )
 

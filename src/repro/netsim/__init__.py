@@ -8,7 +8,20 @@ protocol stacks (TCP/UDP/ICMP), middlebox tap points, application servers
 from .capture import CapturedPacket, PacketCapture, dns_only, tcp_only
 from .dnssrv import DNSResult, DNSServer, Zone, resolve
 from .engine import Simulator, Timer
-from .link import Link
+from .impairment import (
+    BandwidthLimit,
+    Duplication,
+    GilbertElliottLoss,
+    ImpairedPath,
+    ImpairmentModel,
+    IndependentLoss,
+    LatencyJitter,
+    PacketFate,
+    Reordering,
+    burst_loss_profile,
+    mix_seed,
+)
+from .link import DirectionStats, Link
 from .mailsrv import MailServer, SMTPResult, send_mail
 from .middlebox import Action, Middlebox, TapContext
 from .multicountry import CountryAS, TwoCountryTopology, build_two_country
@@ -28,8 +41,20 @@ from .websrv import HTTPResult, WebServer, http_get
 
 __all__ = [
     "Action",
+    "BandwidthLimit",
     "CacheEntry",
     "CachingResolver",
+    "DirectionStats",
+    "Duplication",
+    "GilbertElliottLoss",
+    "ImpairedPath",
+    "ImpairmentModel",
+    "IndependentLoss",
+    "LatencyJitter",
+    "PacketFate",
+    "Reordering",
+    "burst_loss_profile",
+    "mix_seed",
     "CapturedPacket",
     "PacketCapture",
     "dns_only",

@@ -132,19 +132,33 @@ def resolve(
     qtype: int = QTYPE_A,
     callback: Optional[Callable[[DNSResult], None]] = None,
     timeout: float = 2.0,
+    retries: int = 2,
 ) -> None:
     """Issue a query from ``client`` and deliver a :class:`DNSResult`.
 
     The first response matching the transaction wins — which is precisely
     the race an off-path DNS injector (the GFC model) exploits.
+
+    Like any real stub resolver, a query that draws no response is
+    retransmitted (same transaction id, fresh source port) up to
+    ``retries`` times before the lookup reports ``timeout``; the
+    ``timeout`` budget covers the whole lookup, split evenly across the
+    tries, so the worst-case latency is unchanged by retries.  Without
+    this, one lost datagram on an impaired path would count as a full
+    lookup failure — UDP has no transport-layer recovery to lean on.
     """
     assert client.stack is not None
     txid = client.stack.sim.rng.randrange(0, 0x10000)
     query = DNSMessage.query(name, qtype=qtype, txid=txid)
+    wire = query.to_bytes()
+    tries_total = max(1, retries + 1)
+    try_timeout = timeout / tries_total
+    state = {"answered": False, "tries_left": tries_total}
 
     def on_reply(payload: bytes, _packet) -> None:
-        if callback is None:
+        if callback is None or state["answered"]:
             return
+        state["answered"] = True
         try:
             message = DNSMessage.from_bytes(payload)
         except (ValueError, IndexError):
@@ -172,14 +186,23 @@ def resolve(
             )
 
     def on_timeout() -> None:
+        if state["answered"]:
+            return
+        if state["tries_left"] > 0:
+            send_try()
+            return
         if callback is not None:
             callback(DNSResult(status="timeout", name=name, qtype=qtype))
 
-    client.stack.udp_request(
-        dst=server_ip,
-        dport=DNS_PORT,
-        payload=query.to_bytes(),
-        on_reply=on_reply,
-        on_timeout=on_timeout,
-        timeout=timeout,
-    )
+    def send_try() -> None:
+        state["tries_left"] -= 1
+        client.stack.udp_request(
+            dst=server_ip,
+            dport=DNS_PORT,
+            payload=wire,
+            on_reply=on_reply,
+            on_timeout=on_timeout,
+            timeout=try_timeout,
+        )
+
+    send_try()

@@ -46,12 +46,27 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self.now = 0.0
+        #: The construction seed, kept so subsystems (per-link impairment
+        #: pipelines, workload generators) can derive independent
+        #: deterministic RNG streams without consuming ``rng`` itself.
+        self.seed = seed
         self.rng = random.Random(seed)
         self._queue: list[tuple[float, int, Timer, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._events_processed = 0
         #: cancelled entries still sitting in the heap (popped lazily)
         self._dead = 0
+
+    def substream(self, *labels: int) -> random.Random:
+        """A deterministic RNG stream derived from the seed and ``labels``.
+
+        Independent of ``rng``'s draw sequence, so creating a substream
+        never perturbs existing randomness — the property the
+        seed-determinism regression tests rely on.
+        """
+        from .impairment import mix_seed
+
+        return random.Random(mix_seed(self.seed, *labels))
 
     def at(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` to run ``delay`` seconds from now."""

@@ -1,25 +1,99 @@
-"""Point-to-point links with fixed latency and byte accounting."""
+"""Point-to-point links: latency, per-direction impairments, accounting.
+
+A link carries packets in both directions, but real paths are rarely
+symmetric — loss, queueing, and jitter differ per direction.  Each
+direction therefore owns its own impairment pipeline (seeded RNG stream
+included) and its own statistics, so analyses can report uplink and
+downlink loss separately and tests can assert packet conservation
+(offered = delivered − duplicated-extra + lost) per direction.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import random
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
+
+from .impairment import (
+    DELIVER_CLEAN,
+    DROPPED,
+    ImpairedPath,
+    ImpairmentModel,
+    PacketFate,
+    mix_seed,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import Node
 
-__all__ = ["Link"]
+__all__ = ["Link", "DirectionStats"]
+
+#: Direction labels: "ab" is a->b (from ``Link.a`` toward ``Link.b``).
+DIRECTIONS = ("ab", "ba")
+
+
+class DirectionStats:
+    """Per-direction packet/byte accounting.
+
+    ``packets_offered`` counts transmission attempts entering the link;
+    ``packets_carried`` counts delivered copies (duplicates included);
+    ``packets_duplicated`` counts the *extra* copies only.  Conservation:
+    ``offered == carried - duplicated + lost``.
+    """
+
+    __slots__ = (
+        "packets_offered",
+        "packets_carried",
+        "packets_lost",
+        "packets_duplicated",
+        "bytes_carried",
+    )
+
+    def __init__(self) -> None:
+        self.packets_offered = 0
+        self.packets_carried = 0
+        self.packets_lost = 0
+        self.packets_duplicated = 0
+        self.bytes_carried = 0
+
+    @property
+    def conserved(self) -> bool:
+        return self.packets_offered == (
+            self.packets_carried - self.packets_duplicated + self.packets_lost
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "packets_offered": self.packets_offered,
+            "packets_carried": self.packets_carried,
+            "packets_lost": self.packets_lost,
+            "packets_duplicated": self.packets_duplicated,
+            "bytes_carried": self.bytes_carried,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectionStats(offered={self.packets_offered}, "
+            f"carried={self.packets_carried}, lost={self.packets_lost}, "
+            f"dup={self.packets_duplicated})"
+        )
 
 
 class Link:
     """A bidirectional link between two nodes.
 
-    Delivery is FIFO per direction (the event queue breaks ties in
-    scheduling order), so TCP segments arrive in order and the simulated
-    stack needs no reordering logic.
+    Without impairments, delivery is FIFO per direction (the event queue
+    breaks ties in scheduling order).  Impairment pipelines may drop,
+    delay (reordering), or duplicate packets per direction; the TCP
+    stack's retransmission and in-order delivery logic covers the rest.
     """
 
     def __init__(
-        self, a: "Node", b: "Node", latency: float = 0.001, loss: float = 0.0
+        self,
+        a: "Node",
+        b: "Node",
+        latency: float = 0.001,
+        loss: float = 0.0,
+        seed: int = 0,
     ) -> None:
         if latency < 0:
             raise ValueError("latency must be non-negative")
@@ -28,14 +102,59 @@ class Link:
         self.a = a
         self.b = b
         self.latency = latency
-        #: Independent per-packet drop probability (no retransmission in
-        #: the simulated TCP, so loss surfaces as timeouts — exactly the
-        #: confound that makes single-shot probes unreliable and repeated
-        #: sampling worthwhile, paper Method #3).
+        #: Independent per-packet drop probability, applied before any
+        #: impairment pipeline — the simple knob for "this path is dirty".
+        #: Loss surfaces as timeouts unless the stack retransmits, exactly
+        #: the confound that makes single-shot probes unreliable and
+        #: repeated sampling worthwhile (paper Method #3).
         self.loss = loss
-        self.bytes_carried = 0
-        self.packets_carried = 0
-        self.packets_lost = 0
+        self.seed = seed
+        self.stats: Dict[str, DirectionStats] = {
+            direction: DirectionStats() for direction in DIRECTIONS
+        }
+        self._rng: Dict[str, random.Random] = {
+            direction: random.Random(mix_seed(seed, index))
+            for index, direction in enumerate(DIRECTIONS)
+        }
+        self._paths: Dict[str, Optional[ImpairedPath]] = {
+            direction: None for direction in DIRECTIONS
+        }
+
+    # -- impairment configuration -------------------------------------------
+
+    def impair(
+        self,
+        models: Sequence[ImpairmentModel],
+        direction: str = "both",
+    ) -> "Link":
+        """Install an impairment pipeline (cloned per direction).
+
+        ``direction`` is ``"ab"``, ``"ba"``, or ``"both"``.  Models are
+        cloned so each direction gets pristine state, and each pipeline
+        draws from its own deterministic RNG stream.
+        """
+        for d in self._directions(direction):
+            self._paths[d] = ImpairedPath(
+                [model.clone() for model in models], rng=self._rng[d]
+            )
+        return self
+
+    def clear_impairment(self, direction: str = "both") -> None:
+        for d in self._directions(direction):
+            self._paths[d] = None
+
+    def impairment(self, direction: str) -> Optional[ImpairedPath]:
+        return self._paths[direction]
+
+    @staticmethod
+    def _directions(direction: str) -> Iterable[str]:
+        if direction == "both":
+            return DIRECTIONS
+        if direction not in DIRECTIONS:
+            raise ValueError(f"direction must be 'ab', 'ba', or 'both', not {direction!r}")
+        return (direction,)
+
+    # -- topology helpers ----------------------------------------------------
 
     def other_end(self, node: "Node") -> "Node":
         """The node on the far side of ``node``."""
@@ -45,12 +164,73 @@ class Link:
             return self.a
         raise ValueError(f"{node!r} is not attached to this link")
 
+    def direction_from(self, node: "Node") -> str:
+        """The direction label for traffic sent by ``node``."""
+        if node is self.a:
+            return "ab"
+        if node is self.b:
+            return "ba"
+        raise ValueError(f"{node!r} is not attached to this link")
+
     def connects(self, a: "Node", b: "Node") -> bool:
         return {self.a, self.b} == {a, b}
 
-    def account(self, size: int) -> None:
-        self.bytes_carried += size
-        self.packets_carried += 1
+    # -- transmission ---------------------------------------------------------
+
+    def transmit(self, size: int, now: float, direction: str) -> PacketFate:
+        """Rule on one packet entering the link; update accounting.
+
+        Returns the packet's fate: empty delays = dropped, otherwise one
+        extra delay per delivered copy (on top of ``latency``).
+        """
+        stats = self.stats[direction]
+        stats.packets_offered += 1
+        if self.loss and self._rng[direction].random() < self.loss:
+            stats.packets_lost += 1
+            return DROPPED
+        path = self._paths[direction]
+        if path is None:
+            stats.packets_carried += 1
+            stats.bytes_carried += size
+            return DELIVER_CLEAN
+        fate = path.traverse(size, now)
+        if fate.dropped:
+            stats.packets_lost += 1
+            return fate
+        copies = fate.copies
+        stats.packets_carried += copies
+        stats.packets_duplicated += copies - 1
+        stats.bytes_carried += size * copies
+        return fate
+
+    def account(self, size: int, direction: str = "ab") -> None:
+        """Record an externally-decided delivery (legacy hook)."""
+        stats = self.stats[direction]
+        stats.packets_offered += 1
+        stats.packets_carried += 1
+        stats.bytes_carried += size
+
+    # -- aggregate accounting (both directions) ------------------------------
+
+    @property
+    def bytes_carried(self) -> int:
+        return sum(stats.bytes_carried for stats in self.stats.values())
+
+    @property
+    def packets_carried(self) -> int:
+        return sum(stats.packets_carried for stats in self.stats.values())
+
+    @property
+    def packets_lost(self) -> int:
+        return sum(stats.packets_lost for stats in self.stats.values())
+
+    @property
+    def packets_offered(self) -> int:
+        return sum(stats.packets_offered for stats in self.stats.values())
+
+    @property
+    def packets_duplicated(self) -> int:
+        return sum(stats.packets_duplicated for stats in self.stats.values())
 
     def __repr__(self) -> str:
         return f"Link({self.a.name} <-> {self.b.name}, {self.latency * 1000:.1f}ms)"

@@ -12,8 +12,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional
 
+from typing import Sequence
+
 from ..packets import IPPacket
 from .engine import Simulator
+from .impairment import ImpairmentModel, mix_seed
 from .link import Link
 from .middlebox import Action, TapContext
 from .node import Host, Node
@@ -61,13 +64,31 @@ class Network:
             if node.name not in self.nodes:
                 raise ValueError(f"{node.name} is not attached to this network")
         link = Link(
-            a, b, latency if latency is not None else self.default_latency, loss=loss
+            a,
+            b,
+            latency if latency is not None else self.default_latency,
+            loss=loss,
+            # Each link gets its own RNG stream derived from the simulation
+            # seed and its ordinal, so impairments are deterministic without
+            # consuming (and thereby perturbing) the simulator's shared rng.
+            seed=mix_seed(self.sim.seed, len(self.links)),
         )
         self.links.append(link)
         self._adjacency[a.name].append(link)
         self._adjacency[b.name].append(link)
         self._routes_dirty = True
         return link
+
+    def impair_all_links(
+        self, models: Sequence[ImpairmentModel], direction: str = "both"
+    ) -> None:
+        """Install an impairment profile on every link (cloned per direction).
+
+        The blunt instrument for "make the whole network hostile" — e.g.
+        running the full evaluation scenario under 5% burst loss.
+        """
+        for link in self.links:
+            link.impair(models, direction=direction)
 
     def host(self, name: str) -> Host:
         """Look up a host by name (raises KeyError with a clear message)."""
@@ -129,12 +150,23 @@ class Network:
             self.dropped_no_route += 1
             return
         link = self._find_link(node.name, hop_name)
-        if link.loss and self.sim.rng.random() < link.loss:
-            link.packets_lost += 1
+        fate = link.transmit(
+            packet.wire_length(), self.sim.now, link.direction_from(node)
+        )
+        if fate.dropped:
             return
-        link.account(len(packet.to_bytes()))
         next_node = self.nodes[hop_name]
-        self.sim.at(link.latency, lambda: self._arrive(packet, next_node))
+        delays = fate.delays
+        self.sim.at(link.latency + delays[0], lambda: self._arrive(packet, next_node))
+        for extra in delays[1:]:
+            # Duplicate copies get their own packet object: downstream
+            # routers mutate TTL in place, so copies must not share state.
+            duplicate = packet.copy()
+            duplicate.metadata.update(packet.metadata)
+            self.sim.at(
+                link.latency + extra,
+                lambda p=duplicate: self._arrive(p, next_node),
+            )
 
     def _find_link(self, a_name: str, b_name: str) -> Link:
         for link in self._adjacency[a_name]:

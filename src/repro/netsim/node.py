@@ -35,6 +35,13 @@ class Node:
         """Attach a middlebox that observes all transiting packets."""
         self.taps.append(tap)
 
+    def counters(self) -> dict:
+        """Introspection snapshot for analysis reports (subclasses extend)."""
+        return {
+            "packets_seen": self.packets_seen,
+            "packets_dropped": self.packets_dropped,
+        }
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
 
@@ -76,6 +83,12 @@ class Router(Node):
         if origin is None:  # packet from outside this AS or synthesized on-path
             return True
         return self.sav.permits(claimed_src=packet.src, true_src=origin)
+
+    def counters(self) -> dict:
+        snapshot = super().counters()
+        snapshot["sav_drops"] = self.sav_drops
+        snapshot["ttl_drops"] = self.ttl_drops
+        return snapshot
 
 
 class Host(Node):
@@ -120,6 +133,13 @@ class Host(Node):
         self.packets_seen += 1
         if self.stack is not None:
             self.stack.handle(packet)
+
+    def counters(self) -> dict:
+        snapshot = super().counters()
+        if self.stack is not None:
+            snapshot["tcp_retransmissions"] = self.stack.retransmitted_segments
+            snapshot["tcp_retry_exhausted"] = self.stack.retransmit_exhausted
+        return snapshot
 
     def icmp_unreachable(self, original: IPPacket, code: int = 3) -> IPPacket:
         """Build a port/host-unreachable reply quoting ``original``."""

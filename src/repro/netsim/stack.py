@@ -10,6 +10,13 @@ behaviour:
   never opened answers with a RST.
 - A UDP datagram to a closed port elicits ICMP port-unreachable.
 - ICMP echo requests are answered, so TTL estimation via ping works.
+- TCP retransmits: SYNs, data, and FINs that go unacknowledged are resent
+  with exponential backoff (go-back-N, single timer per connection, a
+  SYN-retry cap in ``NetworkStack.syn_retries``).  On a lossy or
+  reordering link the stream still delivers exactly once and in order;
+  only when retries exhaust does the application see ``timeout`` — which
+  is what lets measurement code distinguish "the path is lossy" from
+  "something is eating my packets".
 """
 
 from __future__ import annotations
@@ -40,8 +47,16 @@ __all__ = ["NetworkStack", "TCPConnection"]
 EPHEMERAL_BASE = 32768
 DEFAULT_CONNECT_TIMEOUT = 3.0
 
-# TCP connection states (simplified RFC 793 machine; the lossless FIFO
-# network removes the need for retransmission and reordering states).
+#: Retransmission defaults (simulated seconds).  RTTs in the reference
+#: topologies are single-digit milliseconds, so a conservative fixed RTO
+#: converges fast without per-connection RTT estimation.
+DEFAULT_RTO_INITIAL = 0.5
+DEFAULT_RTO_MAX = 4.0
+DEFAULT_MAX_RETRANSMITS = 6
+DEFAULT_SYN_RETRIES = 4
+
+# TCP connection states (simplified RFC 793 machine; retransmission with
+# go-back-N recovery covers loss and reordering introduced by impairments).
 CLOSED = "CLOSED"
 SYN_SENT = "SYN_SENT"
 SYN_RCVD = "SYN_RCVD"
@@ -52,6 +67,18 @@ LAST_ACK = "LAST_ACK"
 RESET = "RESET"
 
 EventHandler = Callable[[str, bytes], None]
+
+
+class _UnackedSegment:
+    """One retransmittable segment awaiting acknowledgement."""
+
+    __slots__ = ("seq", "seq_end", "flags", "payload")
+
+    def __init__(self, seq: int, seq_end: int, flags: int, payload: bytes) -> None:
+        self.seq = seq
+        self.seq_end = seq_end
+        self.flags = flags
+        self.payload = payload
 
 
 class TCPConnection:
@@ -84,6 +111,16 @@ class TCPConnection:
         self._connect_timer = None
         self.bytes_received = 0
         self.bytes_sent = 0
+        # Retransmission machinery: unacked segments, one timer, backoff.
+        self._unacked: List[_UnackedSegment] = []
+        self._rtx_timer = None
+        self._rtx_deadline = 0.0
+        self._rto = stack.rto_initial
+        self._rtx_count = 0
+        self.retransmissions = 0
+        #: Gate for the whole retransmission machinery; disabling it
+        #: models a legacy stack where every loss surfaces as a timeout.
+        self.retransmit_enabled = True
 
     # -- public API -----------------------------------------------------------
 
@@ -123,11 +160,18 @@ class TCPConnection:
 
     # -- internals --------------------------------------------------------------
 
-    def _send_segment(self, flags: int, payload: bytes = b"") -> None:
+    def _send_segment(
+        self,
+        flags: int,
+        payload: bytes = b"",
+        seq: Optional[int] = None,
+        register: bool = True,
+    ) -> None:
+        seq = self.snd_nxt if seq is None else seq
         segment = TCPSegment(
             sport=self.local_port,
             dport=self.remote_port,
-            seq=self.snd_nxt,
+            seq=seq,
             ack=self.rcv_nxt,
             flags=flags,
             payload=payload,
@@ -136,21 +180,20 @@ class TCPConnection:
             src=self.stack.host.ip, dst=self.remote_ip, payload=segment, ttl=self.ttl
         )
         self.stack.host.send_ip(packet)
+        # Anything that consumes sequence space (SYN, FIN, data) must be
+        # retransmitted until acknowledged; pure ACKs and RSTs are not.
+        seq_span = len(payload) + (1 if flags & (SYN | FIN) else 0)
+        if register and seq_span and self.retransmit_enabled:
+            self._unacked.append(
+                _UnackedSegment(seq, seq + seq_span, flags, payload)
+            )
+            self._arm_rtx()
 
     def _start_connect(self, timeout: float) -> None:
         self.snd_nxt = self.stack.sim.rng.randrange(1, 2**31)
         self.state = SYN_SENT
-        segment = TCPSegment(
-            sport=self.local_port,
-            dport=self.remote_port,
-            seq=self.snd_nxt,
-            flags=SYN,
-        )
+        self._send_segment(SYN)
         self.snd_nxt += 1
-        packet = IPPacket(
-            src=self.stack.host.ip, dst=self.remote_ip, payload=segment, ttl=self.ttl
-        )
-        self.stack.host.send_ip(packet)
         self._connect_timer = self.stack.sim.at(timeout, self._connect_timed_out)
 
     def _connect_timed_out(self) -> None:
@@ -162,8 +205,65 @@ class TCPConnection:
             self._connect_timer.cancel()
             self._connect_timer = None
 
+    # -- retransmission -------------------------------------------------------
+
+    def _arm_rtx(self) -> None:
+        """Ensure the (single) retransmission timer is running."""
+        self._rtx_deadline = self.stack.sim.now + self._rto
+        if self._rtx_timer is None:
+            self._rtx_timer = self.stack.sim.at(self._rto, self._on_rtx_timer)
+
+    def _on_rtx_timer(self) -> None:
+        self._rtx_timer = None
+        if not self._unacked:
+            return
+        now = self.stack.sim.now
+        if now < self._rtx_deadline - 1e-12:
+            # An ACK pushed the deadline forward since the timer was set.
+            self._rtx_timer = self.stack.sim.at(
+                self._rtx_deadline - now, self._on_rtx_timer
+            )
+            return
+        limit = (
+            self.stack.syn_retries
+            if self.state in (SYN_SENT, SYN_RCVD)
+            else self.stack.max_retransmits
+        )
+        if self._rtx_count >= limit:
+            self.stack.retransmit_exhausted += 1
+            self._finish(CLOSED, notify="timeout")
+            return
+        self._rtx_count += 1
+        for entry in list(self._unacked):
+            # Go-back-N: resend everything outstanding, oldest first.
+            self.retransmissions += 1
+            self.stack.retransmitted_segments += 1
+            self._send_segment(
+                entry.flags, entry.payload, seq=entry.seq, register=False
+            )
+        self._rto = min(self._rto * 2.0, self.stack.rto_max)
+        self._rtx_deadline = now + self._rto
+        self._rtx_timer = self.stack.sim.at(self._rto, self._on_rtx_timer)
+
+    def _process_ack(self, ack: int) -> None:
+        """Retire acknowledged segments; reset backoff on forward progress."""
+        if not self._unacked:
+            return
+        remaining = [entry for entry in self._unacked if entry.seq_end > ack]
+        if len(remaining) != len(self._unacked):
+            self._unacked = remaining
+            self._rtx_count = 0
+            self._rto = self.stack.rto_initial
+            if remaining:
+                self._rtx_deadline = self.stack.sim.now + self._rto
+            # An empty queue leaves the timer to expire as a no-op.
+
     def _finish(self, state: str, notify: Optional[str]) -> None:
         self._cancel_connect_timer()
+        if self._rtx_timer is not None:
+            self._rtx_timer.cancel()
+            self._rtx_timer = None
+        self._unacked.clear()
         self.state = state
         self.stack._forget(self)
         if notify is not None:
@@ -175,11 +275,18 @@ class TCPConnection:
             self.send(data)
 
     def on_segment(self, packet: IPPacket, segment: TCPSegment) -> None:
-        """Advance the state machine on an in-order arriving segment."""
+        """Advance the state machine on an arriving segment.
+
+        Arrival order is no longer guaranteed: impaired links delay,
+        duplicate, and reorder.  Cumulative-ACK processing plus the
+        duplicate checks below keep the machine correct regardless.
+        """
         if segment.is_rst:
             if self.state not in (CLOSED, RESET):
                 self._finish(RESET, notify="reset")
             return
+        if segment.has(ACK):
+            self._process_ack(segment.ack)
 
         if self.state == SYN_SENT:
             if segment.is_synack:
@@ -192,6 +299,13 @@ class TCPConnection:
             return
 
         if self.state == SYN_RCVD:
+            if segment.is_syn and not segment.has(ACK):
+                # Retransmitted SYN: our SYN/ACK was lost on the way back.
+                # Passive opens answer on demand instead of running a timer,
+                # so a half-open connection (raw-socket client, spoofed
+                # handshake) can sit indefinitely — as before impairments.
+                self._send_segment(SYN | ACK, seq=self.snd_nxt - 1, register=False)
+                return
             if segment.has(ACK) and not segment.has(SYN):
                 self._cancel_connect_timer()
                 self.state = ESTABLISHED
@@ -203,14 +317,22 @@ class TCPConnection:
             return
 
         if self.state in (ESTABLISHED, FIN_WAIT, CLOSE_WAIT):
+            if segment.has(SYN):
+                # A retransmitted SYN/ACK means our handshake ACK was lost;
+                # answering it re-synchronizes the peer.
+                self._send_segment(ACK)
+                return
             if segment.payload:
                 self._receive_data(segment)
             if segment.is_fin and segment.seq <= self.rcv_nxt:
-                self.rcv_nxt = segment.seq + len(segment.payload) + 1
+                already_closing = self.state == CLOSE_WAIT
+                self.rcv_nxt = max(
+                    self.rcv_nxt, segment.seq + len(segment.payload) + 1
+                )
                 self._send_segment(ACK)
                 if self.state == FIN_WAIT:
                     self._finish(CLOSED, notify="closed")
-                else:
+                elif not already_closing:  # duplicate FINs notify once
                     self.state = CLOSE_WAIT
                     self.handler("fin", b"")
             return
@@ -222,8 +344,10 @@ class TCPConnection:
 
     def _receive_data(self, segment: TCPSegment) -> None:
         if segment.seq != self.rcv_nxt:
-            # Duplicate or overlapping data on our lossless network means an
-            # injected segment (e.g. a censor RST race lost); re-ACK silently.
+            # A duplicate (retransmission, link duplication) or a segment
+            # that overtook its predecessors on a reordering link — or an
+            # injected segment (e.g. a censor RST race lost).  Re-ACK with
+            # the cumulative position; go-back-N recovery fills any gap.
             self._send_segment(ACK)
             return
         self.rcv_nxt += len(segment.payload)
@@ -256,6 +380,14 @@ class NetworkStack:
         self._tcp_listeners: Dict[int, Callable[[TCPConnection], None]] = {}
         self._tcp_conns: Dict[Tuple[int, str, int], TCPConnection] = {}
         self._next_ephemeral = EPHEMERAL_BASE
+        #: Retransmission knobs shared by all connections on this host.
+        self.rto_initial = DEFAULT_RTO_INITIAL
+        self.rto_max = DEFAULT_RTO_MAX
+        self.max_retransmits = DEFAULT_MAX_RETRANSMITS
+        self.syn_retries = DEFAULT_SYN_RETRIES
+        #: Aggregate retransmission accounting (per host).
+        self.retransmitted_segments = 0
+        self.retransmit_exhausted = 0
         self.respond_to_ping = True
         #: When False the host silently ignores unsolicited TCP (a firewalled
         #: host); default True models a normal end host.
@@ -365,10 +497,17 @@ class NetworkStack:
         timeout: float = DEFAULT_CONNECT_TIMEOUT,
         sport: Optional[int] = None,
         ttl: int = 64,
+        retransmit: bool = True,
     ) -> TCPConnection:
-        """Open a connection; events arrive via ``handler``."""
+        """Open a connection; events arrive via ``handler``.
+
+        ``retransmit=False`` disables the retransmission machinery for
+        this connection, restoring the one-loss-equals-one-timeout
+        behaviour lossy-path experiments rely on.
+        """
         sport = sport if sport is not None else self.ephemeral_port()
         conn = TCPConnection(self, sport, dst, dport, handler, ttl=ttl)
+        conn.retransmit_enabled = retransmit
         self._tcp_conns[(sport, dst, dport)] = conn
         conn._start_connect(timeout)
         return conn
@@ -427,7 +566,10 @@ class NetworkStack:
             else:
                 server_conn.snd_nxt = self.sim.rng.randrange(1, 2**31)
             self._tcp_conns[key] = server_conn
-            server_conn._send_segment(SYN | ACK)
+            # register=False: passive opens re-send the SYN/ACK when the
+            # client retransmits its SYN (see SYN_RCVD in on_segment) rather
+            # than on a timer, so half-open connections stay half-open.
+            server_conn._send_segment(SYN | ACK, register=False)
             server_conn.snd_nxt += 1
             return
         if segment.is_rst:

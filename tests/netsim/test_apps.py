@@ -4,7 +4,10 @@ import pytest
 
 from repro.netsim import (
     DNSServer,
+    Host,
     MailServer,
+    Network,
+    Simulator,
     WebServer,
     Zone,
     build_three_node,
@@ -12,6 +15,7 @@ from repro.netsim import (
     resolve,
     send_mail,
 )
+from repro.netsim.impairment import Decision, ImpairmentModel
 from repro.packets import EmailMessage, QTYPE_A, QTYPE_MX
 
 
@@ -92,6 +96,69 @@ class TestDNSServer:
             resolve(topo.client, topo.server.ip, "e.com", callback=lambda r: None)
         topo.run()
         assert server.queries_served == 3
+
+
+class _DropFirst(ImpairmentModel):
+    """Deterministically drop the first ``count`` packets, pass the rest."""
+
+    def __init__(self, count):
+        self.count = count
+
+    def decide(self, size, now, rng):
+        if self.count > 0:
+            self.count -= 1
+            return Decision(drop=True)
+        return Decision()
+
+
+class TestResolverRetransmission:
+    """A stub resolver re-sends lost queries; one dropped datagram must
+    not surface as a lookup timeout (which the techniques would read as
+    censorship)."""
+
+    def _pair(self):
+        sim = Simulator(seed=8)
+        net = Network(sim)
+        client = net.add(Host("client", "10.0.0.1"))
+        server = net.add(Host("server", "10.0.0.2"))
+        link = net.connect(client, server, latency=0.005)
+        return sim, link, client, server
+
+    def test_lost_query_is_retransmitted(self):
+        sim, link, client, server = self._pair()
+        dns = DNSServer(server, Zone().add_a("e.com", "1.1.1.1"))
+        link.impair([_DropFirst(1)], direction=link.direction_from(client))
+        results = []
+        resolve(client, server.ip, "e.com", callback=results.append, timeout=3.0)
+        sim.run(until=10.0)
+        assert results[0].status == "ok"
+        assert results[0].addresses == ["1.1.1.1"]
+        assert dns.queries_served == 1  # only the retransmitted try arrived
+
+    def test_exhausted_retries_stay_within_the_timeout_budget(self):
+        sim, link, client, server = self._pair()
+        DNSServer(server, Zone().add_a("e.com", "1.1.1.1"))
+        link.impair([_DropFirst(100)], direction=link.direction_from(client))
+        done_at = []
+
+        def record(result):
+            done_at.append((sim.now, result.status))
+
+        resolve(client, server.ip, "e.com", callback=record, timeout=3.0, retries=2)
+        sim.run(until=10.0)
+        # The budget is split across tries, not multiplied by them.
+        assert done_at == [(pytest.approx(3.0), "timeout")]
+
+    def test_zero_retries_restores_the_single_shot_lookup(self):
+        sim, link, client, server = self._pair()
+        dns = DNSServer(server, Zone().add_a("e.com", "1.1.1.1"))
+        link.impair([_DropFirst(1)], direction=link.direction_from(client))
+        results = []
+        resolve(client, server.ip, "e.com", callback=results.append,
+                timeout=1.0, retries=0)
+        sim.run(until=10.0)
+        assert results[0].status == "timeout"
+        assert dns.queries_served == 0
 
 
 class TestWebServer:

@@ -1,0 +1,80 @@
+"""Seed-determinism regression under impairment.
+
+The engine's claim — same seed, same run — must survive the impairment
+subsystem: per-link RNG substreams may not consume or perturb the
+simulator's own RNG.  These tests run the Figure-1 end-to-end scenario
+twice under 5% burst loss plus jitter and demand byte-identical packet
+traces and identical verdicts.
+"""
+
+from repro.censor import CensorshipPolicy, GreatFirewall
+from repro.core import (
+    MeasurementContext,
+    RetryPolicy,
+    ScanMeasurement,
+    ScanTarget,
+)
+from repro.netsim import (
+    PacketCapture,
+    WebServer,
+    build_three_node,
+    burst_loss_profile,
+)
+
+VARIABLES = {"HOME_NET": "10.0.0.0/24", "EXTERNAL_NET": "any"}
+
+
+def run_impaired_figure1(seed: int, censored: bool = True):
+    """One full Figure-1 scan under burst loss; returns (trace, verdicts)."""
+    topo = build_three_node(seed=seed)
+    topo.client.user = "tester"
+    policy = CensorshipPolicy() if censored else CensorshipPolicy.disabled()
+    censor = GreatFirewall(policy=policy, variables=VARIABLES)
+    capture = PacketCapture()
+    topo.switch.add_tap(capture)
+    topo.switch.add_tap(censor)
+    WebServer(topo.server, default_body="<html>served content</html>")
+    if censored:
+        censor.policy.blocked_ips.add(topo.server.ip)
+    topo.network.impair_all_links(
+        burst_loss_profile(marginal=0.05, mean_burst_length=5.0, jitter=0.002)
+    )
+    ctx = MeasurementContext(
+        client=topo.client,
+        retry_policy=RetryPolicy(max_attempts=3, timeout=1.0),
+    )
+    technique = ScanMeasurement(
+        ctx, [ScanTarget(topo.server.ip, [80], "server")], port_count=25,
+        timeout=1.0,
+    )
+    technique.start()
+    topo.sim.run(until=topo.sim.now + 60.0)
+    trace = capture.text_log()
+    verdicts = [
+        (r.target, r.verdict.value, r.detail, r.attempts, round(r.time, 9))
+        for r in technique.results
+    ]
+    lost = sum(link.packets_lost for link in topo.network.links)
+    return trace, verdicts, lost
+
+
+class TestSeedDeterminism:
+    def test_same_seed_gives_byte_identical_trace(self):
+        first_trace, first_verdicts, first_lost = run_impaired_figure1(seed=13)
+        second_trace, second_verdicts, second_lost = run_impaired_figure1(seed=13)
+        # The impairment actually bit — this is not a trivially clean run.
+        assert first_lost > 0
+        assert first_trace.encode() == second_trace.encode()
+        assert first_verdicts == second_verdicts
+        assert first_lost == second_lost
+
+    def test_different_seed_gives_different_trace(self):
+        """Sanity: the trace equality above is not vacuous."""
+        trace_a, _, _ = run_impaired_figure1(seed=13)
+        trace_b, _, _ = run_impaired_figure1(seed=14)
+        assert trace_a != trace_b
+
+    def test_uncensored_run_also_deterministic(self):
+        first = run_impaired_figure1(seed=7, censored=False)
+        second = run_impaired_figure1(seed=7, censored=False)
+        assert first == second

@@ -1,8 +1,16 @@
-"""Tests for lossy links."""
+"""Tests for lossy links and per-direction accounting."""
 
 import pytest
 
-from repro.netsim import Host, Network, Simulator
+from repro.analysis import link_report
+from repro.netsim import (
+    Duplication,
+    GilbertElliottLoss,
+    Host,
+    LatencyJitter,
+    Network,
+    Simulator,
+)
 from repro.packets import IPPacket, UDPDatagram
 
 
@@ -58,6 +66,65 @@ class TestLossyLinks:
         b.stack.tcp_listen(80, acceptor)
         events = []
         for _ in range(10):
-            a.stack.tcp_connect(b.ip, 80, lambda e, d: events.append(e), timeout=0.5)
+            a.stack.tcp_connect(
+                b.ip, 80, lambda e, d: events.append(e), timeout=0.5, retransmit=False
+            )
         sim.run()
         assert "timeout" in events
+
+
+class TestPerDirectionAccounting:
+    """Conservation: offered == carried - duplicated-extra + lost, per
+    direction, under any impairment mix."""
+
+    def _blast(self, models):
+        sim = Simulator(seed=11)
+        net = Network(sim)
+        a = net.add(Host("a", "10.0.0.1"))
+        b = net.add(Host("b", "10.0.0.2"))
+        link = net.connect(a, b)
+        link.impair(models)
+        b.stack.udp_listen(7, lambda *args: None)
+        a.stack.udp_listen(7, lambda *args: None)
+        for _ in range(300):
+            a.send_ip(IPPacket(src=a.ip, dst=b.ip,
+                               payload=UDPDatagram(sport=7, dport=7)))
+        for _ in range(200):
+            b.send_ip(IPPacket(src=b.ip, dst=a.ip,
+                               payload=UDPDatagram(sport=7, dport=7)))
+        sim.run()
+        return link
+
+    def test_conservation_under_loss_and_duplication(self):
+        link = self._blast(
+            [
+                GilbertElliottLoss.from_marginal(0.1, mean_burst_length=3.0),
+                LatencyJitter(0.002),
+                Duplication(0.1, copy_delay=0.001),
+            ]
+        )
+        for direction in ("ab", "ba"):
+            stats = link.stats[direction]
+            assert stats.packets_offered > 0
+            assert stats.conserved
+            assert stats.packets_offered == (
+                stats.packets_carried - stats.packets_duplicated + stats.packets_lost
+            )
+        # The mix really exercised both failure modes.
+        assert link.packets_lost > 0
+        assert link.packets_duplicated > 0
+
+    def test_directions_account_independently(self):
+        link = self._blast([GilbertElliottLoss.from_marginal(0.2)])
+        assert link.stats["ab"].packets_offered == 300
+        assert link.stats["ba"].packets_offered == 200
+        assert link.packets_offered == 500
+
+    def test_link_report_exposes_per_direction_stats(self):
+        link = self._blast([GilbertElliottLoss.from_marginal(0.15)])
+        report = link_report([link])
+        entry = report["a<->b"]
+        assert entry["conserved"] is True
+        for direction in ("ab", "ba"):
+            assert entry[direction]["conserved"] is True
+            assert 0.0 < entry[direction]["loss_rate"] < 1.0

@@ -1,0 +1,192 @@
+"""Property tests for the impairment models (hypothesis).
+
+Invariants:
+
+- Gilbert–Elliott's observed loss rate converges to the configured
+  marginal (within the fat tolerance bursty correlation demands).
+- No impairment may schedule a packet into the past: every fate delay is
+  non-negative, so the engine's (time, seq) total order is preserved —
+  reordering only ever *holds packets back*.
+- Duplication never duplicates a dropped packet: a fate is either
+  dropped with zero copies or delivered with at least one.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.impairment import (
+    Duplication,
+    GilbertElliottLoss,
+    ImpairedPath,
+    IndependentLoss,
+    LatencyJitter,
+    Reordering,
+)
+
+
+class TestGilbertElliottMarginal:
+    @given(
+        marginal=st.floats(min_value=0.01, max_value=0.35),
+        burst=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_configured_marginal_is_exact(self, marginal, burst):
+        model = GilbertElliottLoss.from_marginal(marginal, burst)
+        assert math.isclose(model.marginal_loss, marginal, rel_tol=1e-9)
+
+    @given(
+        marginal=st.floats(min_value=0.02, max_value=0.35),
+        burst=st.floats(min_value=1.0, max_value=8.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_observed_loss_converges_to_marginal(self, marginal, burst, seed):
+        model = GilbertElliottLoss.from_marginal(marginal, burst)
+        rng = random.Random(seed)
+        n = 20_000
+        drops = sum(model.decide(100, 0.0, rng).drop for _ in range(n))
+        observed = drops / n
+        # Burst correlation inflates the variance of the sample mean by
+        # roughly the mean burst length; allow a 6-sigma band on the
+        # correlation-adjusted standard error plus a small absolute floor.
+        sigma = math.sqrt(marginal * (1.0 - marginal) * 2.0 * burst / n)
+        assert abs(observed - marginal) < 6.0 * sigma + 0.01
+
+
+class TestBurstTimescaleDecay:
+    """Bursts are packet-clocked under load but decay over idle time.
+
+    Without the decay, a chain that entered a burst on an otherwise-idle
+    link stays there until more packets arrive — so a backoff-spaced
+    retry faces the same burst that ate the original probe, however long
+    it waits (the failure mode that false-blocked whole control-domain
+    batches).
+    """
+
+    def test_burst_certainly_exits_over_a_long_idle_gap(self):
+        # p_enter = 0 makes the long-gap outcome deterministic: the
+        # stationary burst probability is 0 and the geometric factor
+        # 0.8**200 is ~1e-20, so the state must relax to good.
+        model = GilbertElliottLoss(
+            p_enter_burst=0.0, p_exit_burst=0.2, burst_timescale=0.02
+        )
+        rng = random.Random(7)
+        model.decide(100, 0.0, rng)  # anchors the idle clock
+        model._in_burst = True
+        model.decide(100, 0.0 + 200 * 0.02, rng)
+        assert model._in_burst is False
+
+    def test_zero_timescale_freezes_the_burst(self):
+        model = GilbertElliottLoss(
+            p_enter_burst=0.0, p_exit_burst=0.0, burst_timescale=0.0
+        )
+        rng = random.Random(7)
+        model.decide(100, 0.0, rng)
+        model._in_burst = True
+        assert model.decide(100, 1e6, rng).drop
+
+    def test_dense_traffic_matches_the_classical_per_packet_chain(self):
+        # Back-to-back packets never open an idle gap, so the default
+        # timescale must reproduce the timescale=0 chain draw-for-draw.
+        timed = GilbertElliottLoss.from_marginal(0.2, 4.0)
+        frozen = GilbertElliottLoss.from_marginal(0.2, 4.0, burst_timescale=0.0)
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        for _ in range(2000):
+            assert (
+                timed.decide(100, 0.0, rng_a).drop
+                == frozen.decide(100, 0.0, rng_b).drop
+            )
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_sparse_probes_see_the_marginal_not_the_burst(self, seed):
+        # Probes spaced 50 timescales apart are decorrelated, so the
+        # observed loss is an i.i.d. Bernoulli(marginal) sample — the
+        # tight independent-sample tolerance applies, not the fat
+        # burst-adjusted one.
+        marginal = 0.05
+        model = GilbertElliottLoss.from_marginal(marginal, 5.0)
+        rng = random.Random(seed)
+        n = 2000
+        drops = sum(
+            model.decide(100, index * 50 * model.burst_timescale, rng).drop
+            for index in range(n)
+        )
+        sigma = math.sqrt(marginal * (1.0 - marginal) / n)
+        assert abs(drops / n - marginal) < 6.0 * sigma + 0.005
+
+
+def pipelines(draw):
+    """A pipeline mixing loss, jitter, reordering, and duplication."""
+    models = []
+    if draw(st.booleans()):
+        models.append(IndependentLoss(draw(st.floats(min_value=0.0, max_value=0.9))))
+    if draw(st.booleans()):
+        models.append(
+            GilbertElliottLoss.from_marginal(
+                draw(st.floats(min_value=0.0, max_value=0.4)),
+                draw(st.floats(min_value=1.0, max_value=10.0)),
+            )
+        )
+    models.append(LatencyJitter(draw(st.floats(min_value=0.0, max_value=0.05))))
+    models.append(
+        Reordering(
+            draw(st.floats(min_value=0.0, max_value=1.0)),
+            delay_range=(0.01, 0.05),
+        )
+    )
+    models.append(
+        Duplication(
+            draw(st.floats(min_value=0.0, max_value=1.0)),
+            copy_delay=draw(st.floats(min_value=0.0, max_value=0.01)),
+        )
+    )
+    return models
+
+
+pipeline_strategy = st.composite(pipelines)()
+
+
+class TestPipelineInvariants:
+    @given(models=pipeline_strategy, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_no_fate_schedules_into_the_past(self, models, seed):
+        path = ImpairedPath(models, seed=seed)
+        for index in range(300):
+            fate = path.traverse(100 + index % 1400, now=index * 0.001)
+            assert all(delay >= 0.0 for delay in fate.delays)
+
+    @given(models=pipeline_strategy, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_dropped_packets_are_never_duplicated(self, models, seed):
+        path = ImpairedPath(models, seed=seed)
+        for index in range(300):
+            fate = path.traverse(100, now=index * 0.001)
+            if fate.dropped:
+                assert fate.copies == 0
+            else:
+                assert fate.copies >= 1
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_certain_duplication_after_loss(self, seed):
+        """With Duplication(1.0) downstream of a lossy stage, survivors
+        always carry exactly one extra copy and casualties none."""
+        path = ImpairedPath(
+            [IndependentLoss(0.5), Duplication(1.0, copy_delay=0.001)], seed=seed
+        )
+        survivors = casualties = 0
+        for _ in range(200):
+            fate = path.traverse(100, now=0.0)
+            if fate.dropped:
+                casualties += 1
+                assert fate.copies == 0
+            else:
+                survivors += 1
+                assert fate.copies == 2
+                # The duplicate trails the primary copy, never precedes it.
+                assert fate.delays[1] >= fate.delays[0]
+        assert survivors and casualties
