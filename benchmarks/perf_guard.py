@@ -204,6 +204,28 @@ def _bench_rule_engine_full_ruleset() -> tuple:
     return batch, len(packets), "packets", 80
 
 
+def _bench_rule_engine_full_instrumented() -> tuple:
+    """The full-ruleset workload with a live metrics registry installed.
+
+    Tracked alongside ``rule_engine_full_ruleset`` so the cost of
+    instrumentation-on is a number in BENCH_PERF.json, not folklore; the
+    gap between the two benches is the observability overhead.
+    """
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()):
+        engine = RuleEngine.from_text(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+    packets = [http_packet(i) for i in range(100)]
+    state = {"now": 0.0}
+
+    def batch():
+        state["now"] += 1.0
+        for packet in packets:
+            engine.process(packet, state["now"])
+
+    return batch, len(packets), "packets", 80
+
+
 def _bench_rule_dispatch_wide_ports() -> tuple:
     engine = RuleEngine.from_text(wide_port_ruleset_text())
     packets = wide_port_packets()
@@ -323,6 +345,7 @@ HOT_PATHS = {
     "packet_parsing": _bench_packet_parsing,
     "packet_wire_length": _bench_packet_wire_length,
     "rule_engine_full_ruleset": _bench_rule_engine_full_ruleset,
+    "rule_engine_full_instrumented": _bench_rule_engine_full_instrumented,
     "rule_dispatch_wide_ports": _bench_rule_dispatch_wide_ports,
     "rule_engine_mixed_protocols": _bench_rule_engine_mixed_protocols,
     "stream_reassembly": _bench_stream_reassembly,

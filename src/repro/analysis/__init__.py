@@ -20,6 +20,7 @@ from .metrics import (
     accuracy_table_row,
     false_block_curve,
     link_report,
+    run_report,
     score_results,
 )
 from .report import render_table
@@ -54,6 +55,7 @@ __all__ = [
     "result_to_record",
     "results_to_jsonl",
     "risk_to_record",
+    "run_report",
     "Summary",
     "score_results",
     "summarize_samples",

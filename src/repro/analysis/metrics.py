@@ -20,6 +20,7 @@ __all__ = [
     "accuracy_table_row",
     "false_block_curve",
     "link_report",
+    "run_report",
 ]
 
 
@@ -157,4 +158,32 @@ def link_report(links: Iterable) -> Dict[str, Dict[str, object]]:
             stats.conserved for stats in link.stats.values()
         )
         report[name] = directions
+    return report
+
+
+def run_report(
+    registry=None,
+    sim=None,
+    links: Iterable = (),
+    surveillance=None,
+) -> Dict[str, object]:
+    """Fold observability snapshots into one JSON-ready run report.
+
+    The bridge between the obs layer and the existing report path: pass
+    whichever pieces the run had and get one deterministic dict —
+    ``metrics`` (a :meth:`MetricsRegistry.snapshot`), ``simulator``
+    (:meth:`Simulator.stats`), ``links`` (:func:`link_report`), and
+    ``surveillance`` (:meth:`SurveillanceSystem.summary`).  Sections for
+    pieces not supplied are omitted rather than emitted empty.
+    """
+    report: Dict[str, object] = {}
+    if registry is not None:
+        report["metrics"] = registry.snapshot()
+    if sim is not None:
+        report["simulator"] = sim.stats()
+    links = list(links)
+    if links:
+        report["links"] = link_report(links)
+    if surveillance is not None:
+        report["surveillance"] = surveillance.summary()
     return report

@@ -80,12 +80,12 @@ class GreatFirewall(Middlebox):
         if not keywords and not domains:
             return RuleEngine(
                 rules=[], variables=self._variables, stream_depth=self.stream_depth,
-                overlap_policy=self.overlap_policy,
+                overlap_policy=self.overlap_policy, obs_label="censor",
             )
         text = censor_ruleset_text(keywords, domains)
         return RuleEngine.from_text(
             text, variables=self._variables, stream_depth=self.stream_depth,
-            overlap_policy=self.overlap_policy,
+            overlap_policy=self.overlap_policy, obs_label="censor",
         )
 
     def set_policy(self, policy: CensorshipPolicy) -> None:

@@ -43,6 +43,7 @@ from .core.evaluation import (
     CONTROL_TARGETS_FULL,
 )
 from .netsim import http_get, resolve
+from .obs import MetricsRegistry, Tracer, use_registry, use_tracer, write_json
 from .spoofing import BEVERLY_PROFILE, feasibility_summary, sample_scopes
 
 TECHNIQUES = (
@@ -210,6 +211,48 @@ def cmd_deck(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one technique fully instrumented; export trace + metrics files.
+
+    Produces ``PREFIX.trace.json`` (Chrome trace-event format — open in
+    chrome://tracing or https://ui.perfetto.dev), ``PREFIX.trace.jsonl``
+    (one event per line), and ``PREFIX.metrics.json`` (the folded run
+    report).  Exports are deterministic: same seed, same bytes.
+    """
+    from .analysis.metrics import run_report
+
+    registry = MetricsRegistry()
+    categories = set(args.categories) if args.categories else None
+    tracer = Tracer(categories=categories)
+    with use_registry(registry), use_tracer(tracer):
+        env = build_environment(censored=not args.open, seed=args.seed)
+        tracer.bind_clock(lambda: env.sim.now)
+        technique = _technique_factory(args.technique, args.cover)(env)
+        technique.start()
+        env.run(duration=args.duration)
+    unfinished = tracer.finalize()
+
+    chrome_path = tracer.write_chrome(f"{args.out}.trace.json")
+    jsonl_path = tracer.write_jsonl(f"{args.out}.trace.jsonl")
+    report = run_report(
+        registry=registry,
+        sim=env.sim,
+        links=env.topo.network.links,
+        surveillance=env.surveillance,
+    )
+    metrics_path = write_json(f"{args.out}.metrics.json", report)
+
+    print(f"technique: {args.technique}  seed={args.seed}  "
+          f"simulated {env.sim.now:.1f}s")
+    print(f"results: {len(technique.results)}  "
+          f"trace events: {len(tracer.events)}"
+          + (f"  (force-closed {unfinished} open span(s))" if unfinished else ""))
+    print(f"wrote {chrome_path}  <- load this in chrome://tracing or Perfetto")
+    print(f"wrote {jsonl_path}")
+    print(f"wrote {metrics_path}")
+    return 0
+
+
 def cmd_syria(args: argparse.Namespace) -> int:
     generator = SyriaLogGenerator(population=args.population,
                                   rng=random.Random(args.seed))
@@ -266,20 +309,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    matrix = sub.add_parser("matrix", help="run the E1 accuracy/evasion matrix")
+    # Every subcommand accepts --metrics-out: main() installs a registry
+    # around the run and snapshots it to the given path afterwards.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a metrics-registry snapshot (JSON) after the run",
+    )
+
+    matrix = sub.add_parser("matrix", help="run the E1 accuracy/evasion matrix",
+                            parents=[common])
     matrix.add_argument("--seed", type=int, default=0)
     matrix.add_argument("--duration", type=float, default=60.0)
     matrix.add_argument("--cover", type=int, default=8)
     matrix.set_defaults(func=cmd_matrix)
 
-    vantage = sub.add_parser("vantage", help="per-domain blocking matrix from inside the AS")
+    vantage = sub.add_parser("vantage", help="per-domain blocking matrix from inside the AS",
+                             parents=[common])
     vantage.add_argument("--seed", type=int, default=0)
     vantage.add_argument("--duration", type=float, default=30.0)
     vantage.add_argument("--open", action="store_true", help="disable the censor")
     vantage.add_argument("--domains", nargs="*", help="domains to probe")
     vantage.set_defaults(func=cmd_vantage)
 
-    risk = sub.add_parser("risk", help="run one technique and assess measurer risk")
+    risk = sub.add_parser("risk", help="run one technique and assess measurer risk",
+                          parents=[common])
     risk.add_argument("--technique", choices=TECHNIQUES, default="spam")
     risk.add_argument("--seed", type=int, default=0)
     risk.add_argument("--duration", type=float, default=90.0)
@@ -289,7 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     risk.add_argument("--max-results", type=int, default=10)
     risk.set_defaults(func=cmd_risk)
 
-    deck = sub.add_parser("deck", help="run the OONI-style test deck at a risk posture")
+    deck = sub.add_parser("deck", help="run the OONI-style test deck at a risk posture",
+                          parents=[common])
     deck.add_argument("--posture", choices=("overt", "stealthy", "paranoid"),
                       default="stealthy")
     deck.add_argument("--seed", type=int, default=0)
@@ -301,18 +356,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also print the full JSON campaign document")
     deck.set_defaults(func=cmd_deck)
 
-    syria = sub.add_parser("syria", help="Syria-log infeasibility analysis")
+    trace = sub.add_parser(
+        "trace",
+        help="run one technique fully instrumented; export a Perfetto trace",
+    )
+    trace.add_argument("--technique", choices=TECHNIQUES, default="scan")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--duration", type=float, default=90.0)
+    trace.add_argument("--cover", type=int, default=11)
+    trace.add_argument("--open", action="store_true", help="disable the censor")
+    trace.add_argument("--out", default="run", metavar="PREFIX",
+                       help="output prefix (PREFIX.trace.json / .trace.jsonl / .metrics.json)")
+    trace.add_argument("--categories", nargs="*", metavar="CAT",
+                       help="limit tracing to categories "
+                            "(measurement, tcp, rules; default: all)")
+    trace.set_defaults(func=cmd_trace)
+
+    syria = sub.add_parser("syria", help="Syria-log infeasibility analysis",
+                           parents=[common])
     syria.add_argument("--population", type=int, default=50_000)
     syria.add_argument("--capacity", type=int, default=10)
     syria.add_argument("--seed", type=int, default=0)
     syria.set_defaults(func=cmd_syria)
 
-    sav = sub.add_parser("sav", help="spoofing feasibility statistics")
+    sav = sub.add_parser("sav", help="spoofing feasibility statistics",
+                         parents=[common])
     sav.add_argument("--clients", type=int, default=20_000)
     sav.add_argument("--seed", type=int, default=0)
     sav.set_defaults(func=cmd_sav)
 
-    ethics = sub.add_parser("ethics", help="measurement-load arithmetic")
+    ethics = sub.add_parser("ethics", help="measurement-load arithmetic",
+                            parents=[common])
     ethics.add_argument("--prefix", type=int, default=16)
     ethics.add_argument("--queries-per-ip", type=int, default=1)
     ethics.set_defaults(func=cmd_ethics)
@@ -323,6 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            status = args.func(args)
+        write_json(metrics_out, registry.snapshot())
+        print(f"wrote {metrics_out}", file=sys.stderr)
+        return status
     return args.func(args)
 
 

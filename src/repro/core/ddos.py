@@ -68,6 +68,7 @@ class DDoSMeasurement(MeasurementTechnique):
             self._resolve(domain, attempts_left=self.dns_retries)
 
     def _resolve(self, domain: str, attempts_left: int) -> None:
+        self._trace_attempt(domain)
         resolve(
             self.ctx.client,
             self.ctx.resolver_ip,

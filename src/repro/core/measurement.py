@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..netsim.node import Host
+from ..obs.metrics import active_or_none
+from ..obs.trace import active_tracer
 from .results import MeasurementResult
 
 __all__ = ["RetryPolicy", "MeasurementContext", "MeasurementTechnique"]
@@ -117,6 +119,28 @@ class MeasurementTechnique:
         self.ctx = ctx
         self.results: List[MeasurementResult] = []
         self._subscribers: List[Callable[[MeasurementResult], None]] = []
+        # Observability, resolved once per technique instance.
+        obs = active_or_none()
+        self._obs = obs
+        if obs is not None:
+            self._m_results = obs.counter(
+                "measurement_results_total",
+                "Final measurement verdicts",
+                ("technique", "verdict"),
+            )
+            self._m_attempts = obs.counter(
+                "measurement_attempts_total",
+                "Probe attempts consumed (including retries)",
+                ("technique",),
+            )
+        tracer = active_tracer()
+        self._trace = (
+            tracer
+            if tracer is not None and tracer.enabled_for("measurement")
+            else None
+        )
+        #: Open attempt spans keyed by target; popped by ``_emit``.
+        self._attempt_spans: Dict[str, object] = {}
 
     def start(self) -> None:
         """Schedule the technique's traffic; returns immediately."""
@@ -126,9 +150,36 @@ class MeasurementTechnique:
         """Subscribe to results as they are produced."""
         self._subscribers.append(callback)
 
+    def _trace_attempt(self, target: str) -> None:
+        """Open the span covering all probes of ``target`` (idempotent).
+
+        Subclasses call this where they first touch a target; the span
+        ends when ``_emit`` produces that target's result, labeled with
+        the verdict and the retry count.
+        """
+        if self._trace is None or target in self._attempt_spans:
+            return
+        self._attempt_spans[target] = self._trace.begin(
+            f"{self.name} {target}",
+            "measurement",
+            track=f"measure:{self.name}",
+            technique=self.name,
+            target=target,
+        )
+
     def _emit(self, result: MeasurementResult) -> None:
         result.time = self.ctx.sim.now
         self.results.append(result)
+        if self._obs is not None:
+            self._m_results.inc((self.name, result.verdict.value))
+            self._m_attempts.inc((self.name,), result.attempts)
+        span = self._attempt_spans.pop(result.target, None)
+        if span is not None:
+            span.end(
+                verdict=result.verdict.value,
+                attempts=result.attempts,
+                confidence=result.confidence,
+            )
         for callback in self._subscribers:
             callback(result)
 

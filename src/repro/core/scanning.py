@@ -112,6 +112,7 @@ class ScanMeasurement(MeasurementTechnique):
 
     def _probe_round(self, target: ScanTarget, ports: List[int], attempt: int) -> None:
         """Probe ``ports``; when the round times out, retry the leftovers."""
+        self._trace_attempt(target.label)
         delay = 0.0
         for port in ports:
             self.ctx.sim.at(delay, lambda t=target, p=port: self._probe(t, p))

@@ -59,6 +59,7 @@ class SpamMeasurement(MeasurementTechnique):
             self._begin(domain, attempt=1)
 
     def _begin(self, domain: str, attempt: int) -> None:
+        self._trace_attempt(domain)
         self._attempt[domain] = attempt
         resolve(
             self.ctx.client,

@@ -135,6 +135,10 @@ class StatefulMimicryMeasurement(MeasurementTechnique):
                 delay += self.flow_spacing
 
     def _forge_flow(self, source_ip: str, payload: bytes, attempt: int = 1) -> None:
+        if source_ip == self.ctx.client.ip:
+            # Span the real flow only; the cover crowd is camouflage.
+            label = payload.decode("latin-1", errors="replace").splitlines()[0][:50]
+            self._trace_attempt(label)
         rng = self.ctx.sim.rng
         sport = rng.randrange(32768, 61000)
         client_isn = rng.randrange(1, 2**31)

@@ -88,6 +88,7 @@ class StatelessSpoofedDNSMeasurement(MeasurementTechnique):
         self.cover_queries_sent += 1
 
     def _real_query(self, domain: str, attempt: int = 1) -> None:
+        self._trace_attempt(domain)
         resolve(
             self.ctx.client,
             self.ctx.resolver_ip,
@@ -205,6 +206,7 @@ class SpoofedSYNReachability(MeasurementTechnique):
         self.ctx.client.send_raw(packet)
 
     def _send_real_syn(self, target_ip: str, port: int) -> None:
+        self._trace_attempt(f"{target_ip}:{port}")
         stack = self.ctx.client.stack
         sport = stack.ephemeral_port()
         self._probe_ports[(target_ip, port)] = (self.ctx.client.ip, sport)

@@ -8,9 +8,11 @@ a tcpdump-style text log.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..obs.export import write_jsonl
 from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
 from .middlebox import Action, Middlebox, TapContext
 
@@ -34,6 +36,19 @@ class CapturedPacket:
         """A tcpdump-style one-line rendering."""
         return f"{self.time:10.6f} {self.node:>8}  {self.packet.summary()}"
 
+    def record(self) -> dict:
+        """A JSON-ready dict (raw bytes hex-encoded)."""
+        return {
+            "time": self.time,
+            "node": self.node,
+            "src": self.packet.src,
+            "dst": self.packet.dst,
+            "protocol": self.packet.protocol,
+            "size": self.size,
+            "summary": self.packet.summary(),
+            "raw": self.raw.hex(),
+        }
+
 
 class PacketCapture(Middlebox):
     """A purely passive capture tap.
@@ -45,8 +60,12 @@ class PacketCapture(Middlebox):
         ...
         print(cap.text_log())
 
-    ``predicate`` restricts what is stored (e.g. only DNS);
-    ``max_packets`` bounds memory like a capture ring buffer.
+    ``predicate`` restricts what is stored (e.g. only DNS).
+    ``max_packets`` bounds memory; when the bound is hit the default
+    mode stops capturing (keeps the *oldest* packets — right for "how
+    did this start?"), while ``ring=True`` evicts the oldest to keep the
+    *newest* (a true capture ring — right for "how did this end?").
+    Either way ``dropped_overflow`` counts what the bound cost.
     """
 
     name = "capture"
@@ -55,10 +74,12 @@ class PacketCapture(Middlebox):
         self,
         predicate: Optional[Callable[[IPPacket], bool]] = None,
         max_packets: int = 100_000,
+        ring: bool = False,
     ) -> None:
         self.predicate = predicate
         self.max_packets = max_packets
-        self.packets: List[CapturedPacket] = []
+        self.ring = ring
+        self.packets = deque(maxlen=max_packets) if ring else []
         self.dropped_overflow = 0
 
     def sees_own_injections(self) -> bool:
@@ -68,15 +89,17 @@ class PacketCapture(Middlebox):
         if self.predicate is None or self.predicate(packet):
             if len(self.packets) >= self.max_packets:
                 self.dropped_overflow += 1
-            else:
-                self.packets.append(
-                    CapturedPacket(
-                        time=ctx.now,
-                        packet=packet,
-                        raw=packet.to_bytes(),
-                        node=ctx.node.name,
-                    )
+                if not self.ring:
+                    return Action.PASS  # stop-capture mode keeps the oldest
+                # ring mode: deque(maxlen=...) evicts the oldest on append
+            self.packets.append(
+                CapturedPacket(
+                    time=ctx.now,
+                    packet=packet,
+                    raw=packet.to_bytes(),
+                    node=ctx.node.name,
                 )
+            )
         return Action.PASS
 
     # -- queries -----------------------------------------------------------------
@@ -115,12 +138,29 @@ class PacketCapture(Middlebox):
         return mix
 
     def text_log(self, limit: Optional[int] = None) -> str:
-        """Render the capture as a tcpdump-style log."""
-        selected = self.packets if limit is None else self.packets[:limit]
-        lines = [cap.line() for cap in selected]
-        if limit is not None and len(self.packets) > limit:
-            lines.append(f"... {len(self.packets) - limit} more packets")
+        """Render the capture as a tcpdump-style log.
+
+        When the ``max_packets`` bound discarded anything, a header line
+        says how many and in which mode, so a truncated capture can
+        never masquerade as a complete one.
+        """
+        packets = list(self.packets)
+        lines: List[str] = []
+        if self.dropped_overflow:
+            mode = "newest kept (ring)" if self.ring else "oldest kept"
+            lines.append(
+                f"# {self.dropped_overflow} packet(s) dropped at "
+                f"max_packets={self.max_packets}, {mode}"
+            )
+        selected = packets if limit is None else packets[:limit]
+        lines.extend(cap.line() for cap in selected)
+        if limit is not None and len(packets) > limit:
+            lines.append(f"... {len(packets) - limit} more packets")
         return "\n".join(lines)
+
+    def to_jsonl(self, path: str) -> str:
+        """Export the capture as canonical JSONL (one packet per line)."""
+        return write_jsonl(path, (cap.record() for cap in self.packets))
 
 
 def dns_only(packet: IPPacket) -> bool:

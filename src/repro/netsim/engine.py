@@ -56,6 +56,9 @@ class Simulator:
         self._events_processed = 0
         #: cancelled entries still sitting in the heap (popped lazily)
         self._dead = 0
+        self._cancelled_total = 0
+        self._compactions = 0
+        self._queue_hwm = 0
 
     def substream(self, *labels: int) -> random.Random:
         """A deterministic RNG stream derived from the seed and ``labels``.
@@ -74,12 +77,15 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         timer = Timer(self.now + delay, sim=self)
         heapq.heappush(self._queue, (timer.when, next(self._counter), timer, callback))
+        if len(self._queue) > self._queue_hwm:
+            self._queue_hwm = len(self._queue)
         return timer
 
     def _note_cancelled(self) -> None:
         """Called by ``Timer.cancel``; compacts the heap when cancellation-
         heavy workloads leave it mostly dead entries."""
         self._dead += 1
+        self._cancelled_total += 1
         if self._dead > len(self._queue) // 2 and self._dead >= 64:
             self._compact()
 
@@ -89,6 +95,7 @@ class Simulator:
         self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._dead = 0
+        self._compactions += 1
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Process events until the queue drains or ``until`` is reached.
@@ -130,3 +137,20 @@ class Simulator:
     def events_processed(self) -> int:
         """Total events processed across all ``run`` calls."""
         return self._events_processed
+
+    def stats(self) -> dict:
+        """Event-loop health counters, cheap enough to keep always-on.
+
+        The observability layer folds these into run reports
+        (``analysis.metrics.run_report``); keeping them as plain ints on
+        the simulator means the event loop itself never touches the
+        metrics registry.
+        """
+        return {
+            "events_fired": self._events_processed,
+            "timers_cancelled": self._cancelled_total,
+            "heap_compactions": self._compactions,
+            "queue_depth_high_water": self._queue_hwm,
+            "pending": self.pending,
+            "now": self.now,
+        }

@@ -31,7 +31,7 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Decision",
@@ -380,15 +380,26 @@ class ImpairedPath:
     ) -> None:
         self.models: List[ImpairmentModel] = list(models)
         self.rng = rng if rng is not None else random.Random(seed)
+        #: Class name of the model that dropped the most recent packet
+        #: (``None`` if the last packet survived) — the link reads this
+        #: to label drop-reason counters without threading a return
+        #: channel through every model.
+        self.last_drop_reason: Optional[str] = None
+        #: Cumulative drops per model class name.
+        self.drop_counts: Dict[str, int] = {}
 
     def traverse(self, size: int, now: float) -> PacketFate:
         """Rule on one packet; returns its fate (drop / delays per copy)."""
+        self.last_drop_reason = None
         total_delay = 0.0
         extra_copies = 0
         copy_spacing = 0.0
         for model in self.models:
             decision = model.decide(size, now, self.rng)
             if decision.drop:
+                reason = type(model).__name__
+                self.last_drop_reason = reason
+                self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
                 return DROPPED
             total_delay += decision.extra_delay
             if decision.extra_copies:

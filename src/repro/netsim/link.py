@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
 
+from ..obs.metrics import active_or_none
 from .impairment import (
     DELIVER_CLEAN,
     DROPPED,
@@ -119,6 +120,38 @@ class Link:
         self._paths: Dict[str, Optional[ImpairedPath]] = {
             direction: None for direction in DIRECTIONS
         }
+        # Resolved once at construction: None when observability is off,
+        # so transmit() pays a single attribute check per packet.
+        obs = active_or_none()
+        self._obs = obs
+        if obs is not None:
+            self.obs_name = f"{a.name}<->{b.name}"
+            self._m_offered = obs.counter(
+                "link_packets_offered_total",
+                "Transmission attempts entering a link direction",
+                ("link", "direction"),
+            )
+            self._m_carried = obs.counter(
+                "link_packets_carried_total",
+                "Delivered copies (duplicates included) per link direction",
+                ("link", "direction"),
+            )
+            self._m_dropped = obs.counter(
+                "link_packets_dropped_total",
+                "Drops per link direction, labeled by the impairment that "
+                "dropped (or legacy_loss for the flat loss knob)",
+                ("link", "direction", "reason"),
+            )
+            self._m_duplicated = obs.counter(
+                "link_packets_duplicated_total",
+                "Extra delivered copies per link direction",
+                ("link", "direction"),
+            )
+            self._m_bytes = obs.counter(
+                "link_bytes_carried_total",
+                "Bytes delivered per link direction (duplicates included)",
+                ("link", "direction"),
+            )
 
     # -- impairment configuration -------------------------------------------
 
@@ -185,22 +218,38 @@ class Link:
         """
         stats = self.stats[direction]
         stats.packets_offered += 1
+        obs = self._obs
+        if obs is not None:
+            self._m_offered.inc((self.obs_name, direction))
         if self.loss and self._rng[direction].random() < self.loss:
             stats.packets_lost += 1
+            if obs is not None:
+                self._m_dropped.inc((self.obs_name, direction, "legacy_loss"))
             return DROPPED
         path = self._paths[direction]
         if path is None:
             stats.packets_carried += 1
             stats.bytes_carried += size
+            if obs is not None:
+                self._m_carried.inc((self.obs_name, direction))
+                self._m_bytes.inc((self.obs_name, direction), size)
             return DELIVER_CLEAN
         fate = path.traverse(size, now)
         if fate.dropped:
             stats.packets_lost += 1
+            if obs is not None:
+                reason = path.last_drop_reason or "impairment"
+                self._m_dropped.inc((self.obs_name, direction, reason))
             return fate
         copies = fate.copies
         stats.packets_carried += copies
         stats.packets_duplicated += copies - 1
         stats.bytes_carried += size * copies
+        if obs is not None:
+            self._m_carried.inc((self.obs_name, direction), copies)
+            if copies > 1:
+                self._m_duplicated.inc((self.obs_name, direction), copies - 1)
+            self._m_bytes.inc((self.obs_name, direction), size * copies)
         return fate
 
     def account(self, size: int, direction: str = "ab") -> None:
@@ -209,6 +258,10 @@ class Link:
         stats.packets_offered += 1
         stats.packets_carried += 1
         stats.bytes_carried += size
+        if self._obs is not None:
+            self._m_offered.inc((self.obs_name, direction))
+            self._m_carried.inc((self.obs_name, direction))
+            self._m_bytes.inc((self.obs_name, direction), size)
 
     # -- aggregate accounting (both directions) ------------------------------
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from ..obs.metrics import active_or_none
+from ..obs.trace import active_tracer
 from ..packets import (
     ACK,
     FIN,
@@ -121,6 +123,20 @@ class TCPConnection:
         #: Gate for the whole retransmission machinery; disabling it
         #: models a legacy stack where every loss surfaces as a timeout.
         self.retransmit_enabled = True
+        #: Open trace span covering this flow (None when tracing is off).
+        self._span = None
+
+    def _begin_span(self, role: str) -> None:
+        trace = self.stack._trace
+        if trace is not None:
+            self._span = trace.begin(
+                f"{self.stack.host.name}:{self.local_port}"
+                f"->{self.remote_ip}:{self.remote_port}",
+                "tcp",
+                track="tcp",
+                role=role,
+                host=self.stack.host.name,
+            )
 
     # -- public API -----------------------------------------------------------
 
@@ -190,6 +206,7 @@ class TCPConnection:
             self._arm_rtx()
 
     def _start_connect(self, timeout: float) -> None:
+        self._begin_span("client")
         self.snd_nxt = self.stack.sim.rng.randrange(1, 2**31)
         self.state = SYN_SENT
         self._send_segment(SYN)
@@ -231,16 +248,24 @@ class TCPConnection:
         )
         if self._rtx_count >= limit:
             self.stack.retransmit_exhausted += 1
+            if self.stack._obs is not None:
+                kind = "syn" if self.state in (SYN_SENT, SYN_RCVD) else "data"
+                self.stack._m_exhausted.inc((self.stack.host.name, kind))
             self._finish(CLOSED, notify="timeout")
             return
         self._rtx_count += 1
+        resent = 0
         for entry in list(self._unacked):
             # Go-back-N: resend everything outstanding, oldest first.
             self.retransmissions += 1
             self.stack.retransmitted_segments += 1
+            resent += 1
             self._send_segment(
                 entry.flags, entry.payload, seq=entry.seq, register=False
             )
+        if self.stack._obs is not None:
+            self.stack._m_rtx.inc((self.stack.host.name,), resent)
+            self.stack._m_backoff.inc((self.stack.host.name,))
         self._rto = min(self._rto * 2.0, self.stack.rto_max)
         self._rtx_deadline = now + self._rto
         self._rtx_timer = self.stack.sim.at(self._rto, self._on_rtx_timer)
@@ -265,6 +290,15 @@ class TCPConnection:
             self._rtx_timer = None
         self._unacked.clear()
         self.state = state
+        if self._span is not None:
+            self._span.end(
+                state=state,
+                outcome=notify or "aborted",
+                retransmissions=self.retransmissions,
+                bytes_sent=self.bytes_sent,
+                bytes_received=self.bytes_received,
+            )
+            self._span = None
         self.stack._forget(self)
         if notify is not None:
             self.handler(notify, b"")
@@ -388,6 +422,30 @@ class NetworkStack:
         #: Aggregate retransmission accounting (per host).
         self.retransmitted_segments = 0
         self.retransmit_exhausted = 0
+        # Observability, resolved once: hot paths check ``is not None``.
+        obs = active_or_none()
+        self._obs = obs
+        if obs is not None:
+            self._m_rtx = obs.counter(
+                "tcp_retransmitted_segments_total",
+                "Segments re-sent by the go-back-N machinery",
+                ("host",),
+            )
+            self._m_backoff = obs.counter(
+                "tcp_rto_backoffs_total",
+                "RTO timer expiries that doubled the backoff",
+                ("host",),
+            )
+            self._m_exhausted = obs.counter(
+                "tcp_retransmit_exhausted_total",
+                "Connections abandoned after the retry cap "
+                "(kind: syn for handshakes, data after establishment)",
+                ("host", "kind"),
+            )
+        tracer = active_tracer()
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled_for("tcp") else None
+        )
         self.respond_to_ping = True
         #: When False the host silently ignores unsolicited TCP (a firewalled
         #: host); default True models a normal end host.
@@ -558,6 +616,7 @@ class NetworkStack:
                 ttl=reply_ttl if reply_ttl is not None else 64,
             )
             server_conn.state = SYN_RCVD
+            server_conn._begin_span("server")
             server_conn.rcv_nxt = segment.seq + 1
             if self.isn_hook is not None:
                 server_conn.snd_nxt = self.isn_hook(

@@ -1,0 +1,396 @@
+"""Simulation-native metrics: labeled counters, gauges, and histograms.
+
+The paper's argument is about *where* packets go — which MVR stage
+discards them, which link direction loses them, how many retries a
+verdict consumed.  This registry gives every layer a shared, cheap place
+to record those numbers so a run can answer them without ad-hoc prints
+or re-deriving them from capture dumps.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Instrumented constructors resolve their
+   recorder once via :func:`active_or_none`; when no registry is
+   installed they store ``None`` and every hot path pays exactly one
+   ``if self._obs is not None`` check.  :class:`NullRecorder` exists for
+   call sites that want unconditional instrument handles — all of its
+   instruments are shared no-op singletons, and the recorder itself is
+   falsy.
+2. **Determinism.**  Snapshots order instruments and label tuples by
+   sorted name, never by hash or insertion accident, so two same-seed
+   runs produce byte-identical exports (the property the trace/metrics
+   determinism tests assert).
+3. **No dependencies.**  Plain dicts keyed by label-value tuples; the
+   text rendering is Prometheus-flavoured for familiarity, not for
+   scrape compatibility.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "NULL",
+    "DEFAULT_LATENCY_BUCKETS",
+    "active_or_none",
+    "current_registry",
+    "set_registry",
+    "use_registry",
+]
+
+LabelTuple = Tuple[str, ...]
+
+#: Fixed buckets for simulated-seconds latency histograms (RTTs in the
+#: reference topologies are milliseconds; retries stretch to seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, float("inf")
+)
+
+
+class _Instrument:
+    """Shared shape: a name, label names, and a values table."""
+
+    kind = "untyped"
+    __slots__ = ("name", "help", "label_names", "_values")
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
+        self.name = name
+        self.help = help
+        self.label_names: LabelTuple = tuple(label_names)
+        self._values: Dict[LabelTuple, object] = {}
+
+    def _check(self, labels: LabelTuple) -> None:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label value(s) "
+                f"{self.label_names}, got {labels!r}"
+            )
+
+    def labelled(self) -> List[Tuple[LabelTuple, object]]:
+        """(labels, value) pairs in sorted label order (deterministic)."""
+        return sorted(self._values.items())
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, labels: LabelTuple = (), amount: float = 1) -> None:
+        self._check(labels)
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up (amount={amount})")
+        self._values[labels] = self._values.get(labels, 0) + amount
+
+    def value(self, labels: LabelTuple = ()) -> float:
+        return self._values.get(labels, 0)
+
+    def total(self) -> float:
+        """Sum across all label combinations."""
+        return sum(self._values.values())
+
+
+class Gauge(_Instrument):
+    """A value that can go anywhere; also tracks via :meth:`track_max`."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, labels: LabelTuple = (), value: float = 0) -> None:
+        self._check(labels)
+        self._values[labels] = value
+
+    def track_max(self, labels: LabelTuple = (), value: float = 0) -> None:
+        """Keep the high-water mark (used for queue depths)."""
+        self._check(labels)
+        current = self._values.get(labels)
+        if current is None or value > current:
+            self._values[labels] = value
+
+    def value(self, labels: LabelTuple = ()) -> float:
+        return self._values.get(labels, 0)
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram: cumulative-style bucket counts + sum/count.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value (the last bound should be ``inf``).
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"{name}: bucket bounds must be sorted")
+        if bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+
+    def observe(self, labels: LabelTuple = (), value: float = 0) -> None:
+        self._check(labels)
+        state = self._values.get(labels)
+        if state is None:
+            state = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+            self._values[labels] = state
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state["counts"][index] += 1
+                break
+        state["sum"] += value
+        state["count"] += 1
+
+    def count(self, labels: LabelTuple = ()) -> int:
+        state = self._values.get(labels)
+        return 0 if state is None else state["count"]
+
+
+class MetricsRegistry:
+    """A process-wide home for instruments; get-or-create by name.
+
+    Instruments are created once and shared: asking for an existing name
+    with matching kind/labels returns the same object, so independent
+    subsystems can feed one counter (e.g. every ``Link`` feeding
+    ``link_packets_dropped_total``).
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def __bool__(self) -> bool:  # a real registry is truthy; NULL is not
+        return True
+
+    # -- instrument factories -------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labels, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise TypeError(
+                    f"{name} already registered as {instrument.kind}, "
+                    f"requested {cls.kind}"
+                )
+            if instrument.label_names != tuple(labels):
+                raise ValueError(
+                    f"{name} already registered with labels "
+                    f"{instrument.label_names}, requested {tuple(labels)}"
+                )
+            return instrument
+        instrument = cls(name, help, labels, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # -- introspection --------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def clear(self) -> None:
+        """Zero every instrument (the instruments themselves survive)."""
+        for instrument in self._instruments.values():
+            instrument.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deterministic, JSON-ready dump of every instrument.
+
+        Instruments sort by name and label rows by label values, so two
+        identical runs snapshot byte-identically once serialized with
+        sorted keys.
+        """
+        out: Dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            entry: Dict[str, object] = {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "labels": list(instrument.label_names),
+                "values": [
+                    [list(labels), value]
+                    for labels, value in instrument.labelled()
+                ],
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = [
+                    "inf" if bound == float("inf") else bound
+                    for bound in instrument.buckets
+                ]
+            out[name] = entry
+        return {"namespace": self.namespace, "instruments": out}
+
+    def render_text(self) -> str:
+        """A Prometheus-flavoured text rendering for eyeballs and logs."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            full = f"{self.namespace}_{name}"
+            if instrument.help:
+                lines.append(f"# HELP {full} {instrument.help}")
+            lines.append(f"# TYPE {full} {instrument.kind}")
+            for labels, value in instrument.labelled():
+                if labels:
+                    pairs = ",".join(
+                        f'{key}="{val}"'
+                        for key, val in zip(instrument.label_names, labels)
+                    )
+                    label_text = "{" + pairs + "}"
+                else:
+                    label_text = ""
+                if isinstance(instrument, Histogram):
+                    lines.append(
+                        f"{full}{label_text} count={value['count']} sum={value['sum']}"
+                    )
+                else:
+                    lines.append(f"{full}{label_text} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """Accepts any recording call and does nothing (shared singleton)."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "null"
+    label_names: LabelTuple = ()
+
+    def inc(self, labels: LabelTuple = (), amount: float = 1) -> None:
+        pass
+
+    def set(self, labels: LabelTuple = (), value: float = 0) -> None:
+        pass
+
+    def track_max(self, labels: LabelTuple = (), value: float = 0) -> None:
+        pass
+
+    def observe(self, labels: LabelTuple = (), value: float = 0) -> None:
+        pass
+
+    def value(self, labels: LabelTuple = ()) -> float:
+        return 0
+
+    def total(self) -> float:
+        return 0
+
+    def count(self, labels: LabelTuple = ()) -> int:
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRecorder:
+    """A falsy stand-in registry whose instruments are all no-ops.
+
+    Code that wants an unconditional handle (``self.m = obs.counter(...)``)
+    works against it unchanged; code on a hot path should instead test
+    the recorder once (``if obs:``/``active_or_none()``) and skip the
+    call entirely.
+    """
+
+    namespace = "null"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"namespace": "null", "instruments": {}}
+
+    def render_text(self) -> str:
+        return ""
+
+
+NULL = NullRecorder()
+
+# -- process-wide installation --------------------------------------------------
+
+_state = threading.local()
+
+
+def current_registry():
+    """The installed registry, or the shared :data:`NULL` recorder."""
+    return getattr(_state, "registry", None) or NULL
+
+
+def active_or_none() -> Optional[MetricsRegistry]:
+    """The installed *real* registry, or ``None`` when instrumentation is off.
+
+    The construction-time resolver for hot-path components: storing the
+    result lets them guard recording with a single ``is not None`` check.
+    """
+    registry = getattr(_state, "registry", None)
+    return registry if registry else None
+
+
+def set_registry(registry: Optional[MetricsRegistry]):
+    """Install ``registry`` process-wide; returns the previous one (or None)."""
+    previous = getattr(_state, "registry", None)
+    _state.registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped installation: components built inside the block record here."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

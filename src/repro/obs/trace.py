@@ -1,0 +1,272 @@
+"""Span tracing keyed on *simulated* time, exportable to Perfetto.
+
+Spans carry simulator timestamps (seconds), not wall-clock: a trace of a
+600-simulated-second scan renders as 600 virtual seconds in Perfetto
+regardless of how long the host took to compute it.  The Chrome
+trace-event exporter maps tracks ("measurement", "tcp", "rules", "mvr",
+…) to thread lanes under a single process, emits `ph:"X"` complete
+events for spans and `ph:"i"` instants for point events, and orders
+everything deterministically so two same-seed runs serialize
+byte-identically.
+
+Category filtering happens at `begin()`: a `Tracer(categories={"tcp"})`
+returns a shared no-op span for everything else, so callers never need
+their own gating beyond the usual `if self._trace is not None` hot-path
+check.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set
+
+from .export import write_json, write_jsonl
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+def _microseconds(seconds: float) -> float:
+    # Chrome trace-event ts is in microseconds; round to stabilize float
+    # noise so the export is reproducible across platforms.
+    return round(seconds * 1e6, 3)
+
+
+class Span:
+    """An open interval on one track; ``end()`` seals it into the tracer."""
+
+    __slots__ = ("tracer", "name", "category", "track", "start", "args", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 track: str, start: float, args: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.track = track
+        self.start = start
+        self.args = args
+        self._done = False
+
+    def end(self, end_time: Optional[float] = None, **more_args) -> None:
+        if self._done:
+            return
+        self._done = True
+        if more_args:
+            self.args.update(more_args)
+        self.tracer._seal(self, end_time)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+
+
+class _NullSpan:
+    """Shared no-op for disabled categories; accepts the same calls."""
+
+    __slots__ = ()
+
+    def end(self, end_time=None, **more_args):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+    def __bool__(self):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans/instants against a simulator clock.
+
+    ``clock`` is any zero-arg callable returning simulated seconds —
+    normally ``lambda: sim.now`` (bind via :meth:`bind_clock` once the
+    simulator exists).  ``categories=None`` records everything; a set
+    restricts recording to those categories.
+    """
+
+    def __init__(self, clock=None, categories: Optional[Set[str]] = None,
+                 process_name: str = "repro-sim") -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.categories = set(categories) if categories is not None else None
+        self.process_name = process_name
+        self.events: List[Dict[str, object]] = []
+        self._tracks: Dict[str, int] = {}
+        self._open: List[Span] = []
+
+    def bind_clock(self, clock) -> "Tracer":
+        """Point the tracer at a simulator's clock (``lambda: sim.now``)."""
+        self._clock = clock
+        return self
+
+    def now(self) -> float:
+        return self._clock()
+
+    def enabled_for(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def _track_id(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks) + 1
+            self._tracks[track] = tid
+        return tid
+
+    # -- recording ------------------------------------------------------------
+
+    def begin(self, name: str, category: str, track: Optional[str] = None,
+              start: Optional[float] = None, **args):
+        """Open a span; returns a no-op span if the category is filtered."""
+        if not self.enabled_for(category):
+            return _NULL_SPAN
+        span = Span(
+            self,
+            name,
+            category,
+            track if track is not None else category,
+            self._clock() if start is None else start,
+            dict(args),
+        )
+        self._track_id(span.track)  # intern in begin order, not seal order
+        self._open.append(span)
+        return span
+
+    def _seal(self, span: Span, end_time: Optional[float]) -> None:
+        try:
+            self._open.remove(span)
+        except ValueError:
+            pass
+        end = self._clock() if end_time is None else end_time
+        if end < span.start:
+            end = span.start
+        self.events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "ts": _microseconds(span.start),
+            "dur": _microseconds(end - span.start),
+            "pid": 1,
+            "tid": self._track_id(span.track),
+            "args": span.args,
+        })
+
+    def instant(self, name: str, category: str, track: Optional[str] = None,
+                when: Optional[float] = None, **args) -> None:
+        """A zero-duration point event (drops, resets, injections...)."""
+        if not self.enabled_for(category):
+            return
+        self.events.append({
+            "ph": "i",
+            "name": name,
+            "cat": category,
+            "ts": _microseconds(self._clock() if when is None else when),
+            "pid": 1,
+            "tid": self._track_id(track if track is not None else category),
+            "s": "t",
+            "args": dict(args),
+        })
+
+    def finalize(self, end_time: Optional[float] = None) -> int:
+        """Close every still-open span (e.g. half-open TCP flows at sim end).
+
+        Returns the number of spans force-closed; their args gain
+        ``unfinished: true`` so Perfetto shows them honestly.
+        """
+        dangling = list(self._open)
+        for span in dangling:
+            span.args["unfinished"] = True
+            span.end(end_time)
+        return len(dangling)
+
+    # -- export ---------------------------------------------------------------
+
+    def chrome(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event JSON object (Perfetto-loadable)."""
+        meta: List[Dict[str, object]] = [{
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": self.process_name},
+        }]
+        for track in sorted(self._tracks, key=self._tracks.get):
+            meta.append({
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": self._tracks[track],
+                "ts": 0,
+                "args": {"name": track},
+            })
+        # Stable order: by timestamp, then track, then name, then phase —
+        # insertion order alone could differ between exporter versions.
+        body = sorted(
+            self.events,
+            key=lambda e: (e["ts"], e["tid"], e["name"], e["ph"]),
+        )
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": meta + body,
+        }
+
+    def write_chrome(self, path: str) -> str:
+        """Write Chrome trace-event JSON; open via chrome://tracing or Perfetto."""
+        return write_json(path, self.chrome())
+
+    def write_jsonl(self, path: str) -> str:
+        """One canonical-JSON event per line (easy to grep/stream)."""
+        doc = self.chrome()
+        return write_jsonl(path, doc["traceEvents"])
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._tracks.clear()
+        self._open.clear()
+
+
+# -- process-wide installation --------------------------------------------------
+
+_state = threading.local()
+
+
+def current_tracer() -> Optional[Tracer]:
+    return getattr(_state, "tracer", None)
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is off.
+
+    Construction-time resolver, mirroring ``metrics.active_or_none``.
+    """
+    return getattr(_state, "tracer", None)
+
+
+def set_tracer(tracer: Optional[Tracer]):
+    previous = getattr(_state, "tracer", None)
+    _state.tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped installation: components built inside the block trace here."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import active_or_none
+from ..obs.trace import active_tracer
 from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
 from .index import MatchContext, RuleDispatchIndex
 from .language import Rule, ThresholdSpec, parse_ruleset
@@ -135,6 +137,7 @@ class RuleEngine:
         stream_depth: int = 8192,
         overlap_policy: str = "first",
         use_index: bool = True,
+        obs_label: str = "engine",
     ) -> None:
         self.variables = dict(variables or {})
         self.rules: List[Rule] = list(rules or [])
@@ -149,6 +152,36 @@ class RuleEngine:
             RuleDispatchIndex(self.rules) if use_index else None
         )
         self._by_sid: Dict[int, Rule] = {rule.sid: rule for rule in self.rules}
+        # Observability, resolved once; ``obs_label`` distinguishes the
+        # censor's engine from the MVR's in shared registry counters.
+        self.obs_label = obs_label
+        obs = active_or_none()
+        self._obs = obs
+        if obs is not None:
+            self._m_packets = obs.counter(
+                "rules_packets_total",
+                "Packets run through a rule engine",
+                ("engine",),
+            )
+            self._m_evaluated = obs.counter(
+                "rules_candidates_evaluated_total",
+                "Candidate rules considered (post dispatch-index)",
+                ("engine",),
+            )
+            self._m_prefilter = obs.counter(
+                "rules_prefilter_skips_total",
+                "Content rules skipped because their anchor literal was absent",
+                ("engine",),
+            )
+            self._m_hits = obs.counter(
+                "rules_hits_total",
+                "Alerts raised, per rule sid",
+                ("engine", "sid"),
+            )
+        tracer = active_tracer()
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled_for("rules") else None
+        )
 
     @classmethod
     def from_text(
@@ -158,6 +191,7 @@ class RuleEngine:
         stream_depth: int = 8192,
         overlap_policy: str = "first",
         use_index: bool = True,
+        obs_label: str = "engine",
     ) -> "RuleEngine":
         variables = dict(variables or {})
         return cls(
@@ -166,6 +200,7 @@ class RuleEngine:
             stream_depth=stream_depth,
             overlap_policy=overlap_policy,
             use_index=use_index,
+            obs_label=obs_label,
         )
 
     def add_rules(self, ruleset_text: str) -> None:
@@ -192,8 +227,14 @@ class RuleEngine:
         else:
             candidates = self.rules
             prefilter = False
+        # Local int bookkeeping is cheap enough to run unconditionally;
+        # the registry is touched once per packet, behind one None check.
+        evaluated = 0
+        prefilter_skips = 0
+        passed = False
         matches: List[Alert] = []
         for rule in candidates:
+            evaluated += 1
             if not self._header_matches(rule, packet, ctx):
                 continue
             if prefilter:
@@ -202,11 +243,15 @@ class RuleEngine:
                     needle, nocase = anchor
                     hay = ctx.lower_haystack if nocase else ctx.haystack
                     if needle not in hay:
+                        prefilter_skips += 1
                         continue  # a necessary literal is absent
             if not self._options_match(rule, packet, update, ctx):
                 continue
             if rule.action == "pass":
-                return []  # pass rules defeat all later rules for this packet
+                # pass rules defeat all later rules for this packet
+                passed = True
+                matches = []
+                break
             if rule.threshold is not None:
                 key_ip = packet.src if rule.threshold.track == "by_src" else packet.dst
                 if not self._thresholds.should_alert(rule.threshold, rule.sid, key_ip, now):
@@ -218,6 +263,25 @@ class RuleEngine:
                     continue
                 update.flow.alerted_sids.add(rule.sid)
             matches.append(self._alert(rule, packet, now, ctx))
+        if self._obs is not None:
+            label = (self.obs_label,)
+            self._m_packets.inc(label)
+            self._m_evaluated.inc(label, evaluated)
+            if prefilter_skips:
+                self._m_prefilter.inc(label, prefilter_skips)
+            for alert in matches:
+                self._m_hits.inc((self.obs_label, str(alert.sid)))
+        if self._trace is not None:
+            self._trace.instant(
+                "sweep",
+                "rules",
+                track=f"rules:{self.obs_label}",
+                when=now,
+                candidates=evaluated,
+                alerts=len(matches),
+                prefilter_skips=prefilter_skips,
+                passed=passed,
+            )
         self.alerts.extend(matches)
         return matches
 

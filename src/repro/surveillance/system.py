@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..netsim.middlebox import Action, Middlebox, TapContext
+from ..obs.metrics import active_or_none
 from ..packets import IPPacket, canonical_flow
 from ..rules import DEFAULT_VARIABLES, RuleEngine
 from ..rules.rulesets import (
@@ -65,7 +66,41 @@ class SurveillanceSystem(Middlebox):
         if interest_ruleset is None:
             interest_ruleset = surveillance_interest_ruleset_text()
         ruleset = "\n".join([detection_ruleset, interest_ruleset, extra_rules])
-        self.engine = RuleEngine.from_text(ruleset, variables=variables)
+        self.engine = RuleEngine.from_text(
+            ruleset, variables=variables, obs_label="mvr"
+        )
+        # Per-stage byte/alert counters — the MVR numbers the paper's
+        # argument is about (which stage a packet dies in).
+        obs = active_or_none()
+        self._obs = obs
+        if obs is not None:
+            self._m_ingest_pkts = obs.counter(
+                "mvr_packets_ingested_total",
+                "Packets entering the surveillance tap",
+            )
+            self._m_ingest_bytes = obs.counter(
+                "mvr_bytes_ingested_total",
+                "Wire bytes entering the surveillance tap",
+            )
+            self._m_discard_bytes = obs.counter(
+                "mvr_bytes_discarded_total",
+                "Bytes discarded by stage-1 Massive Volume Reduction",
+                ("traffic_class",),
+            )
+            self._m_retain_bytes = obs.counter(
+                "mvr_bytes_retained_total",
+                "Bytes retained as content past stage 1",
+                ("traffic_class",),
+            )
+            self._m_alerts = obs.counter(
+                "mvr_alerts_stored_total",
+                "Interest alerts stored with user attribution",
+                ("classtype",),
+            )
+            self._m_bot = obs.counter(
+                "mvr_bot_sightings_total",
+                "Commodity detections marking a source bot-like",
+            )
         self.packets_seen = 0
         self.bytes_discarded = 0
         self.discarded_by_class: Counter = Counter()
@@ -89,6 +124,10 @@ class SurveillanceSystem(Middlebox):
         # checksumming) the wire bytes for every transit packet.
         size = packet.wire_length()
         self.store.observe_volume(size)
+        obs = self._obs
+        if obs is not None:
+            self._m_ingest_pkts.inc()
+            self._m_ingest_bytes.inc((), size)
 
         alerts = self.engine.process(packet, ctx.now)
 
@@ -97,6 +136,8 @@ class SurveillanceSystem(Middlebox):
         for alert in alerts:
             if alert.classtype in BOT_CLASSTYPES:
                 self._bot_sightings.setdefault(packet.src, []).append(ctx.now)
+                if obs is not None:
+                    self._m_bot.inc()
 
         # Retain user-focused alerts regardless of the MVR decision: the
         # interest rules are exactly what the system exists to keep.
@@ -115,6 +156,8 @@ class SurveillanceSystem(Middlebox):
                         origin_ip=packet.metadata.get("origin_ip"),
                     )
                 )
+                if obs is not None:
+                    self._m_alerts.inc((alert.classtype,))
 
         traffic_class = classify_packet(packet, alerts)
 
@@ -122,9 +165,13 @@ class SurveillanceSystem(Middlebox):
         if traffic_class in TrafficClass.DISCARDED:
             self.bytes_discarded += size
             self.discarded_by_class[traffic_class] += size
+            if obs is not None:
+                self._m_discard_bytes.inc((traffic_class,), size)
             return Action.PASS
 
         self.retained_by_class[traffic_class] += size
+        if obs is not None:
+            self._m_retain_bytes.inc((traffic_class,), size)
         self.store.store_content(
             ContentRecord(
                 time=ctx.now,

@@ -109,3 +109,79 @@ class TestCapture:
                        payload=UDPDatagram(sport=1, dport=53))
         assert tcp_only(tcp) and not tcp_only(udp)
         assert dns_only(udp) and not dns_only(tcp)
+
+
+class TestRingMode:
+    def _world_with(self, capture):
+        topo = build_censored_as(seed=8, population_size=3)
+        topo.border_router.add_tap(capture)
+        install_standard_servers(topo)
+        return topo
+
+    def test_ring_keeps_newest_default_keeps_oldest(self):
+        ring = PacketCapture(max_packets=2, ring=True)
+        plain = PacketCapture(max_packets=2)
+        reference = PacketCapture()
+        topo = self._world_with(ring)
+        topo.border_router.add_tap(plain)
+        topo.border_router.add_tap(reference)
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        http_get(topo.measurement_client, topo.control_web.ip, "example.org",
+                 callback=lambda r: None)
+        topo.run()
+        everything = [cap.time for cap in reference.packets]
+        assert len(everything) > 2
+        assert [cap.time for cap in plain.packets] == everything[:2]
+        assert [cap.time for cap in ring.packets] == everything[-2:]
+        overflow = len(everything) - 2
+        assert ring.dropped_overflow == overflow
+        assert plain.dropped_overflow == overflow
+
+    def test_text_log_header_names_mode(self):
+        ring = PacketCapture(max_packets=1, ring=True)
+        topo = self._world_with(ring)
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        log = ring.text_log()
+        assert log.startswith("#")
+        assert "newest kept (ring)" in log
+        assert f"max_packets={ring.max_packets}" in log
+
+    def test_text_log_has_no_header_without_overflow(self):
+        capture = PacketCapture()
+        topo = self._world_with(capture)
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        assert not capture.text_log().startswith("#")
+
+    def test_clear_resets_overflow_counter(self):
+        ring = PacketCapture(max_packets=1, ring=True)
+        topo = self._world_with(ring)
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        assert ring.dropped_overflow > 0
+        ring.clear()
+        assert ring.dropped_overflow == 0
+        assert len(ring) == 0
+
+
+class TestJsonlExport:
+    def test_to_jsonl_round_trips_capture(self, tmp_path, world):
+        import json
+
+        topo, capture = world
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=lambda r: None)
+        topo.run()
+        path = capture.to_jsonl(str(tmp_path / "cap.jsonl"))
+        records = [json.loads(line) for line in open(path)]
+        assert len(records) == len(capture)
+        for record, cap in zip(records, capture.packets):
+            assert record["time"] == cap.time
+            assert record["src"] == cap.packet.src
+            assert record["size"] == cap.size
+            assert bytes.fromhex(record["raw"]) == cap.raw

@@ -155,3 +155,47 @@ class TestHeapCompaction:
             timer.cancel()
         sim.run()
         assert order == expected
+
+
+class TestStats:
+    def test_stats_shape_and_counts(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(float(i), lambda: None)
+        cancelled = sim.at(10.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        stats = sim.stats()
+        assert stats["events_fired"] == 5
+        assert stats["timers_cancelled"] == 1
+        assert stats["queue_depth_high_water"] == 6
+        assert stats["pending"] == 0
+        assert stats["now"] == 4.0  # the cancelled entry never advances time
+
+    def test_compaction_triggers_under_mass_cancellation(self):
+        sim = Simulator()
+        keep = [sim.at(2.0, lambda: None) for _ in range(10)]
+        doomed = [sim.at(1.0, lambda: None) for _ in range(500)]
+        for timer in doomed:
+            timer.cancel()
+        stats = sim.stats()
+        assert stats["heap_compactions"] >= 1
+        assert stats["timers_cancelled"] == 500
+        # Compaction physically shrank the heap below the dead-entry count.
+        assert len(sim._queue) < len(doomed)
+        assert stats["queue_depth_high_water"] == len(keep) + len(doomed)
+        assert sim.pending == len(keep)
+
+    def test_stats_survive_compaction_accounting(self):
+        sim = Simulator()
+        fired = []
+        for i in range(100):
+            sim.at(float(i), lambda i=i: fired.append(i))
+        doomed = [sim.at(1000.0, lambda: None) for _ in range(400)]
+        for timer in doomed:
+            timer.cancel()
+        sim.run()
+        stats = sim.stats()
+        assert len(fired) == 100
+        assert stats["events_fired"] == 100
+        assert stats["timers_cancelled"] == 400

@@ -1,0 +1,215 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRecorder,
+    active_or_none,
+    canonical_json,
+    current_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("hits", "", ())
+        c.inc()
+        c.inc(amount=4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labels_keep_separate_series(self):
+        c = Counter("hits", "", ("host",))
+        c.inc(("alice",))
+        c.inc(("bob",), 2)
+        assert c.value(("alice",)) == 1
+        assert c.value(("bob",)) == 2
+        assert c.total() == 3
+
+    def test_wrong_label_arity_rejected(self):
+        c = Counter("hits", "", ("host",))
+        with pytest.raises(ValueError):
+            c.inc(())
+        with pytest.raises(ValueError):
+            c.inc(("a", "b"))
+
+    def test_negative_increment_rejected(self):
+        c = Counter("hits", "", ())
+        with pytest.raises(ValueError):
+            c.inc(amount=-1)
+
+    def test_labelled_sorts_rows(self):
+        c = Counter("hits", "", ("host",))
+        c.inc(("zeta",))
+        c.inc(("alpha",))
+        assert [labels for labels, _ in c.labelled()] == [("alpha",), ("zeta",)]
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("depth", "", ())
+        g.set(value=3)
+        g.set(value=-1)
+        assert g.value() == -1
+
+    def test_track_max_keeps_high_water(self):
+        g = Gauge("depth", "", ())
+        g.track_max(value=5)
+        g.track_max(value=2)
+        assert g.value() == 5
+        g.track_max(value=9)
+        assert g.value() == 9
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("lat", "", (), buckets=(0.1, 1.0))
+        assert h.buckets[-1] == float("inf")  # inf auto-appended
+        h.observe(value=0.05)
+        h.observe(value=0.5)
+        h.observe(value=100.0)
+        assert h.count() == 3
+        state = h._values[()]
+        assert state["counts"] == [1, 1, 1]
+        assert state["sum"] == pytest.approx(100.55)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "", (), buckets=(1.0, 0.1))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "", (), buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("packets_total", labels=("link",))
+        b = reg.counter("packets_total", labels=("link",))
+        assert a is b
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(TypeError):
+            reg.gauge("thing")
+
+    def test_label_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing", labels=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("thing", labels=("b",))
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.gauge("alpha")
+        assert reg.names() == ["alpha", "zeta"]
+
+    def test_clear_zeroes_but_keeps_instruments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        reg.clear()
+        assert reg.get("hits") is c
+        assert c.value() == 0
+
+    def test_registry_is_truthy(self):
+        assert MetricsRegistry()
+
+    def test_render_text_includes_help_type_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", help="how many", labels=("host",))
+        c.inc(("alice",), 3)
+        text = reg.render_text()
+        assert "# HELP repro_hits_total how many" in text
+        assert "# TYPE repro_hits_total counter" in text
+        assert 'repro_hits_total{host="alice"} 3' in text
+
+
+class TestSnapshot:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta_total", labels=("who",)).inc(("b",))
+        reg.counter("zeta_total", labels=("who",)).inc(("a",), 2)
+        reg.gauge("alpha_depth").set(value=7)
+        reg.histogram("lat", buckets=(0.1,)).observe(value=0.05)
+        return reg
+
+    def test_snapshot_shape(self):
+        snap = self._populated().snapshot()
+        assert snap["namespace"] == "repro"
+        assert list(snap["instruments"]) == ["alpha_depth", "lat", "zeta_total"]
+        zeta = snap["instruments"]["zeta_total"]
+        assert zeta["kind"] == "counter"
+        assert zeta["values"] == [[["a"], 2], [["b"], 1]]  # label-sorted
+
+    def test_snapshot_renders_inf_bucket_as_string(self):
+        snap = self._populated().snapshot()
+        assert snap["instruments"]["lat"]["buckets"] == [0.1, "inf"]
+        # Must round-trip through strict JSON (no Infinity literals).
+        json.loads(canonical_json(snap))
+
+    def test_snapshot_deterministic_across_insertion_order(self):
+        a = self._populated()
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(0.1,)).observe(value=0.05)
+        b.gauge("alpha_depth").set(value=7)
+        b.counter("zeta_total", labels=("who",)).inc(("a",), 2)
+        b.counter("zeta_total", labels=("who",)).inc(("b",))
+        assert canonical_json(a.snapshot()) == canonical_json(b.snapshot())
+
+
+class TestNullRecorder:
+    def test_falsy_and_no_op(self):
+        null = NullRecorder()
+        assert not null
+        c = null.counter("hits", labels=("a",))
+        c.inc(("x",), 10)  # label arity unchecked, nothing stored
+        assert c.value(("x",)) == 0
+        assert null.names() == []
+        assert null.snapshot() == {"namespace": "null", "instruments": {}}
+        assert null.render_text() == ""
+
+    def test_all_instruments_are_shared_singleton(self):
+        null = NullRecorder()
+        assert null.counter("a") is null.gauge("b") is null.histogram("c")
+
+
+class TestInstallation:
+    def test_defaults_to_null_and_none(self):
+        assert current_registry() is NULL
+        assert active_or_none() is None
+
+    def test_use_registry_scopes_installation(self):
+        reg = MetricsRegistry()
+        with use_registry(reg) as installed:
+            assert installed is reg
+            assert current_registry() is reg
+            assert active_or_none() is reg
+        assert active_or_none() is None
+
+    def test_use_registry_restores_previous(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                assert active_or_none() is inner
+            assert active_or_none() is outer
+
+    def test_set_registry_returns_previous(self):
+        reg = MetricsRegistry()
+        assert set_registry(reg) is None
+        try:
+            assert set_registry(None) is reg
+        finally:
+            set_registry(None)

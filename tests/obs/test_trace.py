@@ -1,0 +1,186 @@
+"""Unit tests for the sim-time span tracer and its Chrome export."""
+
+import json
+
+from repro.obs import Tracer, active_tracer, set_tracer, use_tracer
+from repro.obs.trace import _NULL_SPAN
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpans:
+    def test_span_records_complete_event_in_microseconds(self):
+        clock = FakeClock(1.0)
+        tracer = Tracer(clock=clock)
+        span = tracer.begin("connect", "tcp", role="client")
+        clock.now = 1.5
+        span.end(outcome="closed")
+        [event] = tracer.events
+        assert event["ph"] == "X"
+        assert event["name"] == "connect"
+        assert event["cat"] == "tcp"
+        assert event["ts"] == 1_000_000.0
+        assert event["dur"] == 500_000.0
+        assert event["args"] == {"role": "client", "outcome": "closed"}
+
+    def test_double_end_is_idempotent(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.begin("x", "tcp")
+        span.end()
+        span.end()
+        assert len(tracer.events) == 1
+
+    def test_context_manager_ends_span(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.begin("x", "tcp"):
+            clock.now = 2.0
+        assert tracer.events[0]["dur"] == 2_000_000.0
+
+    def test_end_clamps_to_non_negative_duration(self):
+        clock = FakeClock(5.0)
+        tracer = Tracer(clock=clock)
+        span = tracer.begin("x", "tcp")
+        clock.now = 3.0  # clock went "backwards" (explicit start in the future)
+        span.end()
+        assert tracer.events[0]["dur"] == 0.0
+
+    def test_explicit_start_and_end_times(self):
+        tracer = Tracer(clock=FakeClock(99.0))
+        span = tracer.begin("x", "tcp", start=1.0)
+        span.end(end_time=2.0)
+        assert tracer.events[0]["ts"] == 1_000_000.0
+        assert tracer.events[0]["dur"] == 1_000_000.0
+
+
+class TestCategoryFilter:
+    def test_disabled_category_returns_shared_null_span(self):
+        tracer = Tracer(clock=FakeClock(), categories={"tcp"})
+        span = tracer.begin("x", "rules")
+        assert span is _NULL_SPAN
+        assert not span
+        span.end()
+        assert tracer.events == []
+
+    def test_disabled_category_drops_instants(self):
+        tracer = Tracer(clock=FakeClock(), categories={"tcp"})
+        tracer.instant("sweep", "rules")
+        assert tracer.events == []
+
+    def test_enabled_for(self):
+        assert Tracer().enabled_for("anything")
+        tracer = Tracer(categories={"tcp"})
+        assert tracer.enabled_for("tcp")
+        assert not tracer.enabled_for("rules")
+
+
+class TestTracksAndInstants:
+    def test_track_ids_interned_in_first_use_order(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("a", "tcp", track="tcp").end()
+        tracer.begin("b", "measurement", track="measure:scan").end()
+        tracer.begin("c", "tcp", track="tcp").end()
+        assert tracer._tracks == {"tcp": 1, "measure:scan": 2}
+
+    def test_track_defaults_to_category(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("hit", "rules")
+        assert tracer._tracks == {"rules": 1}
+
+    def test_instant_shape(self):
+        tracer = Tracer(clock=FakeClock(2.0))
+        tracer.instant("drop", "link", when=1.0, reason="loss")
+        [event] = tracer.events
+        assert event["ph"] == "i"
+        assert event["ts"] == 1_000_000.0
+        assert event["s"] == "t"
+        assert event["args"] == {"reason": "loss"}
+
+
+class TestFinalize:
+    def test_finalize_closes_dangling_spans(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.begin("dangling", "tcp")
+        clock.now = 4.0
+        assert tracer.finalize() == 1
+        [event] = tracer.events
+        assert event["args"]["unfinished"] is True
+        assert event["dur"] == 4_000_000.0
+        assert tracer.finalize() == 0  # nothing left open
+
+    def test_closed_spans_not_marked_unfinished(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("done", "tcp").end()
+        assert tracer.finalize() == 0
+        assert "unfinished" not in tracer.events[0]["args"]
+
+
+class TestChromeExport:
+    def _traced(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, process_name="test-proc")
+        span = tracer.begin("flow", "tcp", track="tcp")
+        clock.now = 1.0
+        tracer.instant("sweep", "rules", track="rules")
+        clock.now = 2.0
+        span.end()
+        return tracer
+
+    def test_metadata_events_name_process_and_tracks(self):
+        doc = self._traced().chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"] == {"name": "test-proc"}
+        thread_names = {e["tid"]: e["args"]["name"] for e in meta[1:]}
+        assert thread_names == {1: "tcp", 2: "rules"}
+
+    def test_body_sorted_by_timestamp(self):
+        doc = self._traced().chrome()
+        body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert [e["name"] for e in body] == ["flow", "sweep"]
+        assert body == sorted(
+            body, key=lambda e: (e["ts"], e["tid"], e["name"], e["ph"])
+        )
+
+    def test_write_chrome_and_jsonl(self, tmp_path):
+        tracer = self._traced()
+        chrome_path = tracer.write_chrome(str(tmp_path / "t.trace.json"))
+        jsonl_path = tracer.write_jsonl(str(tmp_path / "t.trace.jsonl"))
+        doc = json.loads(open(chrome_path).read())
+        assert doc == tracer.chrome()
+        lines = open(jsonl_path).read().splitlines()
+        assert [json.loads(line) for line in lines] == doc["traceEvents"]
+
+    def test_clear_resets_everything(self):
+        tracer = self._traced()
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer._tracks == {}
+        assert tracer.finalize() == 0
+
+
+class TestInstallation:
+    def test_defaults_to_none(self):
+        assert active_tracer() is None
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        assert set_tracer(tracer) is None
+        try:
+            assert set_tracer(None) is tracer
+        finally:
+            set_tracer(None)
