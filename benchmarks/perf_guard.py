@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -324,6 +325,43 @@ def _bench_link_forward_impaired() -> tuple:
     return _link_forward_bench(impaired=True)
 
 
+def _sweep_grid16_spec():
+    """16-point scenario grid shared by the sweep benches.
+
+    ``sweep_serial_grid16`` and ``sweep_workers4_grid16`` run the *same*
+    grid, so their ratio is the multi-worker speedup on this host.  On a
+    single-core container the two converge (the process pool adds fork
+    overhead but no parallelism); on a multi-core machine — e.g. the CI
+    runners — workers4 pulls ahead roughly linearly until the core count
+    or the largest single point dominates.
+    """
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        name="bench",
+        base_seed=11,
+        seeds=(0, 1, 2, 3),
+        loss_rates=(0.02, 0.05),
+        retry_policies=("single-shot", "retry-4"),
+        port_count=300,
+        duration=300.0,
+    )
+
+
+def _bench_sweep_serial_grid16() -> tuple:
+    from repro.runner import SweepRunner
+
+    spec = _sweep_grid16_spec()
+    return lambda: SweepRunner(spec, serial=True).run(), len(spec), "points", 0
+
+
+def _bench_sweep_workers4_grid16() -> tuple:
+    from repro.runner import SweepRunner
+
+    spec = _sweep_grid16_spec()
+    return lambda: SweepRunner(spec, workers=4).run(), len(spec), "points", 0
+
+
 def _bench_simulator_events() -> tuple:
     def batch():
         sim = Simulator()
@@ -352,6 +390,8 @@ HOT_PATHS = {
     "simulator_events": _bench_simulator_events,
     "link_forward_lossless": _bench_link_forward_lossless,
     "link_forward_impaired": _bench_link_forward_impaired,
+    "sweep_serial_grid16": _bench_sweep_serial_grid16,
+    "sweep_workers4_grid16": _bench_sweep_workers4_grid16,
 }
 
 
@@ -428,8 +468,11 @@ def main(argv=None) -> int:
             "schema": 1,
             "note": (
                 "ops/sec per hot path, measured by benchmarks/perf_guard.py; "
-                "machine-relative — regenerate with --update when hardware changes"
+                "machine-relative — regenerate with --update when hardware changes. "
+                "The sweep_* pair shares one grid: workers4/serial is the "
+                "multi-worker speedup, meaningful only when cpus > 1."
             ),
+            "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
             "hot_paths": current,
         }
         args.json.write_text(json.dumps(payload, indent=2) + "\n")

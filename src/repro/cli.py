@@ -25,12 +25,8 @@ from .analysis import (
 )
 from .core import (
     DDoSMeasurement,
-    OvertDNSMeasurement,
     OvertHTTPMeasurement,
-    ScanMeasurement,
-    ScanTarget,
     SpamMeasurement,
-    StatefulMimicryMeasurement,
     StatelessSpoofedDNSMeasurement,
     assess_risk,
     build_environment,
@@ -41,54 +37,12 @@ from .core.evaluation import (
     BLOCKED_TARGETS_FULL,
     CONTROL_TARGETS,
     CONTROL_TARGETS_FULL,
+    TECHNIQUES,
+    technique_factory as _technique_factory,
 )
 from .netsim import http_get, resolve
 from .obs import MetricsRegistry, Tracer, use_registry, use_tracer, write_json
 from .spoofing import BEVERLY_PROFILE, feasibility_summary, sample_scopes
-
-TECHNIQUES = (
-    "overt-http",
-    "overt-dns",
-    "scan",
-    "spam",
-    "ddos",
-    "spoofed-dns",
-    "stateful",
-)
-
-
-def _technique_factory(name: str, cover: int):
-    """Build the factory(env) -> technique for a CLI-selected technique."""
-    full = list(BLOCKED_TARGETS_FULL) + CONTROL_TARGETS_FULL
-
-    if name == "overt-http":
-        return lambda env: OvertHTTPMeasurement(env.ctx, full)
-    if name == "overt-dns":
-        return lambda env: OvertDNSMeasurement(env.ctx, full)
-    if name == "spam":
-        return lambda env: SpamMeasurement(env.ctx, full)
-    if name == "ddos":
-        return lambda env: DDoSMeasurement(env.ctx, full[:4], requests_per_target=25)
-    if name == "spoofed-dns":
-        return lambda env: StatelessSpoofedDNSMeasurement(
-            env.ctx, full, env.cover_ips(cover)
-        )
-    if name == "stateful":
-        payloads = [b"GET /falun HTTP/1.1\r\nHost: probe\r\n\r\n"]
-        return lambda env: StatefulMimicryMeasurement(
-            env.ctx, env.mimicry_server, payloads, env.cover_ips(cover)
-        )
-    if name == "scan":
-        def factory(env):
-            env.censor.policy.blocked_ips.add(env.topo.blocked_web.ip)
-            return ScanMeasurement(
-                env.ctx,
-                [ScanTarget(env.topo.blocked_web.ip, [80], "blocked-service"),
-                 ScanTarget(env.topo.control_web.ip, [80], "control-service")],
-                port_count=80,
-            )
-        return factory
-    raise ValueError(f"unknown technique: {name}")
 
 
 def cmd_matrix(args: argparse.Namespace) -> int:
@@ -253,6 +207,59 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a scenario-sweep grid, sharded across worker processes.
+
+    Writes ``PREFIX.report.json`` (spec + per-point records + merged
+    metrics) and ``PREFIX.metrics.json`` (the merged snapshot alone).
+    Both files are byte-identical for any worker count — the report
+    deliberately contains no execution metadata — so ``--serial`` output
+    can be ``cmp``-ed against a ``--workers N`` run (the CI smoke job
+    does exactly that).
+    """
+    import time as _time
+
+    from .runner import SweepRunner, SweepSpec
+
+    spec = SweepSpec.load(args.spec)
+    runner = SweepRunner(
+        spec,
+        workers=args.workers,
+        serial=args.serial,
+        max_point_retries=args.point_retries,
+    )
+    start = _time.perf_counter()
+    report = runner.run()
+    wall = _time.perf_counter() - start
+
+    report_path = write_json(f"{args.out}.report.json", report)
+    metrics_path = write_json(f"{args.out}.metrics.json", report["merged"]["metrics"])
+
+    summary = report["summary"]
+    mode = "serial" if runner.serial else f"{args.workers} workers"
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["spec", spec.name],
+            ["grid points", summary["points"]],
+            ["ok", summary["ok"]],
+            ["failed", summary["failed"]],
+            ["verdicts", ", ".join(f"{k}={v}" for k, v in summary["verdicts"].items())
+             or "-"],
+            ["mode", mode],
+            ["wall clock", f"{wall:.2f}s"],
+        ],
+        title=f"sweep: {spec.name} ({len(spec)} points)",
+    ))
+    if summary["failed"]:
+        print(f"failed points: {summary['failed_points']}", file=sys.stderr)
+    print(f"wrote {report_path}")
+    print(f"wrote {metrics_path}")
+    if args.strict and summary["failed"]:
+        return 1
+    return 0
+
+
 def cmd_syria(args: argparse.Namespace) -> int:
     generator = SyriaLogGenerator(population=args.population,
                                   rng=random.Random(args.seed))
@@ -371,6 +378,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="limit tracing to categories "
                             "(measurement, tcp, rules; default: all)")
     trace.set_defaults(func=cmd_trace)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario-sweep grid sharded across worker processes",
+    )
+    sweep.add_argument("spec", metavar="SPEC",
+                       help="sweep spec file (.json or .toml)")
+    sweep.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes (default 1)")
+    sweep.add_argument("--serial", action="store_true",
+                       help="run every point in-process (no pool)")
+    sweep.add_argument("--point-retries", type=int, default=1, metavar="N",
+                       help="retries per failing point before marking it failed")
+    sweep.add_argument("--out", default="sweep", metavar="PREFIX",
+                       help="output prefix (PREFIX.report.json / PREFIX.metrics.json)")
+    sweep.add_argument("--strict", action="store_true",
+                       help="exit 1 if any point failed")
+    sweep.set_defaults(func=cmd_sweep)
 
     syria = sub.add_parser("syria", help="Syria-log infeasibility analysis",
                            parents=[common])

@@ -30,6 +30,8 @@ __all__ = [
     "RunRecord",
     "EvaluationOutcome",
     "evaluate_technique",
+    "technique_factory",
+    "TECHNIQUES",
     "BLOCKED_TARGETS",
     "CONTROL_TARGETS",
 ]
@@ -214,6 +216,63 @@ class EvaluationOutcome:
 
 
 TechniqueFactory = Callable[[Environment], MeasurementTechnique]
+
+#: Technique names accepted by :func:`technique_factory` (and the CLI).
+TECHNIQUES = (
+    "overt-http",
+    "overt-dns",
+    "scan",
+    "spam",
+    "ddos",
+    "spoofed-dns",
+    "stateful",
+)
+
+
+def technique_factory(name: str, cover: int = 8) -> TechniqueFactory:
+    """Build the ``factory(env) -> technique`` for a named technique.
+
+    Shared by the CLI subcommands and the sweep runner so the two agree
+    on what each technique name means.  ``cover`` is the number of
+    population hosts used as spoofed cover where applicable.
+    """
+    from .ddos import DDoSMeasurement
+    from .overt import OvertDNSMeasurement, OvertHTTPMeasurement
+    from .scanning import ScanMeasurement, ScanTarget
+    from .spam import SpamMeasurement
+    from .spoofing_stateful import StatefulMimicryMeasurement
+    from .spoofing_stateless import StatelessSpoofedDNSMeasurement
+
+    full = list(BLOCKED_TARGETS_FULL) + CONTROL_TARGETS_FULL
+
+    if name == "overt-http":
+        return lambda env: OvertHTTPMeasurement(env.ctx, full)
+    if name == "overt-dns":
+        return lambda env: OvertDNSMeasurement(env.ctx, full)
+    if name == "spam":
+        return lambda env: SpamMeasurement(env.ctx, full)
+    if name == "ddos":
+        return lambda env: DDoSMeasurement(env.ctx, full[:4], requests_per_target=25)
+    if name == "spoofed-dns":
+        return lambda env: StatelessSpoofedDNSMeasurement(
+            env.ctx, full, env.cover_ips(cover)
+        )
+    if name == "stateful":
+        payloads = [b"GET /falun HTTP/1.1\r\nHost: probe\r\n\r\n"]
+        return lambda env: StatefulMimicryMeasurement(
+            env.ctx, env.mimicry_server, payloads, env.cover_ips(cover)
+        )
+    if name == "scan":
+        def factory(env: Environment) -> MeasurementTechnique:
+            env.censor.policy.blocked_ips.add(env.topo.blocked_web.ip)
+            return ScanMeasurement(
+                env.ctx,
+                [ScanTarget(env.topo.blocked_web.ip, [80], "blocked-service"),
+                 ScanTarget(env.topo.control_web.ip, [80], "control-service")],
+                port_count=80,
+            )
+        return factory
+    raise ValueError(f"unknown technique: {name}")
 
 
 def _execute(

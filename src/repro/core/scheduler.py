@@ -29,20 +29,44 @@ class MeasurementCampaign:
     def __init__(self, sim) -> None:
         self.sim = sim
         self._entries: List[_Entry] = []
+        self._started = False
+        self._start_time = 0.0
+
+    @property
+    def started(self) -> bool:
+        return self._started
 
     def add(self, technique: MeasurementTechnique, at: float = 0.0) -> "MeasurementCampaign":
-        """Register ``technique`` to start ``at`` seconds from campaign start."""
-        self._entries.append(_Entry(technique=technique, start_at=at))
+        """Register ``technique`` to start ``at`` seconds from campaign start.
+
+        Adding to a campaign that has already started schedules the
+        technique immediately: it fires at ``start_time + at``, or right
+        away if that moment has already passed.  (Previously a post-start
+        ``add`` was silently never scheduled, so ``done`` stayed false and
+        ``run_until_done`` burned its full ``max_duration``.)
+        """
+        entry = _Entry(technique=technique, start_at=at)
+        self._entries.append(entry)
+        if self._started:
+            self._schedule(entry)
         return self
 
-    def start(self) -> None:
-        """Schedule every registered technique."""
-        for entry in self._entries:
-            def fire(e=entry) -> None:
-                e.started = True
-                e.technique.start()
+    def _schedule(self, entry: _Entry) -> None:
+        def fire() -> None:
+            entry.started = True
+            entry.technique.start()
 
-            self.sim.at(entry.start_at, fire)
+        delay = max(0.0, self._start_time + entry.start_at - self.sim.now)
+        self.sim.at(delay, fire)
+
+    def start(self) -> None:
+        """Schedule every registered technique (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._start_time = self.sim.now
+        for entry in self._entries:
+            self._schedule(entry)
 
     def run(self, duration: float) -> None:
         """Start the campaign and advance the simulation."""
@@ -58,9 +82,12 @@ class MeasurementCampaign:
         ``run(duration)`` either wastes simulated time or cuts retries
         short; this advances in ``check_interval`` slices and stops at the
         first slice boundary where the campaign is done.  Returns whether
-        the campaign completed.
+        the campaign completed.  An empty campaign is vacuously done and
+        returns ``True`` without advancing simulated time.
         """
         self.start()
+        if self.done:
+            return True
         deadline = self.sim.now + max_duration
         while self.sim.now < deadline:
             self.sim.run(until=min(self.sim.now + check_interval, deadline))
@@ -86,4 +113,10 @@ class MeasurementCampaign:
 
     @property
     def done(self) -> bool:
+        """True once every registered technique has started and finished.
+
+        An empty campaign is vacuously done — there is nothing to wait
+        for, and ``run_until_done`` returns immediately rather than
+        burning ``max_duration`` of simulated time.
+        """
         return all(entry.started and entry.technique.done for entry in self._entries)

@@ -79,6 +79,18 @@ class _Instrument:
     def clear(self) -> None:
         self._values.clear()
 
+    def _merge_compatible(self, other: "_Instrument") -> None:
+        """Raise unless ``other`` can be folded into this instrument."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"{self.name}: cannot merge {other.kind} into {self.kind}"
+            )
+        if other.label_names != self.label_names:
+            raise ValueError(
+                f"{self.name}: cannot merge labels {other.label_names} "
+                f"into {self.label_names}"
+            )
+
 
 class Counter(_Instrument):
     """A monotonically increasing count, optionally labeled."""
@@ -98,6 +110,12 @@ class Counter(_Instrument):
     def total(self) -> float:
         """Sum across all label combinations."""
         return sum(self._values.values())
+
+    def merge_from(self, other: "Counter") -> None:
+        """Fold ``other`` into this counter: per-label sums."""
+        self._merge_compatible(other)
+        for labels, value in other._values.items():
+            self._values[labels] = self._values.get(labels, 0) + value
 
 
 class Gauge(_Instrument):
@@ -120,12 +138,30 @@ class Gauge(_Instrument):
     def value(self, labels: LabelTuple = ()) -> float:
         return self._values.get(labels, 0)
 
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold ``other`` into this gauge: per-label max.
+
+        Cross-worker ``set()`` order is undefined, so the only merge that
+        is independent of execution interleaving is the high-water mark —
+        which is also exactly right for the ``track_max`` gauges the
+        codebase uses (queue depths, high-water counters).
+        """
+        self._merge_compatible(other)
+        for labels, value in other._values.items():
+            current = self._values.get(labels)
+            if current is None or value > current:
+                self._values[labels] = value
+
 
 class Histogram(_Instrument):
-    """Fixed-bucket histogram: cumulative-style bucket counts + sum/count.
+    """Fixed-bucket histogram storing *per-bucket* counts plus sum/count.
 
     Buckets are upper bounds; an observation lands in the first bucket
-    whose bound is >= the value (the last bound should be ``inf``).
+    whose bound is >= the value (the last bound should be ``inf``), and
+    each bucket's stored count is the number of observations that landed
+    in exactly that bucket — not a running total.  The exporters derive
+    the Prometheus-style *cumulative* view (``_bucket{le="..."}`` lines,
+    :meth:`cumulative_counts`) from this storage on demand.
     """
 
     kind = "histogram"
@@ -164,6 +200,40 @@ class Histogram(_Instrument):
     def count(self, labels: LabelTuple = ()) -> int:
         state = self._values.get(labels)
         return 0 if state is None else state["count"]
+
+    def bucket_counts(self, labels: LabelTuple = ()) -> List[int]:
+        """Per-bucket counts (one int per bound, non-cumulative)."""
+        state = self._values.get(labels)
+        if state is None:
+            return [0] * len(self.buckets)
+        return list(state["counts"])
+
+    def cumulative_counts(self, labels: LabelTuple = ()) -> List[int]:
+        """Prometheus-style cumulative counts: entry i is observations <= bound i."""
+        running = 0
+        out = []
+        for count in self.bucket_counts(labels):
+            running += count
+            out.append(running)
+        return out
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram: elementwise bucket adds."""
+        self._merge_compatible(other)
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"{self.name}: cannot merge bucket bounds {other.buckets} "
+                f"into {self.buckets}"
+            )
+        for labels, state in other._values.items():
+            mine = self._values.get(labels)
+            if mine is None:
+                mine = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+                self._values[labels] = mine
+            for index, count in enumerate(state["counts"]):
+                mine["counts"][index] += count
+            mine["sum"] += state["sum"]
+            mine["count"] += state["count"]
 
 
 class MetricsRegistry:
@@ -235,19 +305,28 @@ class MetricsRegistry:
 
         Instruments sort by name and label rows by label values, so two
         identical runs snapshot byte-identically once serialized with
-        sorted keys.
+        sorted keys.  Histogram rows carry the full per-bucket ``counts``
+        list (copied, so later observations never mutate an exported
+        snapshot) alongside ``sum``/``count``; the snapshot round-trips
+        through :meth:`from_snapshot`.
         """
         out: Dict[str, object] = {}
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
+            values: List[object] = []
+            for labels, value in instrument.labelled():
+                if isinstance(instrument, Histogram):
+                    value = {
+                        "counts": list(value["counts"]),
+                        "sum": value["sum"],
+                        "count": value["count"],
+                    }
+                values.append([list(labels), value])
             entry: Dict[str, object] = {
                 "kind": instrument.kind,
                 "help": instrument.help,
                 "labels": list(instrument.label_names),
-                "values": [
-                    [list(labels), value]
-                    for labels, value in instrument.labelled()
-                ],
+                "values": values,
             }
             if isinstance(instrument, Histogram):
                 entry["buckets"] = [
@@ -256,6 +335,74 @@ class MetricsRegistry:
                 ]
             out[name] = entry
         return {"namespace": self.namespace, "instruments": out}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The workhorse of cross-process metric folding: sweep workers ship
+        JSON-ready snapshots back to the parent, which reconstructs and
+        :meth:`merge`\\ s them.  ``reg.from_snapshot(reg.snapshot())``
+        snapshots byte-identically to ``reg``.
+        """
+        registry = cls(namespace=snapshot.get("namespace", "repro"))
+        for name, entry in snapshot.get("instruments", {}).items():
+            kind = entry["kind"]
+            labels = tuple(entry["labels"])
+            if kind == "counter":
+                instrument = registry.counter(name, entry.get("help", ""), labels)
+                for row_labels, value in entry["values"]:
+                    instrument._values[tuple(row_labels)] = value
+            elif kind == "gauge":
+                instrument = registry.gauge(name, entry.get("help", ""), labels)
+                for row_labels, value in entry["values"]:
+                    instrument._values[tuple(row_labels)] = value
+            elif kind == "histogram":
+                buckets = tuple(
+                    float("inf") if bound == "inf" else bound
+                    for bound in entry["buckets"]
+                )
+                instrument = registry.histogram(
+                    name, entry.get("help", ""), labels, buckets=buckets
+                )
+                for row_labels, state in entry["values"]:
+                    instrument._values[tuple(row_labels)] = {
+                        "counts": list(state["counts"]),
+                        "sum": state["sum"],
+                        "count": state["count"],
+                    }
+            else:
+                raise ValueError(f"{name}: unknown instrument kind {kind!r}")
+        return registry
+
+    def merge(self, other) -> "MetricsRegistry":
+        """Fold another registry (or snapshot dict) into this one, in place.
+
+        Merge semantics are chosen so that N per-worker registries fold
+        into what one shared registry would have recorded: counters sum
+        per label row, gauges take the per-label max (the ``track_max``
+        high-water semantics — see :meth:`Gauge.merge_from`), and
+        histograms add bucket counts elementwise.  All integer quantities
+        are exact; histogram float ``sum``\\ s match the shared registry
+        up to addition reordering.  Folding the *same* parts in the
+        *same* order is always bit-reproducible, which is the invariant
+        sweep reports rely on.  A name registered
+        with a different kind, label set, or bucket bounds on the two
+        sides raises instead of silently corrupting the fold.  Returns
+        ``self`` so merges chain.
+        """
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_snapshot(other)
+        for name in sorted(other._instruments):
+            theirs = other._instruments[name]
+            mine = self._instruments.get(name)
+            if mine is None:
+                kwargs = {"buckets": theirs.buckets} if isinstance(theirs, Histogram) else {}
+                mine = self._get_or_create(
+                    type(theirs), name, theirs.help, theirs.label_names, **kwargs
+                )
+            mine.merge_from(theirs)
+        return self
 
     def render_text(self) -> str:
         """A Prometheus-flavoured text rendering for eyeballs and logs."""
@@ -267,18 +414,24 @@ class MetricsRegistry:
                 lines.append(f"# HELP {full} {instrument.help}")
             lines.append(f"# TYPE {full} {instrument.kind}")
             for labels, value in instrument.labelled():
-                if labels:
-                    pairs = ",".join(
-                        f'{key}="{val}"'
-                        for key, val in zip(instrument.label_names, labels)
-                    )
-                    label_text = "{" + pairs + "}"
-                else:
-                    label_text = ""
+                pairs = [
+                    f'{key}="{val}"'
+                    for key, val in zip(instrument.label_names, labels)
+                ]
+                label_text = "{" + ",".join(pairs) + "}" if pairs else ""
                 if isinstance(instrument, Histogram):
-                    lines.append(
-                        f"{full}{label_text} count={value['count']} sum={value['sum']}"
-                    )
+                    # Prometheus-style cumulative bucket lines: each
+                    # ``le`` bound counts every observation at or below it.
+                    running = 0
+                    for bound, count in zip(instrument.buckets, value["counts"]):
+                        running += count
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        bucket_pairs = pairs + [f'le="{le}"']
+                        lines.append(
+                            f"{full}_bucket{{{','.join(bucket_pairs)}}} {running}"
+                        )
+                    lines.append(f"{full}_sum{label_text} {value['sum']}")
+                    lines.append(f"{full}_count{label_text} {value['count']}")
                 else:
                     lines.append(f"{full}{label_text} {value}")
         return "\n".join(lines) + ("\n" if lines else "")

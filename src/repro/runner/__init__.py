@@ -1,0 +1,27 @@
+"""Scale-out scenario sweeps: declarative grids, sharded execution,
+deterministic merge.
+
+The embarrassingly parallel layer the ROADMAP's sharding/batching item
+asks for: :class:`SweepSpec` declares a cartesian grid of scenario
+parameters, :class:`ShardPlanner` deals the grid across workers, and
+:class:`SweepRunner` executes it — serially or on a process pool — and
+folds per-worker metrics into one snapshot byte-identical to a serial
+run.  See ``docs/ARCHITECTURE.md`` ("Sweep runner") for the design.
+"""
+
+from .runner import SweepRunner
+from .shard import Shard, ShardPlanner
+from .spec import TOPOLOGIES, SweepPoint, SweepSpec, parse_retry_policy
+from .worker import run_point, run_shard
+
+__all__ = [
+    "Shard",
+    "ShardPlanner",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepRunner",
+    "TOPOLOGIES",
+    "parse_retry_policy",
+    "run_point",
+    "run_shard",
+]

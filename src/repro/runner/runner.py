@@ -1,0 +1,165 @@
+"""Scale-out sweep execution with a deterministic merge.
+
+``SweepRunner`` expands a :class:`~repro.runner.spec.SweepSpec` into its
+grid, executes the points — serially or across a
+``ProcessPoolExecutor`` — and folds the per-point records into one
+report whose bytes depend only on the spec, never on the worker count,
+scheduling order, or wall clock.  That invariant is what the
+``--workers 1`` vs ``--workers 4`` byte-identity tests (and the CI
+smoke job) pin down, and it falls out of three rules:
+
+1. every point runs in a fresh simulator + metrics registry seeded from
+   the point parameters alone (see :mod:`.worker`);
+2. the report lists points in grid order and contains no execution
+   metadata (wall time and worker counts are printed, not reported);
+3. worker metrics merge through :meth:`MetricsRegistry.merge`, whose
+   counter-sum / gauge-max / histogram-elementwise semantics make the
+   fold order-insensitive and equal to a shared serial registry.
+
+Crash isolation: exceptions inside a point are contained (and retried)
+by the worker itself; a worker *process* death breaks the whole pool,
+so the runner falls back to a salvage pass that re-runs the affected
+points one per fresh single-worker pool — a point that keeps killing
+its process exhausts its retry budget and is recorded as failed, and
+the sweep still completes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional
+
+from ..analysis.metrics import run_report
+from ..obs import MetricsRegistry
+from .shard import ShardPlanner
+from .spec import SweepPoint, SweepSpec
+from .worker import run_shard
+
+__all__ = ["SweepRunner"]
+
+
+class SweepRunner:
+    """Executes a sweep spec and assembles the merged report."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: int = 1,
+        serial: bool = False,
+        max_point_retries: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        self.spec = spec
+        self.workers = workers
+        self.serial = serial or workers == 1
+        self.max_point_retries = max_point_retries
+        #: merged registry from the last :meth:`run`, for render_text etc.
+        self.merged_registry: Optional[MetricsRegistry] = None
+
+    # -- execution paths ------------------------------------------------------
+
+    def _run_serial(self, points: List[SweepPoint]) -> Dict[int, dict]:
+        records = run_shard(
+            [point.as_dict() for point in points],
+            self.max_point_retries,
+            in_process=True,
+        )
+        return {record["index"]: record for record in records}
+
+    def _run_pool(self, points: List[SweepPoint]) -> Dict[int, dict]:
+        shards = ShardPlanner(self.workers).plan(points)
+        outcomes: Dict[int, dict] = {}
+        dead_shards = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(
+                    run_shard,
+                    [point.as_dict() for point in shard.points],
+                    self.max_point_retries,
+                ): shard
+                for shard in shards
+            }
+            # wait() rather than as_completed(): when a worker process
+            # dies the executor marks *every* outstanding future broken,
+            # and we want to collect whatever finished plus the full
+            # casualty list in one pass.
+            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in futures:
+                shard = futures[future]
+                try:
+                    for record in future.result():
+                        outcomes[record["index"]] = record
+                except BaseException:
+                    dead_shards.append(shard)
+
+        # Salvage pass: a dead shard may have finished some points before
+        # the crash, but their records died with the process — re-running
+        # them is pure waste-of-work, never a correctness risk, because
+        # points are deterministic functions of their parameters.
+        for shard in dead_shards:
+            for point in shard.points:
+                outcomes[point.index] = self._run_point_quarantined(point)
+        return outcomes
+
+    def _run_point_quarantined(self, point: SweepPoint) -> dict:
+        """Re-run one point of a crashed shard, one fresh pool per attempt.
+
+        Isolating each attempt in its own single-worker pool means a
+        point that hard-kills its process (``os._exit``, OOM) costs one
+        pool, not the sweep; after the retry budget it is recorded as
+        failed with a normalized error (process deaths carry no
+        traceback to report).
+        """
+        attempts_allowed = 1 + self.max_point_retries
+        for attempt in range(1, attempts_allowed + 1):
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    records = pool.submit(run_shard, [point.as_dict()], 0).result()
+                records[0]["attempts_used"] = attempt
+                return records[0]
+            except BaseException:
+                continue
+        return {
+            "index": point.index,
+            "params": point.as_dict(),
+            "status": "failed",
+            "attempts_used": attempts_allowed,
+            "error": "worker process died while running this point",
+        }
+
+    # -- merge ---------------------------------------------------------------
+
+    def run(self) -> Dict[str, object]:
+        """Execute the grid and return the merged, JSON-ready report."""
+        points = self.spec.points()
+        if self.serial:
+            outcomes = self._run_serial(points)
+        else:
+            outcomes = self._run_pool(points)
+
+        records = [outcomes[index] for index in sorted(outcomes)]
+        merged = MetricsRegistry()
+        verdicts: Dict[str, int] = {}
+        failed = []
+        for record in records:
+            if record["status"] != "ok":
+                failed.append(record["index"])
+                continue
+            merged.merge(record["report"]["metrics"])
+            for verdict, count in record.get("verdicts", {}).items():
+                verdicts[verdict] = verdicts.get(verdict, 0) + count
+        self.merged_registry = merged
+
+        return {
+            "spec": self.spec.as_dict(),
+            "points": records,
+            "merged": run_report(registry=merged),
+            "summary": {
+                "points": len(points),
+                "ok": len(records) - len(failed),
+                "failed": len(failed),
+                "failed_points": failed,
+                "verdicts": dict(sorted(verdicts.items())),
+            },
+        }

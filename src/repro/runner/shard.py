@@ -1,0 +1,52 @@
+"""Shard planning: split a sweep grid into per-worker point lists.
+
+The planner is pure bookkeeping — no randomness, no load measurement —
+so the shard layout is a function of (point list, worker count) alone.
+Points are dealt round-robin by grid index, which balances shard sizes
+to within one point and interleaves the grid axes across workers (a
+contiguous split would hand one worker all the high-loss points of an
+ordered grid, serializing the slowest scenarios behind each other).
+
+Because every point carries its own derived seed and workers rebuild
+their simulators from the point parameters alone, *any* assignment of
+points to workers produces identical per-point results; sharding only
+decides wall-clock balance, never outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .spec import SweepPoint
+
+__all__ = ["Shard", "ShardPlanner"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of the grid."""
+
+    worker_id: int
+    points: Tuple[SweepPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class ShardPlanner:
+    """Deals sweep points across ``workers`` shards, round-robin."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        self.workers = workers
+
+    def plan(self, points: Sequence[SweepPoint]) -> List[Shard]:
+        """Shards in worker-id order; empty shards are dropped."""
+        shards = []
+        for worker_id in range(self.workers):
+            assigned = tuple(points[worker_id::self.workers])
+            if assigned:
+                shards.append(Shard(worker_id=worker_id, points=assigned))
+        return shards

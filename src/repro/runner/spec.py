@@ -1,0 +1,249 @@
+"""Declarative sweep specifications: a cartesian grid of scenario points.
+
+A :class:`SweepSpec` names the axes the survey-scale experiments sweep —
+seeds, loss models, retry policies, techniques, topologies — and expands
+them into a deterministic, fully ordered list of :class:`SweepPoint`\\ s.
+Every point carries a simulator seed derived from the spec's base seed
+via :func:`~repro.netsim.impairment.mix_seed`, so the grid's randomness
+is a pure function of the spec: the same spec always produces the same
+points, no matter how many workers later execute them or in what order.
+
+Specs load from JSON or TOML files (``repro sweep grid.json``) or build
+programmatically; both paths go through the same validation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.evaluation import TECHNIQUES
+from ..core.measurement import RetryPolicy
+from ..netsim.impairment import mix_seed
+
+__all__ = ["SweepPoint", "SweepSpec", "TOPOLOGIES", "parse_retry_policy"]
+
+#: Topologies a sweep point can run in.  ``three-node`` is the minimal
+#: client–middlebox–server path (scan-only, cheap — the false-block-curve
+#: workload); ``censored-as`` is the full Figure-1 censored AS.
+TOPOLOGIES = ("three-node", "censored-as")
+
+#: Techniques the three-node topology supports (no censor, no population).
+THREE_NODE_TECHNIQUES = ("scan",)
+
+
+def parse_retry_policy(name: str, timeout: float = 1.0) -> RetryPolicy:
+    """Parse a retry-policy axis value into a :class:`RetryPolicy`.
+
+    ``"single-shot"`` is the paper's one-probe behaviour; ``"retry-N"``
+    probes up to N times with the default backoff.
+    """
+    if name == "single-shot":
+        return RetryPolicy.single_shot(timeout=timeout)
+    if name.startswith("retry-"):
+        try:
+            attempts = int(name[len("retry-"):])
+        except ValueError:
+            raise ValueError(f"bad retry policy {name!r}: retry-N needs an integer N")
+        if attempts < 2:
+            raise ValueError(f"bad retry policy {name!r}: retry-N needs N >= 2")
+        return RetryPolicy(max_attempts=attempts, timeout=timeout)
+    raise ValueError(
+        f"unknown retry policy {name!r} (expected 'single-shot' or 'retry-N')"
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved scenario in a sweep grid.
+
+    ``index`` is the point's position in the spec's canonical grid order
+    and ``sim_seed`` its derived simulator seed — both are functions of
+    the spec alone, which is what makes sharded execution reproducible.
+    """
+
+    index: int
+    sim_seed: int
+    seed: int  # the seed-axis value this point came from
+    technique: str
+    topology: str
+    loss: float
+    burst: float
+    retry: str
+    duration: float
+    port_count: int
+    censored: bool
+    cover: int
+    #: crash-injection hook for tests/CI: "" (none), "exception", "exit"
+    fail: str = ""
+
+    def retry_policy(self) -> RetryPolicy:
+        return parse_retry_policy(self.retry)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepPoint":
+        return cls(**data)
+
+
+@dataclass
+class SweepSpec:
+    """A cartesian grid of scenario parameters.
+
+    Axes (each a sequence; the grid is their product, in this fixed
+    order): ``seeds`` × ``techniques`` × ``topologies`` × ``loss_rates``
+    × ``retry_policies``.  The remaining fields are per-point constants.
+    """
+
+    name: str = "sweep"
+    base_seed: int = 0
+    seeds: Tuple[int, ...] = (0,)
+    techniques: Tuple[str, ...] = ("scan",)
+    topologies: Tuple[str, ...] = ("three-node",)
+    loss_rates: Tuple[float, ...] = (0.0,)
+    retry_policies: Tuple[str, ...] = ("single-shot",)
+    #: Gilbert–Elliott mean burst length for lossy points.
+    burst: float = 5.0
+    #: simulated-seconds budget per point.
+    duration: float = 120.0
+    #: ports per scan target (three-node topology).
+    port_count: int = 100
+    #: censor on/off (censored-as topology).
+    censored: bool = True
+    #: spoofed-cover host count (censored-as techniques that use cover).
+    cover: int = 8
+    #: grid-index -> fail mode ("exception" | "exit"), for crash-isolation
+    #: tests and the CI smoke job.
+    inject_failures: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.seeds = tuple(self.seeds)
+        self.techniques = tuple(self.techniques)
+        self.topologies = tuple(self.topologies)
+        self.loss_rates = tuple(self.loss_rates)
+        self.retry_policies = tuple(self.retry_policies)
+        self.inject_failures = {
+            int(index): mode for index, mode in dict(self.inject_failures).items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        for axis_name in ("seeds", "techniques", "topologies", "loss_rates",
+                          "retry_policies"):
+            if not getattr(self, axis_name):
+                raise ValueError(f"sweep axis {axis_name!r} must be non-empty")
+        for technique in self.techniques:
+            if technique not in TECHNIQUES:
+                raise ValueError(
+                    f"unknown technique {technique!r} (choose from {TECHNIQUES})"
+                )
+        for topology in self.topologies:
+            if topology not in TOPOLOGIES:
+                raise ValueError(
+                    f"unknown topology {topology!r} (choose from {TOPOLOGIES})"
+                )
+        if "three-node" in self.topologies:
+            unsupported = [t for t in self.techniques
+                           if t not in THREE_NODE_TECHNIQUES]
+            if unsupported:
+                raise ValueError(
+                    f"three-node topology only supports {THREE_NODE_TECHNIQUES}; "
+                    f"got {unsupported} (use topology 'censored-as' for these)"
+                )
+        for loss in self.loss_rates:
+            if not 0.0 <= loss < 1.0:
+                raise ValueError(f"loss rate {loss} outside [0, 1)")
+        for policy in self.retry_policies:
+            parse_retry_policy(policy)  # raises on bad names
+        for mode in self.inject_failures.values():
+            if mode not in ("exception", "exit"):
+                raise ValueError(f"unknown fail mode {mode!r}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.port_count < 1:
+            raise ValueError("port_count must be >= 1")
+
+    def __len__(self) -> int:
+        return (len(self.seeds) * len(self.techniques) * len(self.topologies)
+                * len(self.loss_rates) * len(self.retry_policies))
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid into its canonical ordered point list.
+
+        The order is the axes' cartesian product with ``seeds`` slowest
+        and ``retry_policies`` fastest; ``sim_seed`` mixes the base seed,
+        the seed-axis value, and the grid index so every point gets an
+        independent deterministic RNG stream.
+        """
+        out: List[SweepPoint] = []
+        grid = itertools.product(
+            self.seeds, self.techniques, self.topologies,
+            self.loss_rates, self.retry_policies,
+        )
+        for index, (seed, technique, topology, loss, retry) in enumerate(grid):
+            out.append(SweepPoint(
+                index=index,
+                sim_seed=mix_seed(self.base_seed, seed, index),
+                seed=seed,
+                technique=technique,
+                topology=topology,
+                loss=loss,
+                burst=self.burst,
+                retry=retry,
+                duration=self.duration,
+                port_count=self.port_count,
+                censored=self.censored,
+                cover=self.cover,
+                fail=self.inject_failures.get(index, ""),
+            ))
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form, embedded verbatim in sweep reports."""
+        return {
+            "name": self.name,
+            "base_seed": self.base_seed,
+            "seeds": list(self.seeds),
+            "techniques": list(self.techniques),
+            "topologies": list(self.topologies),
+            "loss_rates": list(self.loss_rates),
+            "retry_policies": list(self.retry_policies),
+            "burst": self.burst,
+            "duration": self.duration,
+            "port_count": self.port_count,
+            "censored": self.censored,
+            "cover": self.cover,
+            "inject_failures": {
+                str(index): mode
+                for index, mode in sorted(self.inject_failures.items())
+            },
+        }
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "SweepSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep spec keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def load(cls, path: str) -> "SweepSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        if path.endswith(".toml"):
+            try:
+                import tomllib
+            except ImportError as exc:  # pragma: no cover - py<3.11
+                raise RuntimeError(
+                    "TOML specs need Python 3.11+ (tomllib); use JSON instead"
+                ) from exc
+            with open(path, "rb") as fh:
+                data = tomllib.load(fh)
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        return cls.from_mapping(data)

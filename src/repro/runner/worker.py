@@ -1,0 +1,165 @@
+"""Sweep worker: executes grid points in an isolated simulator + registry.
+
+``run_point`` is the whole unit of isolation: it builds a fresh
+:class:`~repro.netsim.engine.Simulator` (seeded from the point alone), a
+fresh :class:`~repro.obs.MetricsRegistry` installed only for the scope of
+the run, executes the scenario, and returns a JSON-ready record — no
+state leaks between points, so a point's record is identical whether it
+runs in-process, in a pool worker, or on the third retry after a sibling
+crashed.  ``run_shard`` wraps a worker's point list with per-point
+exception containment and a bounded retry budget.
+
+Both functions take and return plain dicts (not dataclasses) so they
+cross the ``ProcessPoolExecutor`` pickle boundary without dragging
+simulator objects along.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Dict, List, Mapping
+
+from ..analysis.metrics import run_report
+from ..core.evaluation import build_environment, technique_factory
+from ..core.measurement import MeasurementContext
+from ..core.results import summarize
+from ..core.scanning import ScanMeasurement, ScanTarget
+from ..netsim import WebServer, build_three_node, burst_loss_profile
+from ..obs import MetricsRegistry, use_registry
+from .spec import SweepPoint
+
+__all__ = ["run_point", "run_shard"]
+
+
+def _impairment_profile(point: SweepPoint):
+    return burst_loss_profile(
+        marginal=point.loss, mean_burst_length=point.burst, jitter=0.001
+    )
+
+
+def _serialize_results(results) -> List[Dict[str, object]]:
+    return [
+        {
+            "target": result.target,
+            "verdict": result.verdict.value,
+            "detail": result.detail,
+            "time": result.time,
+            "samples": result.samples,
+            "attempts": result.attempts,
+            "confidence": result.confidence,
+        }
+        for result in results
+    ]
+
+
+def _run_three_node(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, object]:
+    """The false-block-curve workload: scan a known-open server over an
+    (optionally) impaired path with no censor anywhere."""
+    topo = build_three_node(seed=point.sim_seed)
+    WebServer(topo.server)
+    if point.loss > 0.0:
+        topo.network.impair_all_links(_impairment_profile(point))
+    ctx = MeasurementContext(client=topo.client, retry_policy=point.retry_policy())
+    technique = ScanMeasurement(
+        ctx,
+        [ScanTarget(topo.server.ip, [80], "server")],
+        port_count=point.port_count,
+        probe_interval=0.005,
+        timeout=1.0,
+    )
+    technique.start()
+    topo.sim.run(until=topo.sim.now + point.duration)
+    return {
+        "results": _serialize_results(technique.results),
+        "verdicts": summarize(technique.results),
+        "technique_done": technique.done,
+        "report": run_report(
+            registry=registry, sim=topo.sim, links=topo.network.links
+        ),
+    }
+
+
+def _run_censored_as(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, object]:
+    """The Figure-1 workload: one technique inside the full censored AS."""
+    env = build_environment(censored=point.censored, seed=point.sim_seed)
+    if point.loss > 0.0:
+        env.topo.network.impair_all_links(_impairment_profile(point))
+    env.ctx.retry_policy = point.retry_policy()
+    technique = technique_factory(point.technique, point.cover)(env)
+    technique.start()
+    env.run(duration=point.duration)
+    return {
+        "results": _serialize_results(technique.results),
+        "verdicts": summarize(technique.results),
+        "technique_done": technique.done,
+        "censor_events": len(env.censor.events),
+        "report": run_report(
+            registry=registry,
+            sim=env.sim,
+            links=env.topo.network.links,
+            surveillance=env.surveillance,
+        ),
+    }
+
+
+def run_point(point_data: Mapping[str, object], in_process: bool = False) -> Dict[str, object]:
+    """Execute one sweep point and return its JSON-ready record.
+
+    ``in_process`` softens the ``fail="exit"`` injection into an
+    exception: serial mode runs points in the parent process, where an
+    ``os._exit`` would kill the sweep itself instead of a worker.
+    """
+    point = SweepPoint.from_dict(point_data)
+    if point.fail == "exit" and not in_process:
+        os._exit(41)  # simulate a hard worker death (OOM-kill, segfault)
+    if point.fail:
+        raise RuntimeError(f"injected failure at sweep point {point.index}")
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        if point.topology == "three-node":
+            payload = _run_three_node(point, registry)
+        else:
+            payload = _run_censored_as(point, registry)
+    record: Dict[str, object] = {
+        "index": point.index,
+        "params": point.as_dict(),
+        "status": "ok",
+    }
+    record.update(payload)
+    return record
+
+
+def run_shard(
+    shard_points: List[Mapping[str, object]],
+    max_point_retries: int = 1,
+    in_process: bool = False,
+) -> List[Dict[str, object]]:
+    """Run a worker's points with per-point containment.
+
+    A point that raises is retried up to ``max_point_retries`` times and
+    then recorded as ``status="failed"`` with the traceback — one broken
+    scenario never takes down the rest of the shard.  (A point that kills
+    the whole process is the parent's problem; see
+    :meth:`SweepRunner._run_pool`.)
+    """
+    records = []
+    for point_data in shard_points:
+        attempts_allowed = 1 + max_point_retries
+        for attempt in range(1, attempts_allowed + 1):
+            try:
+                record = run_point(point_data, in_process=in_process)
+                record["attempts_used"] = attempt
+                break
+            except Exception:
+                if attempt == attempts_allowed:
+                    record = {
+                        "index": point_data["index"],
+                        "params": dict(point_data),
+                        "status": "failed",
+                        "attempts_used": attempt,
+                        "error": traceback.format_exc(limit=8),
+                    }
+        records.append(record)
+    return records

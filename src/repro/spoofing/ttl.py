@@ -22,6 +22,9 @@ __all__ = ["TTLEstimator", "plan_reply_ttl", "HopEstimate"]
 
 DEFAULT_INITIAL_TTL = 64
 
+#: ICMP echo ident is a 16-bit wire field; idents wrap within [1, MAX_IDENT].
+MAX_IDENT = 0xFFFF
+
 
 @dataclass
 class HopEstimate:
@@ -33,6 +36,16 @@ class HopEstimate:
     @property
     def ok(self) -> bool:
         return self.hops is not None
+
+
+@dataclass
+class _PendingProbe:
+    """An in-flight echo request: who we asked, who to tell, and the
+    timeout timer to cancel when the reply beats it."""
+
+    target: str
+    callback: Callable[[HopEstimate], None]
+    timer: object
 
 
 class TTLEstimator:
@@ -48,40 +61,65 @@ class TTLEstimator:
         self.prober = prober
         self.error = error
         self.timeout = timeout
-        self._pending: Dict[int, Callable[[HopEstimate], None]] = {}
+        self._pending: Dict[int, _PendingProbe] = {}
         self._next_ident = 1
         assert prober.stack is not None
         prober.stack.add_sniffer(self._sniff)
 
+    def _allocate_ident(self) -> int:
+        """Next free echo ident, wrapping within the 16-bit wire field.
+
+        Long campaigns exceed 65535 probes, so idents wrap at
+        ``MAX_IDENT`` (0 is skipped — it is the common "unset" value);
+        idents still awaiting a reply are skipped so a wrapped campaign
+        never aliases two in-flight probes onto one ident.
+        """
+        if len(self._pending) >= MAX_IDENT:
+            raise RuntimeError(
+                f"all {MAX_IDENT} ICMP idents are awaiting replies; "
+                "cannot start another probe"
+            )
+        ident = self._next_ident
+        while ident in self._pending:
+            ident = ident + 1 if ident < MAX_IDENT else 1
+        self._next_ident = ident + 1 if ident < MAX_IDENT else 1
+        return ident
+
     def estimate(self, target_ip: str, callback: Callable[[HopEstimate], None]) -> None:
         """Ping ``target_ip``; deliver a :class:`HopEstimate`."""
-        ident = self._next_ident
-        self._next_ident += 1
-        self._pending[ident] = callback
+        ident = self._allocate_ident()
+        sim = self.prober.stack.sim
+
+        def expire() -> None:
+            waiting = self._pending.pop(ident, None)
+            if waiting is not None:
+                waiting.callback(HopEstimate(target=target_ip, hops=None))
+
+        self._pending[ident] = _PendingProbe(
+            target=target_ip, callback=callback, timer=sim.at(self.timeout, expire)
+        )
         request = IPPacket(
             src=self.prober.ip,
             dst=target_ip,
             payload=ICMPMessage.echo_request(ident=ident),
         )
         self.prober.send_ip(request)
-        sim = self.prober.stack.sim
-
-        def expire() -> None:
-            waiting = self._pending.pop(ident, None)
-            if waiting is not None:
-                waiting(HopEstimate(target=target_ip, hops=None))
-
-        sim.at(self.timeout, expire)
 
     def _sniff(self, packet: IPPacket) -> None:
+        if packet.dst != self.prober.ip:
+            return  # transit traffic sniffed on the wire, not our reply
         message = packet.icmp
         if message is None or message.icmp_type != ICMP_ECHO_REPLY:
             return
-        callback = self._pending.pop(message.ident, None)
-        if callback is None:
+        pending = self._pending.pop(message.ident, None)
+        if pending is None:
             return
+        # Cancel the timeout so long campaigns don't pile dead timers on
+        # the heap, and attribute the estimate to the *probed* target —
+        # packet.src is attacker-controlled (spoofable) and may differ.
+        pending.timer.cancel()
         hops = DEFAULT_INITIAL_TTL - packet.ttl + self.error
-        callback(HopEstimate(target=packet.src, hops=hops))
+        pending.callback(HopEstimate(target=pending.target, hops=hops))
 
 
 def plan_reply_ttl(hops_to_client: int, die_short_by: int = 1) -> int:

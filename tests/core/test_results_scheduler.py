@@ -97,3 +97,69 @@ class TestCampaign:
         assert not campaign.done  # second never started
         sim.run(until=200.0)
         assert campaign.done
+
+
+class TestPostStartAdd:
+    """Regression: ``add()`` after ``start()`` was silently never
+    scheduled, so ``done`` stayed false and ``run_until_done`` burned its
+    whole ``max_duration``."""
+
+    def test_add_after_start_schedules_immediately(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        campaign.start()
+        late = _FakeTechnique(sim)
+        campaign.add(late, at=2.0)
+        sim.run(until=5.0)
+        assert late.started_at == 2.0
+        assert campaign.done
+
+    def test_add_with_past_offset_fires_now(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        campaign.start()
+        sim.run(until=10.0)  # campaign start was at t=0; offset 2 is past
+        late = _FakeTechnique(sim)
+        campaign.add(late, at=2.0)
+        sim.run(until=sim.now + 0.1)
+        assert late.started_at == 10.0
+
+    def test_post_start_add_completes_run_until_done_quickly(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        campaign.start()
+        campaign.add(_FakeTechnique(sim))
+        assert campaign.run_until_done(max_duration=600.0) is True
+        assert sim.now < 600.0  # did not burn the whole budget
+
+    def test_offsets_are_relative_to_campaign_start_time(self):
+        sim = Simulator()
+        sim.run(until=50.0)
+        campaign = MeasurementCampaign(sim)
+        technique = _FakeTechnique(sim)
+        campaign.add(technique, at=3.0)
+        campaign.run(duration=10.0)
+        assert technique.started_at == 53.0
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        technique = _FakeTechnique(sim, results_to_emit=1)
+        campaign.add(technique)
+        campaign.start()
+        campaign.start()  # second start must not double-schedule
+        sim.run(until=1.0)
+        assert len(technique.results) == 1
+        assert campaign.started
+
+
+class TestEmptyCampaign:
+    def test_empty_campaign_is_vacuously_done(self):
+        campaign = MeasurementCampaign(Simulator())
+        assert campaign.done
+
+    def test_empty_run_until_done_returns_without_burning_time(self):
+        sim = Simulator()
+        campaign = MeasurementCampaign(sim)
+        assert campaign.run_until_done(max_duration=600.0) is True
+        assert sim.now == 0.0

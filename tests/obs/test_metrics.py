@@ -90,6 +90,150 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("lat", "", (), buckets=())
 
+    def test_bucket_counts_accessors(self):
+        h = Histogram("lat", "", (), buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.6, 100.0):
+            h.observe(value=value)
+        assert h.bucket_counts() == [1, 2, 1]
+        assert h.cumulative_counts() == [1, 3, 4]
+
+    def test_bucket_counts_for_unseen_labels_are_zero(self):
+        h = Histogram("lat", "", ("op",), buckets=(0.1,))
+        assert h.bucket_counts(("get",)) == [0, 0]
+        assert h.cumulative_counts(("get",)) == [0, 0]
+
+
+class TestHistogramExport:
+    """Regression: bucket counts were recorded but never exported — the
+    text rendering showed only count/sum and no ``_bucket`` lines."""
+
+    def _histogram_registry(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", help="latency", labels=("op",),
+                          buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.6, 100.0):
+            h.observe(("get",), value)
+        return reg
+
+    def test_render_text_emits_cumulative_bucket_lines(self):
+        text = self._histogram_registry().render_text()
+        assert 'repro_lat_bucket{op="get",le="0.1"} 1' in text
+        assert 'repro_lat_bucket{op="get",le="1"} 3' in text
+        assert 'repro_lat_bucket{op="get",le="+Inf"} 4' in text
+        assert 'repro_lat_sum{op="get"} 101.15' in text
+        assert 'repro_lat_count{op="get"} 4' in text
+
+    def test_render_text_golden(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(0.5,)).observe(value=0.25)
+        assert reg.render_text() == (
+            "# TYPE repro_lat histogram\n"
+            'repro_lat_bucket{le="0.5"} 1\n'
+            'repro_lat_bucket{le="+Inf"} 1\n'
+            "repro_lat_sum 0.25\n"
+            "repro_lat_count 1\n"
+        )
+
+    def test_snapshot_includes_per_bucket_counts(self):
+        snap = self._histogram_registry().snapshot()
+        rows = snap["instruments"]["lat"]["values"]
+        assert rows == [[["get"], {"counts": [1, 2, 1], "sum": 101.15,
+                                   "count": 4}]]
+
+    def test_snapshot_is_isolated_from_later_observations(self):
+        reg = self._histogram_registry()
+        snap = reg.snapshot()
+        reg.get("lat").observe(("get",), 0.01)
+        assert snap["instruments"]["lat"]["values"][0][1]["count"] == 4
+
+
+class TestMerge:
+    def test_counters_sum_per_label(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits", labels=("who",)).inc(("x",), 2)
+        b.counter("hits", labels=("who",)).inc(("x",), 3)
+        b.counter("hits", labels=("who",)).inc(("y",), 1)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.get("hits").value(("x",)) == 5
+        assert a.get("hits").value(("y",)) == 1
+
+    def test_gauges_take_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").track_max(value=7)
+        b.gauge("depth").track_max(value=4)
+        a.merge(b)
+        assert a.get("depth").value() == 7
+        b.gauge("depth").track_max(value=11)
+        a.merge(b)
+        assert a.get("depth").value() == 11
+
+    def test_histograms_add_buckets_elementwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(value=0.05)
+        b.histogram("lat", buckets=(0.1, 1.0)).observe(value=0.5)
+        b.histogram("lat", buckets=(0.1, 1.0)).observe(value=50.0)
+        a.merge(b)
+        assert a.get("lat").bucket_counts() == [1, 1, 1]
+        assert a.get("lat").count() == 3
+
+    def test_merge_into_empty_registry(self):
+        src = MetricsRegistry()
+        src.counter("hits").inc(amount=2)
+        merged = MetricsRegistry().merge(src)
+        assert merged.get("hits").value() == 2
+
+    def test_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("thing").inc()
+        b.gauge("thing").set(value=1)
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_label_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("thing", labels=("x",)).inc(("1",))
+        b.counter("thing", labels=("y",)).inc(("1",))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_bucket_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(0.1,)).observe(value=0.05)
+        b.histogram("lat", buckets=(0.5,)).observe(value=0.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_sharded_merge_equals_serial_registry(self):
+        """The sweep-runner invariant: N worker registries fold into
+        exactly what one shared registry would have recorded."""
+        def record(reg, values):
+            for value in values:
+                reg.counter("hits", labels=("who",)).inc(("x",))
+                reg.gauge("depth").track_max(value=value)
+                reg.histogram("lat", buckets=(0.1, 1.0)).observe(value=value)
+
+        # binary fractions: float addition is exact, so the partition
+        # into workers cannot perturb the histogram sums
+        serial = MetricsRegistry()
+        record(serial, [0.0625, 0.5, 3.0, 0.125])
+
+        workers = [MetricsRegistry() for _ in range(2)]
+        record(workers[0], [0.0625, 0.5])
+        record(workers[1], [3.0, 0.125])
+        merged = MetricsRegistry()
+        for worker in workers:
+            merged.merge(worker.snapshot())  # snapshots, as across processes
+        assert canonical_json(merged.snapshot()) == canonical_json(serial.snapshot())
+
+    def test_from_snapshot_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels=("who",)).inc(("x",), 2)
+        reg.gauge("depth").set(value=-3)
+        reg.histogram("lat", buckets=(0.1,)).observe(value=0.05)
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert canonical_json(clone.snapshot()) == canonical_json(reg.snapshot())
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

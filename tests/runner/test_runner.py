@@ -1,0 +1,143 @@
+"""Sweep runner: determinism across worker counts, merge, crash isolation.
+
+The headline property: a sweep report is a pure function of its spec.
+``--workers 1`` and ``--workers 4`` must produce byte-identical merged
+reports and metrics snapshots, and a worker crash must fail only its own
+points while the sweep completes.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runner import SweepRunner, SweepSpec, run_point, run_shard
+
+
+def small_spec(**overrides):
+    params = dict(
+        name="unit", base_seed=5, seeds=(0, 1), loss_rates=(0.0, 0.05),
+        retry_policies=("single-shot", "retry-3"), port_count=40,
+        duration=120.0,
+    )
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+def canonical(report):
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+
+class TestRunPoint:
+    def test_ok_record_shape(self):
+        point = small_spec().points()[0]
+        record = run_point(point.as_dict())
+        assert record["status"] == "ok"
+        assert record["index"] == 0
+        assert record["params"] == point.as_dict()
+        assert record["results"][0]["verdict"] == "accessible"
+        assert record["report"]["metrics"]["instruments"]
+        json.dumps(record)  # JSON-ready end to end
+
+    def test_point_runs_are_reproducible(self):
+        point = small_spec(loss_rates=(0.05,)).points()[0]
+        assert canonical(run_point(point.as_dict())) == \
+            canonical(run_point(point.as_dict()))
+
+    def test_censored_as_point_detects_blocking(self):
+        spec = small_spec(
+            topologies=("censored-as",), seeds=(0,), loss_rates=(0.0,),
+            retry_policies=("single-shot",), duration=90.0,
+        )
+        record = run_point(spec.points()[0].as_dict())
+        assert record["status"] == "ok"
+        assert record["censor_events"] > 0
+        verdicts = record["verdicts"]
+        assert any(v != "accessible" for v in verdicts)
+
+    def test_in_process_exit_injection_becomes_exception(self):
+        point = small_spec(inject_failures={0: "exit"}).points()[0]
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_point(point.as_dict(), in_process=True)
+
+
+class TestRunShard:
+    def test_failed_point_does_not_kill_shard(self):
+        spec = small_spec(seeds=(0,), loss_rates=(0.0,),
+                          retry_policies=("single-shot", "retry-3"),
+                          inject_failures={0: "exception"})
+        records = run_shard([p.as_dict() for p in spec.points()],
+                            max_point_retries=1, in_process=True)
+        assert [r["status"] for r in records] == ["failed", "ok"]
+        failed = records[0]
+        assert "injected failure" in failed["error"]
+        assert failed["attempts_used"] == 2  # initial try + 1 bounded retry
+
+
+class TestDeterministicMerge:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        spec = small_spec()
+        serial = SweepRunner(spec, serial=True).run()
+        parallel = SweepRunner(spec, workers=4).run()
+        return serial, parallel
+
+    def test_serial_vs_four_workers_byte_identical(self, reports):
+        serial, parallel = reports
+        assert canonical(serial) == canonical(parallel)
+
+    def test_merged_metrics_byte_identical(self, reports):
+        serial, parallel = reports
+        assert canonical(serial["merged"]["metrics"]) == \
+            canonical(parallel["merged"]["metrics"])
+
+    def test_merged_metrics_equal_sum_of_points(self, reports):
+        serial, _ = reports
+        rebuilt = MetricsRegistry()
+        for record in serial["points"]:
+            rebuilt.merge(record["report"]["metrics"])
+        assert canonical(rebuilt.snapshot()) == \
+            canonical(serial["merged"]["metrics"])
+
+    def test_report_contains_no_execution_metadata(self, reports):
+        serial, _ = reports
+        text = canonical(serial)
+        for leaky in ("workers", "wall", "shard"):
+            assert f'"{leaky}"' not in text
+
+    def test_points_listed_in_grid_order(self, reports):
+        serial, _ = reports
+        assert [r["index"] for r in serial["points"]] == list(range(8))
+
+
+class TestCrashIsolation:
+    def test_exception_point_marked_failed_sweep_completes(self):
+        spec = small_spec(seeds=(0,), inject_failures={1: "exception"})
+        report = SweepRunner(spec, workers=2).run()
+        assert report["summary"]["failed_points"] == [1]
+        assert report["summary"]["ok"] == len(spec) - 1
+        failed = report["points"][1]
+        assert failed["status"] == "failed"
+        assert "injected failure" in failed["error"]
+
+    def test_worker_process_death_is_survived(self):
+        spec = small_spec(seeds=(0,), inject_failures={2: "exit"})
+        report = SweepRunner(spec, workers=2, max_point_retries=1).run()
+        assert report["summary"]["failed_points"] == [2]
+        assert report["summary"]["ok"] == len(spec) - 1
+        assert "process died" in report["points"][2]["error"]
+        # shard-mates of the dead worker were salvaged, not lost
+        assert all(report["points"][i]["status"] == "ok"
+                   for i in (0, 1, 3))
+
+    def test_crash_free_points_identical_to_clean_run(self):
+        clean = small_spec(seeds=(0,))
+        crashed = small_spec(seeds=(0,), inject_failures={2: "exception"})
+        clean_report = SweepRunner(clean, serial=True).run()
+        crash_report = SweepRunner(crashed, workers=2).run()
+        for index in (0, 1, 3):
+            a = clean_report["points"][index]
+            b = crash_report["points"][index]
+            # identical apart from the injected-failure param bookkeeping
+            assert a["results"] == b["results"]
+            assert a["report"]["metrics"] == b["report"]["metrics"]

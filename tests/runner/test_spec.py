@@ -1,0 +1,163 @@
+"""Unit tests for sweep specs and shard planning."""
+
+import json
+
+import pytest
+
+from repro.core.measurement import RetryPolicy
+from repro.netsim.impairment import mix_seed
+from repro.runner import ShardPlanner, SweepPoint, SweepSpec, parse_retry_policy
+
+
+class TestRetryPolicyParsing:
+    def test_single_shot(self):
+        policy = parse_retry_policy("single-shot")
+        assert policy.max_attempts == 1
+
+    def test_retry_n(self):
+        policy = parse_retry_policy("retry-5")
+        assert policy.max_attempts == 5
+        assert policy.retries_enabled
+
+    @pytest.mark.parametrize("bad", ["retry-x", "retry-1", "sometimes", "retry-"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_retry_policy(bad)
+
+
+class TestSweepSpecGrid:
+    def _spec(self, **overrides):
+        params = dict(
+            name="t", base_seed=3, seeds=(0, 1), loss_rates=(0.0, 0.05),
+            retry_policies=("single-shot", "retry-3"),
+        )
+        params.update(overrides)
+        return SweepSpec(**params)
+
+    def test_grid_size_is_axis_product(self):
+        spec = self._spec()
+        assert len(spec) == 8
+        assert len(spec.points()) == 8
+
+    def test_indices_are_contiguous_grid_order(self):
+        points = self._spec().points()
+        assert [p.index for p in points] == list(range(8))
+        # seeds is the slowest axis, retry_policies the fastest
+        assert points[0].seed == 0 and points[0].retry == "single-shot"
+        assert points[1].retry == "retry-3"
+        assert points[4].seed == 1
+
+    def test_sim_seed_derived_via_mix_seed(self):
+        spec = self._spec()
+        for point in spec.points():
+            assert point.sim_seed == mix_seed(3, point.seed, point.index)
+
+    def test_points_are_pure_function_of_spec(self):
+        assert self._spec().points() == self._spec().points()
+
+    def test_point_dict_round_trip(self):
+        point = self._spec().points()[5]
+        assert SweepPoint.from_dict(point.as_dict()) == point
+        json.dumps(point.as_dict())  # JSON-ready
+
+    def test_retry_policy_materializes(self):
+        point = self._spec().points()[1]
+        assert isinstance(point.retry_policy(), RetryPolicy)
+        assert point.retry_policy().max_attempts == 3
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            self._spec(techniques=("warp",))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            self._spec(topologies=("star",))
+
+    def test_three_node_rejects_non_scan_techniques(self):
+        with pytest.raises(ValueError, match="three-node"):
+            self._spec(techniques=("spam",), topologies=("three-node",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            self._spec(seeds=())
+
+    def test_bad_loss_rate_rejected(self):
+        with pytest.raises(ValueError, match="loss rate"):
+            self._spec(loss_rates=(1.5,))
+
+    def test_bad_fail_mode_rejected(self):
+        with pytest.raises(ValueError, match="fail mode"):
+            self._spec(inject_failures={0: "shrug"})
+
+    def test_inject_failures_land_on_points(self):
+        spec = self._spec(inject_failures={2: "exception"})
+        points = spec.points()
+        assert points[2].fail == "exception"
+        assert all(p.fail == "" for p in points if p.index != 2)
+
+    def test_unknown_mapping_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            SweepSpec.from_mapping({"name": "x", "warp_factor": 9})
+
+
+class TestSpecLoading:
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({
+            "name": "fromjson", "seeds": [0, 1], "loss_rates": [0.0, 0.05],
+        }))
+        spec = SweepSpec.load(str(path))
+        assert spec.name == "fromjson"
+        assert len(spec) == 4
+
+    def test_load_toml(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")  # noqa: F841 (py3.11+)
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            'name = "fromtoml"\nseeds = [0, 1, 2]\n'
+            'retry_policies = ["single-shot", "retry-3"]\n'
+        )
+        spec = SweepSpec.load(str(path))
+        assert spec.name == "fromtoml"
+        assert len(spec) == 6
+
+    def test_as_dict_round_trips_through_mapping(self):
+        spec = SweepSpec(name="rt", seeds=(0, 2), inject_failures={1: "exit"})
+        clone = SweepSpec.from_mapping(spec.as_dict())
+        assert clone.points() == spec.points()
+
+
+class TestShardPlanner:
+    def _points(self, count):
+        return SweepSpec(seeds=tuple(range(count))).points()
+
+    def test_round_robin_assignment(self):
+        shards = ShardPlanner(3).plan(self._points(8))
+        assert [s.worker_id for s in shards] == [0, 1, 2]
+        assert [[p.index for p in s.points] for s in shards] == [
+            [0, 3, 6], [1, 4, 7], [2, 5],
+        ]
+
+    def test_every_point_assigned_exactly_once(self):
+        points = self._points(11)
+        shards = ShardPlanner(4).plan(points)
+        seen = sorted(p.index for s in shards for p in s.points)
+        assert seen == [p.index for p in points]
+
+    def test_more_workers_than_points_drops_empty_shards(self):
+        shards = ShardPlanner(8).plan(self._points(3))
+        assert len(shards) == 3
+        assert all(len(s) == 1 for s in shards)
+
+    def test_single_worker_gets_everything(self):
+        shards = ShardPlanner(1).plan(self._points(5))
+        assert len(shards) == 1
+        assert len(shards[0]) == 5
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+
+    def test_plan_is_deterministic(self):
+        points = self._points(9)
+        assert ShardPlanner(4).plan(points) == ShardPlanner(4).plan(points)

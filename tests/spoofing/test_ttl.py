@@ -68,3 +68,93 @@ class TestTTLEstimator:
         estimator.estimate(topo.population[0].ip, estimates.append)
         topo.run()
         assert estimates[0].hops == 5  # true 3 + injected error 2
+
+
+class TestIdentHandling:
+    """Regressions for the 16-bit ident field and reply attribution."""
+
+    def _estimator(self, population_size=2):
+        topo = build_censored_as(population_size=population_size)
+        return topo, TTLEstimator(topo.measurement_server)
+
+    def test_ident_wraps_at_16_bits(self):
+        from repro.spoofing.ttl import MAX_IDENT
+
+        topo, estimator = self._estimator()
+        estimator._next_ident = MAX_IDENT  # as after ~65k probes
+        estimates = []
+        estimator.estimate(topo.population[0].ip, estimates.append)
+        estimator.estimate(topo.population[1].ip, estimates.append)
+        # Second probe wrapped into the 16-bit field instead of 0x10000.
+        assert all(1 <= ident <= MAX_IDENT for ident in estimator._pending)
+        topo.run()
+        assert all(e.ok for e in estimates)
+
+    def test_wrap_skips_idents_still_pending(self):
+        from repro.spoofing.ttl import MAX_IDENT
+
+        topo, estimator = self._estimator()
+        estimator.estimate("203.0.113.99", lambda e: None)  # stays pending
+        pending_ident = next(iter(estimator._pending))
+        assert pending_ident == 1
+        estimator._next_ident = MAX_IDENT
+        estimator.estimate("203.0.113.98", lambda e: None)  # takes 0xFFFF
+        estimator.estimate("203.0.113.97", lambda e: None)  # wraps, skips 1
+        assert sorted(estimator._pending) == [1, 2, MAX_IDENT]
+
+    def test_reply_to_other_host_ignored(self):
+        from repro.packets import ICMP_ECHO_REPLY, ICMPMessage, IPPacket
+
+        topo, estimator = self._estimator()
+        estimates = []
+        estimator.estimate(topo.population[0].ip, estimates.append)
+        ident = next(iter(estimator._pending))
+        # An echo reply sniffed in transit: matching ident, but addressed
+        # to someone else.  Must not resolve our probe.
+        transit = IPPacket(
+            src=topo.population[0].ip, dst="203.0.113.77", ttl=61,
+            payload=ICMPMessage(icmp_type=ICMP_ECHO_REPLY, ident=ident),
+        )
+        estimator._sniff(transit)
+        assert ident in estimator._pending
+        assert estimates == []
+
+    def test_estimate_attributed_to_probed_target_not_packet_src(self):
+        from repro.packets import ICMP_ECHO_REPLY, ICMPMessage, IPPacket
+
+        topo, estimator = self._estimator()
+        target = topo.population[0].ip
+        estimates = []
+        estimator.estimate(target, estimates.append)
+        ident = next(iter(estimator._pending))
+        spoofed = IPPacket(
+            src="198.51.100.66",  # spoofable, not who we probed
+            dst=topo.measurement_server.ip, ttl=61,
+            payload=ICMPMessage(icmp_type=ICMP_ECHO_REPLY, ident=ident),
+        )
+        estimator._sniff(spoofed)
+        assert estimates and estimates[0].target == target
+
+    def test_timeout_timer_cancelled_when_reply_arrives(self):
+        """Answered probes must not leave dead timers on the sim heap."""
+        topo, estimator = self._estimator()
+        sim = topo.sim
+        estimates = []
+        estimator.estimate(topo.population[0].ip, estimates.append)
+        sim.run(until=sim.now + 1.0)  # reply arrives well before timeout=2.0
+        assert estimates and estimates[0].ok
+        assert sim.stats()["timers_cancelled"] >= 1
+        assert sim.pending == 0
+
+    def test_all_idents_pending_raises(self):
+        import pytest as _pytest
+
+        from repro.spoofing.ttl import MAX_IDENT, _PendingProbe
+
+        topo, estimator = self._estimator()
+        estimator._pending = {
+            ident: _PendingProbe("10.0.0.1", lambda e: None, None)
+            for ident in range(1, MAX_IDENT + 1)
+        }
+        with _pytest.raises(RuntimeError, match="idents"):
+            estimator.estimate("203.0.113.99", lambda e: None)
