@@ -96,6 +96,9 @@ class PacketCapture(Middlebox):
                 CapturedPacket(
                     time=ctx.now,
                     packet=packet,
+                    # Rides the packet's wire cache: a forwarded packet that
+                    # was parsed or serialized upstream is captured without
+                    # re-serializing.
                     raw=packet.to_bytes(),
                     node=ctx.node.name,
                 )

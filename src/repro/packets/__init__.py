@@ -12,6 +12,7 @@ from .addressing import (
     hosts_of,
     in_network,
     int_to_ip,
+    int_to_ip_cached,
     ip_to_int,
     ip_to_int_cached,
     is_valid_ip,
@@ -19,7 +20,15 @@ from .addressing import (
     parse_cidr,
     same_prefix,
 )
-from .checksum import internet_checksum, pseudo_header, verify_checksum
+from .checksum import (
+    checksum_from_sum,
+    fold_sum,
+    internet_checksum,
+    pseudo_header,
+    pseudo_sum,
+    raw_sum,
+    verify_checksum,
+)
 from .dns import (
     DNSMessage,
     DNSQuestion,
@@ -94,10 +103,13 @@ __all__ = [
     "canonical_flow",
     "flow_of",
     "fragment",
+    "checksum_from_sum",
     "compile_network",
+    "fold_sum",
     "hosts_of",
     "in_network",
     "int_to_ip",
+    "int_to_ip_cached",
     "internet_checksum",
     "ip_to_int",
     "ip_to_int_cached",
@@ -106,7 +118,9 @@ __all__ = [
     "parse_cidr",
     "parse_http_payload",
     "pseudo_header",
+    "pseudo_sum",
     "qtype_name",
+    "raw_sum",
     "same_prefix",
     "sni_of",
     "tls_alert",

@@ -10,6 +10,7 @@ __all__ = [
     "ip_to_int",
     "ip_to_int_cached",
     "int_to_ip",
+    "int_to_ip_cached",
     "parse_cidr",
     "compile_network",
     "in_network",
@@ -57,6 +58,23 @@ def ip_to_int_cached(addr: str) -> int:
             _IP_INT_CACHE.clear()
         _IP_INT_CACHE[addr] = value
     return value
+
+
+# The reverse direction runs once per parsed packet (twice, in fact: src
+# and dst), against the same small endpoint set, so it gets the same memo
+# treatment as ``ip_to_int_cached``.
+_INT_IP_CACHE: dict = {}
+
+
+def int_to_ip_cached(value: int) -> str:
+    """``int_to_ip`` with memoization for hot-path callers."""
+    addr = _INT_IP_CACHE.get(value)
+    if addr is None:
+        addr = int_to_ip(value)
+        if len(_INT_IP_CACHE) >= _IP_INT_CACHE_MAX:
+            _INT_IP_CACHE.clear()
+        _INT_IP_CACHE[value] = addr
+    return addr
 
 
 def is_valid_ip(addr: str) -> bool:

@@ -165,9 +165,16 @@ class DNSRecord:
         return bytes(data[offset : offset + rdlen])
 
 
-@dataclass
+@dataclass(slots=True)
 class DNSMessage:
-    """A full DNS message (header + question/answer/authority sections)."""
+    """A full DNS message (header + question/answer/authority sections).
+
+    ``to_bytes`` is memoized; rebinding a field invalidates the cache, but
+    mutating a section list in place does not — call :meth:`_invalidate_wire`
+    after in-place mutation (or rebind, e.g. ``msg.answers = [*msg.answers,
+    record]``).  ``from_bytes`` does not seed the cache: parsed input may use
+    name compression, which encode deliberately never emits.
+    """
 
     txid: int = 0
     is_response: bool = False
@@ -179,6 +186,15 @@ class DNSMessage:
     answers: List[DNSRecord] = field(default_factory=list)
     authority: List[DNSRecord] = field(default_factory=list)
     additional: List[DNSRecord] = field(default_factory=list)
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name, value) -> None:
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_wire", None)
+
+    def _invalidate_wire(self) -> None:
+        """Drop the memoized wire image after in-place section mutation."""
+        object.__setattr__(self, "_wire", None)
 
     @classmethod
     def query(cls, name: str, qtype: int = QTYPE_A, txid: int = 0) -> "DNSMessage":
@@ -219,6 +235,9 @@ class DNSMessage:
     # -- wire format ---------------------------------------------------------
 
     def to_bytes(self) -> bytes:
+        wire = self._wire
+        if wire is not None:
+            return wire
         flags = 0
         if self.is_response:
             flags |= 0x8000
@@ -250,7 +269,9 @@ class DNSMessage:
                 "!HHIH", record.rtype, record.rclass, record.ttl, len(rdata)
             )
             out += rdata
-        return bytes(out)
+        wire = bytes(out)
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "DNSMessage":

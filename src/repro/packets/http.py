@@ -29,9 +29,14 @@ def _parse_headers(lines: list[str]) -> Dict[str, str]:
     return headers
 
 
-@dataclass
+@dataclass(slots=True)
 class HTTPRequest:
-    """An HTTP request; ``to_bytes`` yields the exact wire text."""
+    """An HTTP request; ``to_bytes`` yields the exact wire text.
+
+    ``to_bytes`` is memoized; rebinding a field invalidates the cache, but
+    mutating the ``headers`` dict in place does not — call
+    :meth:`_invalidate_wire` afterwards (or rebind the dict).
+    """
 
     method: str = "GET"
     path: str = "/"
@@ -39,8 +44,20 @@ class HTTPRequest:
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
     version: str = "HTTP/1.1"
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name, value) -> None:
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_wire", None)
+
+    def _invalidate_wire(self) -> None:
+        """Drop the memoized wire image after in-place header mutation."""
+        object.__setattr__(self, "_wire", None)
 
     def to_bytes(self) -> bytes:
+        wire = self._wire
+        if wire is not None:
+            return wire
         headers = dict(self.headers)
         if self.host and "Host" not in headers:
             headers = {"Host": self.host, **headers}
@@ -50,7 +67,9 @@ class HTTPRequest:
             f"{self.method} {self.path} {self.version}{CRLF}"
             f"{_render_headers(headers)}{CRLF}"
         )
-        return text.encode("latin-1") + self.body
+        wire = text.encode("latin-1") + self.body
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HTTPRequest":
@@ -75,24 +94,42 @@ class HTTPRequest:
         return f"http://{self.host}{self.path}"
 
 
-@dataclass
+@dataclass(slots=True)
 class HTTPResponse:
-    """An HTTP response."""
+    """An HTTP response.
+
+    Memoization matches :class:`HTTPRequest`: rebinds invalidate, in-place
+    ``headers`` mutation requires :meth:`_invalidate_wire`.
+    """
 
     status: int = 200
     reason: str = "OK"
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
     version: str = "HTTP/1.1"
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name, value) -> None:
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_wire", None)
+
+    def _invalidate_wire(self) -> None:
+        """Drop the memoized wire image after in-place header mutation."""
+        object.__setattr__(self, "_wire", None)
 
     def to_bytes(self) -> bytes:
+        wire = self._wire
+        if wire is not None:
+            return wire
         headers = dict(self.headers)
         headers.setdefault("Content-Length", str(len(self.body)))
         text = (
             f"{self.version} {self.status} {self.reason}{CRLF}"
             f"{_render_headers(headers)}{CRLF}"
         )
-        return text.encode("latin-1") + self.body
+        wire = text.encode("latin-1") + self.body
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HTTPResponse":

@@ -3,14 +3,18 @@
 Time-exceeded matters here: the stateful-mimicry technique (Section 4.1 of
 the paper) TTL-limits replies so they die inside the network, and routers in
 the simulator emit real ICMP time-exceeded messages when that happens.
+
+Serialization is cached like the other transports; ICMP checksums use no
+pseudo-header, so the cache is not keyed by addresses.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import Optional
 
-from .checksum import internet_checksum
+from .checksum import checksum_from_sum, fold_sum, raw_sum
 
 __all__ = [
     "ICMPMessage",
@@ -25,8 +29,10 @@ ICMP_DEST_UNREACH = 3
 ICMP_ECHO_REQUEST = 8
 ICMP_TIME_EXCEEDED = 11
 
+_oset = object.__setattr__
 
-@dataclass
+
+@dataclass(init=False, slots=True)
 class ICMPMessage:
     """An ICMP message.
 
@@ -40,31 +46,105 @@ class ICMPMessage:
     sequence: int = 0
     payload: bytes = b""
     metadata: dict = field(default_factory=dict, repr=False, compare=False)
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+    _seed: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __init__(
+        self,
+        icmp_type: int,
+        code: int = 0,
+        ident: int = 0,
+        sequence: int = 0,
+        payload: bytes = b"",
+        metadata: Optional[dict] = None,
+    ) -> None:
+        _oset(self, "icmp_type", icmp_type)
+        _oset(self, "code", code)
+        _oset(self, "ident", ident)
+        _oset(self, "sequence", sequence)
+        _oset(self, "payload", payload)
+        _oset(self, "metadata", {} if metadata is None else metadata)
+        _oset(self, "_wire", None)
+        _oset(self, "_seed", None)
+
+    def __setattr__(self, name, value) -> None:
+        _oset(self, name, value)
+        _oset(self, "_wire", None)
+        _oset(self, "_seed", None)
 
     def wire_length(self) -> int:
         """Length of ``to_bytes()`` without serializing."""
         return 8 + len(self.payload)
 
     def to_bytes(self, src_ip: str = "", dst_ip: str = "") -> bytes:
-        """Serialize; ICMP checksums do not use a pseudo-header."""
-        header = struct.pack(
-            "!BBHHH", self.icmp_type, self.code, 0, self.ident, self.sequence
+        """Serialize; ICMP checksums do not use a pseudo-header.
+
+        Memoized; field writes invalidate the cache.  The address arguments
+        keep the transport-serialization signature and are unused.
+        """
+        wire = self._wire
+        if wire is not None:
+            return wire
+        seed = self._seed
+        if seed is not None:
+            _oset(self, "_seed", None)
+            if self._seed_checksum_ok(seed):
+                _oset(self, "_wire", seed)
+                return seed
+        payload = self.payload
+        header = bytearray(8)
+        struct.pack_into(
+            "!BBHHH", header, 0, self.icmp_type, self.code, 0, self.ident, self.sequence
         )
-        cksum = internet_checksum(header + self.payload)
-        return header[:2] + struct.pack("!H", cksum) + header[4:] + self.payload
+        cksum = checksum_from_sum(raw_sum(header) + raw_sum(payload))
+        struct.pack_into("!H", header, 2, cksum)
+        wire = bytes(header) + payload
+        _oset(self, "_wire", wire)
+        return wire
+
+    def _seed_checksum_ok(self, seed: bytes) -> bool:
+        # Fast path as in TCPSegment._seed_checksum_ok; 0x0000/0xFFFF stored
+        # values are congruent and need the exact skip-the-field check.
+        stored = seed[2] << 8 | seed[3]
+        if stored != 0 and stored != 0xFFFF:
+            return fold_sum(raw_sum(seed)) == 0xFFFF
+        mv = memoryview(seed)
+        computed = checksum_from_sum(raw_sum(mv[:2]) + raw_sum(mv[4:]))
+        return computed == stored
+
+    @staticmethod
+    def _seedable(data: bytes) -> bool:
+        return True  # every parsed field re-serializes into the same place
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ICMPMessage":
         if len(data) < 8:
             raise ValueError("truncated ICMP message")
-        icmp_type, code, _cksum, ident, sequence = struct.unpack("!BBHHH", data[:8])
-        return cls(
-            icmp_type=icmp_type,
-            code=code,
-            ident=ident,
-            sequence=sequence,
-            payload=data[8:],
-        )
+        icmp_type, code, _cksum, ident, sequence = struct.unpack_from("!BBHHH", data)
+        # object.__new__ fast path; see TCPSegment.from_bytes.
+        msg = object.__new__(cls)
+        _oset(msg, "icmp_type", icmp_type)
+        _oset(msg, "code", code)
+        _oset(msg, "ident", ident)
+        _oset(msg, "sequence", sequence)
+        _oset(msg, "payload", data[8:])
+        _oset(msg, "metadata", {})
+        _oset(msg, "_wire", None)
+        _oset(msg, "_seed", None)
+        return msg
+
+    def _copy_shared(self) -> "ICMPMessage":
+        """Structural copy sharing the (immutable) cached wire image."""
+        new = object.__new__(ICMPMessage)
+        _oset(new, "icmp_type", self.icmp_type)
+        _oset(new, "code", self.code)
+        _oset(new, "ident", self.ident)
+        _oset(new, "sequence", self.sequence)
+        _oset(new, "payload", self.payload)
+        _oset(new, "metadata", {})
+        _oset(new, "_wire", self._wire)
+        _oset(new, "_seed", self._seed)
+        return new
 
     @classmethod
     def time_exceeded(cls, original: bytes) -> "ICMPMessage":

@@ -8,7 +8,7 @@ spam bot's delivery attempt.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 __all__ = ["SMTPCommand", "SMTPReply", "EmailMessage"]
 
@@ -17,14 +17,23 @@ CRLF = "\r\n"
 
 @dataclass(frozen=True)
 class SMTPCommand:
-    """A client-side SMTP command line."""
+    """A client-side SMTP command line.
+
+    Frozen, so ``to_bytes`` memoizes unconditionally — no invalidation.
+    """
 
     verb: str
     argument: str = ""
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     def to_bytes(self) -> bytes:
+        wire = self._wire
+        if wire is not None:
+            return wire
         line = self.verb if not self.argument else f"{self.verb} {self.argument}"
-        return (line + CRLF).encode("latin-1")
+        wire = (line + CRLF).encode("latin-1")
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SMTPCommand":
@@ -35,13 +44,22 @@ class SMTPCommand:
 
 @dataclass(frozen=True)
 class SMTPReply:
-    """A server-side SMTP reply line."""
+    """A server-side SMTP reply line.
+
+    Frozen, so ``to_bytes`` memoizes unconditionally — no invalidation.
+    """
 
     code: int
     text: str = ""
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     def to_bytes(self) -> bytes:
-        return f"{self.code} {self.text}{CRLF}".encode("latin-1")
+        wire = self._wire
+        if wire is not None:
+            return wire
+        wire = f"{self.code} {self.text}{CRLF}".encode("latin-1")
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SMTPReply":
@@ -56,13 +74,27 @@ class SMTPReply:
 
 @dataclass
 class EmailMessage:
-    """A minimal RFC 822 message with headers and a text body."""
+    """A minimal RFC 822 message with headers and a text body.
+
+    ``to_bytes`` is memoized; rebinding a field invalidates the cache, but
+    mutating ``extra_headers`` in place does not — call
+    :meth:`_invalidate_wire` afterwards (or rebind the dict).
+    """
 
     sender: str
     recipient: str
     subject: str = ""
     body: str = ""
     extra_headers: Dict[str, str] = field(default_factory=dict)
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name, value) -> None:
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_wire", None)
+
+    def _invalidate_wire(self) -> None:
+        """Drop the memoized wire image after in-place header mutation."""
+        object.__setattr__(self, "_wire", None)
 
     def to_text(self) -> str:
         headers = {
@@ -75,7 +107,12 @@ class EmailMessage:
         return head + CRLF + self.body
 
     def to_bytes(self) -> bytes:
-        return self.to_text().encode("utf-8")
+        wire = self._wire
+        if wire is not None:
+            return wire
+        wire = self.to_text().encode("utf-8")
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_text(cls, text: str) -> "EmailMessage":

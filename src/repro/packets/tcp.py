@@ -1,12 +1,20 @@
-"""TCP segment model with real flag semantics and checksums."""
+"""TCP segment model with real flag semantics and checksums.
+
+Serialization is cached: the first ``to_bytes`` for a given (src, dst) pair
+memoizes the wire image, field writes invalidate it, and ``from_bytes``
+(via :meth:`repro.packets.ip.IPPacket.from_bytes`) seeds it with the parsed
+source bytes so parse→forward→capture round-trips serialize zero times.
+See ``docs/ARCHITECTURE.md`` ("Wire-cache invariants") for the mutation
+protocol when adding fields.
+"""
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
-from .addressing import ip_to_int
-from .checksum import internet_checksum, pseudo_header
+from .checksum import checksum_from_sum, fold_sum, pseudo_sum, raw_sum
 
 __all__ = [
     "TCPSegment",
@@ -31,8 +39,10 @@ _FLAG_NAMES = [("F", FIN), ("S", SYN), ("R", RST), ("P", PSH), ("A", ACK), ("U",
 TCP_HEADER_LEN = 20
 PROTO_TCP = 6
 
+_oset = object.__setattr__
 
-@dataclass
+
+@dataclass(init=False, slots=True)
 class TCPSegment:
     """A TCP segment; ``payload`` carries application bytes."""
 
@@ -46,6 +56,51 @@ class TCPSegment:
     payload: bytes = b""
     options: bytes = b""
     metadata: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Validated wire image for ``_wire_key``'s (src, dst) pair.
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+    _wire_key: Optional[Tuple[str, str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Parse-seeded wire candidate; checksum-validated lazily on first use.
+    _seed: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+    _seed_key: Optional[Tuple[str, str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __init__(
+        self,
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 65535,
+        urgent: int = 0,
+        payload: bytes = b"",
+        options: bytes = b"",
+        metadata: Optional[dict] = None,
+    ) -> None:
+        _oset(self, "sport", sport)
+        _oset(self, "dport", dport)
+        _oset(self, "seq", seq)
+        _oset(self, "ack", ack)
+        _oset(self, "flags", flags)
+        _oset(self, "window", window)
+        _oset(self, "urgent", urgent)
+        _oset(self, "payload", payload)
+        _oset(self, "options", options)
+        _oset(self, "metadata", {} if metadata is None else metadata)
+        _oset(self, "_wire", None)
+        _oset(self, "_wire_key", None)
+        _oset(self, "_seed", None)
+        _oset(self, "_seed_key", None)
+
+    def __setattr__(self, name, value) -> None:
+        # Dirty tracking: any field write invalidates both the memoized wire
+        # image and any parse-seeded candidate.
+        _oset(self, name, value)
+        _oset(self, "_wire", None)
+        _oset(self, "_seed", None)
 
     # -- flag helpers --------------------------------------------------------
 
@@ -88,45 +143,124 @@ class TCPSegment:
         return self.header_len() + len(self.payload)
 
     def to_bytes(self, src_ip: str, dst_ip: str) -> bytes:
-        """Serialize with a valid checksum over the IPv4 pseudo-header."""
+        """Serialize with a valid checksum over the IPv4 pseudo-header.
+
+        Memoized per (src, dst) pair; field writes invalidate the cache.
+        """
+        key = (src_ip, dst_ip)
+        if self._wire is not None and self._wire_key == key:
+            return self._wire
+        seed = self._seed
+        if seed is not None and self._seed_key == key:
+            _oset(self, "_seed", None)
+            if self._seed_checksum_ok(seed, src_ip, dst_ip):
+                _oset(self, "_wire", seed)
+                _oset(self, "_wire_key", key)
+                return seed
+        payload = self.payload
         opts = self.options + b"\x00" * ((-len(self.options)) % 4)
-        data_offset = (TCP_HEADER_LEN + len(opts)) // 4
-        header = struct.pack(
+        header_len = TCP_HEADER_LEN + len(opts)
+        header = bytearray(header_len)
+        struct.pack_into(
             "!HHIIBBHHH",
+            header,
+            0,
             self.sport,
             self.dport,
             self.seq & 0xFFFFFFFF,
             self.ack & 0xFFFFFFFF,
-            data_offset << 4,
+            (header_len // 4) << 4,
             self.flags,
             self.window,
             0,
             self.urgent,
         )
-        segment = header + opts + self.payload
-        pseudo = pseudo_header(
-            ip_to_int(src_ip), ip_to_int(dst_ip), PROTO_TCP, len(segment)
+        header[TCP_HEADER_LEN:] = opts
+        cksum = checksum_from_sum(
+            pseudo_sum(src_ip, dst_ip, PROTO_TCP)
+            + header_len
+            + len(payload)
+            + raw_sum(header)
+            + raw_sum(payload)
         )
-        cksum = internet_checksum(pseudo + segment)
-        return segment[:16] + struct.pack("!H", cksum) + segment[18:]
+        struct.pack_into("!H", header, 16, cksum)
+        wire = bytes(header) + payload
+        _oset(self, "_wire", wire)
+        _oset(self, "_wire_key", key)
+        return wire
+
+    def _seed_checksum_ok(self, seed: bytes, src_ip: str, dst_ip: str) -> bool:
+        """Does the parsed source image carry exactly the checksum we'd emit?
+
+        Fast path: a correct ones-complement checksum makes the sum over the
+        whole segment (checksum field included) fold to 0xFFFF, so one
+        contiguous ``raw_sum`` suffices.  That test cannot tell 0x0000 from
+        0xFFFF (they are congruent mod 0xFFFF), so those two stored values
+        take the exact skip-the-field computation instead.
+        """
+        stored = seed[16] << 8 | seed[17]
+        if stored != 0 and stored != 0xFFFF:
+            total = pseudo_sum(src_ip, dst_ip, PROTO_TCP) + len(seed) + raw_sum(seed)
+            return fold_sum(total) == 0xFFFF
+        mv = memoryview(seed)
+        computed = checksum_from_sum(
+            pseudo_sum(src_ip, dst_ip, PROTO_TCP)
+            + len(seed)
+            + raw_sum(mv[:16])
+            + raw_sum(mv[18:])
+        )
+        return computed == stored
+
+    @staticmethod
+    def _seedable(data: bytes) -> bool:
+        """Structural test: would re-serializing the parse reproduce ``data``
+        byte for byte (checksum aside, which is validated lazily)?  The
+        reserved nibble must be clear and the data offset sane."""
+        return data[12] & 0x0F == 0 and TCP_HEADER_LEN <= (data[12] >> 4) * 4 <= len(data)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "TCPSegment":
         if len(data) < TCP_HEADER_LEN:
             raise ValueError("truncated TCP header")
-        sport, dport, seq, ack, off_bits, flags, window, _cksum, urgent = struct.unpack(
-            "!HHIIBBHHH", data[:TCP_HEADER_LEN]
+        sport, dport, seq, ack, off_bits, flags, window, _cksum, urgent = (
+            struct.unpack_from("!HHIIBBHHH", data)
         )
         header_len = (off_bits >> 4) * 4
-        options = data[TCP_HEADER_LEN:header_len]
-        return cls(
-            sport=sport,
-            dport=dport,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            window=window,
-            urgent=urgent,
-            payload=data[header_len:],
-            options=options,
-        )
+        # Built via object.__new__ rather than the constructor: parsing is
+        # the hot path and skipping __init__'s call/kwarg overhead is worth
+        # the duplication.
+        seg = object.__new__(cls)
+        _oset(seg, "sport", sport)
+        _oset(seg, "dport", dport)
+        _oset(seg, "seq", seq)
+        _oset(seg, "ack", ack)
+        _oset(seg, "flags", flags)
+        _oset(seg, "window", window)
+        _oset(seg, "urgent", urgent)
+        _oset(seg, "payload", data[header_len:])
+        _oset(seg, "options", data[TCP_HEADER_LEN:header_len])
+        _oset(seg, "metadata", {})
+        _oset(seg, "_wire", None)
+        _oset(seg, "_wire_key", None)
+        _oset(seg, "_seed", None)
+        _oset(seg, "_seed_key", None)
+        return seg
+
+    def _copy_shared(self) -> "TCPSegment":
+        """Structural copy sharing the (immutable) cached wire image."""
+        new = object.__new__(TCPSegment)
+        _oset(new, "sport", self.sport)
+        _oset(new, "dport", self.dport)
+        _oset(new, "seq", self.seq)
+        _oset(new, "ack", self.ack)
+        _oset(new, "flags", self.flags)
+        _oset(new, "window", self.window)
+        _oset(new, "urgent", self.urgent)
+        _oset(new, "payload", self.payload)
+        _oset(new, "options", self.options)
+        _oset(new, "metadata", {})
+        _oset(new, "_wire", self._wire)
+        _oset(new, "_wire_key", self._wire_key)
+        _oset(new, "_seed", self._seed)
+        _oset(new, "_seed_key", self._seed_key)
+        return new

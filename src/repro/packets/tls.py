@@ -13,7 +13,7 @@ cryptography here.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
@@ -41,16 +41,27 @@ def _handshake(handshake_type: int, body: bytes) -> bytes:
     return bytes([handshake_type]) + len(body).to_bytes(3, "big") + body
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientHello:
-    """A ClientHello with an SNI extension."""
+    """A ClientHello with an SNI extension.
+
+    ``to_bytes`` is memoized; rebinding a field invalidates the cache.
+    """
 
     server_name: str
     random: bytes = b"\x00" * 32
     session_id: bytes = b""
     cipher_suites: bytes = b"\x13\x01\x13\x02\xc0\x2f"  # plausible modern set
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name, value) -> None:
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_wire", None)
 
     def to_bytes(self) -> bytes:
+        wire = self._wire
+        if wire is not None:
+            return wire
         name = self.server_name.encode("ascii")
         # SNI extension: list(type=host_name(0), length-prefixed name).
         sni_entry = b"\x00" + struct.pack("!H", len(name)) + name
@@ -65,7 +76,9 @@ class ClientHello:
             + b"\x01\x00"  # compression methods: null
             + extensions
         )
-        return _record(TLS_HANDSHAKE, _handshake(HANDSHAKE_CLIENT_HELLO, body))
+        wire = _record(TLS_HANDSHAKE, _handshake(HANDSHAKE_CLIENT_HELLO, body))
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ClientHello":
@@ -75,13 +88,24 @@ class ClientHello:
         return cls(server_name=name)
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerHello:
-    """A minimal ServerHello record (enough to signal 'handshake began')."""
+    """A minimal ServerHello record (enough to signal 'handshake began').
+
+    ``to_bytes`` is memoized; rebinding a field invalidates the cache.
+    """
 
     random: bytes = b"\x01" * 32
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name, value) -> None:
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_wire", None)
 
     def to_bytes(self) -> bytes:
+        wire = self._wire
+        if wire is not None:
+            return wire
         body = (
             TLS_VERSION_1_2
             + self.random[:32].ljust(32, b"\x00")
@@ -89,7 +113,9 @@ class ServerHello:
             + b"\x13\x01"      # chosen cipher
             + b"\x00"          # null compression
         )
-        return _record(TLS_HANDSHAKE, _handshake(HANDSHAKE_SERVER_HELLO, body))
+        wire = _record(TLS_HANDSHAKE, _handshake(HANDSHAKE_SERVER_HELLO, body))
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def is_server_hello(cls, data: bytes) -> bool:

@@ -1,20 +1,27 @@
-"""UDP datagram model."""
+"""UDP datagram model.
+
+Serialization is cached exactly like :class:`repro.packets.tcp.TCPSegment`:
+memoized per (src, dst) pair, invalidated by field writes, seeded by
+``IPPacket.from_bytes`` with the parsed source bytes (validated lazily).
+"""
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
-from .addressing import ip_to_int
-from .checksum import internet_checksum, pseudo_header
+from .checksum import checksum_from_sum, fold_sum, pseudo_sum, raw_sum
 
 __all__ = ["UDPDatagram", "UDP_HEADER_LEN"]
 
 UDP_HEADER_LEN = 8
 PROTO_UDP = 17
 
+_oset = object.__setattr__
 
-@dataclass
+
+@dataclass(init=False, slots=True)
 class UDPDatagram:
     """A UDP datagram; ``payload`` carries application bytes."""
 
@@ -22,24 +29,126 @@ class UDPDatagram:
     dport: int
     payload: bytes = b""
     metadata: dict = field(default_factory=dict, repr=False, compare=False)
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+    _wire_key: Optional[Tuple[str, str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _seed: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+    _seed_key: Optional[Tuple[str, str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __init__(
+        self,
+        sport: int,
+        dport: int,
+        payload: bytes = b"",
+        metadata: Optional[dict] = None,
+    ) -> None:
+        _oset(self, "sport", sport)
+        _oset(self, "dport", dport)
+        _oset(self, "payload", payload)
+        _oset(self, "metadata", {} if metadata is None else metadata)
+        _oset(self, "_wire", None)
+        _oset(self, "_wire_key", None)
+        _oset(self, "_seed", None)
+        _oset(self, "_seed_key", None)
+
+    def __setattr__(self, name, value) -> None:
+        _oset(self, name, value)
+        _oset(self, "_wire", None)
+        _oset(self, "_seed", None)
 
     def wire_length(self) -> int:
         """Length of ``to_bytes()`` without serializing."""
         return UDP_HEADER_LEN + len(self.payload)
 
     def to_bytes(self, src_ip: str, dst_ip: str) -> bytes:
-        """Serialize with a valid checksum over the IPv4 pseudo-header."""
-        length = UDP_HEADER_LEN + len(self.payload)
-        header = struct.pack("!HHHH", self.sport, self.dport, length, 0)
-        pseudo = pseudo_header(ip_to_int(src_ip), ip_to_int(dst_ip), PROTO_UDP, length)
-        cksum = internet_checksum(pseudo + header + self.payload)
+        """Serialize with a valid checksum over the IPv4 pseudo-header.
+
+        Memoized per (src, dst) pair; field writes invalidate the cache.
+        """
+        key = (src_ip, dst_ip)
+        if self._wire is not None and self._wire_key == key:
+            return self._wire
+        seed = self._seed
+        if seed is not None and self._seed_key == key:
+            _oset(self, "_seed", None)
+            if self._seed_checksum_ok(seed, src_ip, dst_ip):
+                _oset(self, "_wire", seed)
+                _oset(self, "_wire_key", key)
+                return seed
+        payload = self.payload
+        length = UDP_HEADER_LEN + len(payload)
+        header = bytearray(UDP_HEADER_LEN)
+        struct.pack_into("!HHHH", header, 0, self.sport, self.dport, length, 0)
+        cksum = checksum_from_sum(
+            pseudo_sum(src_ip, dst_ip, PROTO_UDP)
+            + length
+            + raw_sum(header)
+            + raw_sum(payload)
+        )
         if cksum == 0:  # RFC 768: transmitted as all-ones when computed zero
             cksum = 0xFFFF
-        return header[:6] + struct.pack("!H", cksum) + self.payload
+        struct.pack_into("!H", header, 6, cksum)
+        wire = bytes(header) + payload
+        _oset(self, "_wire", wire)
+        _oset(self, "_wire_key", key)
+        return wire
+
+    def _seed_checksum_ok(self, seed: bytes, src_ip: str, dst_ip: str) -> bool:
+        # Fast path as in TCPSegment._seed_checksum_ok: whole-buffer sum
+        # folds to 0xFFFF iff the stored checksum is congruent to ours.  A
+        # stored 0xFFFF is ambiguous (it may stand in for a computed 0, per
+        # RFC 768) and takes the exact path; a stored 0 never seeds at all.
+        stored = seed[6] << 8 | seed[7]
+        if stored != 0xFFFF:
+            total = pseudo_sum(src_ip, dst_ip, PROTO_UDP) + len(seed) + raw_sum(seed)
+            return fold_sum(total) == 0xFFFF
+        mv = memoryview(seed)
+        computed = checksum_from_sum(
+            pseudo_sum(src_ip, dst_ip, PROTO_UDP)
+            + len(seed)
+            + raw_sum(mv[:6])
+            + raw_sum(mv[8:])
+        )
+        if computed == 0:
+            computed = 0xFFFF
+        return computed == stored
+
+    @staticmethod
+    def _seedable(data: bytes) -> bool:
+        """Structural test: the length field must cover the datagram exactly
+        (re-serialization drops trailing bytes) and the checksum must not be
+        the no-checksum sentinel 0, which we never emit."""
+        return (data[4] << 8 | data[5]) == len(data) and (data[6] | data[7]) != 0
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "UDPDatagram":
         if len(data) < UDP_HEADER_LEN:
             raise ValueError("truncated UDP header")
-        sport, dport, length, _cksum = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
-        return cls(sport=sport, dport=dport, payload=data[UDP_HEADER_LEN:length])
+        sport, dport, length, _cksum = struct.unpack_from("!HHHH", data)
+        # object.__new__ fast path; see TCPSegment.from_bytes.
+        dgram = object.__new__(cls)
+        _oset(dgram, "sport", sport)
+        _oset(dgram, "dport", dport)
+        _oset(dgram, "payload", data[UDP_HEADER_LEN:length])
+        _oset(dgram, "metadata", {})
+        _oset(dgram, "_wire", None)
+        _oset(dgram, "_wire_key", None)
+        _oset(dgram, "_seed", None)
+        _oset(dgram, "_seed_key", None)
+        return dgram
+
+    def _copy_shared(self) -> "UDPDatagram":
+        """Structural copy sharing the (immutable) cached wire image."""
+        new = object.__new__(UDPDatagram)
+        _oset(new, "sport", self.sport)
+        _oset(new, "dport", self.dport)
+        _oset(new, "payload", self.payload)
+        _oset(new, "metadata", {})
+        _oset(new, "_wire", self._wire)
+        _oset(new, "_wire_key", self._wire_key)
+        _oset(new, "_seed", self._seed)
+        _oset(new, "_seed_key", self._seed_key)
+        return new

@@ -71,7 +71,10 @@ class MatchContext:
             if icmp is not None:
                 self.payload = icmp.payload
             elif isinstance(packet.payload, (bytes, bytearray)):
-                self.payload = bytes(packet.payload)
+                payload = packet.payload
+                # Raw payloads are almost always bytes already; copy only
+                # the bytearray case instead of unconditionally.
+                self.payload = payload if type(payload) is bytes else bytes(payload)
             else:
                 self.payload = b""
         self._src_int = None

@@ -1,0 +1,289 @@
+"""Wire-cache equivalence suite.
+
+The cache's governing invariant (docs/ARCHITECTURE.md, "Wire-cache
+invariants"): a cached ``to_bytes()`` is byte-identical to what a fresh
+serialization would produce.  These tests prove it per packet type, across
+mutation and invalidation, through parse-seeded round trips, and on a full
+Figure-1 capture.
+"""
+
+import pytest
+
+from repro.packets import (
+    ACK,
+    ClientHello,
+    DNSMessage,
+    DNSRecord,
+    EmailMessage,
+    HTTPRequest,
+    HTTPResponse,
+    ICMPMessage,
+    IPPacket,
+    PSH,
+    QTYPE_A,
+    SMTPCommand,
+    SMTPReply,
+    ServerHello,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+    internet_checksum,
+)
+
+SRC, DST = "10.1.0.5", "203.0.113.10"
+
+
+def tcp_packet(**overrides) -> IPPacket:
+    fields = dict(
+        sport=40000,
+        dport=80,
+        seq=100,
+        ack=500,
+        flags=PSH | ACK,
+        payload=b"GET / HTTP/1.1\r\nHost: example.org\r\n\r\n",
+    )
+    fields.update(overrides)
+    return IPPacket(src=SRC, dst=DST, payload=TCPSegment(**fields))
+
+
+def udp_packet() -> IPPacket:
+    return IPPacket(src=SRC, dst=DST, payload=UDPDatagram(sport=5353, dport=53, payload=b"q" * 31))
+
+
+def icmp_packet() -> IPPacket:
+    return IPPacket(src=SRC, dst=DST, payload=ICMPMessage.echo_request(ident=7, sequence=3, data=b"ping"))
+
+
+def raw_packet() -> IPPacket:
+    return IPPacket(src=SRC, dst=DST, payload=b"\x01\x02\x03\x04\x05", protocol=42)
+
+
+PACKET_BUILDERS = [tcp_packet, udp_packet, icmp_packet, raw_packet]
+
+
+class TestCachedEqualsFresh:
+    @pytest.mark.parametrize("build", PACKET_BUILDERS)
+    def test_repeat_serialization_is_identical_and_shared(self, build):
+        packet = build()
+        first = packet.to_bytes()
+        second = packet.to_bytes()
+        assert second == first
+        assert second is first  # cache hit, not a rebuild
+
+    @pytest.mark.parametrize("build", PACKET_BUILDERS)
+    def test_cached_equals_independent_fresh_build(self, build):
+        assert build().to_bytes() == build().to_bytes()
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: DNSMessage.query("example.org", txid=77),
+            lambda: HTTPRequest(host="example.org", path="/x"),
+            lambda: HTTPResponse.block_page(),
+            lambda: ClientHello(server_name="blocked.example"),
+            lambda: ServerHello(),
+            lambda: SMTPCommand("MAIL", "FROM:<a@b.c>"),
+            lambda: SMTPReply(250, "OK"),
+            lambda: EmailMessage(sender="a@b.c", recipient="d@e.f", subject="hi", body="text"),
+        ],
+    )
+    def test_application_messages_memoize(self, build):
+        msg = build()
+        first = msg.to_bytes()
+        assert msg.to_bytes() is first
+        assert build().to_bytes() == first
+
+    @pytest.mark.parametrize("build", PACKET_BUILDERS)
+    def test_wire_length_matches_cached_bytes(self, build):
+        packet = build()
+        assert packet.wire_length() == len(packet.to_bytes())
+        assert packet.wire_length() == len(packet.to_bytes())
+
+
+class TestMutationInvalidates:
+    def test_ip_field_write_invalidates(self):
+        packet = tcp_packet()
+        before = packet.to_bytes()
+        packet.ttl -= 1
+        after = packet.to_bytes()
+        assert after != before
+        # the rebuilt image matches a fresh build of the mutated packet
+        fresh = tcp_packet()
+        fresh.ttl = packet.ttl
+        assert after == fresh.to_bytes()
+
+    def test_ttl_rewrite_keeps_transport_image(self):
+        packet = tcp_packet()
+        before = packet.to_bytes()
+        transport_wire = packet.payload.to_bytes(SRC, DST)
+        packet.ttl -= 1
+        after = packet.to_bytes()
+        # only the 20-byte header changed; the transport bytes are reused
+        assert after[20:] == before[20:]
+        assert packet.payload.to_bytes(SRC, DST) is transport_wire
+
+    def test_nested_transport_mutation_invalidates_packet(self):
+        packet = tcp_packet()
+        before = packet.to_bytes()
+        packet.payload.seq += 1
+        after = packet.to_bytes()
+        assert after != before
+        fresh = tcp_packet(seq=101)
+        assert after == fresh.to_bytes()
+
+    def test_transport_cache_keyed_by_addresses(self):
+        segment = TCPSegment(sport=1, dport=2, payload=b"x")
+        a = segment.to_bytes(SRC, DST)
+        b = segment.to_bytes(SRC, "203.0.113.77")
+        assert a != b  # pseudo-header differs, so the checksum must differ
+        assert segment.to_bytes(SRC, "203.0.113.77") is b
+
+    @pytest.mark.parametrize(
+        "build,mutate",
+        [
+            (lambda: DNSMessage.query("example.org"), lambda m: setattr(m, "txid", 9)),
+            (lambda: HTTPRequest(host="h.example"), lambda m: setattr(m, "path", "/new")),
+            (lambda: HTTPResponse(), lambda m: setattr(m, "status", 404)),
+            (lambda: ClientHello(server_name="a.example"), lambda m: setattr(m, "server_name", "b.example")),
+            (lambda: EmailMessage(sender="a@b.c", recipient="d@e.f"), lambda m: setattr(m, "subject", "s")),
+        ],
+    )
+    def test_application_field_rebind_invalidates(self, build, mutate):
+        msg = build()
+        before = msg.to_bytes()
+        mutate(msg)
+        after = msg.to_bytes()
+        assert after != before
+        fresh = build()
+        mutate(fresh)
+        assert after == fresh.to_bytes()
+
+    def test_in_place_container_mutation_needs_explicit_invalidate(self):
+        msg = DNSMessage.query("example.org")
+        reply = msg.reply(answers=[DNSRecord(name="example.org", rtype=QTYPE_A, data="192.0.2.1")])
+        before = reply.to_bytes()
+        reply.answers.append(DNSRecord(name="example.org", rtype=QTYPE_A, data="192.0.2.2"))
+        assert reply.to_bytes() is before  # documented limitation: stale
+        reply._invalidate_wire()
+        after = reply.to_bytes()
+        assert after != before
+        # the rebuilt bytes reflect both answers
+        assert len(DNSMessage.from_bytes(after).answers) == 2
+
+
+class TestParseSeeding:
+    @pytest.mark.parametrize("build", PACKET_BUILDERS)
+    def test_parse_then_serialize_returns_source_object(self, build):
+        wire = build().to_bytes()
+        parsed = IPPacket.from_bytes(wire)
+        assert parsed.to_bytes() is wire  # zero-recompute, zero-copy
+
+    @pytest.mark.parametrize("build", PACKET_BUILDERS)
+    def test_parse_mutate_serialize_rebuilds(self, build):
+        wire = build().to_bytes()
+        parsed = IPPacket.from_bytes(wire)
+        parsed.ttl -= 1
+        rebuilt = parsed.to_bytes()
+        assert rebuilt != wire
+        assert IPPacket.from_bytes(rebuilt).to_bytes() == rebuilt
+
+    @pytest.mark.parametrize(
+        "build,checksum_offset",
+        [(tcp_packet, 20 + 16), (udp_packet, 20 + 6), (icmp_packet, 20 + 2)],
+    )
+    def test_corrupted_transport_checksum_is_corrected(self, build, checksum_offset):
+        wire = build().to_bytes()
+        corrupted = bytearray(wire)
+        corrupted[checksum_offset] ^= 0xA5
+        reserialized = IPPacket.from_bytes(bytes(corrupted)).to_bytes()
+        # parsing accepts the damaged input, but serialization emits the
+        # checksum we would compute — never the corrupted byte
+        assert reserialized == wire
+
+    def test_corrupted_ip_checksum_is_corrected(self):
+        wire = tcp_packet().to_bytes()
+        corrupted = bytearray(wire)
+        corrupted[10] ^= 0x5A
+        assert IPPacket.from_bytes(bytes(corrupted)).to_bytes() == wire
+
+    def test_valid_header_checksums_on_fresh_build(self):
+        wire = tcp_packet().to_bytes()
+        assert internet_checksum(wire[:20]) == 0  # IP header sums to zero
+
+
+class TestStructuralCopy:
+    @pytest.mark.parametrize("build", PACKET_BUILDERS)
+    def test_copy_shares_cached_wire(self, build):
+        packet = build()
+        wire = packet.to_bytes()
+        clone = packet.copy()
+        assert clone.to_bytes() is wire
+
+    def test_copy_isolates_mutation(self):
+        packet = tcp_packet()
+        wire = packet.to_bytes()
+        clone = packet.copy()
+        clone.ttl -= 1
+        clone.payload.seq += 7
+        assert packet.to_bytes() is wire  # original untouched
+        assert clone.to_bytes() != wire
+
+    def test_copy_gets_fresh_metadata(self):
+        packet = tcp_packet()
+        packet.metadata["tag"] = "orig"
+        packet.payload.metadata["tag"] = "orig"
+        clone = packet.copy()
+        assert clone.metadata == {}
+        assert clone.payload.metadata == {}
+        clone.metadata["tag"] = "clone"
+        assert packet.metadata["tag"] == "orig"
+
+
+class TestFigure1CaptureFidelity:
+    def test_captured_bytes_match_pristine_serialization(self):
+        """Every byte string a Figure-1 capture stores must equal what a
+        from-scratch serialization of the same logical packet produces —
+        the end-to-end form of the cache invariant, across routers that
+        rewrite TTLs, injected censor traffic, and retries."""
+        from tests.netsim.test_determinism import run_impaired_figure1
+
+        trace, _verdicts, _lost = run_impaired_figure1(seed=13)
+        assert trace  # the run produced traffic
+
+        from repro.censor import CensorshipPolicy, GreatFirewall
+        from repro.core import MeasurementContext, RetryPolicy, ScanMeasurement, ScanTarget
+        from repro.netsim import PacketCapture, WebServer, build_three_node
+
+        topo = build_three_node(seed=13)
+        topo.client.user = "tester"
+        censor = GreatFirewall(
+            policy=CensorshipPolicy(),
+            variables={"HOME_NET": "10.0.0.0/24", "EXTERNAL_NET": "any"},
+        )
+        capture = PacketCapture()
+        topo.switch.add_tap(capture)
+        topo.switch.add_tap(censor)
+        WebServer(topo.server, default_body="<html>served content</html>")
+        censor.policy.blocked_ips.add(topo.server.ip)
+        ctx = MeasurementContext(
+            client=topo.client, retry_policy=RetryPolicy(max_attempts=3, timeout=1.0)
+        )
+        technique = ScanMeasurement(
+            ctx, [ScanTarget(topo.server.ip, [80], "server")], port_count=25, timeout=1.0
+        )
+        technique.start()
+        topo.sim.run(until=topo.sim.now + 60.0)
+
+        assert capture.packets
+        for captured in capture.packets:
+            reparsed = IPPacket.from_bytes(captured.raw)
+            # bust every cache layer, then re-serialize from scratch
+            reparsed.ttl = reparsed.ttl
+            if not isinstance(reparsed.payload, (bytes, bytearray)):
+                transport = reparsed.payload
+                first_field = type(transport).__dataclass_fields__
+                if "sport" in first_field:
+                    transport.sport = transport.sport
+                else:
+                    transport.icmp_type = transport.icmp_type
+            assert reparsed.to_bytes() == captured.raw
