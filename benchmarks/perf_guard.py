@@ -278,6 +278,65 @@ def _bench_rule_engine_full_instrumented() -> tuple:
     return batch, len(packets), "packets", 80
 
 
+def _bench_rule_engine_batch() -> tuple:
+    """The full-ruleset workload through ``process_batch`` — the path the
+    surveillance tap takes.  Compared with ``rule_engine_full_ruleset``
+    this shows what batch amortization (one obs flush per batch instead
+    of per interval, list-driven loop) buys on the same traffic."""
+    engine = RuleEngine.from_text(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+    packets = [http_packet(i) for i in range(100)]
+    state = {"now": 0.0}
+
+    def batch():
+        state["now"] += 1.0
+        engine.process_batch(packets, state["now"])
+
+    return batch, len(packets), "packets", 80
+
+
+def _bench_multipattern_build() -> tuple:
+    """Cold build of the ruleset-wide literal automaton: interning every
+    content literal of the full ruleset, trie + failure links + dense
+    DFA rows.  Paid once per ruleset (and once more per ``add_rules``),
+    so this bounds engine construction and live rule-reload cost."""
+    from repro.rules import parse_ruleset
+    from repro.rules.multipattern import MultiPatternAutomaton
+
+    rules = parse_ruleset(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+
+    def batch():
+        automaton = MultiPatternAutomaton()
+        automaton.add_rules(rules)
+        automaton.ensure_ready()
+
+    return batch, 1, "builds", 1
+
+
+def _bench_multipattern_scan() -> tuple:
+    """One-shot payload scans against the full-ruleset automaton — the
+    per-packet cost floor of the multipattern prefilter."""
+    from repro.rules import parse_ruleset
+    from repro.rules.multipattern import MultiPatternAutomaton
+
+    automaton = MultiPatternAutomaton()
+    automaton.add_rules(parse_ruleset(full_ruleset_text(), variables=DEFAULT_VARIABLES))
+    automaton.ensure_ready()
+    payloads = [
+        b"GET /index.html HTTP/1.1\r\nHost: example.org\r\n\r\n",
+        b"POST /upload HTTP/1.1\r\nHost: cdn.example.net\r\n\r\n" + b"A" * 160,
+        b"\x13BitTorrent protocol" + b"\x00" * 48,
+        b"random filler payload with no signature bytes at all " * 3,
+    ]
+
+    def batch():
+        scan = automaton.scan
+        for payload in payloads:
+            for _ in range(25):
+                scan(payload)
+
+    return batch, len(payloads) * 25, "scans", 1
+
+
 def _bench_rule_dispatch_wide_ports() -> tuple:
     engine = RuleEngine.from_text(wide_port_ruleset_text())
     packets = wide_port_packets()
@@ -438,6 +497,9 @@ HOT_PATHS = {
     "capture_serialize": _bench_capture_serialize,
     "rule_engine_full_ruleset": _bench_rule_engine_full_ruleset,
     "rule_engine_full_instrumented": _bench_rule_engine_full_instrumented,
+    "rule_engine_batch": _bench_rule_engine_batch,
+    "multipattern_build": _bench_multipattern_build,
+    "multipattern_scan": _bench_multipattern_scan,
     "rule_dispatch_wide_ports": _bench_rule_dispatch_wide_ports,
     "rule_engine_mixed_protocols": _bench_rule_engine_mixed_protocols,
     "stream_reassembly": _bench_stream_reassembly,

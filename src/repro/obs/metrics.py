@@ -27,6 +27,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import threading
+import weakref
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -248,9 +249,49 @@ class MetricsRegistry:
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
         self._instruments: Dict[str, _Instrument] = {}
+        #: weak refs to bound methods that fold batched deltas in before
+        #: any read (components that batch hot-path increments register
+        #: here so reported values stay exact)
+        self._flush_hooks: List[weakref.WeakMethod] = []
+        self._flushing = False
 
     def __bool__(self) -> bool:  # a real registry is truthy; NULL is not
         return True
+
+    # -- batched-instrumentation flush hooks ----------------------------------
+
+    def on_flush(self, hook) -> None:
+        """Register a bound method to run before reads (held weakly).
+
+        Components that accumulate hot-path deltas locally (the rule
+        engine, the surveillance tap) register their fold-in method here;
+        :meth:`flush_pending` runs at the top of :meth:`get`,
+        :meth:`snapshot`, :meth:`render_text`, and :meth:`clear`, so every
+        observable value is exact at read time no matter where a batch
+        boundary fell.  Hooks run in registration order (deterministic)
+        and die with their owner — no unregistration needed.
+        """
+        self._flush_hooks.append(weakref.WeakMethod(hook))
+
+    def flush_pending(self) -> None:
+        """Run every live flush hook once (reentrancy-safe)."""
+        if not self._flush_hooks or self._flushing:
+            return
+        self._flushing = True
+        try:
+            dead = False
+            for ref in self._flush_hooks:
+                hook = ref()
+                if hook is None:
+                    dead = True
+                else:
+                    hook()
+            if dead:
+                self._flush_hooks = [
+                    ref for ref in self._flush_hooks if ref() is not None
+                ]
+        finally:
+            self._flushing = False
 
     # -- instrument factories -------------------------------------------------
 
@@ -290,13 +331,19 @@ class MetricsRegistry:
     # -- introspection --------------------------------------------------------
 
     def get(self, name: str) -> Optional[_Instrument]:
+        self.flush_pending()
         return self._instruments.get(name)
 
     def names(self) -> List[str]:
         return sorted(self._instruments)
 
     def clear(self) -> None:
-        """Zero every instrument (the instruments themselves survive)."""
+        """Zero every instrument (the instruments themselves survive).
+
+        Pending batched deltas are folded in first so they don't leak
+        into the cleared registry on the next read.
+        """
+        self.flush_pending()
         for instrument in self._instruments.values():
             instrument.clear()
 
@@ -310,6 +357,7 @@ class MetricsRegistry:
         snapshot) alongside ``sum``/``count``; the snapshot round-trips
         through :meth:`from_snapshot`.
         """
+        self.flush_pending()
         out: Dict[str, object] = {}
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
@@ -393,6 +441,8 @@ class MetricsRegistry:
         """
         if isinstance(other, dict):
             other = MetricsRegistry.from_snapshot(other)
+        else:
+            other.flush_pending()
         for name in sorted(other._instruments):
             theirs = other._instruments[name]
             mine = self._instruments.get(name)
@@ -406,6 +456,7 @@ class MetricsRegistry:
 
     def render_text(self) -> str:
         """A Prometheus-flavoured text rendering for eyeballs and logs."""
+        self.flush_pending()
         lines: List[str] = []
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
@@ -496,6 +547,12 @@ class NullRecorder:
 
     def get(self, name: str) -> None:
         return None
+
+    def on_flush(self, hook) -> None:
+        pass
+
+    def flush_pending(self) -> None:
+        pass
 
     def names(self) -> List[str]:
         return []

@@ -8,29 +8,47 @@ documents indicate both real systems are off-path signature-based IDSes
 
 Evaluation runs on a fast path by default: a :class:`RuleDispatchIndex`
 limits each packet to candidate rules bucketed by protocol and destination
-port, a shared :class:`MatchContext` computes per-packet facts once, and an
-anchor-literal prefilter skips content rules whose necessary literal is
-absent from the haystack.  ``RuleEngine(use_index=False)`` keeps the naive
-full-scan path alive as the semantic reference (see
-``tests/rules/test_equivalence.py``).
+port, a shared :class:`MatchContext` computes per-packet facts once, and a
+ruleset-wide Aho–Corasick pass (:mod:`.multipattern`) turns each rule's
+necessary-literal check into a set-membership test — candidate content
+rules are only *revived* when their anchor literal was actually seen in
+the payload.  ``RuleEngine(use_index=False)`` keeps the naive full-scan
+path alive as the semantic reference (see
+``tests/rules/test_equivalence.py``), and ``prefilter="anchor"``/"none"
+keep the older per-rule strategies selectable.
+
+Observability on the hot path is *batched*: per-packet counter deltas
+accumulate in plain engine-local ints/dicts and fold into the registry
+every ``obs_flush_interval`` packets, at the end of every
+:meth:`RuleEngine.process_batch`, and — via the registry's flush hooks —
+whenever anyone reads the registry, so reported values stay exact.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.metrics import active_or_none
 from ..obs.trace import active_tracer
 from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
 from .index import MatchContext, RuleDispatchIndex
 from .language import Rule, ThresholdSpec, parse_ruleset
+from .multipattern import MultiPatternAutomaton, StreamScanState
 from .reassembly import StreamReassembler, StreamUpdate
 
-__all__ = ["Alert", "RuleEngine"]
+__all__ = ["Alert", "RuleEngine", "PREFILTER_MODES"]
 
 _PROTO_OF = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+
+#: Literal-prefilter strategies: "multipattern" is the ruleset-wide
+#: Aho–Corasick pass, "anchor" the legacy per-rule ``needle in hay`` check,
+#: "none" disables literal filtering entirely.  "auto" resolves to
+#: multipattern on the indexed path and "none" on the naive reference path.
+PREFILTER_MODES = ("auto", "multipattern", "anchor", "none")
+
+_EMPTY_IDS: frozenset = frozenset()
 
 
 @dataclass
@@ -138,6 +156,9 @@ class RuleEngine:
         overlap_policy: str = "first",
         use_index: bool = True,
         obs_label: str = "engine",
+        prefilter: str = "auto",
+        obs_flush_interval: int = 64,
+        trace_sample_interval: int = 64,
     ) -> None:
         self.variables = dict(variables or {})
         self.rules: List[Rule] = list(rules or [])
@@ -148,13 +169,35 @@ class RuleEngine:
         self.packets_processed = 0
         self._thresholds = _ThresholdState()
         self.use_index = use_index
+        if prefilter not in PREFILTER_MODES:
+            raise ValueError(f"prefilter must be one of {PREFILTER_MODES}")
+        if prefilter == "auto":
+            prefilter = "multipattern" if use_index else "none"
+        self.prefilter = prefilter
         self._index: Optional[RuleDispatchIndex] = (
             RuleDispatchIndex(self.rules) if use_index else None
         )
+        #: one automaton per engine over this ruleset's content literals
+        self._mp: Optional[MultiPatternAutomaton] = None
+        if prefilter == "multipattern":
+            self._mp = MultiPatternAutomaton()
+            self._mp.add_rules(self.rules)
         self._by_sid: Dict[int, Rule] = {rule.sid: rule for rule in self.rules}
         # Observability, resolved once; ``obs_label`` distinguishes the
         # censor's engine from the MVR's in shared registry counters.
+        # Per-packet deltas accumulate in the ``_pend_*`` fields and fold
+        # into the registry every ``obs_flush_interval`` packets and on
+        # any registry read (the flush hook), so values stay exact.
         self.obs_label = obs_label
+        self.obs_flush_interval = obs_flush_interval
+        #: [packets, evaluated, prefilter_skips, flush_interval] — a flat
+        #: list so the hot path pays one attribute load, not nine
+        self._pend = [0, 0, 0, obs_flush_interval]
+        self._pend_hits: Dict[int, int] = {}
+        #: sid -> interned ``(obs_label, "sid")`` label tuple, built at
+        #: rule-add time instead of per alert on the hot path
+        self._hit_labels: Dict[int, Tuple[str, str]] = {}
+        self._engine_label = (obs_label,)
         obs = active_or_none()
         self._obs = obs
         if obs is not None:
@@ -170,7 +213,7 @@ class RuleEngine:
             )
             self._m_prefilter = obs.counter(
                 "rules_prefilter_skips_total",
-                "Content rules skipped because their anchor literal was absent",
+                "Content rules skipped because a necessary literal was absent",
                 ("engine",),
             )
             self._m_hits = obs.counter(
@@ -178,10 +221,22 @@ class RuleEngine:
                 "Alerts raised, per rule sid",
                 ("engine", "sid"),
             )
+            for rule in self.rules:
+                self._hit_labels[rule.sid] = (obs_label, str(rule.sid))
+            obs.on_flush(self.flush_obs)
+        # Tracing is sampled: one aggregated "sweep" instant per
+        # ``trace_sample_interval`` packets (deterministic, count-based).
         tracer = active_tracer()
         self._trace = (
             tracer if tracer is not None and tracer.enabled_for("rules") else None
         )
+        self.trace_sample_interval = trace_sample_interval
+        self._trace_track = f"rules:{obs_label}"
+        self._trace_pkts = 0
+        self._trace_candidates = 0
+        self._trace_alerts = 0
+        self._trace_skips = 0
+        self._trace_passed = 0
 
     @classmethod
     def from_text(
@@ -192,6 +247,7 @@ class RuleEngine:
         overlap_policy: str = "first",
         use_index: bool = True,
         obs_label: str = "engine",
+        prefilter: str = "auto",
     ) -> "RuleEngine":
         variables = dict(variables or {})
         return cls(
@@ -201,6 +257,7 @@ class RuleEngine:
             overlap_policy=overlap_policy,
             use_index=use_index,
             obs_label=obs_label,
+            prefilter=prefilter,
         )
 
     def add_rules(self, ruleset_text: str) -> None:
@@ -208,8 +265,16 @@ class RuleEngine:
         self.rules.extend(added)
         if self._index is not None:
             self._index.add(added)
+        if self._mp is not None:
+            # Extends the automaton incrementally; the next scan refreshes
+            # the DFA tables and bumps the version, which invalidates every
+            # saved per-flow scan state (they rescan against the new
+            # automaton on the next packet).
+            self._mp.add_rules(added)
         for rule in added:
             self._by_sid[rule.sid] = rule
+            if self._obs is not None:
+                self._hit_labels[rule.sid] = (self.obs_label, str(rule.sid))
 
     def rule_by_sid(self, sid: int) -> Optional[Rule]:
         return self._by_sid.get(sid)
@@ -219,25 +284,65 @@ class RuleEngine:
     def process(self, packet: IPPacket, now: float) -> List[Alert]:
         """Run the packet through reassembly and every candidate rule."""
         self.packets_processed += 1
-        update = self.reassembler.feed(packet, now)
-        ctx = MatchContext(packet, update)
-        if self._index is not None:
+        tcp = packet.tcp
+        update = (
+            self.reassembler.feed_tcp(packet, tcp, now) if tcp is not None else None
+        )
+        ctx = MatchContext(packet, update, tcp=tcp)
+        prefilter_skips = 0
+        anchor_check = False
+        if self._mp is not None:
+            # Multipattern fast path: one scan yields the present literal
+            # ids; only rules whose anchor literal was seen (plus the
+            # never-filterable ones) survive to full evaluation, merged
+            # back in ruleset order.
+            present = self._present_ids(ctx, update)
+            if self._index is not None:
+                bucket = self._index.lookup(packet.protocol, ctx.dport, ctx.sport)
+                total = len(bucket.rules)
+                entries = bucket.always
+                if present:
+                    by_anchor = bucket.by_anchor
+                    revived = None
+                    for lid in present:
+                        hit = by_anchor.get(lid)
+                        if hit is not None:
+                            if revived is None:
+                                revived = list(entries)
+                            revived.extend(hit)
+                    if revived is not None:
+                        revived.sort()
+                        entries = revived
+                # The anchor hit revived the rule; the frozenset subset
+                # test enforces the *rest* of its required literals.
+                candidates = [
+                    rule
+                    for _order, rule in entries
+                    if rule._mp_required is None or rule._mp_required <= present
+                ]
+            else:
+                total = len(self.rules)
+                candidates = [
+                    rule
+                    for rule in self.rules
+                    if rule._mp_required is None or rule._mp_required <= present
+                ]
+            evaluated = total
+            prefilter_skips = total - len(candidates)
+        elif self._index is not None:
             candidates = self._index.candidates(packet.protocol, ctx.dport, ctx.sport)
-            prefilter = True
+            evaluated = len(candidates)
+            anchor_check = self.prefilter == "anchor"
         else:
             candidates = self.rules
-            prefilter = False
-        # Local int bookkeeping is cheap enough to run unconditionally;
-        # the registry is touched once per packet, behind one None check.
-        evaluated = 0
-        prefilter_skips = 0
+            evaluated = len(candidates)
+            anchor_check = self.prefilter == "anchor"
         passed = False
         matches: List[Alert] = []
         for rule in candidates:
-            evaluated += 1
             if not self._header_matches(rule, packet, ctx):
                 continue
-            if prefilter:
+            if anchor_check:
                 anchor = rule.anchor_literal()
                 if anchor is not None:
                     needle, nocase = anchor
@@ -264,26 +369,125 @@ class RuleEngine:
                 update.flow.alerted_sids.add(rule.sid)
             matches.append(self._alert(rule, packet, now, ctx))
         if self._obs is not None:
-            label = (self.obs_label,)
-            self._m_packets.inc(label)
-            self._m_evaluated.inc(label, evaluated)
-            if prefilter_skips:
-                self._m_prefilter.inc(label, prefilter_skips)
-            for alert in matches:
-                self._m_hits.inc((self.obs_label, str(alert.sid)))
+            # Batched instrumentation: plain-int deltas here, registry
+            # folds in flush_obs() (interval, batch end, or registry read).
+            pend = self._pend
+            pend[0] += 1
+            pend[1] += evaluated
+            pend[2] += prefilter_skips
+            if matches:
+                hits = self._pend_hits
+                for alert in matches:
+                    hits[alert.sid] = hits.get(alert.sid, 0) + 1
+            if pend[0] >= pend[3]:
+                self.flush_obs()
         if self._trace is not None:
-            self._trace.instant(
-                "sweep",
-                "rules",
-                track=f"rules:{self.obs_label}",
-                when=now,
-                candidates=evaluated,
-                alerts=len(matches),
-                prefilter_skips=prefilter_skips,
-                passed=passed,
-            )
+            self._trace_pkts += 1
+            self._trace_candidates += evaluated
+            self._trace_alerts += len(matches)
+            self._trace_skips += prefilter_skips
+            if passed:
+                self._trace_passed += 1
+            if self._trace_pkts >= self.trace_sample_interval:
+                self._emit_trace_sample(now)
         self.alerts.extend(matches)
         return matches
+
+    def process_batch(
+        self,
+        packets: Sequence[IPPacket],
+        now: Union[float, Sequence[float]],
+    ) -> List[List[Alert]]:
+        """Evaluate many packets in one call; returns per-packet alerts.
+
+        ``now`` is either one timestamp for the whole batch or a sequence
+        of per-packet timestamps (taps buffer arrival times).  Semantics
+        are exactly ``[process(p, t) for p, t in ...]`` — same alerts,
+        same order, same threshold and stream state — but the per-packet
+        observability touch is amortized: pending counters fold into the
+        registry once, at the end of the batch.
+        """
+        process = self.process
+        if isinstance(now, (int, float)):
+            results = [process(packet, now) for packet in packets]
+        else:
+            results = [process(packet, when) for packet, when in zip(packets, now)]
+        if self._obs is not None:
+            self.flush_obs()
+        return results
+
+    def _present_ids(self, ctx: MatchContext, update: Optional[StreamUpdate]):
+        """Literal ids present in this packet's haystack (exact, not a
+        superset).  Stream haystacks resume a per-flow-direction scan
+        state so each buffered byte is walked once per flow lifetime."""
+        mp = self._mp
+        if update is None:
+            payload = ctx.payload
+            if not payload:
+                return _EMPTY_IDS
+            return mp.scan(payload, ctx.lower_haystack)
+        flow = update.flow
+        direction = update.direction
+        length = len(flow.buffers[direction])
+        if length == 0:
+            return _EMPTY_IDS
+        version = mp.ensure_ready()
+        state = flow.mp_states.get(direction)
+        if (
+            state is None
+            or state.automaton_version != version
+            or state.content_version != flow.content_version
+        ):
+            state = StreamScanState(version, flow.content_version)
+            flow.mp_states[direction] = state
+        if state.scanned < length:
+            haystack = flow.snapshot(direction)
+            lowered = flow.snapshot_lower(direction)
+            state.state = mp.scan_chunk(
+                lowered, haystack, state.scanned, state.state, state.present
+            )
+            state.scanned = length
+        return state.present
+
+    def flush_obs(self) -> None:
+        """Fold pending instrumentation deltas into the registry (exact)."""
+        pend = self._pend
+        if self._obs is None or not pend[0]:
+            return
+        label = self._engine_label
+        self._m_packets.inc(label, pend[0])
+        self._m_evaluated.inc(label, pend[1])
+        if pend[2]:
+            self._m_prefilter.inc(label, pend[2])
+        pend[0] = pend[1] = pend[2] = 0
+        if self._pend_hits:
+            hits = self._m_hits
+            labels = self._hit_labels
+            for sid, count in self._pend_hits.items():
+                sid_label = labels.get(sid)
+                if sid_label is None:
+                    sid_label = labels[sid] = (self.obs_label, str(sid))
+                hits.inc(sid_label, count)
+            self._pend_hits.clear()
+
+    def _emit_trace_sample(self, now: float) -> None:
+        self._trace.instant(
+            "sweep",
+            "rules",
+            track=self._trace_track,
+            when=now,
+            packets=self._trace_pkts,
+            candidates=self._trace_candidates,
+            alerts=self._trace_alerts,
+            prefilter_skips=self._trace_skips,
+            passed=self._trace_passed,
+            sampled=True,
+        )
+        self._trace_pkts = 0
+        self._trace_candidates = 0
+        self._trace_alerts = 0
+        self._trace_skips = 0
+        self._trace_passed = 0
 
     def _alert(self, rule: Rule, packet: IPPacket, now: float, ctx: MatchContext) -> Alert:
         return Alert(

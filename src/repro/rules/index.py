@@ -22,9 +22,17 @@ from typing import Dict, List, Optional, Tuple
 
 from ..packets import PROTO_ICMP, PROTO_TCP, PROTO_UDP, ip_to_int_cached
 from .language import Rule
+from .multipattern import anchor_literal_id, required_literal_ids
 from .reassembly import StreamUpdate
 
-__all__ = ["MatchContext", "RuleDispatchIndex", "MAX_ENUMERATED_PORTS"]
+__all__ = [
+    "CompiledBucket",
+    "MatchContext",
+    "RuleDispatchIndex",
+    "MAX_ENUMERATED_PORTS",
+]
+
+_UNSET = object()
 
 _PROTO_NUMBER = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
 
@@ -51,10 +59,11 @@ class MatchContext:
         "_lower_haystack",
     )
 
-    def __init__(self, packet, update: Optional[StreamUpdate]) -> None:
+    def __init__(self, packet, update: Optional[StreamUpdate], tcp=_UNSET) -> None:
         self.packet = packet
         self.update = update
-        tcp = packet.tcp
+        if tcp is _UNSET:
+            tcp = packet.tcp
         udp = packet.udp if tcp is None else None
         icmp = packet.icmp if tcp is None and udp is None else None
         self.tcp = tcp
@@ -101,24 +110,65 @@ class MatchContext:
         if self._haystack is None:
             update = self.update
             if update is not None:
-                self._haystack = update.flow.buffer(update.direction)
+                self._haystack = update.flow.snapshot(update.direction)
             else:
                 self._haystack = self.payload
         return self._haystack
 
     @property
     def lower_haystack(self) -> bytes:
-        """``haystack.lower()``, folded at most once per packet (shared by
-        all ``nocase`` contents and anchor prefilters)."""
+        """``haystack.lower()``, folded at most once per *buffer state*:
+        stream haystacks cache the folded copy on the flow record, shared
+        by every packet that doesn't advance the stream."""
         if self._lower_haystack is None:
-            self._lower_haystack = self.haystack.lower()
+            update = self.update
+            if update is not None:
+                self._lower_haystack = update.flow.snapshot_lower(update.direction)
+            else:
+                self._lower_haystack = self.haystack.lower()
         return self._lower_haystack
+
+
+class CompiledBucket:
+    """One ordered candidate list, pre-split for the multipattern fast path.
+
+    ``always`` holds the (order, rule) entries with no required content
+    literal — they can never be literal-filtered.  Every other entry is
+    bucketed under its *anchor* literal id (the longest required needle),
+    so the engine only revives a content rule when its rarest literal was
+    actually seen in the payload; the full required-id subset check runs
+    afterwards.  Survivors merge back in ruleset order, which keeps pass
+    -rule suppression and threshold call sequences identical to the naive
+    scan.
+    """
+
+    __slots__ = ("rules", "always", "by_anchor")
+
+    def __init__(self, ordered: List[Tuple[int, Rule]]) -> None:
+        #: bare rules in ruleset order (the legacy ``candidates()`` shape)
+        self.rules: List[Rule] = [rule for _order, rule in ordered]
+        self.always: List[Tuple[int, Rule]] = []
+        self.by_anchor: Dict[int, List[Tuple[int, Rule]]] = {}
+        for order, rule in ordered:
+            anchor = anchor_literal_id(rule)
+            required_literal_ids(rule)  # warm the subset-check cache
+            if anchor is None:
+                self.always.append((order, rule))
+            else:
+                self.by_anchor.setdefault(anchor, []).append((order, rule))
 
 
 class _ProtoTable:
     """Port buckets for one packet protocol."""
 
-    __slots__ = ("port_rules", "catch_all", "catch_all_rules", "merged")
+    __slots__ = (
+        "port_rules",
+        "catch_all",
+        "catch_all_rules",
+        "catch_all_compiled",
+        "merged",
+        "merged_compiled",
+    )
 
     def __init__(self) -> None:
         #: enumerated dport -> ordered [(order, rule), ...]
@@ -127,14 +177,20 @@ class _ProtoTable:
         self.catch_all: List[Tuple[int, Rule]] = []
         #: ``catch_all`` stripped to bare rules (the no-bucket fast path)
         self.catch_all_rules: List[Rule] = []
+        self.catch_all_compiled = CompiledBucket([])
         #: dport -> final ordered candidate rules (port bucket ∪ catch-all)
         self.merged: Dict[int, List[Rule]] = {}
+        self.merged_compiled: Dict[int, CompiledBucket] = {}
 
     def finalize(self) -> None:
-        self.catch_all_rules = [rule for _order, rule in self.catch_all]
-        self.merged = {
-            port: [rule for _order, rule in sorted(bucket + self.catch_all)]
+        self.catch_all_compiled = CompiledBucket(sorted(self.catch_all))
+        self.catch_all_rules = self.catch_all_compiled.rules
+        self.merged_compiled = {
+            port: CompiledBucket(sorted(bucket + self.catch_all))
             for port, bucket in self.port_rules.items()
+        }
+        self.merged = {
+            port: compiled.rules for port, compiled in self.merged_compiled.items()
         }
 
 
@@ -150,6 +206,9 @@ class RuleDispatchIndex:
         #: table consulted for protocols other than tcp/udp/icmp — only
         #: ``ip`` rules can match those packets
         self._other = _ProtoTable()
+        #: (protocol, dport, sport) -> CompiledBucket memo for the dynamic
+        #: sport-merge path (bidirectional rules); cleared on add()
+        self._dynamic: Dict[Tuple[int, int, int], CompiledBucket] = {}
         self._size = 0
         if rules:
             self.add(rules)
@@ -178,33 +237,44 @@ class RuleDispatchIndex:
                         table.port_rules.setdefault(port, []).append((order, rule))
         for table in all_tables:
             table.finalize()
+        self._dynamic.clear()
 
     # -- lookup ------------------------------------------------------------
 
-    def candidates(self, protocol: int, dport: int, sport: int) -> List[Rule]:
-        """Ordered candidate rules for a packet — a superset of every rule
-        whose header can match it.
+    def lookup(self, protocol: int, dport: int, sport: int) -> CompiledBucket:
+        """The compiled candidate bucket for a packet — a superset of every
+        rule whose header can match it, pre-split by anchor literal.
 
         A bidirectional rule matches in reverse when its dport spec covers
         the packet's *source* port, so the sport bucket is consulted too.
         (Forward-only rules surfaced that way are harmless noise: the full
-        header match still rejects them.)
+        header match still rejects them.)  The sport-merge combination is
+        built on first sight and memoized.
         """
         table = self._tables.get(protocol, self._other)
         extra = table.port_rules.get(sport) if sport != dport else None
         if not extra:
-            base = table.merged.get(dport)
-            if base is not None:
-                return base
-            return table.catch_all_rules
-        parts = table.catch_all + table.port_rules.get(dport, []) + extra
-        seen = set()
-        out = []
-        for order, rule in sorted(parts):
-            if order not in seen:
-                seen.add(order)
-                out.append(rule)
-        return out
+            bucket = table.merged_compiled.get(dport)
+            if bucket is not None:
+                return bucket
+            return table.catch_all_compiled
+        key = (protocol, dport, sport)
+        bucket = self._dynamic.get(key)
+        if bucket is None:
+            parts = table.catch_all + table.port_rules.get(dport, []) + extra
+            seen = set()
+            ordered = []
+            for order, rule in sorted(parts):
+                if order not in seen:
+                    seen.add(order)
+                    ordered.append((order, rule))
+            bucket = CompiledBucket(ordered)
+            self._dynamic[key] = bucket
+        return bucket
+
+    def candidates(self, protocol: int, dport: int, sport: int) -> List[Rule]:
+        """Ordered candidate rules (the compiled bucket, stripped)."""
+        return self.lookup(protocol, dport, sport).rules
 
 
 def _enumerable_ports(rule: Rule) -> Optional[List[int]]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
-from ..packets import FiveTuple, IPPacket, flow_of
+from ..packets import PROTO_TCP, FiveTuple, IPPacket
 
 __all__ = ["FlowRecord", "StreamReassembler", "StreamUpdate"]
 
@@ -43,19 +43,65 @@ class FlowRecord:
     )
     #: sids that already alerted on this flow's stream content
     alerted_sids: Set[int] = field(default_factory=set)
+    #: bumped whenever already-buffered bytes are *rewritten* (overlap
+    #: policy "last"); appends don't bump it.  Snapshot caches and saved
+    #: multipattern scan states key on (content_version, length).
+    content_version: int = 0
+    #: per-direction resumable multipattern scan state (engine-owned)
+    mp_states: Dict[str, object] = field(default_factory=dict, repr=False, compare=False)
+    #: plain-tuple key into the reassembler's fast flow table
+    _tkey: Optional[tuple] = field(default=None, repr=False, compare=False)
+    #: direction -> (content_version, length, bytes, lowered-or-None)
+    _snapshots: Dict[str, tuple] = field(default_factory=dict, repr=False, compare=False)
 
     def direction_of(self, packet: IPPacket) -> str:
         return "c2s" if packet.src == self.initiator else "s2c"
 
     def buffer(self, direction: str) -> bytes:
-        return bytes(self.buffers[direction])
+        return self.snapshot(direction)
+
+    def snapshot(self, direction: str) -> bytes:
+        """An immutable copy of one direction's buffer, cached until the
+        buffer grows or is rewritten (every candidate rule on a packet —
+        and every packet that doesn't advance the stream — shares it)."""
+        buf = self.buffers[direction]
+        cached = self._snapshots.get(direction)
+        if (
+            cached is not None
+            and cached[0] == self.content_version
+            and cached[1] == len(buf)
+        ):
+            return cached[2]
+        data = bytes(buf)
+        self._snapshots[direction] = (self.content_version, len(buf), data, None)
+        return data
+
+    def snapshot_lower(self, direction: str) -> bytes:
+        """``snapshot(direction).lower()``, folded once per buffer state."""
+        cached = self._snapshots.get(direction)
+        if (
+            cached is not None
+            and cached[0] == self.content_version
+            and cached[1] == len(self.buffers[direction])
+            and cached[3] is not None
+        ):
+            return cached[3]
+        data = self.snapshot(direction)
+        lowered = data.lower()
+        self._snapshots[direction] = (
+            self.content_version,
+            len(data),
+            data,
+            lowered,
+        )
+        return lowered
 
     @property
     def total_bytes(self) -> int:
         return sum(len(buf) for buf in self.buffers.values())
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamUpdate:
     """What one packet did to its flow."""
 
@@ -89,42 +135,64 @@ class StreamReassembler:
         #: IDS's policy and the end host's.
         self.overlap_policy = overlap_policy
         self.flows: Dict[FiveTuple, FlowRecord] = {}
+        #: plain-tuple mirror of ``flows`` — (lo_ip, lo_port, hi_ip, hi_port)
+        #: keys skip FiveTuple construction on the per-packet hot path
+        self._fast: Dict[tuple, FlowRecord] = {}
         self.evicted_flows = 0
 
     def feed(self, packet: IPPacket, now: float) -> Optional[StreamUpdate]:
         """Advance flow state with ``packet``; returns None for non-TCP."""
         segment = packet.tcp
-        directed = flow_of(packet)
-        if segment is None or directed is None:
+        if segment is None:
             return None
-        key = directed.canonical()
-        flow = self.flows.get(key)
+        return self.feed_tcp(packet, segment, now)
+
+    def feed_tcp(self, packet: IPPacket, segment, now: float) -> StreamUpdate:
+        """The TCP hot path: caller already extracted ``segment``."""
+        src = packet.src
+        dst = packet.dst
+        sport = segment.sport
+        dport = segment.dport
+        # Canonical ordering, same as FiveTuple.canonical(): lower
+        # (ip, port) endpoint first.
+        if (src, sport) <= (dst, dport):
+            tkey = (src, sport, dst, dport)
+        else:
+            tkey = (dst, dport, src, sport)
+        flow = self._fast.get(tkey)
         is_new = flow is None
         if flow is None:
             if len(self.flows) >= self.max_flows:
                 self._evict_oldest()
+            key = FiveTuple(
+                src=src, sport=sport, dst=dst, dport=dport, protocol=PROTO_TCP
+            ).canonical()
             flow = FlowRecord(key=key, first_seen=now)
             # Whoever we see first is provisionally the initiator; a SYN
             # observed later corrects this (matters for mid-flow pickup).
-            flow.initiator, flow.responder = packet.src, packet.dst
+            flow.initiator, flow.responder = src, dst
+            flow._tkey = tkey
             self.flows[key] = flow
+            self._fast[tkey] = flow
         flow.last_seen = now
         flow.packets += 1
 
-        if segment.is_syn:
-            flow.syn_seen = True
-            flow.initiator, flow.responder = packet.src, packet.dst
-        elif segment.is_synack:
-            flow.synack_seen = True
-            flow.initiator, flow.responder = packet.dst, packet.src
-        elif segment.has(0x10) and flow.syn_seen and flow.synack_seen:  # ACK
+        flags = segment.flags
+        if flags & 0x02:  # SYN
+            if flags & 0x10:  # SYN|ACK
+                flow.synack_seen = True
+                flow.initiator, flow.responder = dst, src
+            else:
+                flow.syn_seen = True
+                flow.initiator, flow.responder = src, dst
+        elif flags & 0x10 and flow.syn_seen and flow.synack_seen:  # ACK
             flow.established = True
-        if segment.is_rst:
+        if flags & 0x04:  # RST
             flow.reset = True
-        if segment.is_fin:
+        if flags & 0x01:  # FIN
             flow.closed = True
 
-        direction = flow.direction_of(packet)
+        direction = "c2s" if src == flow.initiator else "s2c"
         new_data = b""
         if segment.payload:
             new_data = self._append(flow, direction, segment)
@@ -162,21 +230,29 @@ class StreamReassembler:
         data = data[: max(0, len(buffer) - offset)]
         buffer[offset : offset + len(data)] = data
         # A sid that alerted on the old bytes may now face different
-        # content; allow re-evaluation of stream rules on this flow.
+        # content; allow re-evaluation of stream rules on this flow, and
+        # invalidate cached snapshots / saved multipattern scan states.
         flow.alerted_sids.clear()
+        flow.content_version += 1
+
+    def _drop(self, record: FlowRecord) -> None:
+        if record._tkey is not None:
+            self._fast.pop(record._tkey, None)
 
     def _evict_oldest(self) -> None:
         oldest_key = min(self.flows, key=lambda key: self.flows[key].last_seen)
-        del self.flows[oldest_key]
+        self._drop(self.flows.pop(oldest_key))
         self.evicted_flows += 1
 
     def flush_flow(self, key: FiveTuple) -> None:
         """Drop a flow's state (e.g. after the censor kills it)."""
-        self.flows.pop(key.canonical(), None)
+        record = self.flows.pop(key.canonical(), None)
+        if record is not None:
+            self._drop(record)
 
     def expire(self, now: float, idle: float = 60.0) -> int:
         """Remove flows idle longer than ``idle`` seconds; returns count."""
         stale = [key for key, flow in self.flows.items() if now - flow.last_seen > idle]
         for key in stale:
-            del self.flows[key]
+            self._drop(self.flows.pop(key))
         return len(stale)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..netsim.middlebox import Action, Middlebox, TapContext
 from ..obs.metrics import active_or_none
@@ -42,9 +42,25 @@ __all__ = ["SurveillanceSystem"]
 
 
 class SurveillanceSystem(Middlebox):
-    """The surveillance tap; attach next to the censor with ``add_tap``."""
+    """The surveillance tap; attach next to the censor with ``add_tap``.
+
+    The tap is *purely passive* — it returns ``Action.PASS`` for every
+    packet regardless of what it records — so intake is decoupled from
+    analysis: ``process`` buffers ``(packet, time, size)`` and the full
+    pipeline (rule engine via :meth:`RuleEngine.process_batch`, bot
+    tracking, retention, MVR classification) runs over the batch when
+    ``batch_size`` packets have accumulated or any query method is
+    called.  Replay order inside a batch is exactly arrival order, so
+    every stored record and counter is identical to per-packet
+    processing — batching changes *when* the work happens, never the
+    result.  Query methods (and the metrics registry's flush hooks)
+    drain the buffer first, so observable state is always current.
+    """
 
     name = "surveillance"
+
+    #: packets buffered before the pipeline runs over them in one go
+    batch_size = 32
 
     def __init__(
         self,
@@ -102,9 +118,9 @@ class SurveillanceSystem(Middlebox):
                 "Commodity detections marking a source bot-like",
             )
         self.packets_seen = 0
-        self.bytes_discarded = 0
-        self.discarded_by_class: Counter = Counter()
-        self.retained_by_class: Counter = Counter()
+        self._bytes_discarded = 0
+        self._discarded_by_class: Counter = Counter()
+        self._retained_by_class: Counter = Counter()
         #: Sources the commodity detections classified as bot-like, with
         #: detection timestamps.  Interest alerts from such sources are
         #: suppressed within ``bot_suppression_window`` seconds: a host
@@ -112,6 +128,13 @@ class SurveillanceSystem(Middlebox):
         #: intentionally touching censored content (paper Section 3.1).
         self.bot_suppression_window = 300.0
         self._bot_sightings: Dict[str, List[float]] = {}
+        #: intake buffer: (packet, arrival time, wire size) awaiting the
+        #: batched pipeline run
+        self._batch: List[Tuple[IPPacket, float, int]] = []
+        if obs is not None:
+            # Any registry read drains the buffer first, so mvr_* counters
+            # are exact no matter where a batch boundary fell.
+            obs.on_flush(self.flush)
 
     def sees_own_injections(self) -> bool:
         return True  # purely passive; it never injects, so nothing to skip
@@ -122,20 +145,36 @@ class SurveillanceSystem(Middlebox):
         self.packets_seen += 1
         # wire_length() gives the serialized size without materializing (and
         # checksumming) the wire bytes for every transit packet.
-        size = packet.wire_length()
+        batch = self._batch
+        batch.append((packet, ctx.now, packet.wire_length()))
+        if len(batch) >= self.batch_size:
+            self.flush()
+        return Action.PASS
+
+    def flush(self) -> None:
+        """Run the full pipeline over buffered packets, in arrival order."""
+        batch = self._batch
+        if not batch:
+            return
+        self._batch = []
+        alert_lists = self.engine.process_batch(
+            [item[0] for item in batch], [item[1] for item in batch]
+        )
+        for (packet, now, size), alerts in zip(batch, alert_lists):
+            self._ingest(packet, now, size, alerts)
+
+    def _ingest(self, packet: IPPacket, now: float, size: int, alerts) -> None:
         self.store.observe_volume(size)
         obs = self._obs
         if obs is not None:
             self._m_ingest_pkts.inc()
             self._m_ingest_bytes.inc((), size)
 
-        alerts = self.engine.process(packet, ctx.now)
-
         # Track bot-like behaviour per claimed source: these sightings
         # retroactively devalue interest alerts from the same source.
         for alert in alerts:
             if alert.classtype in BOT_CLASSTYPES:
-                self._bot_sightings.setdefault(packet.src, []).append(ctx.now)
+                self._bot_sightings.setdefault(packet.src, []).append(now)
                 if obs is not None:
                     self._m_bot.inc()
 
@@ -150,7 +189,7 @@ class SurveillanceSystem(Middlebox):
                 )
                 self.store.store_alert(
                     StoredAlert(
-                        time=ctx.now,
+                        time=now,
                         alert=alert,
                         user=user,
                         origin_ip=packet.metadata.get("origin_ip"),
@@ -163,18 +202,18 @@ class SurveillanceSystem(Middlebox):
 
         # Stage 1: Massive Volume Reduction.
         if traffic_class in TrafficClass.DISCARDED:
-            self.bytes_discarded += size
-            self.discarded_by_class[traffic_class] += size
+            self._bytes_discarded += size
+            self._discarded_by_class[traffic_class] += size
             if obs is not None:
                 self._m_discard_bytes.inc((traffic_class,), size)
-            return Action.PASS
+            return
 
-        self.retained_by_class[traffic_class] += size
+        self._retained_by_class[traffic_class] += size
         if obs is not None:
             self._m_retain_bytes.inc((traffic_class,), size)
         self.store.store_content(
             ContentRecord(
-                time=ctx.now,
+                time=now,
                 src=packet.src,
                 dst=packet.dst,
                 size=size,
@@ -183,29 +222,51 @@ class SurveillanceSystem(Middlebox):
         )
         flow_key = canonical_flow(packet)
         if flow_key is not None:
-            self.store.store_flow(flow_key, ctx.now, size)
-        return Action.PASS
+            self.store.store_flow(flow_key, now, size)
 
     # -- pipeline maintenance --------------------------------------------------------
 
     def expire(self, now: float) -> None:
         """Apply retention windows (run periodically in long simulations)."""
+        self.flush()
         self.store.expire(now)
 
     def run_analyst(self, now: float) -> List[Investigation]:
         """Stage-2 triage over the effective (bot-suppressed) alerts."""
+        self.flush()
         return self.analyst.triage(self.effective_alerts(), now)
 
     # -- evaluation queries ------------------------------------------------------------
 
+    # The byte-accounting attributes are flushing properties: tests and
+    # evaluation code read them directly, and a read must reflect every
+    # packet the tap has been handed, including ones still buffered.
+
+    @property
+    def bytes_discarded(self) -> int:
+        self.flush()
+        return self._bytes_discarded
+
+    @property
+    def discarded_by_class(self) -> Counter:
+        self.flush()
+        return self._discarded_by_class
+
+    @property
+    def retained_by_class(self) -> Counter:
+        self.flush()
+        return self._retained_by_class
+
     def discard_fraction(self) -> float:
         """Fraction of observed bytes thrown away by MVR (stage 1)."""
+        self.flush()
         if self.store.bytes_seen == 0:
             return 0.0
         return self.bytes_discarded / self.store.bytes_seen
 
     def is_bot_suppressed(self, src_ip: str, time: float) -> bool:
         """Whether ``src_ip`` showed bot-like behaviour near ``time``."""
+        self.flush()
         sightings = self._bot_sightings.get(src_ip)
         if not sightings:
             return False
@@ -220,6 +281,7 @@ class SurveillanceSystem(Middlebox):
         malware activity rather than user intent; this is the mechanism the
         paper's Section 3 techniques exploit.
         """
+        self.flush()
         return [
             stored
             for stored in self.store.alerts
@@ -232,6 +294,7 @@ class SurveillanceSystem(Middlebox):
 
     def raw_alerts_for_user(self, user: str) -> List[StoredAlert]:
         """All retained alerts for ``user``, before bot suppression."""
+        self.flush()
         return self.store.alerts_for_user(user)
 
     def alerts_from_origin(self, origin_ip: str) -> List[StoredAlert]:
@@ -266,6 +329,7 @@ class SurveillanceSystem(Middlebox):
         risk; this query is the residual exposure an honest risk analysis
         must mention (see EXPERIMENTS.md caveats).
         """
+        self.flush()
         if window is None:
             window = self.profile.metadata_retention
         users = set()
@@ -282,6 +346,7 @@ class SurveillanceSystem(Middlebox):
 
     def summary(self) -> Dict[str, object]:
         """Byte accounting for experiment E4."""
+        self.flush()
         return {
             "packets_seen": self.packets_seen,
             "bytes_seen": self.store.bytes_seen,
