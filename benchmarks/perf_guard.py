@@ -438,12 +438,17 @@ def _bench_link_forward_impaired() -> tuple:
 def _sweep_grid16_spec():
     """16-point scenario grid shared by the sweep benches.
 
-    ``sweep_serial_grid16`` and ``sweep_workers4_grid16`` run the *same*
-    grid, so their ratio is the multi-worker speedup on this host.  On a
-    single-core container the two converge (the process pool adds fork
-    overhead but no parallelism); on a multi-core machine — e.g. the CI
-    runners — workers4 pulls ahead roughly linearly until the core count
-    or the largest single point dominates.
+    ``sweep_serial_grid16``, ``sweep_workers4_grid16`` (static
+    round-robin shards), and ``sweep_stealing_grid16`` (shared-queue
+    work stealing) run the *same* grid, so their ratios are the
+    multi-worker speedups on this host.  On a single-core container the
+    three converge (the process pool adds fork overhead but no
+    parallelism); on a multi-core machine — e.g. the CI runners — the
+    pooled modes pull ahead roughly linearly until the core count or
+    the largest single point dominates, with stealing >= round-robin on
+    skewed grids.  ``sweep_resume_grid16`` resumes the grid from a
+    half-complete journal, so it prices the campaign-restore path:
+    half the points replay from disk, half execute.
     """
     from repro.runner import SweepSpec
 
@@ -469,7 +474,53 @@ def _bench_sweep_workers4_grid16() -> tuple:
     from repro.runner import SweepRunner
 
     spec = _sweep_grid16_spec()
-    return lambda: SweepRunner(spec, workers=4).run(), len(spec), "points", 0
+    return (
+        lambda: SweepRunner(spec, workers=4, dispatch="round-robin").run(),
+        len(spec), "points", 0,
+    )
+
+
+def _bench_sweep_stealing_grid16() -> tuple:
+    from repro.runner import SweepRunner
+
+    spec = _sweep_grid16_spec()
+    return (
+        lambda: SweepRunner(spec, workers=4, dispatch="stealing").run(),
+        len(spec), "points", 0,
+    )
+
+
+def _bench_sweep_resume_grid16() -> tuple:
+    """Resume the shared grid from a half-complete campaign journal.
+
+    Setup runs the grid once, journaled, and keeps the header plus the
+    first 8 point lines; each iteration rewrites that half-journal and
+    resumes it serially — 8 points replayed from disk, 8 executed —
+    so the number prices journal load + merge on top of the residual
+    execution, the cost an operator pays per restart.
+    """
+    import tempfile
+
+    from repro.runner import CampaignStore, SweepRunner
+
+    spec = _sweep_grid16_spec()
+    spec_hash = spec.content_hash()
+    handle = tempfile.NamedTemporaryFile(suffix=".journal.jsonl", delete=False)
+    handle.close()
+    path = handle.name
+    with CampaignStore(path, spec_hash) as store:
+        SweepRunner(spec, serial=True, store=store).run()
+    with open(path, "rb") as fh:
+        lines = fh.read().splitlines(keepends=True)
+    half_journal = b"".join(lines[: 1 + len(spec) // 2])
+
+    def resume():
+        with open(path, "wb") as fh:
+            fh.write(half_journal)
+        with CampaignStore(path, spec_hash, resume=True) as store:
+            SweepRunner(spec, serial=True, store=store).run()
+
+    return resume, len(spec) - len(spec) // 2, "points", 0
 
 
 def _bench_simulator_events() -> tuple:
@@ -508,6 +559,8 @@ HOT_PATHS = {
     "link_forward_impaired": _bench_link_forward_impaired,
     "sweep_serial_grid16": _bench_sweep_serial_grid16,
     "sweep_workers4_grid16": _bench_sweep_workers4_grid16,
+    "sweep_stealing_grid16": _bench_sweep_stealing_grid16,
+    "sweep_resume_grid16": _bench_sweep_resume_grid16,
 }
 
 
@@ -585,8 +638,10 @@ def main(argv=None) -> int:
             "note": (
                 "ops/sec per hot path, measured by benchmarks/perf_guard.py; "
                 "machine-relative — regenerate with --update when hardware changes. "
-                "The sweep_* pair shares one grid: workers4/serial is the "
-                "multi-worker speedup, meaningful only when cpus > 1."
+                "The sweep_* benches share one grid: workers4/serial and "
+                "stealing/serial are the multi-worker speedups, meaningful "
+                "only when cpus > 1; resume replays half the grid from a "
+                "campaign journal."
             ),
             "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
             "hot_paths": current,

@@ -208,47 +208,83 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a scenario-sweep grid, sharded across worker processes.
+    """Run (or resume) a scenario-sweep campaign across worker processes.
 
     Writes ``PREFIX.report.json`` (spec + per-point records + merged
-    metrics) and ``PREFIX.metrics.json`` (the merged snapshot alone).
-    Both files are byte-identical for any worker count — the report
-    deliberately contains no execution metadata — so ``--serial`` output
-    can be ``cmp``-ed against a ``--workers N`` run (the CI smoke job
-    does exactly that).
+    metrics) and ``PREFIX.metrics.json`` (the merged snapshot alone),
+    and journals every finished point to ``PREFIX.journal.jsonl`` as it
+    completes.  While the campaign is in flight, ``PREFIX.partial.json``
+    holds an atomically rewritten progress document.  The final files
+    are byte-identical for any worker count, dispatch mode, or number of
+    kill/``--resume`` cycles — the report deliberately contains no
+    execution metadata — so ``--serial`` output can be ``cmp``-ed
+    against a ``--workers N`` or kill-then-resume run (the CI smoke jobs
+    do exactly that).
     """
     import time as _time
 
-    from .runner import SweepRunner, SweepSpec
+    from .runner import CampaignStore, SweepRunner, SweepSpec
 
     spec = SweepSpec.load(args.spec)
+    prefix = args.resume if args.resume is not None else args.out
+    store = None
+    if not args.no_journal:
+        store = CampaignStore(
+            f"{prefix}.journal.jsonl",
+            spec.content_hash(),
+            resume=args.resume is not None,
+            kill_after=args.kill_after,
+        )
+        if args.resume is not None and not store.resumed:
+            print(
+                f"note: no resumable checkpoint at {store.path} "
+                "(missing, or journaled by a different spec); running the "
+                "full grid",
+                file=sys.stderr,
+            )
     runner = SweepRunner(
         spec,
         workers=args.workers,
         serial=args.serial,
         max_point_retries=args.point_retries,
+        dispatch=args.dispatch,
+        store=store,
+        partial_path=f"{prefix}.partial.json",
+        partial_every=args.partial_every,
     )
     start = _time.perf_counter()
-    report = runner.run()
+    try:
+        report = runner.run()
+    finally:
+        if store is not None:
+            store.close()
     wall = _time.perf_counter() - start
 
-    report_path = write_json(f"{args.out}.report.json", report)
-    metrics_path = write_json(f"{args.out}.metrics.json", report["merged"]["metrics"])
+    report_path = write_json(f"{prefix}.report.json", report)
+    metrics_path = write_json(f"{prefix}.metrics.json", report["merged"]["metrics"])
 
     summary = report["summary"]
-    mode = "serial" if runner.serial else f"{args.workers} workers"
+    if runner.serial:
+        mode = "serial"
+    else:
+        mode = f"{args.workers} workers ({args.dispatch})"
+    rows = [
+        ["spec", spec.name],
+        ["spec hash", spec.content_hash()],
+        ["grid points", summary["points"]],
+        ["ok", summary["ok"]],
+        ["failed", summary["failed"]],
+        ["verdicts", ", ".join(f"{k}={v}" for k, v in summary["verdicts"].items())
+         or "-"],
+        ["mode", mode],
+        ["wall clock", f"{wall:.2f}s"],
+    ]
+    if runner.resumed_indexes:
+        rows.insert(3, ["resumed from journal", len(runner.resumed_indexes)])
+        rows.insert(4, ["executed this run", len(runner.executed_indexes)])
     print(render_table(
         ["metric", "value"],
-        [
-            ["spec", spec.name],
-            ["grid points", summary["points"]],
-            ["ok", summary["ok"]],
-            ["failed", summary["failed"]],
-            ["verdicts", ", ".join(f"{k}={v}" for k, v in summary["verdicts"].items())
-             or "-"],
-            ["mode", mode],
-            ["wall clock", f"{wall:.2f}s"],
-        ],
+        rows,
         title=f"sweep: {spec.name} ({len(spec)} points)",
     ))
     if summary["failed"]:
@@ -381,7 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        help="run a scenario-sweep grid sharded across worker processes",
+        help="run or resume a scenario-sweep campaign across worker processes",
     )
     sweep.add_argument("spec", metavar="SPEC",
                        help="sweep spec file (.json or .toml)")
@@ -389,10 +425,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default 1)")
     sweep.add_argument("--serial", action="store_true",
                        help="run every point in-process (no pool)")
+    sweep.add_argument("--dispatch", choices=("stealing", "round-robin"),
+                       default="stealing",
+                       help="pool dispatch: shared work-stealing queue "
+                            "(default) or static round-robin shards")
     sweep.add_argument("--point-retries", type=int, default=1, metavar="N",
                        help="retries per failing point before marking it failed")
     sweep.add_argument("--out", default="sweep", metavar="PREFIX",
-                       help="output prefix (PREFIX.report.json / PREFIX.metrics.json)")
+                       help="output prefix (PREFIX.report.json / "
+                            "PREFIX.metrics.json / PREFIX.journal.jsonl)")
+    sweep.add_argument("--resume", metavar="PREFIX", default=None,
+                       help="resume the campaign journaled at "
+                            "PREFIX.journal.jsonl: execute only missing or "
+                            "failed points, write outputs at PREFIX "
+                            "(a journal from a different spec is discarded)")
+    sweep.add_argument("--no-journal", action="store_true",
+                       help="skip the campaign journal (run is not resumable)")
+    sweep.add_argument("--partial-every", type=int, default=8, metavar="N",
+                       help="rewrite PREFIX.partial.json every N finished "
+                            "points (default 8)")
+    sweep.add_argument("--kill-after", type=int, default=None, metavar="N",
+                       help="fault injection for crash-recovery tests/CI: "
+                            "hard-kill this process after N journaled points")
     sweep.add_argument("--strict", action="store_true",
                        help="exit 1 if any point failed")
     sweep.set_defaults(func=cmd_sweep)

@@ -391,7 +391,13 @@ class MetricsRegistry:
         The workhorse of cross-process metric folding: sweep workers ship
         JSON-ready snapshots back to the parent, which reconstructs and
         :meth:`merge`\\ s them.  ``reg.from_snapshot(reg.snapshot())``
-        snapshots byte-identically to ``reg``.
+        snapshots byte-identically to ``reg`` — and because snapshots are
+        plain JSON scalars, the identity survives a serialize/parse round
+        trip through the campaign journal, which is what lets a resumed
+        sweep merge checkpointed snapshots with freshly computed ones
+        into byte-identical reports.  Malformed rows (label arity or
+        bucket-count mismatches — e.g. a journal edited by hand) raise
+        rather than reconstructing a registry that would corrupt a merge.
         """
         registry = cls(namespace=snapshot.get("namespace", "repro"))
         for name, entry in snapshot.get("instruments", {}).items():
@@ -400,11 +406,15 @@ class MetricsRegistry:
             if kind == "counter":
                 instrument = registry.counter(name, entry.get("help", ""), labels)
                 for row_labels, value in entry["values"]:
-                    instrument._values[tuple(row_labels)] = value
+                    row = tuple(row_labels)
+                    instrument._check(row)
+                    instrument._values[row] = value
             elif kind == "gauge":
                 instrument = registry.gauge(name, entry.get("help", ""), labels)
                 for row_labels, value in entry["values"]:
-                    instrument._values[tuple(row_labels)] = value
+                    row = tuple(row_labels)
+                    instrument._check(row)
+                    instrument._values[row] = value
             elif kind == "histogram":
                 buckets = tuple(
                     float("inf") if bound == "inf" else bound
@@ -414,7 +424,15 @@ class MetricsRegistry:
                     name, entry.get("help", ""), labels, buckets=buckets
                 )
                 for row_labels, state in entry["values"]:
-                    instrument._values[tuple(row_labels)] = {
+                    row = tuple(row_labels)
+                    instrument._check(row)
+                    if len(state["counts"]) != len(instrument.buckets):
+                        raise ValueError(
+                            f"{name}: snapshot row has "
+                            f"{len(state['counts'])} bucket counts for "
+                            f"{len(instrument.buckets)} bounds"
+                        )
+                    instrument._values[row] = {
                         "counts": list(state["counts"]),
                         "sum": state["sum"],
                         "count": state["count"],

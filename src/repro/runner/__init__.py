@@ -1,26 +1,35 @@
-"""Scale-out scenario sweeps: declarative grids, sharded execution,
-deterministic merge.
+"""Scale-out scenario sweeps: declarative grids, resumable campaigns,
+work-stealing execution, deterministic merge.
 
-The embarrassingly parallel layer the ROADMAP's sharding/batching item
-asks for: :class:`SweepSpec` declares a cartesian grid of scenario
-parameters, :class:`ShardPlanner` deals the grid across workers, and
-:class:`SweepRunner` executes it — serially or on a process pool — and
-folds per-worker metrics into one snapshot byte-identical to a serial
-run.  See ``docs/ARCHITECTURE.md`` ("Sweep runner") for the design.
+The campaign service the ROADMAP's resumable-sweep item asks for:
+:class:`SweepSpec` declares a cartesian grid of scenario parameters
+(and content-hashes it), :class:`CampaignStore` journals every finished
+point to an append-only JSONL checkpoint, :class:`QueuePlanner` /
+:class:`ShardPlanner` plan work-stealing or static dispatch, and
+:class:`SweepRunner` executes the grid — serially or on a process pool,
+fresh or resumed from a journal — and folds per-point metrics into one
+snapshot byte-identical to an uninterrupted serial run.  See
+``docs/ARCHITECTURE.md`` ("The sweep runner" / "Resumable campaigns")
+for the design.
 """
 
-from .runner import SweepRunner
-from .shard import Shard, ShardPlanner
+from .runner import DISPATCH_MODES, SweepRunner
+from .shard import QueuePlanner, Shard, ShardPlanner, estimate_cost
 from .spec import TOPOLOGIES, SweepPoint, SweepSpec, parse_retry_policy
+from .store import CampaignStore
 from .worker import run_point, run_shard
 
 __all__ = [
+    "CampaignStore",
+    "DISPATCH_MODES",
+    "QueuePlanner",
     "Shard",
     "ShardPlanner",
     "SweepPoint",
     "SweepSpec",
     "SweepRunner",
     "TOPOLOGIES",
+    "estimate_cost",
     "parse_retry_policy",
     "run_point",
     "run_shard",

@@ -1,45 +1,78 @@
-"""Scale-out sweep execution with a deterministic merge.
+"""Resumable campaign execution with a deterministic merge.
 
 ``SweepRunner`` expands a :class:`~repro.runner.spec.SweepSpec` into its
-grid, executes the points — serially or across a
-``ProcessPoolExecutor`` — and folds the per-point records into one
-report whose bytes depend only on the spec, never on the worker count,
-scheduling order, or wall clock.  That invariant is what the
-``--workers 1`` vs ``--workers 4`` byte-identity tests (and the CI
-smoke job) pin down, and it falls out of three rules:
+grid, executes the points — serially, across statically pre-assigned
+shards, or through a work-stealing pool — and folds the per-point
+records into one report whose bytes depend only on the spec, never on
+the worker count, dispatch mode, scheduling order, wall clock, or how
+many crash/resume cycles the campaign took.  That invariant is what the
+serial vs ``--workers 4`` vs kill-then-resume byte-identity tests (and
+the CI smoke jobs) pin down, and it falls out of four rules:
 
 1. every point runs in a fresh simulator + metrics registry seeded from
    the point parameters alone (see :mod:`.worker`);
 2. the report lists points in grid order and contains no execution
-   metadata (wall time and worker counts are printed, not reported);
-3. worker metrics merge through :meth:`MetricsRegistry.merge`, whose
-   counter-sum / gauge-max / histogram-elementwise semantics make the
-   fold order-insensitive and equal to a shared serial registry.
+   metadata (wall time, worker counts, and resume provenance are
+   printed or journaled, never reported);
+3. worker metrics merge through :meth:`MetricsRegistry.merge` — in grid
+   order, never completion order — whose counter-sum / gauge-max /
+   histogram-elementwise semantics make the fold equal to a shared
+   serial registry;
+4. journaled records are canonical JSON, which round-trips the record
+   (and its metrics snapshot) byte-exactly, so a record read back from
+   a checkpoint merges identically to the in-memory record it saved.
+
+**Campaign service**: give the runner a :class:`~.store.CampaignStore`
+and every finished point is journaled the moment its record arrives (in
+completion order — the journal is an execution artifact, so order there
+is free).  A later run with ``resume=True`` loads the journal, executes
+only missing or previously-failed points, and merges journaled snapshots
+with fresh ones into the same bytes an uninterrupted run produces.  A
+``partial_path`` makes the in-flight campaign inspectable: the runner
+atomically rewrites a small progress document every ``partial_every``
+completions.
+
+**Dispatch**: ``"stealing"`` (default for pools) submits each point as
+its own pool task, so idle workers pull the next point off the shared
+queue the moment they finish — point costs vary wildly across loss
+rates and retry policies, and static shards strand cheap points behind
+a shard-mate whale.  ``"round-robin"`` keeps the original static
+pre-assignment (one task per shard), retained because comparing the two
+modes byte-for-byte is itself a regression test.
 
 Crash isolation: exceptions inside a point are contained (and retried)
-by the worker itself; a worker *process* death breaks the whole pool,
-so the runner falls back to a salvage pass that re-runs the affected
-points one per fresh single-worker pool — a point that keeps killing
-its process exhausts its retry budget and is recorded as failed, and
-the sweep still completes.
+by the worker itself, and unpicklable results become failed records
+naming the point (see :func:`.worker.run_shard`); a worker *process*
+death breaks the whole pool, so the runner falls back to a salvage pass
+that re-runs the affected points one per fresh single-worker pool — a
+point that keeps killing its process exhausts its retry budget and is
+recorded as failed, and the sweep still completes.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
 
 from ..analysis.metrics import run_report
 from ..obs import MetricsRegistry
-from .shard import ShardPlanner
+from ..obs.export import write_json
+from .shard import QueuePlanner, ShardPlanner
 from .spec import SweepPoint, SweepSpec
+from .store import CampaignStore
 from .worker import run_shard
 
-__all__ = ["SweepRunner"]
+__all__ = ["SweepRunner", "DISPATCH_MODES"]
+
+DISPATCH_MODES = ("stealing", "round-robin")
 
 
 class SweepRunner:
-    """Executes a sweep spec and assembles the merged report."""
+    """Executes a sweep spec — possibly across several process lifetimes —
+    and assembles the merged report."""
 
     def __init__(
         self,
@@ -47,29 +80,49 @@ class SweepRunner:
         workers: int = 1,
         serial: bool = False,
         max_point_retries: int = 1,
+        dispatch: str = "stealing",
+        store: Optional[CampaignStore] = None,
+        partial_path: Optional[str] = None,
+        partial_every: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {dispatch!r} (choose from {DISPATCH_MODES})"
+            )
+        if partial_every < 1:
+            raise ValueError(f"partial_every must be >= 1 (got {partial_every})")
         self.spec = spec
         self.workers = workers
         self.serial = serial or workers == 1
         self.max_point_retries = max_point_retries
+        self.dispatch = dispatch
+        self.store = store
+        self.partial_path = partial_path
+        self.partial_every = partial_every
         #: merged registry from the last :meth:`run`, for render_text etc.
         self.merged_registry: Optional[MetricsRegistry] = None
+        #: grid indexes restored from the journal on the last run.
+        self.resumed_indexes: List[int] = []
+        #: grid indexes actually executed on the last run.
+        self.executed_indexes: List[int] = []
+        self._since_partial = 0
 
     # -- execution paths ------------------------------------------------------
 
-    def _run_serial(self, points: List[SweepPoint]) -> Dict[int, dict]:
-        records = run_shard(
-            [point.as_dict() for point in points],
-            self.max_point_retries,
-            in_process=True,
-        )
-        return {record["index"]: record for record in records}
+    def _execute_serial(self, pending: List[SweepPoint], outcomes: Dict[int, dict]) -> None:
+        # One run_shard call per point (not one for the whole list) so the
+        # journal advances point by point, same as the pool paths.
+        for point in pending:
+            record = run_shard(
+                [point.as_dict()], self.max_point_retries, in_process=True,
+            )[0]
+            self._record(outcomes, record)
 
-    def _run_pool(self, points: List[SweepPoint]) -> Dict[int, dict]:
-        shards = ShardPlanner(self.workers).plan(points)
-        outcomes: Dict[int, dict] = {}
+    def _execute_round_robin(self, pending: List[SweepPoint], outcomes: Dict[int, dict]) -> None:
+        """Static pre-assignment: one pool task per shard."""
+        shards = ShardPlanner(self.workers).plan(pending)
         dead_shards = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = {
@@ -80,17 +133,14 @@ class SweepRunner:
                 ): shard
                 for shard in shards
             }
-            # wait() rather than as_completed(): when a worker process
-            # dies the executor marks *every* outstanding future broken,
-            # and we want to collect whatever finished plus the full
-            # casualty list in one pass.
-            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
-            for future in futures:
+            for future in as_completed(futures):
                 shard = futures[future]
                 try:
                     for record in future.result():
-                        outcomes[record["index"]] = record
+                        self._record(outcomes, record)
                 except BaseException:
+                    # A worker death breaks every outstanding future; the
+                    # casualties are collected here and salvaged below.
                     dead_shards.append(shard)
 
         # Salvage pass: a dead shard may have finished some points before
@@ -99,17 +149,56 @@ class SweepRunner:
         # points are deterministic functions of their parameters.
         for shard in dead_shards:
             for point in shard.points:
-                outcomes[point.index] = self._run_point_quarantined(point)
-        return outcomes
+                self._record(outcomes, self._run_point_quarantined(point))
+
+    def _execute_stealing(self, pending: List[SweepPoint], outcomes: Dict[int, dict]) -> None:
+        """Shared-queue dispatch: one pool task per point.
+
+        The pool's task queue *is* the steal target: workers pull the
+        next point the moment they finish, so a pathologically slow
+        point occupies one worker while the rest drain the remainder of
+        the grid.  The queue is seeded most-expensive-first
+        (:class:`QueuePlanner`) to keep the tail short.
+        """
+        order = QueuePlanner().order(pending)
+        quarantined: List[SweepPoint] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(run_shard, [point.as_dict()], self.max_point_retries): point
+                for point in order
+            }
+            for future in as_completed(futures):
+                point = futures[future]
+                try:
+                    self._record(outcomes, future.result()[0])
+                except BrokenProcessPool:
+                    # One dead process breaks the pool; every unfinished
+                    # point lands here and is salvaged below.
+                    quarantined.append(point)
+                except BaseException:
+                    # The task itself raised (per-point dispatch, so the
+                    # culprit is known).  run_shard contains point
+                    # exceptions and pickling poison, so this is an
+                    # exotic failure — record it against the point.
+                    self._record(outcomes, {
+                        "index": point.index,
+                        "params": point.as_dict(),
+                        "status": "failed",
+                        "attempts_used": 1,
+                        "error": traceback.format_exc(limit=8),
+                    })
+        for point in sorted(quarantined, key=lambda p: p.index):
+            self._record(outcomes, self._run_point_quarantined(point))
 
     def _run_point_quarantined(self, point: SweepPoint) -> dict:
-        """Re-run one point of a crashed shard, one fresh pool per attempt.
+        """Re-run one point of a crashed pool, one fresh pool per attempt.
 
         Isolating each attempt in its own single-worker pool means a
         point that hard-kills its process (``os._exit``, OOM) costs one
         pool, not the sweep; after the retry budget it is recorded as
-        failed with a normalized error (process deaths carry no
-        traceback to report).
+        failed.  A quarantined point that *raises* instead of dying gets
+        its actual traceback recorded against its index — a process
+        death and a reproducible error must not be conflated.
         """
         attempts_allowed = 1 + self.max_point_retries
         for attempt in range(1, attempts_allowed + 1):
@@ -118,8 +207,16 @@ class SweepRunner:
                     records = pool.submit(run_shard, [point.as_dict()], 0).result()
                 records[0]["attempts_used"] = attempt
                 return records[0]
-            except BaseException:
+            except BrokenProcessPool:
                 continue
+            except BaseException:
+                return {
+                    "index": point.index,
+                    "params": point.as_dict(),
+                    "status": "failed",
+                    "attempts_used": attempt,
+                    "error": traceback.format_exc(limit=8),
+                }
         return {
             "index": point.index,
             "params": point.as_dict(),
@@ -128,15 +225,74 @@ class SweepRunner:
             "error": "worker process died while running this point",
         }
 
+    # -- journal + streaming merge --------------------------------------------
+
+    def _record(self, outcomes: Dict[int, dict], record: dict) -> None:
+        """Accept one finished record: journal it, refresh the partial."""
+        outcomes[record["index"]] = record
+        self.executed_indexes.append(record["index"])
+        if self.store is not None:
+            self.store.append(record)
+        if self.partial_path is not None:
+            self._since_partial += 1
+            if self._since_partial >= self.partial_every:
+                self._since_partial = 0
+                self._write_partial(outcomes)
+
+    def _write_partial(self, outcomes: Dict[int, dict]) -> None:
+        """Atomically rewrite the in-flight progress document.
+
+        Small on purpose: spec identity, per-point status, and the
+        incrementally merged metrics — enough to watch a campaign
+        converge (or a point fail) without touching the journal.  The
+        write-to-temp-then-rename keeps the file parseable at every
+        instant; it never holds a torn JSON document.
+        """
+        total = len(self.spec)
+        statuses = {
+            str(index): outcomes[index].get("status", "?")
+            for index in sorted(outcomes)
+        }
+        merged = MetricsRegistry()
+        for index in sorted(outcomes):
+            record = outcomes[index]
+            if record.get("status") == "ok":
+                merged.merge(record["report"]["metrics"])
+        document = {
+            "spec": self.spec.as_dict(),
+            "spec_hash": self.spec.content_hash(),
+            "points_total": total,
+            "points_done": len(outcomes),
+            "statuses": statuses,
+            "merged_metrics": merged.snapshot(),
+        }
+        temp = f"{self.partial_path}.tmp"
+        write_json(temp, document)
+        os.replace(temp, self.partial_path)
+
     # -- merge ---------------------------------------------------------------
 
     def run(self) -> Dict[str, object]:
-        """Execute the grid and return the merged, JSON-ready report."""
+        """Execute (or finish) the grid and return the merged report."""
         points = self.spec.points()
+        outcomes: Dict[int, dict] = {}
+        self.resumed_indexes = []
+        self.executed_indexes = []
+        self._since_partial = 0
+
+        if self.store is not None and self.store.records:
+            done = self.store.done()
+            for index in sorted(done):
+                outcomes[index] = self.store.records[index]
+            self.resumed_indexes = sorted(done)
+        pending = [p for p in points if p.index not in outcomes]
+
         if self.serial:
-            outcomes = self._run_serial(points)
+            self._execute_serial(pending, outcomes)
+        elif self.dispatch == "round-robin":
+            self._execute_round_robin(pending, outcomes)
         else:
-            outcomes = self._run_pool(points)
+            self._execute_stealing(pending, outcomes)
 
         records = [outcomes[index] for index in sorted(outcomes)]
         merged = MetricsRegistry()
@@ -150,6 +306,11 @@ class SweepRunner:
             for verdict, count in record.get("verdicts", {}).items():
                 verdicts[verdict] = verdicts.get(verdict, 0) + count
         self.merged_registry = merged
+
+        # The campaign is complete: the partial progress document has
+        # served its purpose (the report supersedes it).
+        if self.partial_path is not None and os.path.exists(self.partial_path):
+            os.remove(self.partial_path)
 
         return {
             "spec": self.spec.as_dict(),

@@ -1,15 +1,27 @@
-"""Shard planning: split a sweep grid into per-worker point lists.
+"""Dispatch planning: who runs which sweep points, in what order.
 
-The planner is pure bookkeeping — no randomness, no load measurement —
-so the shard layout is a function of (point list, worker count) alone.
-Points are dealt round-robin by grid index, which balances shard sizes
-to within one point and interleaves the grid axes across workers (a
-contiguous split would hand one worker all the high-loss points of an
-ordered grid, serializing the slowest scenarios behind each other).
+Two planners, both pure bookkeeping — no randomness, no load
+measurement — so their layouts are functions of (point list, worker
+count) alone:
+
+- :class:`ShardPlanner` pre-assigns points round-robin by grid index
+  (``points[w::workers]``), the original static dispatch.  Balanced in
+  *count* but blind to *cost*: a shard that drew several high-loss,
+  high-retry points serializes them behind each other while its
+  siblings idle.
+- :class:`QueuePlanner` orders points for a shared queue that workers
+  pull from as they finish — work stealing.  Point costs vary wildly
+  across the grid (a lossy censored-as point with retries simulates
+  orders of magnitude more events than a clean three-node scan), and a
+  pull queue adapts to that skew without measuring anything.  The
+  planner's only job is the *initial* order: most expensive first
+  (longest-processing-time heuristic), so the grid's whales start
+  immediately instead of landing last on an otherwise-drained queue.
 
 Because every point carries its own derived seed and workers rebuild
 their simulators from the point parameters alone, *any* assignment of
-points to workers produces identical per-point results; sharding only
+points to workers — static shards, stolen queue slots, a resume pass
+running leftovers — produces identical per-point results; dispatch only
 decides wall-clock balance, never outcomes.
 """
 
@@ -18,9 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from .spec import SweepPoint
+from .spec import SweepPoint, parse_retry_policy
 
-__all__ = ["Shard", "ShardPlanner"]
+__all__ = ["Shard", "ShardPlanner", "QueuePlanner", "estimate_cost"]
 
 
 @dataclass(frozen=True)
@@ -50,3 +62,38 @@ class ShardPlanner:
             if assigned:
                 shards.append(Shard(worker_id=worker_id, points=assigned))
         return shards
+
+
+def estimate_cost(point: SweepPoint) -> float:
+    """A relative wall-clock cost estimate for one sweep point.
+
+    Only the *ordering* this induces matters (the queue planner sorts by
+    it); the scale is arbitrary.  The drivers, in observed order of
+    impact: the censored-as topology simulates a whole AS rather than
+    three hosts; loss multiplies event counts through retransmission and
+    timer churn; extra measurement attempts replay the probe schedule;
+    and ports × duration bound the raw probe volume.
+    """
+    attempts = parse_retry_policy(point.retry).max_attempts
+    base = 6.0 if point.topology == "censored-as" else 1.0
+    loss_factor = 1.0 + 12.0 * point.loss
+    retry_factor = 1.0 + 0.6 * (attempts - 1)
+    cost = base * loss_factor * retry_factor * point.port_count * point.duration
+    if point.delay:
+        # injected wall-clock skew dwarfs simulated cost by construction;
+        # weight it high enough that a delayed point always sorts first
+        cost += 1e9 * point.delay
+    return cost
+
+
+class QueuePlanner:
+    """Orders points for the shared work-stealing queue.
+
+    Descending estimated cost, grid index as the deterministic
+    tie-break.  The order affects only scheduling: results are merged by
+    grid index regardless of completion order, so a wrong cost estimate
+    costs wall-clock, never bytes.
+    """
+
+    def order(self, points: Sequence[SweepPoint]) -> List[SweepPoint]:
+        return sorted(points, key=lambda p: (-estimate_cost(p), p.index))

@@ -14,6 +14,7 @@ programmatically; both paths go through the same validation.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, fields
@@ -76,8 +77,14 @@ class SweepPoint:
     port_count: int
     censored: bool
     cover: int
-    #: crash-injection hook for tests/CI: "" (none), "exception", "exit"
+    #: crash-injection hook for tests/CI: "" (none), "exception", "exit",
+    #: or "unpicklable" (the record refuses to cross the pool boundary)
     fail: str = ""
+    #: artificial wall-clock cost (seconds slept before the scenario) —
+    #: the cost-skew hook the work-stealing starvation tests use.  It
+    #: burns real time without touching the simulation, so a point's
+    #: results are identical with or without it.
+    delay: float = 0.0
 
     def retry_policy(self) -> RetryPolicy:
         return parse_retry_policy(self.retry)
@@ -116,9 +123,13 @@ class SweepSpec:
     censored: bool = True
     #: spoofed-cover host count (censored-as techniques that use cover).
     cover: int = 8
-    #: grid-index -> fail mode ("exception" | "exit"), for crash-isolation
-    #: tests and the CI smoke job.
+    #: grid-index -> fail mode ("exception" | "exit" | "unpicklable"),
+    #: for crash-isolation tests and the CI smoke job.
     inject_failures: Dict[int, str] = field(default_factory=dict)
+    #: grid-index -> wall-clock seconds of artificial per-point cost, for
+    #: the work-stealing starvation/skew tests (delays change wall time,
+    #: never simulation outcomes).
+    inject_delays: Dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.seeds = tuple(self.seeds)
@@ -128,6 +139,10 @@ class SweepSpec:
         self.retry_policies = tuple(self.retry_policies)
         self.inject_failures = {
             int(index): mode for index, mode in dict(self.inject_failures).items()
+        }
+        self.inject_delays = {
+            int(index): float(delay)
+            for index, delay in dict(self.inject_delays).items()
         }
         self._validate()
 
@@ -160,8 +175,11 @@ class SweepSpec:
         for policy in self.retry_policies:
             parse_retry_policy(policy)  # raises on bad names
         for mode in self.inject_failures.values():
-            if mode not in ("exception", "exit"):
+            if mode not in ("exception", "exit", "unpicklable"):
                 raise ValueError(f"unknown fail mode {mode!r}")
+        for delay in self.inject_delays.values():
+            if delay < 0:
+                raise ValueError(f"inject_delays values must be >= 0 (got {delay})")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.port_count < 1:
@@ -199,6 +217,7 @@ class SweepSpec:
                 censored=self.censored,
                 cover=self.cover,
                 fail=self.inject_failures.get(index, ""),
+                delay=self.inject_delays.get(index, 0.0),
             ))
         return out
 
@@ -221,7 +240,27 @@ class SweepSpec:
                 str(index): mode
                 for index, mode in sorted(self.inject_failures.items())
             },
+            "inject_delays": {
+                str(index): delay
+                for index, delay in sorted(self.inject_delays.items())
+            },
         }
+
+    def content_hash(self) -> str:
+        """A stable digest of the grid this spec denotes.
+
+        Campaign journals are keyed by this hash: a checkpoint is only
+        resumable against the *identical* spec, because point indexes
+        (and derived seeds) are positions in this spec's grid — any edit
+        renumbers the grid and silently mis-attributes journaled
+        records.  Hashing the canonical JSON of :meth:`as_dict` makes
+        the digest independent of how the spec was loaded (JSON, TOML,
+        constructed in code) and of dict ordering.
+        """
+        canonical = json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def from_mapping(cls, data: Mapping[str, object]) -> "SweepSpec":

@@ -17,8 +17,11 @@ simulator objects along.
 from __future__ import annotations
 
 import os
+import pickle
+import re
+import time
 import traceback
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from ..analysis.metrics import run_report
 from ..core.evaluation import build_environment, technique_factory
@@ -111,8 +114,24 @@ def run_point(point_data: Mapping[str, object], in_process: bool = False) -> Dic
     ``os._exit`` would kill the sweep itself instead of a worker.
     """
     point = SweepPoint.from_dict(point_data)
+    if point.delay:
+        # inject_delays cost-skew hook: burn wall-clock without touching
+        # the simulation, so dispatch order is the only thing that moves
+        time.sleep(point.delay)
     if point.fail == "exit" and not in_process:
         os._exit(41)  # simulate a hard worker death (OOM-kill, segfault)
+    if point.fail == "unpicklable":
+        # A record whose payload cannot cross the pool's pickle boundary
+        # (the shape of a metric/result object leaking a lock, a lambda,
+        # a socket).  run_shard's picklability guard must turn this into
+        # a failed record *naming this point* — the regression for
+        # treating result-pickling errors as anonymous shard deaths.
+        return {
+            "index": point.index,
+            "params": point.as_dict(),
+            "status": "ok",
+            "poison": lambda: None,
+        }
     if point.fail:
         raise RuntimeError(f"injected failure at sweep point {point.index}")
 
@@ -131,6 +150,32 @@ def run_point(point_data: Mapping[str, object], in_process: bool = False) -> Dic
     return record
 
 
+def _unpicklable_error(record: Dict[str, object]) -> Optional[str]:
+    """Return an error message if ``record`` cannot cross the pool boundary.
+
+    A worker whose *result* fails to pickle used to surface as an
+    anonymous executor exception — indistinguishable from the point
+    itself failing, and naming no point at all.  Checking picklability
+    where the record is born (the worker still knows which point it
+    belongs to) turns that into an ordinary failed record.  Runs in
+    serial mode too, so serial and pooled sweeps of the same spec stay
+    byte-identical even for poisoned records.
+    """
+    try:
+        pickle.dumps(record)
+        return None
+    except Exception as exc:
+        # Scrub memory addresses from the message ("<function <lambda> at
+        # 0x7f...>"): error records are part of the report, and reports
+        # must stay byte-identical across runs and execution modes.
+        detail = re.sub(r"0x[0-9a-fA-F]+", "0x..", str(exc))
+        return (
+            f"result for sweep point {record['index']} could not be "
+            f"pickled and cannot cross the worker boundary: "
+            f"{type(exc).__name__}: {detail}"
+        )
+
+
 def run_shard(
     shard_points: List[Mapping[str, object]],
     max_point_retries: int = 1,
@@ -140,9 +185,11 @@ def run_shard(
 
     A point that raises is retried up to ``max_point_retries`` times and
     then recorded as ``status="failed"`` with the traceback — one broken
-    scenario never takes down the rest of the shard.  (A point that kills
-    the whole process is the parent's problem; see
-    :meth:`SweepRunner._run_pool`.)
+    scenario never takes down the rest of the shard.  A point whose
+    *record* is unpicklable is failed immediately (no retries: the
+    poison is deterministic) with an error naming the point.  (A point
+    that kills the whole process is the parent's problem; see
+    :meth:`SweepRunner._run_point_quarantined`.)
     """
     records = []
     for point_data in shard_points:
@@ -151,6 +198,15 @@ def run_shard(
             try:
                 record = run_point(point_data, in_process=in_process)
                 record["attempts_used"] = attempt
+                poison = _unpicklable_error(record)
+                if poison is not None:
+                    record = {
+                        "index": point_data["index"],
+                        "params": dict(point_data),
+                        "status": "failed",
+                        "attempts_used": attempt,
+                        "error": poison,
+                    }
                 break
             except Exception:
                 if attempt == attempts_allowed:

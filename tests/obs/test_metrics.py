@@ -234,6 +234,45 @@ class TestMerge:
         clone = MetricsRegistry.from_snapshot(reg.snapshot())
         assert canonical_json(clone.snapshot()) == canonical_json(reg.snapshot())
 
+    def test_round_trip_through_journal_json(self):
+        """The campaign-journal path: snapshot -> canonical JSON text ->
+        parse -> from_snapshot -> snapshot must be byte-identical, so a
+        resumed sweep merges checkpointed snapshots exactly like the
+        in-memory registries they saved."""
+        reg = MetricsRegistry()
+        reg.counter("hits", labels=("who",)).inc(("x",), 2)
+        reg.counter("hits", labels=("who",)).inc(("y",), 0.5)  # float counter
+        reg.gauge("depth").track_max(value=7)
+        hist = reg.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.0625, 0.5, 3.0):
+            hist.observe(value=value)
+        parsed = json.loads(canonical_json(reg.snapshot()))
+        clone = MetricsRegistry.from_snapshot(parsed)
+        assert canonical_json(clone.snapshot()) == canonical_json(reg.snapshot())
+        # and merging the parsed form equals merging the live registry
+        via_json = MetricsRegistry()
+        via_json.merge(parsed)
+        via_live = MetricsRegistry()
+        via_live.merge(reg)
+        assert canonical_json(via_json.snapshot()) == \
+            canonical_json(via_live.snapshot())
+
+    def test_from_snapshot_rejects_label_arity_mismatch(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels=("who",)).inc(("x",))
+        snap = json.loads(canonical_json(reg.snapshot()))
+        snap["instruments"]["hits"]["values"][0][0] = ["x", "extra"]
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_from_snapshot_rejects_bucket_count_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(0.1,)).observe(value=0.05)
+        snap = json.loads(canonical_json(reg.snapshot()))
+        snap["instruments"]["lat"]["values"][0][1]["counts"].append(9)
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot(snap)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

@@ -11,7 +11,15 @@ import json
 import pytest
 
 from repro.obs import MetricsRegistry
-from repro.runner import SweepRunner, SweepSpec, run_point, run_shard
+from repro.runner import (
+    CampaignStore,
+    QueuePlanner,
+    SweepRunner,
+    SweepSpec,
+    estimate_cost,
+    run_point,
+    run_shard,
+)
 
 
 def small_spec(**overrides):
@@ -108,6 +116,139 @@ class TestDeterministicMerge:
     def test_points_listed_in_grid_order(self, reports):
         serial, _ = reports
         assert [r["index"] for r in serial["points"]] == list(range(8))
+
+
+class TestQueuePlanner:
+    def test_cost_estimate_tracks_the_known_drivers(self):
+        cheap = small_spec(seeds=(0,), loss_rates=(0.0,),
+                           retry_policies=("single-shot",)).points()[0]
+        lossy = small_spec(seeds=(0,), loss_rates=(0.2,),
+                           retry_policies=("single-shot",)).points()[0]
+        retried = small_spec(seeds=(0,), loss_rates=(0.0,),
+                             retry_policies=("retry-8",)).points()[0]
+        censored = small_spec(
+            seeds=(0,), loss_rates=(0.0,), retry_policies=("single-shot",),
+            topologies=("censored-as",), techniques=("overt-http",),
+        ).points()[0]
+        assert estimate_cost(lossy) > estimate_cost(cheap)
+        assert estimate_cost(retried) > estimate_cost(cheap)
+        assert estimate_cost(censored) > estimate_cost(cheap)
+
+    def test_injected_delay_dominates_every_grid_cost(self):
+        points = small_spec(inject_delays={0: 0.5}).points()
+        assert estimate_cost(points[0]) > max(
+            estimate_cost(p) for p in points[1:]
+        )
+
+    def test_order_is_deterministic_most_expensive_first(self):
+        points = small_spec().points()
+        order = QueuePlanner().order(points)
+        assert sorted(p.index for p in order) == [p.index for p in points]
+        costs = [estimate_cost(p) for p in order]
+        assert costs == sorted(costs, reverse=True)
+        assert [p.index for p in QueuePlanner().order(points)] == \
+            [p.index for p in order]
+
+    def test_ties_break_by_grid_index(self):
+        points = small_spec(loss_rates=(0.0,),
+                            retry_policies=("single-shot",)).points()
+        # equal-cost points: order must fall back to grid order
+        assert [p.index for p in QueuePlanner().order(points)] == \
+            [p.index for p in points]
+
+
+class TestDispatchDeterminism:
+    """Serial, round-robin shards, and work stealing — at any worker
+    count — must all produce byte-identical reports, even on a grid with
+    artificially skewed point costs."""
+
+    @pytest.fixture(scope="class")
+    def skewed_spec(self):
+        return small_spec(
+            name="skew", port_count=10, duration=30.0,
+            inject_delays={0: 0.3},
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_reference(self, skewed_spec):
+        return canonical(SweepRunner(skewed_spec, serial=True).run())
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("dispatch", ["round-robin", "stealing"])
+    def test_all_modes_byte_identical(self, skewed_spec, serial_reference,
+                                      workers, dispatch):
+        report = SweepRunner(skewed_spec, workers=workers,
+                             dispatch=dispatch).run()
+        assert canonical(report) == serial_reference
+
+
+class TestStarvation:
+    def test_slow_point_does_not_starve_other_workers(self, tmp_path):
+        """Regression: one pathologically slow point must not serialize
+        the rest of the grid behind it.
+
+        With work stealing, the whale (grid index 0, made 30-60x slower
+        than its siblings via the cost-skew hook) is queued first and
+        pins one worker; the other worker must drain every cheap point
+        in the meantime.  The journal records completion order, so the
+        whale finishing *last* — after all cheap points — is the
+        observable proof the other worker kept working.  A dispatch
+        regression that waits on futures in submission order (or shards
+        cheap points behind the whale) journals the whale first instead.
+        """
+        spec = small_spec(name="whale", seeds=(0,), port_count=10,
+                          duration=30.0, inject_delays={0: 0.6})
+        store = CampaignStore(str(tmp_path / "whale.journal.jsonl"),
+                              spec.content_hash())
+        report = SweepRunner(spec, workers=2, dispatch="stealing",
+                             store=store).run()
+        store.close()
+
+        with open(store.path, "r", encoding="utf-8") as fh:
+            entries = [json.loads(line) for line in fh.read().splitlines()]
+        completion_order = [e["index"] for e in entries
+                            if e["kind"] == "point"]
+        assert sorted(completion_order) == list(range(len(spec)))
+        # every cheap point completed while the whale was still running
+        assert completion_order[-1] == 0, (
+            f"whale did not finish last: completion order "
+            f"{completion_order} — cheap points starved behind it"
+        )
+        # and the skew changed scheduling only, never results
+        clean = SweepRunner(spec, serial=True).run()
+        assert canonical(report) == canonical(clean)
+
+
+class TestUnpicklableResult:
+    """Regression: a worker whose *result* fails to pickle used to
+    surface as an anonymous pool exception naming no point at all."""
+
+    @pytest.fixture(scope="class")
+    def poisoned_spec(self):
+        return small_spec(seeds=(0,), port_count=10, duration=30.0,
+                          inject_failures={1: "unpicklable"})
+
+    def test_failed_record_names_the_offending_point(self, poisoned_spec):
+        report = SweepRunner(poisoned_spec, workers=2,
+                             dispatch="stealing").run()
+        assert report["summary"]["failed_points"] == [1]
+        failed = report["points"][1]
+        assert failed["status"] == "failed"
+        assert "sweep point 1" in failed["error"]
+        assert "could not be pickled" in failed["error"]
+        # the poison is deterministic, so it is not retried
+        assert failed["attempts_used"] == 1
+        # siblings are untouched
+        assert all(report["points"][i]["status"] == "ok" for i in (0, 2, 3))
+
+    def test_error_record_identical_across_modes(self, poisoned_spec):
+        serial = SweepRunner(poisoned_spec, serial=True).run()
+        stealing = SweepRunner(poisoned_spec, workers=2,
+                               dispatch="stealing").run()
+        round_robin = SweepRunner(poisoned_spec, workers=2,
+                                  dispatch="round-robin").run()
+        assert canonical(serial) == canonical(stealing)
+        assert canonical(serial) == canonical(round_robin)
 
 
 class TestCrashIsolation:
