@@ -207,22 +207,41 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_progress_printer(stream):
+    """One live, carriage-return-updated progress line on ``stream``.
+
+    Fed by :class:`SweepRunner`'s progress callback, once per journaled
+    record — an execution-side channel only, so enabling it can never
+    perturb the byte-stable output files.
+    """
+    def emit(event) -> None:
+        stream.write(
+            f"\r[sweep] {event['done']}/{event['total']} points"
+            f"  failed {event['failed']}"
+            f"  sim {event['sim_cost']:.0f}s "
+        )
+        stream.flush()
+    return emit
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run (or resume) a scenario-sweep campaign across worker processes.
 
     Writes ``PREFIX.report.json`` (spec + per-point records + merged
-    metrics) and ``PREFIX.metrics.json`` (the merged snapshot alone),
-    and journals every finished point to ``PREFIX.journal.jsonl`` as it
-    completes.  While the campaign is in flight, ``PREFIX.partial.json``
-    holds an atomically rewritten progress document.  The final files
-    are byte-identical for any worker count, dispatch mode, or number of
-    kill/``--resume`` cycles — the report deliberately contains no
-    execution metadata — so ``--serial`` output can be ``cmp``-ed
-    against a ``--workers N`` or kill-then-resume run (the CI smoke jobs
-    do exactly that).
+    metrics), ``PREFIX.metrics.json`` (the merged snapshot alone), and
+    ``PREFIX.records.jsonl`` (one row per measurement verdict, for
+    ``repro report`` / ``repro dashboard``), and journals every finished
+    point to ``PREFIX.journal.jsonl`` as it completes.  While the
+    campaign is in flight, ``PREFIX.partial.json`` holds an atomically
+    rewritten progress document.  The final files are byte-identical for
+    any worker count, dispatch mode, or number of kill/``--resume``
+    cycles — the report deliberately contains no execution metadata — so
+    ``--serial`` output can be ``cmp``-ed against a ``--workers N`` or
+    kill-then-resume run (the CI smoke jobs do exactly that).
     """
     import time as _time
 
+    from .results import records_path
     from .runner import CampaignStore, SweepRunner, SweepSpec
 
     spec = SweepSpec.load(args.spec)
@@ -242,6 +261,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "full grid",
                 file=sys.stderr,
             )
+    # The live progress line wants a human terminal: off when stderr is
+    # piped (logs would fill with \r frames) or under --quiet.
+    live = sys.stderr.isatty() and not args.quiet
     runner = SweepRunner(
         spec,
         workers=args.workers,
@@ -251,11 +273,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         partial_path=f"{prefix}.partial.json",
         partial_every=args.partial_every,
+        record_path=records_path(prefix),
+        progress=_sweep_progress_printer(sys.stderr) if live else None,
     )
     start = _time.perf_counter()
     try:
         report = runner.run()
     finally:
+        if live:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
         if store is not None:
             store.close()
     wall = _time.perf_counter() - start
@@ -268,12 +295,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         mode = "serial"
     else:
         mode = f"{args.workers} workers ({args.dispatch})"
+    records = summary["records"]
     rows = [
         ["spec", spec.name],
         ["spec hash", spec.content_hash()],
         ["grid points", summary["points"]],
         ["ok", summary["ok"]],
         ["failed", summary["failed"]],
+        ["record rows", records["rows"]],
+        ["rows conserved", "yes" if records["conserved"] else "NO"],
         ["verdicts", ", ".join(f"{k}={v}" for k, v in summary["verdicts"].items())
          or "-"],
         ["mode", mode],
@@ -291,8 +321,69 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"failed points: {summary['failed_points']}", file=sys.stderr)
     print(f"wrote {report_path}")
     print(f"wrote {metrics_path}")
+    print(f"wrote {records_path(prefix)}")
     if args.strict and summary["failed"]:
         return 1
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Streaming analysis over a campaign's measurement records.
+
+    Reads ``PREFIX.records.jsonl`` one row at a time (memory stays
+    bounded by the vocabulary of techniques/targets/grid cells, never
+    the row count) and prints the vantage-differential classification,
+    the Figure-1-style accuracy/evasion matrix, the false-block curves,
+    and the latency quantiles — as text tables or, with ``--json``, as
+    one canonical JSON document.
+    """
+    from .obs.export import canonical_json
+    from .results import build_analysis, records_path, render_report_text
+
+    path = records_path(args.prefix)
+    try:
+        analysis = build_analysis(args.prefix)
+    except FileNotFoundError:
+        print(f"error: no record file at {path} — run "
+              f"`repro sweep SPEC --out {args.prefix}` first", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(canonical_json(analysis))
+    else:
+        print(render_report_text(analysis, title=f"campaign records: {path}"))
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render a campaign's records as one self-contained HTML page."""
+    from .results import (
+        build_analysis,
+        read_header,
+        records_path,
+        render_dashboard,
+    )
+
+    path = records_path(args.prefix)
+    try:
+        header = read_header(path)
+        analysis = build_analysis(args.prefix)
+    except FileNotFoundError:
+        print(f"error: no record file at {path} — run "
+              f"`repro sweep SPEC --out {args.prefix}` first", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    html = render_dashboard(
+        analysis, subtitle=f"spec {header['spec_hash']}"
+    )
+    out = args.out if args.out else f"{args.prefix}.dashboard.html"
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"wrote {out}")
     return 0
 
 
@@ -449,7 +540,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "hard-kill this process after N journaled points")
     sweep.add_argument("--strict", action="store_true",
                        help="exit 1 if any point failed")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the live progress line (it is also "
+                            "off automatically when stderr is not a TTY)")
     sweep.set_defaults(func=cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="streaming analysis over a campaign's measurement records",
+    )
+    report.add_argument("prefix", metavar="PREFIX",
+                        help="campaign output prefix (reads PREFIX.records.jsonl)")
+    report.add_argument("--json", action="store_true",
+                        help="print the analysis as canonical JSON instead "
+                             "of text tables")
+    report.set_defaults(func=cmd_report)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a campaign's records as a self-contained HTML page",
+    )
+    dashboard.add_argument("prefix", metavar="PREFIX",
+                           help="campaign output prefix "
+                                "(reads PREFIX.records.jsonl)")
+    dashboard.add_argument("--out", metavar="PATH", default=None,
+                           help="output path (default PREFIX.dashboard.html)")
+    dashboard.set_defaults(func=cmd_dashboard)
 
     syria = sub.add_parser("syria", help="Syria-log infeasibility analysis",
                            parents=[common])

@@ -218,6 +218,43 @@ class Histogram(_Instrument):
             out.append(running)
         return out
 
+    def quantile(self, p: float, labels: LabelTuple = ()) -> Optional[float]:
+        """Estimate the ``p``-quantile from the fixed cumulative buckets.
+
+        Monotone linear interpolation inside the bucket the target rank
+        lands in: the estimate is exact at bucket boundaries and off by
+        at most one bucket width inside a bucket (observations are
+        assumed uniform within it) — a documented ±bucket-width error,
+        which is the price of storing counts instead of samples.  Two
+        clamps keep the estimate finite and monotone: the first bucket
+        interpolates from 0 (or from a negative observation's own value
+        there is no record of, so 0 is the floor), and a rank landing in
+        the unbounded ``+Inf`` bucket returns the last finite bound —
+        the largest value the histogram can still vouch for.
+
+        Returns ``None`` when no observations were recorded for the
+        label row (an empty histogram has no quantiles); raises on ``p``
+        outside [0, 1].
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{self.name}: quantile p must be in [0, 1] (got {p})")
+        state = self._values.get(labels)
+        if state is None or state["count"] == 0:
+            return None
+        target = p * state["count"]
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, state["counts"]):
+            before = running
+            running += count
+            if running >= target and count:
+                if bound == float("inf"):
+                    return lower
+                return lower + (bound - lower) * ((target - before) / count)
+            if bound != float("inf"):
+                lower = bound
+        return lower
+
     def merge_from(self, other: "Histogram") -> None:
         """Fold ``other`` into this histogram: elementwise bucket adds."""
         self._merge_compatible(other)

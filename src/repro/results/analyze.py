@@ -1,0 +1,342 @@
+"""Streaming analysis over measurement records: classification, matrices,
+false-block curves, latency quantiles.
+
+The consumer side of the record sink.  :class:`RecordAnalysis` is an
+online aggregator: feed it rows one at a time (straight off the
+generator reader) and its state stays bounded by the number of
+*distinct* targets, techniques, and grid cells — never by the number of
+rows.  That is the memory contract the ≥100k-row streaming test pins:
+a million-row record file analyzes in the footprint of its vocabulary.
+
+What falls out at :meth:`~RecordAnalysis.as_dict` time:
+
+- **Vantage-differential classification** — for every (technique,
+  target) pair, compare the verdict mass observed from the simulated
+  censored vantage against the clean vantage and call the target
+  ``censored`` (blocked only where the censor enforces), ``accessible``
+  (reachable from both), ``path-anomaly`` (blocked even with no censor:
+  loss or outage, the paper's false-block confound), ``inconsistent``
+  (the vantages disagree in the wrong direction), or an
+  ``unconfirmed-*`` class when only one vantage measured it.  Each call
+  carries a confidence: the verdict-agreement fraction weighted by rows.
+- **Figure-1-style matrix** — per technique: detection rate over
+  ground-truth-blocked targets at the censored vantage, overall
+  accuracy, false-block rate over ground-truth-open targets, and the
+  MVR-evasion fraction recovered from the rows' point-level ``evaded``
+  stamps — the paper's accuracy/evasion trade-off, computed from
+  records instead of re-running anything.
+- **False-block curves** — false-block rate as a function of the loss
+  axis, one curve per (technique, retry policy): the safety argument
+  for retries, straight from campaign data.
+- **Latency quantiles** — per-technique sim-time-to-verdict p50/p90/p99
+  via :meth:`repro.obs.metrics.Histogram.quantile` (±bucket-width
+  error, documented there).
+
+Ground truth comes from the controlled world: the blocked/control
+target name lists the evaluation harness wires into every environment.
+A target is truly blocked exactly when a blocked name matches it *and*
+the row measured from the censored vantage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.metrics import ConfusionCounts
+from ..core.evaluation import BLOCKED_TARGETS_FULL, CONTROL_TARGETS_FULL
+from ..core.results import Verdict
+from ..obs.metrics import Histogram
+
+__all__ = ["RecordAnalysis", "analyze_records", "BLOCKING_VERDICTS"]
+
+#: Verdict strings that indicate blocking (the row-level mirror of
+#: :meth:`Verdict.indicates_blocking`).
+BLOCKING_VERDICTS = frozenset(
+    v.value for v in Verdict if v.indicates_blocking
+)
+
+_INCONCLUSIVE = Verdict.INCONCLUSIVE.value
+
+#: Sim-time-to-verdict buckets: probe RTTs are milliseconds, retry
+#: schedules stretch to tens of simulated seconds, campaign durations to
+#: minutes.
+LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, float("inf"))
+
+
+def _new_vantage_stats() -> Dict[str, float]:
+    return {
+        "rows": 0, "blocked": 0, "accessible": 0, "inconclusive": 0,
+        "confidence_sum": 0.0, "attempts_sum": 0,
+    }
+
+
+def _majority(stats: Mapping[str, float]) -> Tuple[Optional[str], float, int]:
+    """(majority side, agreement fraction, conclusive rows) for one vantage."""
+    conclusive = stats["blocked"] + stats["accessible"]
+    if not conclusive:
+        return None, 0.0, 0
+    if stats["blocked"] >= stats["accessible"]:
+        return "blocked", stats["blocked"] / conclusive, conclusive
+    return "accessible", stats["accessible"] / conclusive, conclusive
+
+
+class RecordAnalysis:
+    """Online aggregator over record rows; bounded-memory by design.
+
+    Every piece of state is keyed by vocabulary — (technique, target)
+    pairs, (technique, retry, loss) grid cells, technique names — so
+    memory is O(distinct keys), independent of how many rows stream
+    through :meth:`add`.  Nothing here ever holds a row list.
+    """
+
+    def __init__(
+        self,
+        blocked_targets: Optional[Sequence[str]] = None,
+        control_targets: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.blocked_names: Tuple[str, ...] = tuple(
+            blocked_targets if blocked_targets is not None
+            else list(BLOCKED_TARGETS_FULL) + ["blocked-service"]
+        )
+        self.control_names: Tuple[str, ...] = tuple(
+            control_targets if control_targets is not None
+            else list(CONTROL_TARGETS_FULL) + ["control-service", "server"]
+        )
+        self.rows = 0
+        self.points = 0  # rows with seq == 0: one per point that produced output
+        self.by_verdict: Dict[str, int] = {}
+        #: (technique, target) -> vantage -> verdict-mass stats
+        self._targets: Dict[Tuple[str, str], Dict[str, Dict[str, float]]] = {}
+        #: (technique, retry, loss) -> confusion over ground-truth cells
+        self._cells: Dict[Tuple[str, str, float], ConfusionCounts] = {}
+        #: technique -> aggregate counters for the matrix
+        self._tech: Dict[str, Dict[str, float]] = {}
+        #: technique -> overall confusion (accuracy column)
+        self._tech_confusion: Dict[str, ConfusionCounts] = {}
+        #: one shared histogram, labeled by technique
+        self._latency = Histogram(
+            "verdict_latency", "sim-time to verdict", ("technique",),
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # -- ground truth ---------------------------------------------------------
+
+    def truly_blocked(self, target: str, vantage: str) -> Optional[bool]:
+        """Ground truth for one row, or ``None`` when the target is not
+        in the controlled world's name lists (unknown targets cannot be
+        scored, only classified)."""
+        if any(name in target for name in self.blocked_names):
+            return vantage == "censored"
+        if any(name in target for name in self.control_names):
+            return False
+        return None
+
+    # -- streaming ingest -----------------------------------------------------
+
+    def add(self, row: Mapping[str, object]) -> None:
+        """Fold one record row into the aggregates."""
+        technique = row["technique"]
+        vantage = row["vantage"]
+        target = row["target"]
+        verdict = row["verdict"]
+        blocked = verdict in BLOCKING_VERDICTS
+        inconclusive = verdict == _INCONCLUSIVE
+
+        self.rows += 1
+        if row["seq"] == 0:
+            self.points += 1
+        self.by_verdict[verdict] = self.by_verdict.get(verdict, 0) + 1
+
+        stats = (
+            self._targets.setdefault((technique, target), {})
+            .setdefault(vantage, _new_vantage_stats())
+        )
+        stats["rows"] += 1
+        stats["confidence_sum"] += row["confidence"]
+        stats["attempts_sum"] += row["attempts"]
+        if inconclusive:
+            stats["inconclusive"] += 1
+        elif blocked:
+            stats["blocked"] += 1
+        else:
+            stats["accessible"] += 1
+
+        tech = self._tech.setdefault(technique, {
+            "rows": 0, "points": 0, "confidence_sum": 0.0, "attempts_sum": 0,
+            "evaded_points": 0, "evasion_points": 0,
+        })
+        tech["rows"] += 1
+        tech["confidence_sum"] += row["confidence"]
+        tech["attempts_sum"] += row["attempts"]
+        if row["seq"] == 0:
+            tech["points"] += 1
+            if row.get("evaded") is not None:
+                tech["evasion_points"] += 1
+                tech["evaded_points"] += int(bool(row["evaded"]))
+
+        self._latency.observe((technique,), row["latency"])
+
+        truth = self.truly_blocked(target, vantage)
+        if truth is not None:
+            cell = self._cells.setdefault(
+                (technique, row["retry"], row["loss"]), ConfusionCounts()
+            )
+            overall = self._tech_confusion.setdefault(technique, ConfusionCounts())
+            for counts in (cell, overall):
+                if inconclusive:
+                    counts.inconclusive += 1
+                elif truth and blocked:
+                    counts.true_positive += 1
+                elif truth and not blocked:
+                    counts.false_negative += 1
+                elif not truth and blocked:
+                    counts.false_positive += 1
+                else:
+                    counts.true_negative += 1
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> "RecordAnalysis":
+        for row in rows:
+            self.add(row)
+        return self
+
+    # -- derived views --------------------------------------------------------
+
+    def classify(self) -> List[Dict[str, object]]:
+        """Vantage-differential classification, one entry per
+        (technique, target), sorted for deterministic output."""
+        out: List[Dict[str, object]] = []
+        for (technique, target) in sorted(self._targets):
+            vantages = self._targets[(technique, target)]
+            cen = vantages.get("censored")
+            cln = vantages.get("clean")
+            cen_side, cen_frac, cen_n = _majority(cen) if cen else (None, 0.0, 0)
+            cln_side, cln_frac, cln_n = _majority(cln) if cln else (None, 0.0, 0)
+
+            if cen_side is None and cln_side is None:
+                label = "inconclusive"
+            elif cen_side is not None and cln_side is not None:
+                if cen_side == "blocked" and cln_side == "accessible":
+                    label = "censored"
+                elif cen_side == "blocked" and cln_side == "blocked":
+                    label = "path-anomaly"
+                elif cen_side == "accessible" and cln_side == "accessible":
+                    label = "accessible"
+                else:
+                    label = "inconsistent"
+            elif cen_side is not None:
+                label = ("unconfirmed-censored" if cen_side == "blocked"
+                         else "accessible")
+            else:
+                label = ("path-anomaly" if cln_side == "blocked"
+                         else "unconfirmed-accessible")
+
+            conclusive = cen_n + cln_n
+            confidence = (
+                (cen_frac * cen_n + cln_frac * cln_n) / conclusive
+                if conclusive else 0.0
+            )
+            entry: Dict[str, object] = {
+                "technique": technique,
+                "target": target,
+                "classification": label,
+                "confidence": round(confidence, 6),
+            }
+            for name, stats in (("censored", cen), ("clean", cln)):
+                if stats is None:
+                    continue
+                entry[name] = {
+                    "rows": stats["rows"],
+                    "blocked": stats["blocked"],
+                    "accessible": stats["accessible"],
+                    "inconclusive": stats["inconclusive"],
+                    "mean_confidence": round(
+                        stats["confidence_sum"] / stats["rows"], 6
+                    ) if stats["rows"] else 0.0,
+                }
+            out.append(entry)
+        return out
+
+    def matrix(self) -> Dict[str, Dict[str, object]]:
+        """The Figure-1-style accuracy/evasion matrix, per technique."""
+        out: Dict[str, Dict[str, object]] = {}
+        for technique in sorted(self._tech):
+            tech = self._tech[technique]
+            confusion = self._tech_confusion.get(technique, ConfusionCounts())
+            detects = (
+                confusion.recall
+                if confusion.true_positive + confusion.false_negative else None
+            )
+            evasion = (
+                tech["evaded_points"] / tech["evasion_points"]
+                if tech["evasion_points"] else None
+            )
+            out[technique] = {
+                "rows": tech["rows"],
+                "points": tech["points"],
+                "detects": None if detects is None else round(detects, 6),
+                "accuracy": round(confusion.accuracy, 6),
+                "false_block_rate": round(confusion.false_block_rate, 6),
+                "evasion": None if evasion is None else round(evasion, 6),
+                "mean_attempts": round(tech["attempts_sum"] / tech["rows"], 6),
+                "mean_confidence": round(tech["confidence_sum"] / tech["rows"], 6),
+                "scored": confusion.total,
+            }
+        return out
+
+    def false_block_curves(self) -> Dict[str, Dict[str, List[List[object]]]]:
+        """``technique -> retry -> [[loss, false_block_rate, open_rows]]``.
+
+        One curve per (technique, retry policy), sampled at the loss
+        rates the campaign actually swept; ``open_rows`` is the number
+        of ground-truth-open rows behind each sample (the denominator
+        that makes a 0.0 at n=2 mean less than a 0.0 at n=2000).
+        """
+        curves: Dict[str, Dict[str, List[List[object]]]] = {}
+        for (technique, retry, loss) in sorted(self._cells):
+            counts = self._cells[(technique, retry, loss)]
+            open_rows = counts.false_positive + counts.true_negative
+            if not open_rows:
+                continue
+            curves.setdefault(technique, {}).setdefault(retry, []).append(
+                [loss, round(counts.false_block_rate, 6), open_rows]
+            )
+        return curves
+
+    def latency_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-technique sim-time-to-verdict quantiles (±bucket width)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for technique in sorted(self._tech):
+            labels = (technique,)
+            count = self._latency.count(labels)
+            if not count:
+                continue
+            out[technique] = {
+                "count": count,
+                "p50": round(self._latency.quantile(0.50, labels), 6),
+                "p90": round(self._latency.quantile(0.90, labels), 6),
+                "p99": round(self._latency.quantile(0.99, labels), 6),
+            }
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """The full JSON-ready analysis document (deterministic)."""
+        classification = self.classify()
+        tally: Dict[str, int] = {}
+        for entry in classification:
+            label = entry["classification"]
+            tally[label] = tally.get(label, 0) + 1
+        return {
+            "rows": self.rows,
+            "points": self.points,
+            "by_verdict": dict(sorted(self.by_verdict.items())),
+            "classification": classification,
+            "classification_tally": dict(sorted(tally.items())),
+            "matrix": self.matrix(),
+            "false_block_curves": self.false_block_curves(),
+            "latency": self.latency_summary(),
+        }
+
+
+def analyze_records(rows: Iterable[Mapping[str, object]], **kwargs) -> Dict[str, object]:
+    """Stream ``rows`` through a fresh analysis; return its document."""
+    return RecordAnalysis(**kwargs).extend(rows).as_dict()

@@ -1,0 +1,322 @@
+"""``repro dashboard``: the analysis document as one static HTML page.
+
+Everything is inline — CSS in a ``<style>`` block, charts as inline SVG,
+palette swapped for dark mode via CSS custom properties and
+``prefers-color-scheme`` — so the output file opens from disk with no
+network access and references no external URL (the CI smoke job greps
+for exactly that).  There is no JavaScript: hover detail rides native
+SVG ``<title>`` tooltips.
+
+Chart discipline (matching the repo's other renderers): a single axis
+per chart, categorical hues assigned in fixed order and never cycled,
+2px lines with visible point markers, a legend whenever two or more
+series share a plot, and all text in text-color tokens rather than
+series colors.  The renderer is deterministic: same analysis document,
+same bytes.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_dashboard"]
+
+#: Categorical series hues, fixed assignment order (light mode / dark
+#: mode variants — the CSS swaps the custom properties, the SVG marks
+#: just reference ``var(--s0)`` …).  A ninth series folds into "other";
+#: sweep grids here never get close.
+SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500",
+               "#d55181", "#008300", "#9085e9", "#e66767")
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --panel: #f4f4f2; --line: #dddcd6;
+  --text: #0b0b0b; --muted: #52514e;
+  --s0: #2a78d6; --s1: #eb6834; --s2: #1baf7a; --s3: #eda100;
+  --s4: #e87ba4; --s5: #008300; --s6: #4a3aa7; --s7: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --panel: #242422; --line: #3a3a37;
+    --text: #ffffff; --muted: #c3c2b7;
+    --s0: #3987e5; --s1: #d95926; --s2: #199e70; --s3: #c98500;
+    --s4: #d55181; --s5: #008300; --s6: #9085e9; --s7: #e66767;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface); color: var(--text);
+  font: 14px/1.5 system-ui, sans-serif; max-width: 960px;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--muted); margin: 0 0 16px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 16px 0; }
+.tile {
+  background: var(--panel); border-radius: 8px; padding: 12px 16px;
+  min-width: 120px;
+}
+.tile .num { font-size: 22px; font-weight: 600; }
+.tile .cap { color: var(--muted); font-size: 12px; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0; white-space: nowrap; }
+th { color: var(--muted); font-weight: 500; border-bottom: 1px solid var(--line); }
+td.n, th.n { text-align: right; }
+.legend { display: flex; gap: 16px; flex-wrap: wrap; margin: 4px 0 8px; }
+.legend span { display: inline-flex; align-items: center; gap: 6px; color: var(--text); }
+.swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+svg { display: block; }
+svg text { fill: var(--muted); font: 11px system-ui, sans-serif; }
+.grid { stroke: var(--line); stroke-width: 1; }
+.axis { stroke: var(--muted); stroke-width: 1; }
+.note { color: var(--muted); font-size: 12px; }
+"""
+
+
+def _fmt(value: object, places: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{places}f}"
+    return str(value)
+
+
+def _tile(caption: str, value: object) -> str:
+    return (
+        f'<div class="tile"><div class="num">{escape(str(value))}</div>'
+        f'<div class="cap">{escape(caption)}</div></div>'
+    )
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+           numeric_from: int = 1) -> str:
+    numeric = ' class="n"'
+    head = "".join(
+        f"<th{numeric if i >= numeric_from else ''}>{escape(h)}</th>"
+        for i, h in enumerate(headers)
+    )
+    body = []
+    for row in rows:
+        cells = "".join(
+            f"<td{numeric if i >= numeric_from else ''}>"
+            f"{escape(str(cell))}</td>"
+            for i, cell in enumerate(row)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _legend(names: Sequence[str]) -> str:
+    items = "".join(
+        f'<span><i class="swatch" style="background:var(--s{i % 8})"></i>'
+        f"{escape(name)}</span>"
+        for i, name in enumerate(names)
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _curve_chart(curves: Dict[str, Dict[str, List[List[object]]]]) -> str:
+    """False-block rate vs loss, one line per (technique, retry)."""
+    series: List[Tuple[str, List[Tuple[float, float, int]]]] = []
+    for technique in sorted(curves):
+        for retry in sorted(curves[technique]):
+            points = [(float(l), float(r), int(n))
+                      for l, r, n in curves[technique][retry]]
+            series.append((f"{technique} / {retry}", sorted(points)))
+    if not series:
+        return '<p class="note">no ground-truth-open rows; no curves to plot.</p>'
+    if len(series) > 8:
+        dropped = len(series) - 8
+        series = series[:8]
+        note = (f'<p class="note">showing the first 8 of '
+                f"{8 + dropped} (technique, retry) series.</p>")
+    else:
+        note = ""
+
+    width, height = 680, 300
+    left, right, top, bottom = 56, 16, 12, 40
+    plot_w, plot_h = width - left - right, height - top - bottom
+    xs = [x for _, pts in series for x, _, _ in pts]
+    ys = [y for _, pts in series for _, y, _ in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_lo, x_hi = x_lo - 0.01, x_hi + 0.01
+    y_hi = max(max(ys), 0.05) * 1.15
+
+    def px(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return top + plot_h - (y / y_hi) * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        'aria-label="false-block rate versus loss">',
+    ]
+    # recessive horizontal grid + y tick labels
+    for i in range(5):
+        frac = i / 4
+        y = top + plot_h - frac * plot_h
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{y:.1f}" '
+            f'x2="{left + plot_w}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text x="{left - 8}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{frac * y_hi:.3f}</text>"
+        )
+    # x axis + tick labels at the swept loss values
+    parts.append(
+        f'<line class="axis" x1="{left}" y1="{top + plot_h}" '
+        f'x2="{left + plot_w}" y2="{top + plot_h}"/>'
+    )
+    for x in sorted(set(xs)):
+        parts.append(
+            f'<text x="{px(x):.1f}" y="{top + plot_h + 18}" '
+            f'text-anchor="middle">{x:g}</text>'
+        )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.1f}" y="{height - 6}" '
+        'text-anchor="middle">loss rate</text>'
+    )
+    for idx, (name, pts) in enumerate(series):
+        color = f"var(--s{idx})"
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y, _ in pts)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-linecap="round" '
+            'stroke-linejoin="round"/>'
+        )
+        for x, y, n in pts:
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="4" '
+                f'fill="{color}" stroke="var(--surface)" stroke-width="2">'
+                f"<title>{escape(name)}\nloss {x:g}: "
+                f"false-block {y:.3f} ({n} open rows)</title></circle>"
+            )
+    parts.append("</svg>")
+    return _legend([name for name, _ in series]) + "".join(parts) + note
+
+
+def _verdict_chart(by_verdict: Dict[str, int]) -> str:
+    """Horizontal bars, single sequential hue, one per verdict."""
+    if not by_verdict:
+        return '<p class="note">no rows.</p>'
+    entries = sorted(by_verdict.items())
+    biggest = max(count for _, count in entries)
+    bar_h, gap, left, right = 20, 8, 150, 70
+    width = 680
+    plot_w = width - left - right
+    height = len(entries) * (bar_h + gap) + gap
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="rows per verdict">'
+    ]
+    for i, (verdict, count) in enumerate(entries):
+        y = gap + i * (bar_h + gap)
+        w = max(plot_w * count / biggest, 2)
+        parts.append(
+            f'<text x="{left - 8}" y="{y + bar_h - 5}" text-anchor="end">'
+            f"{escape(verdict)}</text>"
+        )
+        parts.append(
+            f'<rect x="{left}" y="{y}" width="{w:.1f}" height="{bar_h}" '
+            f'rx="4" fill="var(--s0)"><title>{escape(verdict)}: '
+            f"{count} rows</title></rect>"
+        )
+        parts.append(
+            f'<text x="{left + w + 6:.1f}" y="{y + bar_h - 5}">{count}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    analysis: Dict[str, object],
+    title: str = "Campaign measurement dashboard",
+    subtitle: str = "",
+) -> str:
+    """The analysis document as one self-contained HTML page."""
+    tally: Dict[str, int] = analysis["classification_tally"]
+    tiles = [
+        _tile("record rows", analysis["rows"]),
+        _tile("sweep points", analysis["points"]),
+        _tile("techniques", len(analysis["matrix"])),
+        _tile("targets censored", tally.get("censored", 0)),
+        _tile("path anomalies", tally.get("path-anomaly", 0)),
+    ]
+
+    class_rows = []
+    for entry in analysis["classification"]:
+        def _cell(stats: Optional[dict]) -> str:
+            if stats is None:
+                return "-"
+            return (f"{stats['blocked']}b / {stats['accessible']}a / "
+                    f"{stats['inconclusive']}i")
+        class_rows.append([
+            entry["technique"], entry["target"], entry["classification"],
+            _fmt(entry["confidence"]),
+            _cell(entry.get("censored")), _cell(entry.get("clean")),
+        ])
+
+    matrix_rows = [
+        [technique, _fmt(c["detects"]), _fmt(c["accuracy"]),
+         _fmt(c["false_block_rate"]), _fmt(c["evasion"]),
+         _fmt(c["mean_attempts"], 2), _fmt(c["mean_confidence"]), c["rows"]]
+        for technique, c in analysis["matrix"].items()
+    ]
+
+    latency_rows = [
+        [technique, c["count"], _fmt(c["p50"]), _fmt(c["p90"]), _fmt(c["p99"])]
+        for technique, c in analysis["latency"].items()
+    ]
+
+    sections = [
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="sub">{escape(subtitle)}</p>' if subtitle else "",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+        "<h2>Rows per verdict</h2>",
+        _verdict_chart(analysis["by_verdict"]),
+        "<h2>False-block rate vs loss</h2>",
+        '<p class="note">One series per (technique, retry policy) over '
+        "ground-truth-open targets; hover a point for the sample size.</p>",
+        _curve_chart(analysis["false_block_curves"]),
+        "<h2>Vantage-differential classification</h2>",
+        '<p class="note">Per-vantage cells read blocked / accessible / '
+        "inconclusive rows.</p>",
+        _table(
+            ["technique", "target", "class", "conf",
+             "censored vantage", "clean vantage"],
+            class_rows, numeric_from=3,
+        ),
+        "<h2>Accuracy / evasion matrix</h2>",
+        _table(
+            ["technique", "detects", "accuracy", "false-block", "evasion",
+             "attempts", "conf", "rows"],
+            matrix_rows,
+        ),
+    ]
+    if latency_rows:
+        sections += [
+            "<h2>Sim-time to verdict</h2>",
+            '<p class="note">Histogram quantiles; error is at most one '
+            "bucket width.</p>",
+            _table(["technique", "verdicts", "p50 (s)", "p90 (s)", "p99 (s)"],
+                   latency_rows),
+        ]
+
+    body = "\n".join(part for part in sections if part)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n{body}\n</body>\n</html>\n"
+    )

@@ -1,0 +1,201 @@
+"""The measurement-record schema and its byte-stable JSONL sink/reader.
+
+One row per measurement verdict a campaign produced: which technique
+asked, from which vantage, against which censor model and target, what
+it concluded and with how much evidence.  Rows are born in the sweep
+workers (:func:`rows_from_point` runs where the point's results still
+exist), ride the campaign journal inside the point record — so they
+survive crashes and resumes for free — and are rendered to
+``PREFIX.records.jsonl`` in grid-index order at merge time.  Because the
+render order is the grid order (never completion order) and every line
+is canonical JSON, serial, work-stealing, and kill-then-resumed
+campaigns produce ``cmp``-identical record files; the determinism tests
+and the CI smoke job enforce exactly that.
+
+The file layout mirrors the campaign journal: line 1 is a header
+pinning the record schema and the spec's content hash, every later line
+is one bare row object.  :func:`iter_rows` is a generator over that
+file — it holds one line at a time, which is the memory contract the
+streaming analysis layer (and its memory-bounded test) is built on.
+"""
+
+from __future__ import annotations
+
+import os
+from json import loads
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..obs.export import canonical_json
+
+__all__ = [
+    "RECORD_SCHEMA",
+    "ROW_FIELDS",
+    "iter_rows",
+    "read_header",
+    "rows_from_point",
+    "summarize_rows",
+    "write_records",
+]
+
+#: Record-file schema version; bumped only for incompatible row changes.
+RECORD_SCHEMA = 1
+
+#: Every row carries exactly these keys (canonical JSON sorts them, so
+#: this tuple is also the documented column order of the sink).
+ROW_FIELDS = (
+    "attempts",     # probe attempts folded into this verdict
+    "censor",       # censor model enforcing on the path ("gfc" | "none")
+    "confidence",   # verdict confidence in [0, 1]
+    "evaded",       # point-level MVR evasion (null where no MVR exists)
+    "latency",      # sim-time seconds from technique start to verdict
+    "loss",         # marginal loss rate of the point's impairment model
+    "point",        # grid index of the sweep point this row came from
+    "reason",       # technique detail string (drop/verdict reason)
+    "retry",        # retry-policy axis value
+    "seed",         # seed-axis value
+    "seq",          # row's position within the point's result list
+    "target",       # domain / "ip:port" / service label
+    "technique",    # technique axis value
+    "topology",     # topology axis value
+    "vantage",      # "censored" | "clean"
+    "verdict",      # Verdict enum value string
+)
+
+
+def rows_from_point(
+    point: Mapping[str, object],
+    results: Iterable[Mapping[str, object]],
+    vantage: str,
+    censor: str,
+    evaded: Optional[bool],
+) -> List[Dict[str, object]]:
+    """Build the point's record rows from its serialized results.
+
+    Runs inside the worker, where the point's results (and their sim
+    timestamps) still exist; everything a row carries is a plain JSON
+    scalar so the rows cross the pool boundary and the journal
+    unchanged.  ``evaded`` is the point-level surveillance outcome
+    (``None`` when the topology has no MVR to evade), stamped onto every
+    row so the evasion column of the Figure-1 matrix can be recovered
+    from records alone.
+    """
+    rows: List[Dict[str, object]] = []
+    for seq, result in enumerate(results):
+        rows.append({
+            "attempts": result["attempts"],
+            "censor": censor,
+            "confidence": result["confidence"],
+            "evaded": evaded,
+            "latency": result["time"],
+            "loss": point["loss"],
+            "point": point["index"],
+            "reason": result["detail"],
+            "retry": point["retry"],
+            "seed": point["seed"],
+            "seq": seq,
+            "target": result["target"],
+            "technique": point["technique"],
+            "topology": point["topology"],
+            "vantage": vantage,
+            "verdict": result["verdict"],
+        })
+    return rows
+
+
+def write_records(
+    path: str,
+    spec_hash: str,
+    rows: Iterable[Mapping[str, object]],
+) -> Dict[str, object]:
+    """Render the record file atomically; return the sink summary.
+
+    Rows are written in the order given (the runner supplies grid-index
+    order), one canonical-JSON line each, to a temp file that replaces
+    ``path`` only once complete — the record file is never observable
+    half-written.  The returned summary (row count and per-verdict
+    histogram) is what the runner cross-checks against the merged
+    counters for conservation.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    temp = f"{path}.tmp"
+    total = 0
+    by_verdict: Dict[str, int] = {}
+    with open(temp, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json({
+            "kind": "header",
+            "schema": RECORD_SCHEMA,
+            "spec_hash": spec_hash,
+            "fields": list(ROW_FIELDS),
+        }))
+        fh.write("\n")
+        for row in rows:
+            fh.write(canonical_json(row))
+            fh.write("\n")
+            total += 1
+            verdict = row["verdict"]
+            by_verdict[verdict] = by_verdict.get(verdict, 0) + 1
+    os.replace(temp, path)
+    return {"rows": total, "by_verdict": dict(sorted(by_verdict.items()))}
+
+
+def summarize_rows(rows: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """The :func:`write_records` summary without writing anything.
+
+    Keeps the report's ``records`` section identical whether or not a
+    sink path was configured, so enabling the sink never changes report
+    bytes.
+    """
+    total = 0
+    by_verdict: Dict[str, int] = {}
+    for row in rows:
+        total += 1
+        verdict = row["verdict"]
+        by_verdict[verdict] = by_verdict.get(verdict, 0) + 1
+    return {"rows": total, "by_verdict": dict(sorted(by_verdict.items()))}
+
+
+def read_header(path: str) -> Dict[str, object]:
+    """Parse and validate the record file's header line."""
+    with open(path, "r", encoding="utf-8") as fh:
+        line = fh.readline()
+    try:
+        header = loads(line)
+    except ValueError as exc:
+        raise ValueError(f"{path}: not a record file (bad header line)") from exc
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise ValueError(f"{path}: not a record file (missing header)")
+    if header.get("schema") != RECORD_SCHEMA:
+        raise ValueError(
+            f"{path}: record schema {header.get('schema')!r} "
+            f"(this reader speaks {RECORD_SCHEMA})"
+        )
+    return header
+
+
+def iter_rows(path: str) -> Iterator[Dict[str, object]]:
+    """Stream the record file's rows, one dict at a time.
+
+    A generator over the open file: the header line is validated, then
+    each later line is parsed and yielded individually — memory use is
+    one line, independent of file size, which is what lets the analysis
+    layer chew through millions of rows.  Blank trailing lines are
+    tolerated; anything else unparseable raises (record files are
+    rendered atomically, so a torn file is corruption, not a crash
+    artifact to shrug off).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        parsed = loads(header)
+        if not isinstance(parsed, dict) or parsed.get("kind") != "header":
+            raise ValueError(f"{path}: not a record file (missing header)")
+        if parsed.get("schema") != RECORD_SCHEMA:
+            raise ValueError(
+                f"{path}: record schema {parsed.get('schema')!r} "
+                f"(this reader speaks {RECORD_SCHEMA})"
+            )
+        for line in fh:
+            if not line.strip():
+                continue
+            yield loads(line)

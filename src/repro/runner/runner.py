@@ -55,11 +55,12 @@ import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..analysis.metrics import run_report
 from ..obs import MetricsRegistry
 from ..obs.export import write_json
+from ..results.record import summarize_rows, write_records
 from .shard import QueuePlanner, ShardPlanner
 from .spec import SweepPoint, SweepSpec
 from .store import CampaignStore
@@ -84,6 +85,8 @@ class SweepRunner:
         store: Optional[CampaignStore] = None,
         partial_path: Optional[str] = None,
         partial_every: int = 1,
+        record_path: Optional[str] = None,
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
@@ -101,6 +104,13 @@ class SweepRunner:
         self.store = store
         self.partial_path = partial_path
         self.partial_every = partial_every
+        #: where to render the measurement-record file (None = no sink;
+        #: the report's ``records`` summary is computed either way, so
+        #: enabling the sink never changes report bytes).
+        self.record_path = record_path
+        #: called with a small progress event after every finished point;
+        #: an execution-side channel (like the journal), never reported.
+        self.progress = progress
         #: merged registry from the last :meth:`run`, for render_text etc.
         self.merged_registry: Optional[MetricsRegistry] = None
         #: grid indexes restored from the journal on the last run.
@@ -108,6 +118,8 @@ class SweepRunner:
         #: grid indexes actually executed on the last run.
         self.executed_indexes: List[int] = []
         self._since_partial = 0
+        self._progress_failed = 0
+        self._progress_sim = 0.0
 
     # -- execution paths ------------------------------------------------------
 
@@ -233,11 +245,34 @@ class SweepRunner:
         self.executed_indexes.append(record["index"])
         if self.store is not None:
             self.store.append(record)
+        self._emit_progress(outcomes, record)
         if self.partial_path is not None:
             self._since_partial += 1
             if self._since_partial >= self.partial_every:
                 self._since_partial = 0
                 self._write_partial(outcomes)
+
+    def _emit_progress(self, outcomes: Dict[int, dict], record: dict) -> None:
+        """Feed the live progress channel, if one is attached.
+
+        Execution-side only (like the journal): nothing here may leak
+        into the report, so byte-identity across quiet and chatty runs
+        is trivially preserved.
+        """
+        if record.get("status") != "ok":
+            self._progress_failed += 1
+        else:
+            self._progress_sim += record["params"]["duration"]
+        if self.progress is None:
+            return
+        self.progress({
+            "index": record["index"],
+            "status": record.get("status", "?"),
+            "done": len(outcomes),
+            "total": len(self.spec),
+            "failed": self._progress_failed,
+            "sim_cost": self._progress_sim,
+        })
 
     def _write_partial(self, outcomes: Dict[int, dict]) -> None:
         """Atomically rewrite the in-flight progress document.
@@ -279,11 +314,20 @@ class SweepRunner:
         self.resumed_indexes = []
         self.executed_indexes = []
         self._since_partial = 0
+        self._progress_failed = 0
+        self._progress_sim = 0.0
 
         if self.store is not None and self.store.records:
             done = self.store.done()
             for index in sorted(done):
-                outcomes[index] = self.store.records[index]
+                record = self.store.records[index]
+                outcomes[index] = record
+                # Seed the progress counters so a resumed campaign's live
+                # line starts from where the journal left off.
+                if record.get("status") != "ok":
+                    self._progress_failed += 1
+                else:
+                    self._progress_sim += record["params"]["duration"]
             self.resumed_indexes = sorted(done)
         pending = [p for p in points if p.index not in outcomes]
 
@@ -307,6 +351,8 @@ class SweepRunner:
                 verdicts[verdict] = verdicts.get(verdict, 0) + count
         self.merged_registry = merged
 
+        sink = self._render_records(records, merged, verdicts)
+
         # The campaign is complete: the partial progress document has
         # served its purpose (the report supersedes it).
         if self.partial_path is not None and os.path.exists(self.partial_path):
@@ -321,6 +367,56 @@ class SweepRunner:
                 "ok": len(records) - len(failed),
                 "failed": len(failed),
                 "failed_points": failed,
+                "records": sink,
                 "verdicts": dict(sorted(verdicts.items())),
             },
         }
+
+    def _iter_record_rows(self, records: List[dict]) -> Iterator[dict]:
+        """Stream every measurement-record row in grid order.
+
+        ``records`` is already sorted by grid index and each point's rows
+        carry their in-point ``seq``, so the concatenation is the one
+        canonical row order — the same regardless of worker count,
+        dispatch mode, or how many crash/resume cycles produced the
+        point records.
+        """
+        for record in records:
+            if record.get("status") != "ok":
+                continue
+            for row in record.get("records", ()):
+                yield row
+
+    def _render_records(
+        self,
+        records: List[dict],
+        merged: MetricsRegistry,
+        verdicts: Dict[str, int],
+    ) -> Dict[str, object]:
+        """Write the record file (if a sink is attached) and cross-check.
+
+        The summary is computed whether or not a sink path is set, so the
+        report's bytes never depend on the flag.  ``conserved`` is the
+        observability cross-check: the sink's row count must equal the
+        merged ``measurement_rows_total`` counter (each row was counted
+        exactly once, in the worker where it was born), and the sink's
+        per-verdict histogram must equal the report's verdict summary
+        (every verdict became exactly one row).
+        """
+        rows = self._iter_record_rows(records)
+        if self.record_path is not None:
+            sink = write_records(
+                self.record_path, self.spec.content_hash(), rows
+            )
+        else:
+            sink = summarize_rows(rows)
+        counted = merged.counter(
+            "measurement_rows_total",
+            "measurement-record rows produced",
+            ("technique", "verdict"),
+        ).total()
+        sink["conserved"] = (
+            counted == sink["rows"]
+            and sink["by_verdict"] == dict(sorted(verdicts.items()))
+        )
+        return sink

@@ -24,7 +24,7 @@ from ..core.evaluation import TECHNIQUES
 from ..core.measurement import RetryPolicy
 from ..netsim.impairment import mix_seed
 
-__all__ = ["SweepPoint", "SweepSpec", "TOPOLOGIES", "parse_retry_policy"]
+__all__ = ["SweepPoint", "SweepSpec", "TOPOLOGIES", "VANTAGES", "parse_retry_policy"]
 
 #: Topologies a sweep point can run in.  ``three-node`` is the minimal
 #: client–middlebox–server path (scan-only, cheap — the false-block-curve
@@ -33,6 +33,14 @@ TOPOLOGIES = ("three-node", "censored-as")
 
 #: Techniques the three-node topology supports (no censor, no population).
 THREE_NODE_TECHNIQUES = ("scan",)
+
+#: Vantage-axis values: ``censored`` runs the point inside the censored
+#: AS with the censor enforcing, ``clean`` runs the same point with the
+#: censor disabled — the simulated analogue of measuring from inside vs
+#: outside the censored network.  A spec that lists both gets every
+#: scenario measured from both vantages, which is what the
+#: vantage-differential classifier in :mod:`repro.results` consumes.
+VANTAGES = ("censored", "clean")
 
 
 def parse_retry_policy(name: str, timeout: float = 1.0) -> RetryPolicy:
@@ -77,6 +85,9 @@ class SweepPoint:
     port_count: int
     censored: bool
     cover: int
+    #: vantage-axis value ("censored" | "clean"), or "" for legacy specs
+    #: that pin the condition with the ``censored`` flag alone
+    vantage: str = ""
     #: crash-injection hook for tests/CI: "" (none), "exception", "exit",
     #: or "unpicklable" (the record refuses to cross the pool boundary)
     fail: str = ""
@@ -88,6 +99,23 @@ class SweepPoint:
 
     def retry_policy(self) -> RetryPolicy:
         return parse_retry_policy(self.retry)
+
+    def vantage_name(self) -> str:
+        """The vantage this point measures from (``censored`` | ``clean``).
+
+        Explicit vantage-axis values win; legacy points ("" vantage)
+        derive it from the topology and the ``censored`` flag — a
+        three-node path has no censor anywhere, so it is always clean.
+        """
+        if self.topology == "three-node":
+            return "clean"
+        if self.vantage:
+            return self.vantage
+        return "censored" if self.censored else "clean"
+
+    def effective_censored(self) -> bool:
+        """Whether the censor enforces for this point's run."""
+        return self.topology == "censored-as" and self.vantage_name() == "censored"
 
     def as_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -113,6 +141,12 @@ class SweepSpec:
     topologies: Tuple[str, ...] = ("three-node",)
     loss_rates: Tuple[float, ...] = (0.0,)
     retry_policies: Tuple[str, ...] = ("single-shot",)
+    #: optional vantage axis ("censored" / "clean"); empty keeps the
+    #: legacy single-condition grid controlled by the ``censored`` flag.
+    #: When non-empty it is the fastest-varying axis and overrides
+    #: ``censored`` per point — list both values to get every scenario
+    #: measured from both vantages for differential classification.
+    vantages: Tuple[str, ...] = ()
     #: Gilbert–Elliott mean burst length for lossy points.
     burst: float = 5.0
     #: simulated-seconds budget per point.
@@ -137,6 +171,7 @@ class SweepSpec:
         self.topologies = tuple(self.topologies)
         self.loss_rates = tuple(self.loss_rates)
         self.retry_policies = tuple(self.retry_policies)
+        self.vantages = tuple(self.vantages)
         self.inject_failures = {
             int(index): mode for index, mode in dict(self.inject_failures).items()
         }
@@ -174,6 +209,16 @@ class SweepSpec:
                 raise ValueError(f"loss rate {loss} outside [0, 1)")
         for policy in self.retry_policies:
             parse_retry_policy(policy)  # raises on bad names
+        for vantage in self.vantages:
+            if vantage not in VANTAGES:
+                raise ValueError(
+                    f"unknown vantage {vantage!r} (choose from {VANTAGES})"
+                )
+        if "censored" in self.vantages and "three-node" in self.topologies:
+            raise ValueError(
+                "the 'censored' vantage needs the censored-as topology; "
+                "three-node paths have no censor to enforce"
+            )
         for mode in self.inject_failures.values():
             if mode not in ("exception", "exit", "unpicklable"):
                 raise ValueError(f"unknown fail mode {mode!r}")
@@ -187,22 +232,27 @@ class SweepSpec:
 
     def __len__(self) -> int:
         return (len(self.seeds) * len(self.techniques) * len(self.topologies)
-                * len(self.loss_rates) * len(self.retry_policies))
+                * len(self.loss_rates) * len(self.retry_policies)
+                * max(1, len(self.vantages)))
 
     def points(self) -> List[SweepPoint]:
         """Expand the grid into its canonical ordered point list.
 
         The order is the axes' cartesian product with ``seeds`` slowest
-        and ``retry_policies`` fastest; ``sim_seed`` mixes the base seed,
-        the seed-axis value, and the grid index so every point gets an
-        independent deterministic RNG stream.
+        and ``retry_policies`` fastest (``vantages``, when present, is
+        faster still); ``sim_seed`` mixes the base seed, the seed-axis
+        value, and the grid index so every point gets an independent
+        deterministic RNG stream.  An empty ``vantages`` axis expands to
+        a single legacy point per cell, so pre-existing specs keep their
+        exact grid order and indexes.
         """
         out: List[SweepPoint] = []
         grid = itertools.product(
             self.seeds, self.techniques, self.topologies,
             self.loss_rates, self.retry_policies,
+            self.vantages or ("",),
         )
-        for index, (seed, technique, topology, loss, retry) in enumerate(grid):
+        for index, (seed, technique, topology, loss, retry, vantage) in enumerate(grid):
             out.append(SweepPoint(
                 index=index,
                 sim_seed=mix_seed(self.base_seed, seed, index),
@@ -212,6 +262,7 @@ class SweepSpec:
                 loss=loss,
                 burst=self.burst,
                 retry=retry,
+                vantage=vantage,
                 duration=self.duration,
                 port_count=self.port_count,
                 censored=self.censored,
@@ -231,6 +282,7 @@ class SweepSpec:
             "topologies": list(self.topologies),
             "loss_rates": list(self.loss_rates),
             "retry_policies": list(self.retry_policies),
+            "vantages": list(self.vantages),
             "burst": self.burst,
             "duration": self.duration,
             "port_count": self.port_count,

@@ -38,7 +38,10 @@ from ..obs.export import canonical_json
 __all__ = ["CampaignStore"]
 
 #: Journal schema version; bumped only for incompatible layout changes.
-SCHEMA = 1
+#: 2: point records carry their measurement-record rows (``records``) —
+#: a schema-1 journal would resume into a campaign that silently renders
+#: an empty record file, so it is discarded instead.
+SCHEMA = 2
 
 
 class CampaignStore:

@@ -27,9 +27,11 @@ from ..analysis.metrics import run_report
 from ..core.evaluation import build_environment, technique_factory
 from ..core.measurement import MeasurementContext
 from ..core.results import summarize
+from ..core.risk import assess_risk
 from ..core.scanning import ScanMeasurement, ScanTarget
 from ..netsim import WebServer, build_three_node, burst_loss_profile
 from ..obs import MetricsRegistry, use_registry
+from ..results.record import rows_from_point
 from .spec import SweepPoint
 
 __all__ = ["run_point", "run_shard"]
@@ -56,6 +58,33 @@ def _serialize_results(results) -> List[Dict[str, object]]:
     ]
 
 
+def _record_rows(
+    point: SweepPoint,
+    results: List[Dict[str, object]],
+    registry: MetricsRegistry,
+    censor: str,
+    evaded: Optional[bool],
+) -> List[Dict[str, object]]:
+    """Build the point's measurement-record rows and count them.
+
+    Runs before the registry snapshot is taken, so the
+    ``measurement_rows_total`` counter it bumps rides the merged metrics —
+    that counter's total equaling the record sink's row count is the
+    conservation cross-check the runner's report carries.
+    """
+    rows = rows_from_point(
+        point.as_dict(), results, point.vantage_name(), censor, evaded
+    )
+    counter = registry.counter(
+        "measurement_rows_total",
+        "measurement-record rows produced",
+        ("technique", "verdict"),
+    )
+    for row in rows:
+        counter.inc((row["technique"], row["verdict"]))
+    return rows
+
+
 def _run_three_node(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, object]:
     """The false-block-curve workload: scan a known-open server over an
     (optionally) impaired path with no censor anywhere."""
@@ -73,10 +102,15 @@ def _run_three_node(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, o
     )
     technique.start()
     topo.sim.run(until=topo.sim.now + point.duration)
+    results = _serialize_results(technique.results)
+    # No censor and no MVR anywhere in this topology: censor="none",
+    # evasion not applicable.
+    rows = _record_rows(point, results, registry, censor="none", evaded=None)
     return {
-        "results": _serialize_results(technique.results),
+        "results": results,
         "verdicts": summarize(technique.results),
         "technique_done": technique.done,
+        "records": rows,
         "report": run_report(
             registry=registry, sim=topo.sim, links=topo.network.links
         ),
@@ -85,18 +119,41 @@ def _run_three_node(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, o
 
 def _run_censored_as(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, object]:
     """The Figure-1 workload: one technique inside the full censored AS."""
-    env = build_environment(censored=point.censored, seed=point.sim_seed)
+    censored = point.effective_censored()
+    env = build_environment(censored=censored, seed=point.sim_seed)
     if point.loss > 0.0:
         env.topo.network.impair_all_links(_impairment_profile(point))
     env.ctx.retry_policy = point.retry_policy()
     technique = technique_factory(point.technique, point.cover)(env)
     technique.start()
     env.run(duration=point.duration)
+    results = _serialize_results(technique.results)
+    # Point-level evasion verdict for the record rows: read-only
+    # (run_analyst=False) so probing the risk model never perturbs the
+    # surveillance summary the report already carries.
+    risk = assess_risk(
+        env.surveillance,
+        technique=technique.name,
+        measurer_user=env.topo.measurement_client.user or "measurer",
+        measurer_ip=env.topo.measurement_client.ip,
+        run_analyst=False,
+    )
+    rows = _record_rows(
+        point, results, registry,
+        censor="gfc" if censored else "none",
+        evaded=risk.evaded,
+    )
     return {
-        "results": _serialize_results(technique.results),
+        "results": results,
         "verdicts": summarize(technique.results),
         "technique_done": technique.done,
         "censor_events": len(env.censor.events),
+        "records": rows,
+        "risk": {
+            "attributed_alerts": risk.attributed_alerts,
+            "attribution_confidence": risk.attribution_confidence,
+            "evaded": risk.evaded,
+        },
         "report": run_report(
             registry=registry,
             sim=env.sim,

@@ -103,6 +103,66 @@ class TestHistogram:
         assert h.cumulative_counts(("get",)) == [0, 0]
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self):
+        h = Histogram("lat", "", (), buckets=(0.1, 1.0))
+        assert h.quantile(0.5) is None
+
+    def test_unseen_labels_return_none(self):
+        h = Histogram("lat", "", ("op",), buckets=(0.1,))
+        h.observe(("get",), 0.05)
+        assert h.quantile(0.5, ("put",)) is None
+
+    def test_out_of_range_p_rejected(self):
+        h = Histogram("lat", "", (), buckets=(0.1,))
+        h.observe(value=0.05)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = Histogram("lat", "", (), buckets=(1.0,))
+        for _ in range(4):
+            h.observe(value=0.5)
+        # all mass in [0, 1.0): median interpolates to the bucket midpoint
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_interpolation_across_buckets(self):
+        h = Histogram("lat", "", (), buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            h.observe(value=value)
+        # p=0.5 -> target rank 2 lands at the end of the (1.0, 2.0] bucket's
+        # first observation: 1.0 + (2.0-1.0) * (2-1)/2 = 1.5
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.25) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_error_bounded_by_bucket_width(self):
+        h = Histogram("lat", "", (), buckets=(1.0, 2.0, 4.0, 8.0))
+        values = [0.2, 0.9, 1.1, 1.9, 2.5, 3.9, 5.0, 7.0]
+        for value in values:
+            h.observe(value=value)
+        for p, exact in ((0.25, 0.9), (0.5, 1.9), (0.75, 3.9)):
+            estimate = h.quantile(p)
+            # the documented contract: within one bucket width of truth
+            assert abs(estimate - exact) <= 2.0
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        h = Histogram("lat", "", (), buckets=(1.0,))
+        h.observe(value=50.0)  # lands in the auto-appended inf bucket
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_per_label_series_are_independent(self):
+        h = Histogram("lat", "", ("op",), buckets=(1.0, 10.0))
+        h.observe(("fast",), 0.5)
+        h.observe(("slow",), 5.0)
+        assert h.quantile(1.0, ("fast",)) == pytest.approx(1.0)
+        assert h.quantile(1.0, ("slow",)) > 1.0
+
+
 class TestHistogramExport:
     """Regression: bucket counts were recorded but never exported — the
     text rendering showed only count/sum and no ``_bucket`` lines."""

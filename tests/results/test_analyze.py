@@ -1,0 +1,215 @@
+"""Streaming analysis: classification labels, matrix, curves, quantiles."""
+
+import pytest
+
+from repro.results import RecordAnalysis, analyze_records
+
+
+def row(**overrides):
+    base = dict(
+        attempts=1, censor="gfc", confidence=0.9, evaded=None, latency=0.5,
+        loss=0.0, point=0, reason="", retry="retry-3", seed=0, seq=0,
+        target="facebook.com", technique="scan", topology="censored-as",
+        vantage="censored", verdict="blocked_rst",
+    )
+    base.update(overrides)
+    return base
+
+
+def classify_one(rows, **kwargs):
+    doc = analyze_records(rows, **kwargs)
+    assert len(doc["classification"]) == 1
+    return doc["classification"][0]
+
+
+class TestGroundTruth:
+    def test_blocked_names_are_blocked_only_at_censored_vantage(self):
+        analysis = RecordAnalysis()
+        assert analysis.truly_blocked("facebook.com", "censored") is True
+        assert analysis.truly_blocked("facebook.com", "clean") is False
+
+    def test_control_names_are_open_everywhere(self):
+        analysis = RecordAnalysis()
+        assert analysis.truly_blocked("example.org", "censored") is False
+        assert analysis.truly_blocked("example.org", "clean") is False
+
+    def test_unknown_targets_are_unscored(self):
+        analysis = RecordAnalysis()
+        assert analysis.truly_blocked("mystery.example", "censored") is None
+
+    def test_custom_name_lists_override_defaults(self):
+        analysis = RecordAnalysis(blocked_targets=["weird.example"],
+                                  control_targets=[])
+        assert analysis.truly_blocked("weird.example", "censored") is True
+        assert analysis.truly_blocked("facebook.com", "censored") is None
+
+
+class TestClassification:
+    def test_blocked_at_censored_open_at_clean_is_censored(self):
+        entry = classify_one([
+            row(vantage="censored", verdict="blocked_rst"),
+            row(vantage="clean", censor="none", verdict="accessible", point=1),
+        ])
+        assert entry["classification"] == "censored"
+        assert entry["confidence"] == 1.0
+
+    def test_open_everywhere_is_accessible(self):
+        entry = classify_one([
+            row(vantage="censored", verdict="accessible"),
+            row(vantage="clean", censor="none", verdict="accessible", point=1),
+        ])
+        assert entry["classification"] == "accessible"
+
+    def test_blocked_at_both_vantages_is_path_anomaly(self):
+        entry = classify_one([
+            row(vantage="censored", verdict="blocked_timeout"),
+            row(vantage="clean", censor="none", verdict="blocked_timeout",
+                point=1),
+        ])
+        assert entry["classification"] == "path-anomaly"
+
+    def test_open_at_censored_blocked_at_clean_is_inconsistent(self):
+        entry = classify_one([
+            row(vantage="censored", verdict="accessible"),
+            row(vantage="clean", censor="none", verdict="blocked_timeout",
+                point=1),
+        ])
+        assert entry["classification"] == "inconsistent"
+
+    def test_censored_vantage_alone_is_unconfirmed(self):
+        entry = classify_one([row(vantage="censored", verdict="blocked_rst")])
+        assert entry["classification"] == "unconfirmed-censored"
+        assert "clean" not in entry
+
+    def test_clean_vantage_alone_blocked_is_path_anomaly(self):
+        entry = classify_one([
+            row(vantage="clean", censor="none", verdict="blocked_timeout"),
+        ])
+        assert entry["classification"] == "path-anomaly"
+
+    def test_all_inconclusive_is_inconclusive(self):
+        entry = classify_one([
+            row(verdict="inconclusive"),
+            row(vantage="clean", verdict="inconclusive", point=1),
+        ])
+        assert entry["classification"] == "inconclusive"
+        assert entry["confidence"] == 0.0
+
+    def test_confidence_is_rows_weighted_agreement(self):
+        entry = classify_one([
+            row(verdict="blocked_rst", point=0),
+            row(verdict="blocked_rst", point=1),
+            row(verdict="accessible", point=2),
+            row(vantage="clean", censor="none", verdict="accessible", point=3),
+        ])
+        assert entry["classification"] == "censored"
+        # censored vantage: 2/3 agreement over 3 rows; clean: 1/1 over 1
+        assert entry["confidence"] == pytest.approx((2 / 3 * 3 + 1) / 4)
+
+    def test_per_vantage_stats_are_reported(self):
+        entry = classify_one([
+            row(verdict="blocked_rst"),
+            row(verdict="inconclusive", point=1),
+            row(vantage="clean", censor="none", verdict="accessible", point=2),
+        ])
+        assert entry["censored"] == {
+            "rows": 2, "blocked": 1, "accessible": 0, "inconclusive": 1,
+            "mean_confidence": 0.9,
+        }
+        assert entry["clean"]["rows"] == 1
+
+
+class TestMatrix:
+    def test_detects_is_recall_over_blocked_ground_truth(self):
+        doc = analyze_records([
+            row(target="facebook.com", verdict="blocked_rst"),
+            row(target="twitter.com", verdict="accessible", point=1),
+        ])
+        assert doc["matrix"]["scan"]["detects"] == pytest.approx(0.5)
+
+    def test_detects_none_without_blocked_ground_truth(self):
+        doc = analyze_records([
+            row(target="example.org", verdict="accessible"),
+        ])
+        assert doc["matrix"]["scan"]["detects"] is None
+
+    def test_false_block_rate_over_open_ground_truth(self):
+        doc = analyze_records([
+            row(target="example.org", verdict="blocked_timeout"),
+            row(target="wikipedia.org", verdict="accessible", point=1),
+        ])
+        assert doc["matrix"]["scan"]["false_block_rate"] == pytest.approx(0.5)
+
+    def test_evasion_aggregates_point_level_stamps_once_per_point(self):
+        doc = analyze_records([
+            row(evaded=True, point=0, seq=0),
+            row(evaded=True, point=0, seq=1, target="twitter.com"),
+            row(evaded=False, point=1, seq=0),
+        ])
+        # two points with MVR data, one evaded: seq>0 rows must not vote
+        assert doc["matrix"]["scan"]["evasion"] == pytest.approx(0.5)
+
+    def test_evasion_none_without_mvr_data(self):
+        doc = analyze_records([row(evaded=None)])
+        assert doc["matrix"]["scan"]["evasion"] is None
+
+    def test_unknown_targets_do_not_enter_the_confusion(self):
+        doc = analyze_records([
+            row(target="mystery.example", verdict="blocked_rst"),
+        ])
+        assert doc["matrix"]["scan"]["scored"] == 0
+
+
+class TestCurvesAndLatency:
+    def test_curves_keyed_by_technique_retry_sorted_by_loss(self):
+        doc = analyze_records([
+            row(target="example.org", loss=0.05, verdict="blocked_timeout"),
+            row(target="example.org", loss=0.0, verdict="accessible", point=1),
+        ])
+        assert doc["false_block_curves"]["scan"]["retry-3"] == [
+            [0.0, 0.0, 1], [0.05, 1.0, 1],
+        ]
+
+    def test_cells_without_open_rows_are_skipped(self):
+        doc = analyze_records([
+            row(target="facebook.com", verdict="blocked_rst"),
+        ])
+        assert doc["false_block_curves"] == {}
+
+    def test_latency_quantiles_per_technique(self):
+        doc = analyze_records([
+            row(latency=0.02), row(latency=0.3, point=1),
+            row(latency=2.0, point=2),
+        ])
+        latency = doc["latency"]["scan"]
+        assert latency["count"] == 3
+        assert 0.0 < latency["p50"] <= 0.5
+        assert latency["p99"] <= 5.0
+
+
+class TestDocument:
+    def test_points_counts_seq_zero_rows_only(self):
+        doc = analyze_records([
+            row(point=0, seq=0), row(point=0, seq=1, target="t2"),
+            row(point=1, seq=0),
+        ])
+        assert doc["rows"] == 3
+        assert doc["points"] == 2
+
+    def test_by_verdict_and_tally_are_sorted(self):
+        doc = analyze_records([
+            row(verdict="blocked_rst"),
+            row(vantage="clean", censor="none", verdict="accessible", point=1),
+            row(target="example.org", verdict="accessible", point=2),
+            row(target="example.org", vantage="clean", censor="none",
+                verdict="accessible", point=3),
+        ])
+        assert list(doc["by_verdict"]) == sorted(doc["by_verdict"])
+        assert doc["classification_tally"] == {"accessible": 1, "censored": 1}
+
+    def test_empty_stream_yields_empty_document(self):
+        doc = analyze_records([])
+        assert doc["rows"] == 0
+        assert doc["classification"] == []
+        assert doc["matrix"] == {}
+        assert doc["latency"] == {}

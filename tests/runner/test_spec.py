@@ -100,6 +100,71 @@ class TestSweepSpecGrid:
             SweepSpec.from_mapping({"name": "x", "warp_factor": 9})
 
 
+class TestVantageAxis:
+    def _spec(self, **overrides):
+        params = dict(
+            name="v", base_seed=3, seeds=(0, 1),
+            topologies=("censored-as",),
+            retry_policies=("single-shot",),
+        )
+        params.update(overrides)
+        return SweepSpec(**params)
+
+    def test_empty_vantages_keeps_legacy_grid(self):
+        legacy = self._spec()
+        assert len(legacy) == 2
+        assert all(p.vantage == "" for p in legacy.points())
+
+    def test_vantages_multiply_the_grid_as_fastest_axis(self):
+        spec = self._spec(vantages=("censored", "clean"))
+        points = spec.points()
+        assert len(points) == 4
+        assert [p.vantage for p in points] == [
+            "censored", "clean", "censored", "clean",
+        ]
+
+    def test_unknown_vantage_rejected(self):
+        with pytest.raises(ValueError, match="unknown vantage"):
+            self._spec(vantages=("sideways",))
+
+    def test_censored_vantage_needs_censored_as_topology(self):
+        with pytest.raises(ValueError, match="censored-as"):
+            SweepSpec(topologies=("three-node",),
+                      vantages=("censored", "clean"))
+
+    def test_vantage_name_prefers_the_axis_value(self):
+        spec = self._spec(vantages=("clean",), censored=True)
+        (p1, p2) = spec.points()
+        assert p1.vantage_name() == "clean"
+        assert not p1.effective_censored()
+        assert not p2.effective_censored()
+
+    def test_legacy_vantage_name_follows_censored_flag(self):
+        censored_pt = self._spec(censored=True).points()[0]
+        open_pt = self._spec(censored=False).points()[0]
+        assert censored_pt.vantage_name() == "censored"
+        assert censored_pt.effective_censored()
+        assert open_pt.vantage_name() == "clean"
+        assert not open_pt.effective_censored()
+
+    def test_three_node_is_always_the_clean_vantage(self):
+        point = SweepSpec(seeds=(0,)).points()[0]
+        assert point.topology == "three-node"
+        assert point.vantage_name() == "clean"
+        assert not point.effective_censored()
+
+    def test_vantages_change_the_content_hash(self):
+        assert (self._spec().content_hash()
+                != self._spec(vantages=("censored", "clean")).content_hash())
+
+    def test_vantage_round_trips_through_dicts(self):
+        spec = self._spec(vantages=("censored", "clean"))
+        clone = SweepSpec.from_mapping(spec.as_dict())
+        assert clone.points() == spec.points()
+        point = spec.points()[1]
+        assert SweepPoint.from_dict(point.as_dict()) == point
+
+
 class TestSpecLoading:
     def test_load_json(self, tmp_path):
         path = tmp_path / "grid.json"

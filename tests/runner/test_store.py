@@ -27,7 +27,7 @@ class TestJournalFormat:
         (header,) = [json.loads(line) for line in read_lines(path)]
         assert header["kind"] == "header"
         assert header["spec_hash"] == HASH
-        assert header["schema"] == 1
+        assert header["schema"] == 2
 
     def test_append_writes_canonical_point_lines(self, tmp_path):
         path = str(tmp_path / "c.journal.jsonl")
