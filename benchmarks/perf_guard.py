@@ -591,6 +591,22 @@ def _bench_report_stream_1e5_rows() -> tuple:
     return lambda: analyze_records(iter_rows(path)), count, "rows", 1
 
 
+def _bench_censor_dispatch() -> tuple:
+    """Registry indirection on the censors-axis sweep path.
+
+    A censors-axis sweep pays exactly one ``build_censor`` dispatch per
+    point: name lookup in the family registry, kwarg forwarding, family
+    construction.  Measured on the leanest family so the number isolates
+    the registry machinery rather than the GFC's rule-engine build (which
+    predates the registry and is priced by the rule-engine benches).
+    ``--check`` pins the ratio against ``sweep_serial_grid16``: one
+    dispatch must stay under ``DISPATCH_BUDGET`` (2%) of a sweep point.
+    """
+    from repro.censor import build_censor
+
+    return lambda: [build_censor("geoblocker") for _ in range(200)], 200, "builds", 1
+
+
 def _bench_simulator_events() -> tuple:
     def batch():
         sim = Simulator()
@@ -629,9 +645,25 @@ HOT_PATHS = {
     "sweep_workers4_grid16": _bench_sweep_workers4_grid16,
     "sweep_stealing_grid16": _bench_sweep_stealing_grid16,
     "sweep_resume_grid16": _bench_sweep_resume_grid16,
+    "censor_dispatch": _bench_censor_dispatch,
     "record_sink_write": _bench_record_sink_write,
     "report_stream_1e5_rows": _bench_report_stream_1e5_rows,
 }
+
+DISPATCH_BUDGET = 0.02  # one censor dispatch may add at most 2% to a sweep point
+
+
+def dispatch_share(current: dict):
+    """Fraction of one grid16 sweep point spent on one censor dispatch.
+
+    A same-run ratio, so unlike the absolute baselines it is meaningful
+    on any machine: both numbers move together with host speed.
+    """
+    grid = current.get("sweep_serial_grid16", {}).get("ops_per_sec", 0)
+    dispatch = current.get("censor_dispatch", {}).get("ops_per_sec", 0)
+    if not grid or not dispatch:
+        return None
+    return grid / dispatch
 
 
 def run_all(min_seconds: float = MIN_SECONDS) -> dict:
@@ -701,6 +733,15 @@ def main(argv=None) -> int:
             status = 1
         else:
             print(f"\nok: all hot paths within {args.tolerance:.0%} of baseline")
+        share = dispatch_share(current)
+        if share is not None:
+            if share > DISPATCH_BUDGET:
+                print(f"REGRESSION: censor dispatch is {share:.2%} of a grid16 "
+                      f"sweep point (budget {DISPATCH_BUDGET:.0%})")
+                status = 1
+            else:
+                print(f"ok: censor dispatch is {share:.3%} of a grid16 sweep "
+                      f"point (budget {DISPATCH_BUDGET:.0%})")
 
     if args.update:
         payload = {

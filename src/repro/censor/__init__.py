@@ -1,13 +1,29 @@
-"""Reference censorship system (Great Firewall of China model)."""
+"""Censorship systems: the GFC reference model plus a registry of
+pluggable censor families (see :mod:`.registry`)."""
 
 from .actions import craft_block_page, craft_poisoned_response, craft_rst_pair
-from .gfw import CensorEvent, GreatFirewall
+from .families import BidirectionalResidualCensor, GeoBlocker, ThrottlingCensor
+from .gfw import GreatFirewall
 from .policy import CensorshipPolicy
+from .registry import (
+    CensorEvent,
+    CensorModel,
+    build_censor,
+    censor_families,
+    register_censor,
+)
 
 __all__ = [
+    "BidirectionalResidualCensor",
     "CensorEvent",
+    "CensorModel",
     "CensorshipPolicy",
+    "GeoBlocker",
     "GreatFirewall",
+    "ThrottlingCensor",
+    "build_censor",
+    "censor_families",
+    "register_censor",
     "craft_block_page",
     "craft_poisoned_response",
     "craft_rst_pair",

@@ -16,36 +16,24 @@ ground truth for the accuracy criterion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from ..netsim.middlebox import Action, Middlebox, TapContext
-from ..packets import DNSMessage, IPPacket, flow_of
+from ..netsim.middlebox import Action, TapContext
+from ..packets import DNSMessage, IPPacket, QTYPE_A, QTYPE_MX, flow_of
 from ..rules import DEFAULT_VARIABLES, RuleEngine
 from ..rules.rulesets import censor_ruleset_text
 from .actions import craft_block_page, craft_poisoned_response, craft_rst_pair
 from .policy import CensorshipPolicy
+from .registry import CensorEvent, CensorModel, register_censor
 
 __all__ = ["CensorEvent", "GreatFirewall"]
 
 DNS_PORT = 53
 
 
-@dataclass
-class CensorEvent:
-    """Ground-truth record of one enforcement action."""
-
-    time: float
-    mechanism: str  # "keyword" | "http_host" | "dns" | "ip" | "residual"
-    src: str
-    dst: str
-    detail: str
-
-
-class GreatFirewall(Middlebox):
+@register_censor("gfc", provenance="paper Section 2.1 (GFC reference model)")
+class GreatFirewall(CensorModel):
     """The censor tap; attach to a forwarding node with ``add_tap``."""
-
-    name = "censor"
 
     def __init__(
         self,
@@ -55,7 +43,7 @@ class GreatFirewall(Middlebox):
         overlap_policy: str = "first",
         prefilter: str = "auto",
     ) -> None:
-        self.policy = policy if policy is not None else CensorshipPolicy()
+        super().__init__(policy)
         self._variables = dict(variables or DEFAULT_VARIABLES)
         #: Literal-prefilter strategy for the signature engine (see
         #: ``RuleEngine``); "auto" means the ruleset-wide multipattern
@@ -70,7 +58,6 @@ class GreatFirewall(Middlebox):
         self.stream_depth = stream_depth
         #: Overlap resolution ("first" or "last") — see StreamReassembler.
         self.overlap_policy = overlap_policy
-        self.events: List[CensorEvent] = []
         self.rst_injections = 0
         self.dns_injections = 0
         self.ip_drops = 0
@@ -100,7 +87,7 @@ class GreatFirewall(Middlebox):
 
     def set_policy(self, policy: CensorshipPolicy) -> None:
         """Swap policy (and rebuild signatures) — the evaluation's toggle."""
-        self.policy = policy
+        super().set_policy(policy)
         self._engine = self._build_engine()
 
     # -- tap entry point -----------------------------------------------------------
@@ -129,7 +116,15 @@ class GreatFirewall(Middlebox):
                 self._record(ctx.now, "ip", packet, f"null-route {packet.dst}")
                 return Action.DROP
         if self.policy.ip_blocking and packet.tcp is None:
-            if packet.dst in self.policy.blocked_ips:
+            # UDP gets the same port-granular endpoint check as TCP: a
+            # blocked resolver at (ip, 53) must not answer datagrams any
+            # more than it accepts connections.
+            if packet.udp is not None:
+                if self.policy.endpoint_is_blocked(packet.dst, packet.udp.dport):
+                    self.ip_drops += 1
+                    self._record(ctx.now, "ip", packet, f"null-route {packet.dst}")
+                    return Action.DROP
+            elif packet.dst in self.policy.blocked_ips:
                 self.ip_drops += 1
                 self._record(ctx.now, "ip", packet, f"null-route {packet.dst}")
                 return Action.DROP
@@ -203,6 +198,10 @@ class GreatFirewall(Middlebox):
         question = query.question
         if question is None or query.is_response:
             return
+        # The measured GFC forges answers for A and MX lookups only
+        # (paper Section 3.2.3); AAAA/TXT/NS queries pass unpoisoned.
+        if question.qtype not in (QTYPE_A, QTYPE_MX):
+            return
         if not self.policy.domain_is_blocked(question.name):
             return
         forged = craft_poisoned_response(packet, query, self.policy.poison_ip)
@@ -236,20 +235,10 @@ class GreatFirewall(Middlebox):
             ctx.inject(injected, tag=self.name)
         self.rst_injections += 1
 
-    def _record(self, now: float, mechanism: str, packet: IPPacket, detail: str) -> None:
-        self.events.append(
-            CensorEvent(
-                time=now, mechanism=mechanism, src=packet.src, dst=packet.dst, detail=detail
-            )
-        )
-
     # -- introspection -------------------------------------------------------------------
 
-    def events_by_mechanism(self, mechanism: str) -> List[CensorEvent]:
-        return [event for event in self.events if event.mechanism == mechanism]
-
     def reset_counters(self) -> None:
-        self.events.clear()
+        super().reset_counters()
         self.rst_injections = 0
         self.dns_injections = 0
         self.ip_drops = 0

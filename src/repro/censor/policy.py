@@ -54,6 +54,23 @@ class CensorshipPolicy:
     #: The forged A-record address injected for poisoned queries.
     poison_ip: str = "8.7.198.45"
 
+    def __post_init__(self) -> None:
+        self.normalize()
+
+    def normalize(self) -> "CensorshipPolicy":
+        """Canonicalize ``blocked_domains`` entries in place.
+
+        Matching normalizes the *queried* name (lowercase, no trailing
+        dot); entries must be normalized the same way or a policy listing
+        ``"Facebook.com"`` or ``"example.com."`` never matches anything.
+        Runs at construction and again whenever a censor adopts the
+        policy (``set_policy``), since callers may append entries later.
+        """
+        self.blocked_domains = [
+            domain.rstrip(".").lower() for domain in self.blocked_domains
+        ]
+        return self
+
     def enabled(self) -> bool:
         """Whether any mechanism is active."""
         return (

@@ -1,0 +1,161 @@
+"""The censor-model registry: pluggable censor families behind one contract.
+
+The paper's evaluation harness originally hard-wired one censor — the
+GFC-style keyword/RST/DNS-poison middlebox.  The ROADMAP's "which safety
+technique survives which censor family" question needs more than that
+model, and the measurement literature documents concretely different
+enforcement styles (bidirectional residual blocking in Turkmenistan,
+throttling-as-censorship, prefix-scoped geoblocking).  This module makes
+the censor a named, swappable component:
+
+- :class:`CensorModel` is the contract every family implements: the
+  :class:`~repro.netsim.middlebox.Middlebox` tap interface (PASS/DROP a
+  transiting packet, inject forged packets via the tap context) plus a
+  :class:`CensorEvent` ground-truth log the accuracy criterion scores
+  against and a :class:`~.policy.CensorshipPolicy` that carries *what*
+  to block (each family decides *how*).  A disabled policy must make
+  every family inert — that is what the clean vantage relies on.
+- :func:`register_censor` registers a family under a stable name.
+- :func:`build_censor` instantiates a family by name; unknown names
+  raise immediately with the list of known families, so a sweep spec
+  naming a typo'd censor fails at load time, not mid-campaign.
+
+Families are compared by sweeping the same technique × vantage grid
+against each name (the ``censors`` axis in
+:class:`~repro.runner.spec.SweepSpec`), so a family's constructor must
+be deterministic: seeded state only, no global RNG, no wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from ..netsim.middlebox import Action, Middlebox, TapContext
+from ..packets import IPPacket
+from .policy import CensorshipPolicy
+
+__all__ = [
+    "CensorEvent",
+    "CensorModel",
+    "register_censor",
+    "build_censor",
+    "censor_families",
+]
+
+
+@dataclass
+class CensorEvent:
+    """Ground-truth record of one enforcement action."""
+
+    time: float
+    # "keyword" | "http_host" | "dns" | "ip" | "residual" | "throttle" | "geo"
+    mechanism: str
+    src: str
+    dst: str
+    detail: str
+
+
+class CensorModel(Middlebox):
+    """Base class for censor families: tap contract + ground-truth log.
+
+    Subclasses implement :meth:`process` (the
+    :class:`~repro.netsim.middlebox.Middlebox` entry point) and call
+    :meth:`_record` for every enforcement so evaluations can score
+    accuracy against what the censor actually did.  The policy is the
+    *what* (names, keywords, addresses, toggles); the family is the
+    *how* (resets, poisoning, shaping, silent drops).
+    """
+
+    name = "censor"
+    #: Registry name, stamped by :func:`register_censor`.
+    family = ""
+    #: Citation for the measured behaviour the family reproduces, where
+    #: one exists (e.g. an arXiv identifier) — shown in docs and listings.
+    provenance = ""
+
+    def __init__(self, policy: Optional[CensorshipPolicy] = None) -> None:
+        self.policy = (
+            policy if policy is not None else CensorshipPolicy()
+        ).normalize()
+        self.events: List[CensorEvent] = []
+
+    def process(self, packet: IPPacket, ctx: TapContext) -> Action:
+        raise NotImplementedError
+
+    def set_policy(self, policy: CensorshipPolicy) -> None:
+        """Swap the policy the family enforces (the evaluation's toggle)."""
+        self.policy = policy.normalize()
+
+    # -- ground truth --------------------------------------------------------
+
+    def _record(self, now: float, mechanism: str, packet: IPPacket, detail: str) -> None:
+        self.events.append(
+            CensorEvent(
+                time=now, mechanism=mechanism, src=packet.src, dst=packet.dst,
+                detail=detail,
+            )
+        )
+
+    def events_by_mechanism(self, mechanism: str) -> List[CensorEvent]:
+        return [event for event in self.events if event.mechanism == mechanism]
+
+    def reset_counters(self) -> None:
+        """Clear the event log and any per-run counters/state."""
+        self.events.clear()
+
+
+#: name -> family class; populated by :func:`register_censor` at import
+#: time (the package ``__init__`` imports every built-in family module).
+CENSOR_FAMILIES: Dict[str, Type[CensorModel]] = {}
+
+
+def register_censor(
+    name: str, provenance: str = ""
+) -> Callable[[Type[CensorModel]], Type[CensorModel]]:
+    """Class decorator: register a :class:`CensorModel` under ``name``."""
+
+    def decorate(cls: Type[CensorModel]) -> Type[CensorModel]:
+        if not (isinstance(cls, type) and issubclass(cls, CensorModel)):
+            raise TypeError(
+                f"@register_censor({name!r}) needs a CensorModel subclass, "
+                f"got {cls!r}"
+            )
+        existing = CENSOR_FAMILIES.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"censor family {name!r} already registered by "
+                f"{existing.__qualname__}"
+            )
+        cls.family = name
+        if provenance:
+            cls.provenance = provenance
+        CENSOR_FAMILIES[name] = cls
+        return cls
+
+    return decorate
+
+
+def censor_families() -> Tuple[str, ...]:
+    """The registered family names, sorted for stable listings/errors."""
+    return tuple(sorted(CENSOR_FAMILIES))
+
+
+def build_censor(
+    name: str, policy: Optional[CensorshipPolicy] = None, **params: object
+) -> CensorModel:
+    """Instantiate the censor family registered as ``name``.
+
+    Extra keyword ``params`` go straight to the family constructor
+    (each family documents its own knobs).  Unknown names raise a
+    :class:`ValueError` naming the known families — the same
+    fail-at-load contract sweep specs use for unknown keys.
+    """
+    try:
+        cls = CENSOR_FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown censor family {name!r} "
+            f"(choose from {censor_families()})"
+        ) from None
+    return cls(policy=policy, **params)

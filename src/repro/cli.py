@@ -23,6 +23,7 @@ from .analysis import (
     load_comparison,
     render_table,
 )
+from .censor import censor_families
 from .core import (
     DDoSMeasurement,
     OvertHTTPMeasurement,
@@ -79,7 +80,8 @@ def cmd_matrix(args: argparse.Namespace) -> int:
 
 
 def cmd_vantage(args: argparse.Namespace) -> int:
-    env = build_environment(censored=not args.open, seed=args.seed)
+    env = build_environment(censored=not args.open, seed=args.seed,
+                            censor=args.censor)
     domains = args.domains or list(BLOCKED_TARGETS_FULL)[:5] + CONTROL_TARGETS_FULL[:2]
     observations = {}
     for domain in domains:
@@ -110,7 +112,7 @@ def cmd_vantage(args: argparse.Namespace) -> int:
 
 
 def cmd_risk(args: argparse.Namespace) -> int:
-    env = build_environment(censored=True, seed=args.seed)
+    env = build_environment(censored=True, seed=args.seed, censor=args.censor)
     env.surveillance.analyst.escalation_threshold = args.threshold
     technique = _technique_factory(args.technique, args.cover)(env)
     technique.start()
@@ -143,7 +145,8 @@ def cmd_risk(args: argparse.Namespace) -> int:
 def cmd_deck(args: argparse.Namespace) -> int:
     from .core.platform import MeasurementPlatform
 
-    env = build_environment(censored=not args.open, seed=args.seed)
+    env = build_environment(censored=not args.open, seed=args.seed,
+                            censor=args.censor)
     platform = MeasurementPlatform(env, posture=args.posture, cover_size=args.cover)
     domains = args.domains or list(BLOCKED_TARGETS_FULL)[:5] + CONTROL_TARGETS_FULL[:2]
     report = platform.run_deck(domains, duration=args.duration)
@@ -179,7 +182,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     categories = set(args.categories) if args.categories else None
     tracer = Tracer(categories=categories)
     with use_registry(registry), use_tracer(tracer):
-        env = build_environment(censored=not args.open, seed=args.seed)
+        env = build_environment(censored=not args.open, seed=args.seed,
+                                censor=args.censor)
         tracer.bind_clock(lambda: env.sim.now)
         technique = _technique_factory(args.technique, args.cover)(env)
         technique.start()
@@ -463,12 +467,16 @@ def build_parser() -> argparse.ArgumentParser:
     vantage.add_argument("--seed", type=int, default=0)
     vantage.add_argument("--duration", type=float, default=30.0)
     vantage.add_argument("--open", action="store_true", help="disable the censor")
+    vantage.add_argument("--censor", choices=censor_families(), default="gfc",
+                         help="censor-model family at the border (default: gfc)")
     vantage.add_argument("--domains", nargs="*", help="domains to probe")
     vantage.set_defaults(func=cmd_vantage)
 
     risk = sub.add_parser("risk", help="run one technique and assess measurer risk",
                           parents=[common])
     risk.add_argument("--technique", choices=TECHNIQUES, default="spam")
+    risk.add_argument("--censor", choices=censor_families(), default="gfc",
+                      help="censor-model family at the border (default: gfc)")
     risk.add_argument("--seed", type=int, default=0)
     risk.add_argument("--duration", type=float, default=90.0)
     risk.add_argument("--cover", type=int, default=11)
@@ -485,6 +493,8 @@ def build_parser() -> argparse.ArgumentParser:
     deck.add_argument("--duration", type=float, default=120.0)
     deck.add_argument("--cover", type=int, default=11)
     deck.add_argument("--open", action="store_true", help="disable the censor")
+    deck.add_argument("--censor", choices=censor_families(), default="gfc",
+                      help="censor-model family at the border (default: gfc)")
     deck.add_argument("--domains", nargs="*")
     deck.add_argument("--json", action="store_true",
                       help="also print the full JSON campaign document")
@@ -499,6 +509,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duration", type=float, default=90.0)
     trace.add_argument("--cover", type=int, default=11)
     trace.add_argument("--open", action="store_true", help="disable the censor")
+    trace.add_argument("--censor", choices=censor_families(), default="gfc",
+                       help="censor-model family at the border (default: gfc)")
     trace.add_argument("--out", default="run", metavar="PREFIX",
                        help="output prefix (PREFIX.trace.json / .trace.jsonl / .metrics.json)")
     trace.add_argument("--categories", nargs="*", metavar="CAT",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..censor import CensorshipPolicy, GreatFirewall
+from ..censor import CensorModel, CensorshipPolicy, build_censor
 from ..netsim.topology import CensoredASTopology, build_censored_as
 from ..surveillance import AttributionEngine, SurveillanceSystem
 from ..traffic.mix import PopulationMix, install_standard_servers
@@ -51,7 +51,7 @@ class Environment:
     """A fully wired evaluation environment."""
 
     topo: CensoredASTopology
-    censor: GreatFirewall
+    censor: CensorModel
     surveillance: SurveillanceSystem
     servers: Dict[str, object]
     ctx: MeasurementContext
@@ -82,11 +82,17 @@ def build_environment(
     policy: Optional[CensorshipPolicy] = None,
     sav_filter=None,
     resolver_in_as: bool = False,
+    censor: str = "gfc",
+    censor_params: Optional[Dict[str, object]] = None,
 ) -> Environment:
     """Stand up the full reference environment.
 
     ``censored`` toggles the censor policy (the evaluation's control knob);
-    an explicit ``policy`` overrides the toggle.  ``resolver_in_as``
+    an explicit ``policy`` overrides the toggle.  ``censor`` names the
+    censor-model family to attach (see
+    :func:`repro.censor.build_censor`; ``censor_params`` go to its
+    constructor) — a disabled policy makes every family inert, so the
+    clean condition is family-independent by contract.  ``resolver_in_as``
     interposes a caching recursive resolver inside the AS (the common ISP
     deployment): client DNS then never crosses the border, and poisoned
     upstream answers are cached for everyone.
@@ -94,7 +100,7 @@ def build_environment(
     topo = build_censored_as(seed=seed, population_size=population_size, sav_filter=sav_filter)
     if policy is None:
         policy = CensorshipPolicy() if censored else CensorshipPolicy.disabled()
-    censor = GreatFirewall(policy=policy)
+    censor_tap = build_censor(censor, policy=policy, **(censor_params or {}))
     surveillance = SurveillanceSystem(
         attribution=AttributionEngine.from_network(topo.network)
     )
@@ -102,7 +108,7 @@ def build_environment(
     # MVR is attached first so it observes traffic even when the censor
     # subsequently drops it.
     topo.border_router.add_tap(surveillance)
-    topo.border_router.add_tap(censor)
+    topo.border_router.add_tap(censor_tap)
 
     servers = install_standard_servers(topo)
     mimicry_server = MimicryServer(
@@ -135,7 +141,7 @@ def build_environment(
 
     return Environment(
         topo=topo,
-        censor=censor,
+        censor=censor_tap,
         surveillance=surveillance,
         servers=servers,
         ctx=ctx,

@@ -113,6 +113,11 @@ class RecordAnalysis:
         self._tech: Dict[str, Dict[str, float]] = {}
         #: technique -> overall confusion (accuracy column)
         self._tech_confusion: Dict[str, ConfusionCounts] = {}
+        #: (censor family, technique) -> aggregate counters, fed only by
+        #: rows where a censor model actually enforced (censor != "none")
+        self._censor_tech: Dict[Tuple[str, str], Dict[str, float]] = {}
+        #: (censor family, technique) -> confusion for the same rows
+        self._censor_confusion: Dict[Tuple[str, str], ConfusionCounts] = {}
         #: one shared histogram, labeled by technique
         self._latency = Histogram(
             "verdict_latency", "sim-time to verdict", ("technique",),
@@ -174,6 +179,19 @@ class RecordAnalysis:
                 tech["evasion_points"] += 1
                 tech["evaded_points"] += int(bool(row["evaded"]))
 
+        censor = row.get("censor", "none")
+        if censor and censor != "none":
+            ct = self._censor_tech.setdefault((censor, technique), {
+                "rows": 0, "points": 0,
+                "evaded_points": 0, "evasion_points": 0,
+            })
+            ct["rows"] += 1
+            if row["seq"] == 0:
+                ct["points"] += 1
+                if row.get("evaded") is not None:
+                    ct["evasion_points"] += 1
+                    ct["evaded_points"] += int(bool(row["evaded"]))
+
         self._latency.observe((technique,), row["latency"])
 
         truth = self.truly_blocked(target, vantage)
@@ -182,7 +200,14 @@ class RecordAnalysis:
                 (technique, row["retry"], row["loss"]), ConfusionCounts()
             )
             overall = self._tech_confusion.setdefault(technique, ConfusionCounts())
-            for counts in (cell, overall):
+            counts_list = [cell, overall]
+            if censor and censor != "none":
+                counts_list.append(
+                    self._censor_confusion.setdefault(
+                        (censor, technique), ConfusionCounts()
+                    )
+                )
+            for counts in counts_list:
                 if inconclusive:
                     counts.inconclusive += 1
                 elif truth and blocked:
@@ -283,6 +308,42 @@ class RecordAnalysis:
             }
         return out
 
+    def censor_matrix(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Per-censor accuracy/evasion matrix:
+        ``censor family -> technique -> cells``.
+
+        Built only from rows where a censor model enforced
+        (``censor != "none"``): detection rate over ground-truth-blocked
+        targets, accuracy, false-block rate, and MVR evasion recovered
+        from the point-level ``evaded`` stamps — the "which technique
+        survives which censor family" view.  Empty for campaigns that
+        never ran a censored vantage.
+        """
+        out: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for (censor, technique) in sorted(self._censor_tech):
+            ct = self._censor_tech[(censor, technique)]
+            confusion = self._censor_confusion.get(
+                (censor, technique), ConfusionCounts()
+            )
+            detects = (
+                confusion.recall
+                if confusion.true_positive + confusion.false_negative else None
+            )
+            evasion = (
+                ct["evaded_points"] / ct["evasion_points"]
+                if ct["evasion_points"] else None
+            )
+            out.setdefault(censor, {})[technique] = {
+                "rows": ct["rows"],
+                "points": ct["points"],
+                "detects": None if detects is None else round(detects, 6),
+                "accuracy": round(confusion.accuracy, 6),
+                "false_block_rate": round(confusion.false_block_rate, 6),
+                "evasion": None if evasion is None else round(evasion, 6),
+                "scored": confusion.total,
+            }
+        return out
+
     def false_block_curves(self) -> Dict[str, Dict[str, List[List[object]]]]:
         """``technique -> retry -> [[loss, false_block_rate, open_rows]]``.
 
@@ -332,6 +393,7 @@ class RecordAnalysis:
             "classification": classification,
             "classification_tally": dict(sorted(tally.items())),
             "matrix": self.matrix(),
+            "censor_matrix": self.censor_matrix(),
             "false_block_curves": self.false_block_curves(),
             "latency": self.latency_summary(),
         }

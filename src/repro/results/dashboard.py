@@ -273,6 +273,13 @@ def render_dashboard(
         for technique, c in analysis["matrix"].items()
     ]
 
+    censor_rows = [
+        [censor, technique, _fmt(c["detects"]), _fmt(c["accuracy"]),
+         _fmt(c["false_block_rate"]), _fmt(c["evasion"]), c["rows"]]
+        for censor, by_technique in analysis.get("censor_matrix", {}).items()
+        for technique, c in by_technique.items()
+    ]
+
     latency_rows = [
         [technique, c["count"], _fmt(c["p50"]), _fmt(c["p90"]), _fmt(c["p99"])]
         for technique, c in analysis["latency"].items()
@@ -303,6 +310,17 @@ def render_dashboard(
             matrix_rows,
         ),
     ]
+    if censor_rows:
+        sections += [
+            "<h2>Per-censor accuracy / evasion</h2>",
+            '<p class="note">Censored-vantage rows only, grouped by the '
+            "censor-model family that enforced on the path.</p>",
+            _table(
+                ["censor", "technique", "detects", "accuracy", "false-block",
+                 "evasion", "rows"],
+                censor_rows, numeric_from=2,
+            ),
+        ]
     if latency_rows:
         sections += [
             "<h2>Sim-time to verdict</h2>",

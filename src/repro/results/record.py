@@ -44,7 +44,8 @@ RECORD_SCHEMA = 1
 #: this tuple is also the documented column order of the sink).
 ROW_FIELDS = (
     "attempts",     # probe attempts folded into this verdict
-    "censor",       # censor model enforcing on the path ("gfc" | "none")
+    "censor",       # censor family enforcing on the path (a registered
+                    # censor-model name, e.g. "gfc", or "none")
     "confidence",   # verdict confidence in [0, 1]
     "evaded",       # point-level MVR evasion (null where no MVR exists)
     "latency",      # sim-time seconds from technique start to verdict

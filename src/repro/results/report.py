@@ -91,6 +91,23 @@ def render_report_text(analysis: Dict[str, object], title: str = "") -> str:
         title="\naccuracy/evasion matrix (Figure-1 criteria, from records)",
     ))
 
+    censor_rows = []
+    for censor, by_technique in analysis.get("censor_matrix", {}).items():
+        for technique, cells in by_technique.items():
+            censor_rows.append([
+                censor, technique,
+                _fmt(cells["detects"]), _fmt(cells["accuracy"]),
+                _fmt(cells["false_block_rate"]), _fmt(cells["evasion"]),
+                cells["rows"],
+            ])
+    if censor_rows:
+        sections.append(render_table(
+            ["censor", "technique", "detects", "accuracy", "false-block",
+             "evasion", "rows"],
+            censor_rows,
+            title="\nper-censor accuracy/evasion matrix (censored-vantage rows)",
+        ))
+
     curve_rows = []
     for technique, by_retry in analysis["false_block_curves"].items():
         for retry, samples in by_retry.items():

@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..censor import censor_families
 from ..core.evaluation import TECHNIQUES
 from ..core.measurement import RetryPolicy
 from ..netsim.impairment import mix_seed
@@ -88,6 +89,9 @@ class SweepPoint:
     #: vantage-axis value ("censored" | "clean"), or "" for legacy specs
     #: that pin the condition with the ``censored`` flag alone
     vantage: str = ""
+    #: censor-axis value (a registered censor-family name), or "" for
+    #: legacy specs, which run the default "gfc" model
+    censor: str = ""
     #: crash-injection hook for tests/CI: "" (none), "exception", "exit",
     #: or "unpicklable" (the record refuses to cross the pool boundary)
     fail: str = ""
@@ -99,6 +103,11 @@ class SweepPoint:
 
     def retry_policy(self) -> RetryPolicy:
         return parse_retry_policy(self.retry)
+
+    def censor_name(self) -> str:
+        """The censor family this point runs against ("gfc" for legacy
+        points with no censor-axis value)."""
+        return self.censor or "gfc"
 
     def vantage_name(self) -> str:
         """The vantage this point measures from (``censored`` | ``clean``).
@@ -147,6 +156,12 @@ class SweepSpec:
     #: ``censored`` per point — list both values to get every scenario
     #: measured from both vantages for differential classification.
     vantages: Tuple[str, ...] = ()
+    #: optional censor axis (registered censor-family names, see
+    #: :func:`repro.censor.censor_families`); empty keeps the legacy
+    #: default-"gfc" grid.  When non-empty it is the fastest-varying
+    #: axis (after ``vantages``) and each point runs against that
+    #: family — the "which technique survives which censor" sweep.
+    censors: Tuple[str, ...] = ()
     #: Gilbert–Elliott mean burst length for lossy points.
     burst: float = 5.0
     #: simulated-seconds budget per point.
@@ -172,6 +187,7 @@ class SweepSpec:
         self.loss_rates = tuple(self.loss_rates)
         self.retry_policies = tuple(self.retry_policies)
         self.vantages = tuple(self.vantages)
+        self.censors = tuple(self.censors)
         self.inject_failures = {
             int(index): mode for index, mode in dict(self.inject_failures).items()
         }
@@ -219,6 +235,18 @@ class SweepSpec:
                 "the 'censored' vantage needs the censored-as topology; "
                 "three-node paths have no censor to enforce"
             )
+        known_censors = censor_families()
+        for censor in self.censors:
+            if censor not in known_censors:
+                raise ValueError(
+                    f"unknown censor family {censor!r} "
+                    f"(choose from {known_censors})"
+                )
+        if self.censors and "three-node" in self.topologies:
+            raise ValueError(
+                "the censors axis needs the censored-as topology; "
+                "three-node paths have no censor tap to swap"
+            )
         for mode in self.inject_failures.values():
             if mode not in ("exception", "exit", "unpicklable"):
                 raise ValueError(f"unknown fail mode {mode!r}")
@@ -233,26 +261,29 @@ class SweepSpec:
     def __len__(self) -> int:
         return (len(self.seeds) * len(self.techniques) * len(self.topologies)
                 * len(self.loss_rates) * len(self.retry_policies)
-                * max(1, len(self.vantages)))
+                * max(1, len(self.vantages)) * max(1, len(self.censors)))
 
     def points(self) -> List[SweepPoint]:
         """Expand the grid into its canonical ordered point list.
 
         The order is the axes' cartesian product with ``seeds`` slowest
         and ``retry_policies`` fastest (``vantages``, when present, is
-        faster still); ``sim_seed`` mixes the base seed, the seed-axis
-        value, and the grid index so every point gets an independent
-        deterministic RNG stream.  An empty ``vantages`` axis expands to
-        a single legacy point per cell, so pre-existing specs keep their
-        exact grid order and indexes.
+        faster still, and ``censors`` faster than that); ``sim_seed``
+        mixes the base seed, the seed-axis value, and the grid index so
+        every point gets an independent deterministic RNG stream.  An
+        empty ``vantages`` (or ``censors``) axis expands to a single
+        legacy point per cell, so pre-existing specs keep their exact
+        grid order and indexes.
         """
         out: List[SweepPoint] = []
         grid = itertools.product(
             self.seeds, self.techniques, self.topologies,
             self.loss_rates, self.retry_policies,
             self.vantages or ("",),
+            self.censors or ("",),
         )
-        for index, (seed, technique, topology, loss, retry, vantage) in enumerate(grid):
+        for index, (seed, technique, topology, loss, retry, vantage,
+                    censor) in enumerate(grid):
             out.append(SweepPoint(
                 index=index,
                 sim_seed=mix_seed(self.base_seed, seed, index),
@@ -263,6 +294,7 @@ class SweepSpec:
                 burst=self.burst,
                 retry=retry,
                 vantage=vantage,
+                censor=censor,
                 duration=self.duration,
                 port_count=self.port_count,
                 censored=self.censored,
@@ -283,6 +315,7 @@ class SweepSpec:
             "loss_rates": list(self.loss_rates),
             "retry_policies": list(self.retry_policies),
             "vantages": list(self.vantages),
+            "censors": list(self.censors),
             "burst": self.burst,
             "duration": self.duration,
             "port_count": self.port_count,

@@ -120,7 +120,9 @@ def _run_three_node(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, o
 def _run_censored_as(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, object]:
     """The Figure-1 workload: one technique inside the full censored AS."""
     censored = point.effective_censored()
-    env = build_environment(censored=censored, seed=point.sim_seed)
+    env = build_environment(
+        censored=censored, seed=point.sim_seed, censor=point.censor_name()
+    )
     if point.loss > 0.0:
         env.topo.network.impair_all_links(_impairment_profile(point))
     env.ctx.retry_policy = point.retry_policy()
@@ -138,9 +140,12 @@ def _run_censored_as(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, 
         measurer_ip=env.topo.measurement_client.ip,
         run_analyst=False,
     )
+    # Record rows carry the enforcing model's family name; a clean
+    # vantage has nothing enforcing (every family is inert under a
+    # disabled policy), so its rows keep the legacy "none".
     rows = _record_rows(
         point, results, registry,
-        censor="gfc" if censored else "none",
+        censor=point.censor_name() if censored else "none",
         evaded=risk.evaded,
     )
     return {

@@ -11,7 +11,7 @@ from repro.netsim import (
     http_get,
     resolve,
 )
-from repro.packets import QTYPE_MX
+from repro.packets import QTYPE_MX, QTYPE_TXT
 
 
 @pytest.fixture
@@ -164,6 +164,57 @@ class TestIPBlocking:
                  callback=results.append)
         topo.run()
         assert results[0].status == "reset"
+
+
+class TestBlockedResolverEndpoint:
+    def test_udp_to_blocked_endpoint_null_routed(self, world):
+        # A resolver scan against a blocked (ip, port) endpoint: the UDP
+        # query must be dropped via endpoint_is_blocked, not only when the
+        # bare IP appears in blocked_ips.
+        topo, gfw = world
+        gfw.policy.blocked_endpoints.add((topo.dns_server.ip, 53))
+        results = []
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=results.append, timeout=0.5)
+        topo.run()
+        assert results[0].status == "timeout"
+        assert gfw.ip_drops >= 1
+        assert gfw.events_by_mechanism("ip")
+
+    def test_other_port_on_same_ip_unaffected(self, world):
+        topo, gfw = world
+        gfw.policy.blocked_endpoints.add((topo.dns_server.ip, 5353))
+        results = []
+        resolve(topo.measurement_client, topo.dns_server.ip, "example.org",
+                callback=results.append)
+        topo.run()
+        assert results[0].ok
+        assert gfw.ip_drops == 0
+
+
+class TestPoisonQtypeScope:
+    QTYPE_AAAA = 28
+
+    def test_aaaa_query_not_poisoned(self, world):
+        topo, gfw = world
+        results = []
+        resolve(topo.measurement_client, topo.dns_server.ip, "twitter.com",
+                qtype=self.QTYPE_AAAA, callback=results.append)
+        topo.run()
+        # The zone has no AAAA record, so the honest answer is NODATA --
+        # and crucially the injector stays silent.
+        assert results[0].status == "nodata"
+        assert results[0].addresses == []
+        assert gfw.dns_injections == 0
+
+    def test_txt_query_not_poisoned(self, world):
+        topo, gfw = world
+        results = []
+        resolve(topo.measurement_client, topo.dns_server.ip, "twitter.com",
+                qtype=QTYPE_TXT, callback=results.append)
+        topo.run()
+        assert results[0].status == "nodata"
+        assert gfw.dns_injections == 0
 
 
 class TestCounters:

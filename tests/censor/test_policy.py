@@ -41,6 +41,26 @@ class TestDomainMatching:
         assert policy.domain_is_blocked("TWITTER.COM.")
 
 
+class TestNormalization:
+    """Entries are canonicalized on the way in, not at every lookup."""
+
+    def test_mixed_case_entry_matches(self):
+        policy = CensorshipPolicy(blocked_domains=["Facebook.COM."])
+        assert policy.blocked_domains == ["facebook.com"]
+        assert policy.domain_is_blocked("facebook.com")
+        assert policy.domain_is_blocked("www.facebook.com")
+
+    def test_trailing_dot_entry_matches(self):
+        policy = CensorshipPolicy(blocked_domains=["example.com."])
+        assert policy.domain_is_blocked("example.com")
+        assert not policy.domain_is_blocked("notexample.com")
+
+    def test_normalize_is_idempotent(self):
+        policy = CensorshipPolicy(blocked_domains=["twitter.com"])
+        policy.normalize()
+        assert policy.blocked_domains == ["twitter.com"]
+
+
 class TestEndpointMatching:
     def test_blocked_ip_any_port(self):
         policy = CensorshipPolicy(blocked_ips={"203.0.113.10"})

@@ -1,0 +1,289 @@
+"""Censor-model registry: contract, construction, and family behaviour."""
+
+import pytest
+
+from repro.censor import (
+    BidirectionalResidualCensor,
+    CensorModel,
+    CensorshipPolicy,
+    GeoBlocker,
+    GreatFirewall,
+    ThrottlingCensor,
+    build_censor,
+    censor_families,
+    register_censor,
+)
+from repro.censor.registry import CENSOR_FAMILIES
+from repro.netsim import Simulator
+from repro.netsim.middlebox import Action, TapContext
+from repro.netsim.network import Network
+from repro.netsim.node import Host, Router
+from repro.packets import (
+    DNSMessage,
+    IPPacket,
+    QTYPE_A,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+)
+
+
+BUILTIN_FAMILIES = ("bidirectional-residual", "geoblocker", "gfc", "throttler")
+
+
+class TestRegistryContract:
+    def test_builtin_families_registered(self):
+        assert censor_families() == BUILTIN_FAMILIES
+
+    def test_build_censor_returns_the_registered_class(self):
+        assert isinstance(build_censor("gfc"), GreatFirewall)
+        assert isinstance(
+            build_censor("bidirectional-residual"), BidirectionalResidualCensor
+        )
+        assert isinstance(build_censor("throttler"), ThrottlingCensor)
+        assert isinstance(build_censor("geoblocker"), GeoBlocker)
+
+    def test_every_family_is_a_censor_model(self):
+        for name in censor_families():
+            censor = build_censor(name)
+            assert isinstance(censor, CensorModel)
+            assert censor.family == name
+            assert censor.events == []
+
+    def test_unknown_name_raises_with_known_families(self):
+        with pytest.raises(ValueError, match="unknown censor family 'nope'"):
+            build_censor("nope")
+        with pytest.raises(ValueError, match="gfc"):
+            build_censor("nope")
+
+    def test_family_attribute_stamped_by_decorator(self):
+        assert GreatFirewall.family == "gfc"
+        assert ThrottlingCensor.family == "throttler"
+
+    def test_cited_families_carry_provenance(self):
+        assert "2304.04835" in BidirectionalResidualCensor.provenance
+        assert "2508.07194" in GeoBlocker.provenance
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_censor("gfc")
+            class Impostor(CensorModel):
+                pass
+
+    def test_non_censor_class_rejected(self):
+        with pytest.raises(TypeError):
+            register_censor("stray")(object)
+        assert "stray" not in CENSOR_FAMILIES
+
+    def test_params_reach_the_family_constructor(self):
+        censor = build_censor("throttler", bytes_per_sec=64.0)
+        assert censor.bytes_per_sec == 64.0
+        censor = build_censor("bidirectional-residual", residual_seconds=120.0)
+        assert censor.residual_seconds == 120.0
+
+    def test_set_policy_normalizes_entries(self):
+        censor = build_censor("geoblocker")
+        censor.set_policy(CensorshipPolicy(blocked_domains=["Example.COM."]))
+        assert censor.policy.blocked_domains == ["example.com"]
+
+
+def _tap_world(censor):
+    """A minimal client -- router(tap) -- server world.
+
+    Every host's ``deliver`` is shadowed with a recording hook (so no
+    protocol stack replies), returned as ``rx[host_name]`` holding
+    ``(packet, arrival_time)`` pairs.
+    """
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    client = net.add(Host("client", "10.0.0.1"))
+    router = net.add(Router("border"))
+    server = net.add(Host("server", "203.0.113.10"))
+    other = net.add(Host("other", "203.0.113.20"))
+    net.connect(client, router)
+    net.connect(router, server)
+    net.connect(router, other)
+    router.add_tap(censor)
+    rx = {}
+    for host in (client, server, other):
+        bucket = rx.setdefault(host.name, [])
+        host.deliver = (
+            lambda packet, _b=bucket: _b.append((packet, sim.now))
+        )
+    return sim, net, client, server, other, rx
+
+
+def _syn(src, dst, sport=4000, dport=80):
+    return IPPacket(src=src, dst=dst,
+                    payload=TCPSegment(sport=sport, dport=dport, seq=7, flags=SYN))
+
+
+class TestBidirectionalResidual:
+    def _censor(self):
+        return build_censor(
+            "bidirectional-residual",
+            policy=CensorshipPolicy(blocked_ips={"203.0.113.10"}),
+        )
+
+    def test_syn_to_blocked_endpoint_draws_rsts_both_ways(self):
+        censor = self._censor()
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        sim.run()
+        # The SYN itself was dropped; both endpoints got forged RSTs.
+        assert censor.ip_drops == 1
+        assert censor.rst_injections == 2
+        server_rx = [p for p, _ in rx["server"]]
+        client_rx = [p for p, _ in rx["client"]]
+        assert [p for p in server_rx if p.tcp is not None and p.tcp.is_syn] == []
+        assert any(p.tcp is not None and p.tcp.is_rst for p in client_rx)
+        assert any(p.tcp is not None and p.tcp.is_rst for p in server_rx)
+
+    def test_enforces_on_the_reverse_direction_too(self):
+        censor = self._censor()
+        sim, net, client, server, _, rx = _tap_world(censor)
+        # A packet *from* the blocked address is dropped at the border.
+        net.originate(_syn(server.ip, client.ip), server)
+        sim.run()
+        assert rx["client"] == []
+        assert censor.ip_drops == 1
+        assert any("bidirectional" in e.detail for e in censor.events)
+
+    def test_residual_penalty_is_minutes_long(self):
+        censor = self._censor()
+        assert censor.policy.residual_block_seconds == 600.0
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        sim.run()
+        (expiry,) = censor._killed_flows.values()
+        assert expiry >= 600.0  # minutes, not the GFC's ~90 s
+
+    def test_gfc_residual_window_untouched_by_default(self):
+        assert CensorshipPolicy().residual_block_seconds == 90.0
+
+    def test_disabled_policy_is_inert(self):
+        censor = build_censor(
+            "bidirectional-residual", policy=CensorshipPolicy.disabled()
+        )
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        sim.run()
+        assert len(rx["server"]) == 1
+        assert censor.events == []
+
+
+class TestThrottler:
+    def _policy(self):
+        return CensorshipPolicy(blocked_ips={"203.0.113.10"})
+
+    def test_classified_flow_is_delayed_not_blocked(self):
+        censor = build_censor("throttler", policy=self._policy(),
+                              bytes_per_sec=256.0)
+        sim, net, client, server, other, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        net.originate(_syn(client.ip, other.ip, sport=4001), client)
+        sim.run()
+        # Both SYNs arrive -- no block signal -- but the classified one late.
+        assert len(rx["server"]) == 1 and len(rx["other"]) == 1
+        _, throttled_at = rx["server"][0]
+        _, clean_at = rx["other"][0]
+        assert throttled_at > clean_at
+        assert censor.events_by_mechanism("throttle")
+        assert censor.throttled_packets >= 1
+
+    def test_never_injects_or_poisons(self):
+        censor = build_censor("throttler", policy=self._policy())
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        query = DNSMessage.query("twitter.com", QTYPE_A, txid=9)
+        net.originate(
+            IPPacket(src=client.ip, dst="203.0.113.20",
+                     payload=UDPDatagram(sport=5353, dport=53,
+                                         payload=query.to_bytes())),
+            client,
+        )
+        sim.run()
+        # Nothing ever comes back toward the client from this censor.
+        assert rx["client"] == []
+        assert not any(e.mechanism in ("dns", "keyword") for e in censor.events)
+
+    def test_sustained_flow_overflows_the_queue(self):
+        censor = build_censor("throttler", policy=self._policy(),
+                              bytes_per_sec=64.0, max_queue_bytes=128)
+        sim, net, client, server, _, rx = _tap_world(censor)
+        for i in range(8):
+            net.originate(_syn(client.ip, server.ip), client, delay=i * 0.001)
+        sim.run()
+        assert censor.throttle_drops > 0
+
+    def test_disabled_policy_is_inert(self):
+        censor = build_censor("throttler", policy=CensorshipPolicy.disabled())
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        sim.run()
+        assert len(rx["server"]) == 1
+        assert censor.events == []
+
+
+class TestGeoBlocker:
+    def test_blocked_prefix_drops_silently_and_allows_control(self):
+        censor = build_censor("geoblocker")  # default 203.0.113.0/28
+        sim, net, client, server, other, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)             # .10: in /28
+        net.originate(_syn(client.ip, other.ip, sport=4001), client)  # .20: out
+        sim.run()
+        assert rx["server"] == []      # silently dropped
+        assert len(rx["other"]) == 1   # outside the blocked prefix
+        assert rx["client"] == []      # no reset, no forged answer
+        assert censor.geo_drops == 1
+        assert censor.events_by_mechanism("geo")
+
+    def test_allowlist_direction_passes_replies(self):
+        # Outbound-only enforcement: traffic *from* the blocked prefix
+        # (the allowlist direction) still crosses the border.
+        censor = build_censor("geoblocker")
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(server.ip, client.ip), server)
+        sim.run()
+        assert len(rx["client"]) == 1
+
+    def test_inbound_direction_flips_the_scope(self):
+        censor = build_censor("geoblocker", direction="inbound")
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        net.originate(_syn(server.ip, client.ip, sport=4002), server)
+        sim.run()
+        assert len(rx["server"]) == 1  # toward the prefix: allowed
+        assert rx["client"] == []      # from the prefix: dropped
+
+    def test_allow_prefix_exempts_a_client_range(self):
+        censor = build_censor("geoblocker", allow_prefixes=("10.0.0.0/24",))
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        sim.run()
+        assert len(rx["server"]) == 1
+        assert censor.geo_drops == 0
+
+    def test_policy_blocked_ips_enforced_as_host_prefixes(self):
+        censor = build_censor(
+            "geoblocker", blocked_prefixes=(),
+            policy=CensorshipPolicy(blocked_ips={"203.0.113.20"}),
+        )
+        sim, net, client, server, other, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        net.originate(_syn(client.ip, other.ip, sport=4001), client)
+        sim.run()
+        assert len(rx["server"]) == 1
+        assert rx["other"] == []
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="unknown direction"):
+            build_censor("geoblocker", direction="sideways")
+
+    def test_disabled_policy_is_inert(self):
+        censor = build_censor("geoblocker", policy=CensorshipPolicy.disabled())
+        sim, net, client, server, _, rx = _tap_world(censor)
+        net.originate(_syn(client.ip, server.ip), client)
+        sim.run()
+        assert len(rx["server"]) == 1
+        assert censor.events == []

@@ -10,6 +10,7 @@ import json
 
 import pytest
 
+from repro.censor import censor_families
 from repro.obs import MetricsRegistry
 from repro.runner import (
     CampaignStore,
@@ -116,6 +117,28 @@ class TestDeterministicMerge:
     def test_points_listed_in_grid_order(self, reports):
         serial, _ = reports
         assert [r["index"] for r in serial["points"]] == list(range(8))
+
+
+class TestCensorFamilySweeps:
+    """Every registered censor family honours the determinism contract:
+    a seeded two-vantage sweep is byte-identical serial vs two workers,
+    and its record rows carry the family name on the censored vantage."""
+
+    @pytest.mark.parametrize("family", censor_families())
+    def test_family_sweep_deterministic_and_labelled(self, family):
+        spec = small_spec(
+            name=f"fam-{family}", seeds=(0,), loss_rates=(0.0,),
+            retry_policies=("retry-3",), topologies=("censored-as",),
+            techniques=("overt-http",), vantages=("censored", "clean"),
+            censors=(family,), duration=90.0,
+        )
+        serial = SweepRunner(spec, serial=True).run()
+        parallel = SweepRunner(spec, workers=2).run()
+        assert canonical(serial) == canonical(parallel)
+
+        censored_pt, clean_pt = serial["points"]
+        assert {row["censor"] for row in censored_pt["records"]} == {family}
+        assert {row["censor"] for row in clean_pt["records"]} == {"none"}
 
 
 class TestQueuePlanner:

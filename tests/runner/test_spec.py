@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.censor import censor_families
 from repro.core.measurement import RetryPolicy
 from repro.netsim.impairment import mix_seed
 from repro.runner import ShardPlanner, SweepPoint, SweepSpec, parse_retry_policy
@@ -163,6 +164,74 @@ class TestVantageAxis:
         assert clone.points() == spec.points()
         point = spec.points()[1]
         assert SweepPoint.from_dict(point.as_dict()) == point
+
+
+class TestCensorAxis:
+    def _spec(self, **overrides):
+        params = dict(
+            name="c", base_seed=3, seeds=(0,),
+            topologies=("censored-as",),
+            retry_policies=("single-shot",),
+            vantages=("censored", "clean"),
+        )
+        params.update(overrides)
+        return SweepSpec(**params)
+
+    def test_empty_censors_keeps_legacy_grid(self):
+        legacy = self._spec()
+        assert len(legacy) == 2
+        assert all(p.censor == "" for p in legacy.points())
+        assert all(p.censor_name() == "gfc" for p in legacy.points())
+
+    def test_censors_multiply_the_grid_as_fastest_axis(self):
+        spec = self._spec(censors=("gfc", "throttler"))
+        points = spec.points()
+        assert len(spec) == 4
+        assert [(p.vantage, p.censor) for p in points] == [
+            ("censored", "gfc"), ("censored", "throttler"),
+            ("clean", "gfc"), ("clean", "throttler"),
+        ]
+
+    def test_unknown_censor_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown censor"):
+            self._spec(censors=("firewall-9000",))
+
+    def test_unknown_censor_rejected_at_spec_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "name": "bad", "topologies": ["censored-as"],
+            "vantages": ["censored", "clean"],
+            "censors": ["firewall-9000"],
+        }))
+        with pytest.raises(ValueError, match="unknown censor"):
+            SweepSpec.load(str(path))
+
+    def test_every_registered_family_is_a_valid_axis_value(self):
+        spec = self._spec(censors=censor_families())
+        assert len(spec) == 2 * len(censor_families())
+        assert {p.censor for p in spec.points()} == set(censor_families())
+
+    def test_censors_need_censored_as_topology(self):
+        with pytest.raises(ValueError, match="censored-as"):
+            SweepSpec(topologies=("three-node",), censors=("gfc",))
+
+    def test_censors_change_the_content_hash(self):
+        assert (self._spec().content_hash()
+                != self._spec(censors=("gfc",)).content_hash())
+
+    def test_censor_round_trips_through_dicts(self):
+        spec = self._spec(censors=("gfc", "geoblocker"))
+        clone = SweepSpec.from_mapping(spec.as_dict())
+        assert clone.points() == spec.points()
+        point = spec.points()[1]
+        assert SweepPoint.from_dict(point.as_dict()) == point
+
+    def test_sim_seed_ignores_the_censor_name_beyond_index(self):
+        # Per-point seeds come from (base_seed, seed, index) alone, so a
+        # point's simulation is a pure function of the spec.
+        spec = self._spec(censors=("gfc", "throttler"))
+        for point in spec.points():
+            assert point.sim_seed == mix_seed(3, point.seed, point.index)
 
 
 class TestSpecLoading:
