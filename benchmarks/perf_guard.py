@@ -294,6 +294,27 @@ def _bench_rule_engine_batch() -> tuple:
     return batch, len(packets), "packets", 80
 
 
+def _bench_rule_engine_construct_cached() -> tuple:
+    """Full engine construction with a warm shared-automaton cache.
+
+    This is the per-point construction cost a sweep worker actually pays:
+    the process pool reuses workers across points, so after the first
+    point of a ruleset the literal automaton comes from the process-wide
+    cache (``shared_automaton``) and construction skips the trie/
+    failure-link/dense-table build that ``multipattern_build`` prices.
+    Rules are pre-parsed so the number isolates engine assembly (index,
+    automaton lookup, obs wiring) rather than ruleset text parsing."""
+    from repro.rules import parse_ruleset
+
+    rules = parse_ruleset(full_ruleset_text(), variables=DEFAULT_VARIABLES)
+    RuleEngine(rules=rules, variables=DEFAULT_VARIABLES)  # warm the cache
+
+    def batch():
+        RuleEngine(rules=rules, variables=DEFAULT_VARIABLES)
+
+    return batch, 1, "builds", 1
+
+
 def _bench_multipattern_build() -> tuple:
     """Cold build of the ruleset-wide literal automaton: interning every
     content literal of the full ruleset, trie + failure links + dense
@@ -449,6 +470,12 @@ def _sweep_grid16_spec():
     skewed grids.  ``sweep_resume_grid16`` resumes the grid from a
     half-complete journal, so it prices the campaign-restore path:
     half the points replay from disk, half execute.
+
+    Every point in this grid builds rule engines over the same rulesets;
+    because pool workers persist across points, the process-wide shared
+    automaton cache means only each worker's *first* point pays the
+    multipattern build — later points reuse the finalized automaton
+    (``rule_engine_construct_cached`` prices the reused path).
     """
     from repro.runner import SweepSpec
 
@@ -607,6 +634,40 @@ def _bench_censor_dispatch() -> tuple:
     return lambda: [build_censor("geoblocker") for _ in range(200)], 200, "builds", 1
 
 
+def _population_bench(users: int, fidelity: str) -> tuple:
+    """Background-population traffic over the censored AS at one fidelity.
+
+    Each batch builds the topology, attaches a ``PopulationTraffic``
+    generator, and simulates a 5-second generation window; ops/sec is
+    *users per wall-clock second*, the tentpole's headline unit.  The
+    aggregate tier advances flows as single completion events (one per
+    flow, charged to every link on the path); full fidelity materializes
+    every flow into byte-accurate packets and forwards them hop by hop.
+    ``population_speedup`` pins their same-run ratio: the flow-level fast
+    path must stay >= POPULATION_SPEEDUP_FLOOR x the packet path.
+    """
+    from repro.netsim import build_censored_as
+    from repro.traffic import PopulationTraffic
+
+    window = 5.0
+
+    def batch():
+        topo = build_censored_as(seed=11)
+        population = PopulationTraffic(topo, users=users, fidelity=fidelity)
+        population.start(window)
+        topo.sim.run(until=topo.sim.now + window)
+
+    return batch, users, "users", 0
+
+
+def _bench_population_aggregate_10k_users() -> tuple:
+    return _population_bench(10_000, "aggregate")
+
+
+def _bench_population_full_fidelity_1k_users() -> tuple:
+    return _population_bench(1_000, "full")
+
+
 def _bench_simulator_events() -> tuple:
     def batch():
         sim = Simulator()
@@ -631,6 +692,7 @@ HOT_PATHS = {
     "packet_roundtrip_cached": _bench_packet_roundtrip_cached,
     "capture_serialize": _bench_capture_serialize,
     "rule_engine_full_ruleset": _bench_rule_engine_full_ruleset,
+    "rule_engine_construct_cached": _bench_rule_engine_construct_cached,
     "rule_engine_full_instrumented": _bench_rule_engine_full_instrumented,
     "rule_engine_batch": _bench_rule_engine_batch,
     "multipattern_build": _bench_multipattern_build,
@@ -648,9 +710,33 @@ HOT_PATHS = {
     "censor_dispatch": _bench_censor_dispatch,
     "record_sink_write": _bench_record_sink_write,
     "report_stream_1e5_rows": _bench_report_stream_1e5_rows,
+    "population_aggregate_10k_users": _bench_population_aggregate_10k_users,
+    "population_full_fidelity_1k_users": _bench_population_full_fidelity_1k_users,
 }
 
 DISPATCH_BUDGET = 0.02  # one censor dispatch may add at most 2% to a sweep point
+
+#: the tiered-fidelity acceptance floor: the flow-level aggregate tier must
+#: simulate at least this many times more users per wall-clock second than
+#: full packet fidelity on the same topology and traffic profile
+POPULATION_SPEEDUP_FLOOR = 20.0
+
+
+def population_speedup(current: dict):
+    """Aggregate-tier users/sec over full-fidelity users/sec, same run.
+
+    Like ``dispatch_share`` this is a same-run ratio, meaningful on any
+    machine: both numbers move together with host speed.  It is the
+    tentpole's acceptance gate — the flow-level fast path exists to buy
+    exactly this headroom, so a change that erodes it below
+    ``POPULATION_SPEEDUP_FLOOR`` is a regression even if both absolute
+    numbers pass their baselines.
+    """
+    aggregate = current.get("population_aggregate_10k_users", {}).get("ops_per_sec", 0)
+    full = current.get("population_full_fidelity_1k_users", {}).get("ops_per_sec", 0)
+    if not aggregate or not full:
+        return None
+    return aggregate / full
 
 
 def dispatch_share(current: dict):
@@ -742,6 +828,16 @@ def main(argv=None) -> int:
             else:
                 print(f"ok: censor dispatch is {share:.3%} of a grid16 sweep "
                       f"point (budget {DISPATCH_BUDGET:.0%})")
+        speedup = population_speedup(current)
+        if speedup is not None:
+            if speedup < POPULATION_SPEEDUP_FLOOR:
+                print(f"REGRESSION: aggregate population tier is only "
+                      f"{speedup:.1f}x full fidelity "
+                      f"(floor {POPULATION_SPEEDUP_FLOOR:.0f}x)")
+                status = 1
+            else:
+                print(f"ok: aggregate population tier is {speedup:.1f}x full "
+                      f"fidelity (floor {POPULATION_SPEEDUP_FLOOR:.0f}x)")
 
     if args.update:
         payload = {
@@ -752,7 +848,10 @@ def main(argv=None) -> int:
                 "The sweep_* benches share one grid: workers4/serial and "
                 "stealing/serial are the multi-worker speedups, meaningful "
                 "only when cpus > 1; resume replays half the grid from a "
-                "campaign journal."
+                "campaign journal.  Sweep workers share one process-cached "
+                "literal automaton per ruleset (rule_engine_construct_cached "
+                "vs multipattern_build is that win), and the population_* "
+                "pair's ratio is the tiered-fidelity speedup gate."
             ),
             "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
             "hot_paths": current,

@@ -59,6 +59,9 @@ class Environment:
     population_mix: Optional[PopulationMix] = None
     #: The in-AS caching resolver, when built with ``resolver_in_as=True``.
     local_resolver: Optional[object] = None
+    #: Tiered-fidelity synthetic population (``synthetic_users > 0``).
+    #: Built but not started — the caller owns the generation window.
+    population: Optional[object] = None
 
     @property
     def sim(self):
@@ -84,6 +87,8 @@ def build_environment(
     resolver_in_as: bool = False,
     censor: str = "gfc",
     censor_params: Optional[Dict[str, object]] = None,
+    synthetic_users: int = 0,
+    fidelity: str = "hybrid",
 ) -> Environment:
     """Stand up the full reference environment.
 
@@ -139,6 +144,16 @@ def build_environment(
         mix = PopulationMix(topo)
         mix.start(until=population_duration)
 
+    # The tiered-fidelity population attaches after the taps, so its
+    # tap-reachability analysis sees the final middlebox placement.  It is
+    # built but not started: callers own the generation window (the sweep
+    # worker aligns it with the point's run duration).
+    population = None
+    if synthetic_users:
+        from ..traffic.population import PopulationTraffic
+
+        population = PopulationTraffic(topo, users=synthetic_users, fidelity=fidelity)
+
     return Environment(
         topo=topo,
         censor=censor_tap,
@@ -148,6 +163,7 @@ def build_environment(
         mimicry_server=mimicry_server,
         population_mix=mix,
         local_resolver=local_resolver,
+        population=population,
     )
 
 

@@ -8,6 +8,7 @@ protocol stacks (TCP/UDP/ICMP), middlebox tap points, application servers
 from .capture import CapturedPacket, PacketCapture, dns_only, tcp_only
 from .dnssrv import DNSResult, DNSServer, Zone, resolve
 from .engine import Simulator, Timer
+from .flows import FIDELITY_MODES, AggregateFlow, FlowFidelityEngine
 from .impairment import (
     BandwidthLimit,
     Duplication,
@@ -41,6 +42,9 @@ from .websrv import HTTPResult, WebServer, http_get
 
 __all__ = [
     "Action",
+    "AggregateFlow",
+    "FIDELITY_MODES",
+    "FlowFidelityEngine",
     "BandwidthLimit",
     "CacheEntry",
     "CachingResolver",

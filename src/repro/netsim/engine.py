@@ -81,6 +81,23 @@ class Simulator:
             self._queue_hwm = len(self._queue)
         return timer
 
+    def at_uncancellable(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule an event that can never be cancelled — no Timer handle.
+
+        The population fast path schedules millions of fire-and-forget
+        events (packet hops, aggregate flow advances) whose handles are
+        always discarded; skipping the Timer allocation and the
+        cancellation bookkeeping makes this the cheapest way onto the
+        heap.  Ordering semantics are identical to :meth:`at` — the
+        (when, seq) key is shared — so mixing both kinds never reorders
+        events.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), None, callback))
+        if len(self._queue) > self._queue_hwm:
+            self._queue_hwm = len(self._queue)
+
     def _note_cancelled(self) -> None:
         """Called by ``Timer.cancel``; compacts the heap when cancellation-
         heavy workloads leave it mostly dead entries."""
@@ -92,7 +109,10 @@ class Simulator:
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries (order-preserving:
         the (when, seq) keys are untouched)."""
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        self._queue = [
+            entry for entry in self._queue
+            if entry[2] is None or not entry[2].cancelled
+        ]
         heapq.heapify(self._queue)
         self._dead = 0
         self._compactions += 1
@@ -108,10 +128,11 @@ class Simulator:
             if until is not None and when > until:
                 break
             heapq.heappop(self._queue)
-            if timer.cancelled:
-                self._dead -= 1
-                continue
-            timer._fired = True
+            if timer is not None:
+                if timer.cancelled:
+                    self._dead -= 1
+                    continue
+                timer._fired = True
             self.now = when
             callback()
             processed += 1

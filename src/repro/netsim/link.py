@@ -252,6 +252,25 @@ class Link:
             self._m_bytes.inc((self.obs_name, direction), size * copies)
         return fate
 
+    def account_flow(self, packets: int, size: int, direction: str) -> None:
+        """Record an aggregate flow's traversal: ``packets`` packets and
+        ``size`` total wire bytes cross this direction in one ledger entry.
+
+        The flow-level fast path for population traffic far from any tap:
+        no per-packet events, no impairment pipeline (aggregate flows are
+        by definition unobserved, so their loss cannot change any tap
+        observable), but the :class:`DirectionStats` conservation
+        invariant still holds — everything offered is carried.
+        """
+        stats = self.stats[direction]
+        stats.packets_offered += packets
+        stats.packets_carried += packets
+        stats.bytes_carried += size
+        if self._obs is not None:
+            self._m_offered.inc((self.obs_name, direction), packets)
+            self._m_carried.inc((self.obs_name, direction), packets)
+            self._m_bytes.inc((self.obs_name, direction), size)
+
     def account(self, size: int, direction: str = "ab") -> None:
         """Record an externally-decided delivery (legacy hook)."""
         stats = self.stats[direction]

@@ -10,7 +10,7 @@ its censor and MVR Snort instances.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from typing import Sequence
 
@@ -23,6 +23,20 @@ from .node import Host, Node
 from .stack import NetworkStack
 
 __all__ = ["Network"]
+
+
+def _ip_to_int(ip: str) -> int:
+    """Dotted-quad IPv4 → 32-bit integer (raises ValueError on junk)."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"not an IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
 
 
 class Network:
@@ -38,6 +52,16 @@ class Network:
         self._next_hop: Dict[str, Dict[str, str]] = {}
         self._routes_dirty = True
         self.dropped_no_route = 0
+        #: Prefix routes: (mask, network, prefix_len, gateway host), kept
+        #: longest-prefix-first.  Lets population traffic address millions
+        #: of synthetic users without a Host object per user — anything in
+        #: the prefix is delivered to (or materialized from) the gateway.
+        self._prefix_routes: List[Tuple[int, int, int, Host]] = []
+        self._prefix_cache: Dict[str, Optional[Host]] = {}
+        #: (src_name, dst_name) -> does the routed path cross any tap?
+        #: The fidelity boundary for population traffic; invalidated on
+        #: route rebuilds and tap attachment.
+        self._tap_path_cache: Dict[Tuple[str, str], bool] = {}
 
     # -- topology construction ----------------------------------------------
 
@@ -97,9 +121,50 @@ class Network:
             raise KeyError(f"no host named {name!r}")
         return node
 
+    def add_prefix_route(self, cidr: str, gateway: Host) -> None:
+        """Deliver every address inside ``cidr`` to ``gateway``.
+
+        Exact host IPs always win over prefixes, and longer prefixes win
+        over shorter ones.  Registration order breaks prefix-length ties
+        deterministically (first registered wins).
+        """
+        network, sep, length = cidr.partition("/")
+        if not sep:
+            raise ValueError(f"prefix route needs CIDR notation, got {cidr!r}")
+        prefix_len = int(length)
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {cidr!r}")
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
+        net_int = _ip_to_int(network)
+        if net_int & ~mask & 0xFFFFFFFF:
+            raise ValueError(f"host bits set in prefix route: {cidr!r}")
+        if gateway.name not in self.nodes:
+            raise ValueError(f"{gateway.name} is not attached to this network")
+        self._prefix_routes.append((mask, net_int, prefix_len, gateway))
+        self._prefix_routes.sort(key=lambda entry: -entry[2])
+        self._prefix_cache.clear()
+
     def owner_of(self, ip: str) -> Optional[Host]:
-        """The host owning ``ip``, or None if unassigned."""
-        return self._ip_owner.get(ip)
+        """The host owning ``ip`` (exact, then longest prefix), or None."""
+        owner = self._ip_owner.get(ip)
+        if owner is not None or not self._prefix_routes:
+            return owner
+        try:
+            return self._prefix_cache[ip]
+        except KeyError:
+            pass
+        resolved: Optional[Host] = None
+        try:
+            ip_int = _ip_to_int(ip)
+        except ValueError:
+            ip_int = None
+        if ip_int is not None:
+            for mask, net_int, _length, gateway in self._prefix_routes:
+                if ip_int & mask == net_int:
+                    resolved = gateway
+                    break
+        self._prefix_cache[ip] = resolved
+        return resolved
 
     def _build_routes(self) -> None:
         """All-pairs next-hop tables via BFS (uniform edge weight)."""
@@ -123,6 +188,49 @@ class Network:
                     queue.append(neighbor)
             self._next_hop[source_name] = table
         self._routes_dirty = False
+        self._tap_path_cache.clear()
+
+    # -- path analysis (the tiered-fidelity boundary) ------------------------
+
+    def path_nodes(self, src_name: str, dst_name: str) -> List[str]:
+        """Node names along the routed path, endpoints included."""
+        if self._routes_dirty:
+            self._build_routes()
+        path = [src_name]
+        current = src_name
+        while current != dst_name:
+            hop = self._next_hop[current].get(dst_name)
+            if hop is None:
+                raise ValueError(f"no route from {src_name} to {dst_name}")
+            path.append(hop)
+            current = hop
+        return path
+
+    def path_crosses_tap(self, src_name: str, dst_name: str) -> bool:
+        """Does the routed path cross any node carrying a tap?
+
+        This is the fidelity decision for population traffic: flows on
+        tap-free paths advance as aggregate events; flows that would be
+        observed must be expanded to byte-accurate packets.  Results are
+        cached per (src, dst) pair; the cache is dropped whenever routes
+        are rebuilt or a tap is attached, so the answer is always current.
+        """
+        if self._routes_dirty:
+            self._build_routes()
+        key = (src_name, dst_name)
+        try:
+            return self._tap_path_cache[key]
+        except KeyError:
+            pass
+        crosses = any(
+            self.nodes[name].taps for name in self.path_nodes(src_name, dst_name)
+        )
+        self._tap_path_cache[key] = crosses
+        return crosses
+
+    def _invalidate_tap_paths(self) -> None:
+        """Called by ``Node.add_tap``: tap placement changed underneath us."""
+        self._tap_path_cache.clear()
 
     # -- forwarding ----------------------------------------------------------
 
@@ -134,11 +242,11 @@ class Network:
         """
         if self._routes_dirty:
             self._build_routes()
-        self.sim.at(delay, lambda: self._forward_from(packet, at))
+        self.sim.at_uncancellable(delay, lambda: self._forward_from(packet, at))
 
     def _forward_from(self, packet: IPPacket, node: Node) -> None:
         """Send ``packet`` one hop from ``node`` toward its destination."""
-        owner = self._ip_owner.get(packet.dst)
+        owner = self.owner_of(packet.dst)
         if owner is None:
             self.dropped_no_route += 1
             return
@@ -157,13 +265,17 @@ class Network:
             return
         next_node = self.nodes[hop_name]
         delays = fate.delays
-        self.sim.at(link.latency + delays[0], lambda: self._arrive(packet, next_node))
+        # Hop events are fire-and-forget (nothing ever cancels an in-flight
+        # packet), so the uncancellable fast path skips Timer allocation.
+        self.sim.at_uncancellable(
+            link.latency + delays[0], lambda: self._arrive(packet, next_node)
+        )
         for extra in delays[1:]:
             # Duplicate copies get their own packet object: downstream
             # routers mutate TTL in place, so copies must not share state.
             duplicate = packet.copy()
             duplicate.metadata.update(packet.metadata)
-            self.sim.at(
+            self.sim.at_uncancellable(
                 link.latency + extra,
                 lambda p=duplicate: self._arrive(p, next_node),
             )

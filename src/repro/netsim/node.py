@@ -34,6 +34,10 @@ class Node:
     def add_tap(self, tap) -> None:
         """Attach a middlebox that observes all transiting packets."""
         self.taps.append(tap)
+        if self.network is not None:
+            # Tap placement feeds the tiered-fidelity boundary; stale
+            # reachability answers would let observable flows stay aggregate.
+            self.network._invalidate_tap_paths()
 
     def counters(self) -> dict:
         """Introspection snapshot for analysis reports (subclasses extend)."""

@@ -118,6 +118,13 @@ class RecordAnalysis:
         self._censor_tech: Dict[Tuple[str, str], Dict[str, float]] = {}
         #: (censor family, technique) -> confusion for the same rows
         self._censor_confusion: Dict[Tuple[str, str], ConfusionCounts] = {}
+        #: background-load aggregates, fed once per point (seq == 0) by
+        #: rows from points that ran under synthetic population cover
+        self._background = {
+            "points_with_population": 0,
+            "max_population": 0,
+            "background_bytes_total": 0,
+        }
         #: one shared histogram, labeled by technique
         self._latency = Histogram(
             "verdict_latency", "sim-time to verdict", ("technique",),
@@ -150,6 +157,14 @@ class RecordAnalysis:
         self.rows += 1
         if row["seq"] == 0:
             self.points += 1
+            population = int(row.get("population", 0) or 0)
+            if population:
+                self._background["points_with_population"] += 1
+                if population > self._background["max_population"]:
+                    self._background["max_population"] = population
+                self._background["background_bytes_total"] += int(
+                    row.get("background_bytes", 0) or 0
+                )
         self.by_verdict[verdict] = self.by_verdict.get(verdict, 0) + 1
 
         stats = (
@@ -389,6 +404,7 @@ class RecordAnalysis:
         return {
             "rows": self.rows,
             "points": self.points,
+            "background": dict(self._background),
             "by_verdict": dict(sorted(self.by_verdict.items())),
             "classification": classification,
             "classification_tally": dict(sorted(tally.items())),

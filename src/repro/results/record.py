@@ -38,28 +38,33 @@ __all__ = [
 ]
 
 #: Record-file schema version; bumped only for incompatible row changes.
-RECORD_SCHEMA = 1
+#: v2 added the background-load columns (``background_bytes``,
+#: ``population``) for points that ran under synthetic cover traffic.
+RECORD_SCHEMA = 2
 
 #: Every row carries exactly these keys (canonical JSON sorts them, so
 #: this tuple is also the documented column order of the sink).
 ROW_FIELDS = (
-    "attempts",     # probe attempts folded into this verdict
-    "censor",       # censor family enforcing on the path (a registered
-                    # censor-model name, e.g. "gfc", or "none")
-    "confidence",   # verdict confidence in [0, 1]
-    "evaded",       # point-level MVR evasion (null where no MVR exists)
-    "latency",      # sim-time seconds from technique start to verdict
-    "loss",         # marginal loss rate of the point's impairment model
-    "point",        # grid index of the sweep point this row came from
-    "reason",       # technique detail string (drop/verdict reason)
-    "retry",        # retry-policy axis value
-    "seed",         # seed-axis value
-    "seq",          # row's position within the point's result list
-    "target",       # domain / "ip:port" / service label
-    "technique",    # technique axis value
-    "topology",     # topology axis value
-    "vantage",      # "censored" | "clean"
-    "verdict",      # Verdict enum value string
+    "attempts",          # probe attempts folded into this verdict
+    "background_bytes",  # background wire bytes (both tiers) the point's
+                         # population generated during the run; 0 when none
+    "censor",            # censor family enforcing on the path (a registered
+                         # censor-model name, e.g. "gfc", or "none")
+    "confidence",        # verdict confidence in [0, 1]
+    "evaded",            # point-level MVR evasion (null where no MVR exists)
+    "latency",           # sim-time seconds from technique start to verdict
+    "loss",              # marginal loss rate of the point's impairment model
+    "point",             # grid index of the sweep point this row came from
+    "population",        # synthetic background-population size (users), 0=none
+    "reason",            # technique detail string (drop/verdict reason)
+    "retry",             # retry-policy axis value
+    "seed",              # seed-axis value
+    "seq",               # row's position within the point's result list
+    "target",            # domain / "ip:port" / service label
+    "technique",         # technique axis value
+    "topology",          # topology axis value
+    "vantage",           # "censored" | "clean"
+    "verdict",           # Verdict enum value string
 )
 
 
@@ -69,6 +74,7 @@ def rows_from_point(
     vantage: str,
     censor: str,
     evaded: Optional[bool],
+    background_bytes: int = 0,
 ) -> List[Dict[str, object]]:
     """Build the point's record rows from its serialized results.
 
@@ -84,12 +90,14 @@ def rows_from_point(
     for seq, result in enumerate(results):
         rows.append({
             "attempts": result["attempts"],
+            "background_bytes": background_bytes,
             "censor": censor,
             "confidence": result["confidence"],
             "evaded": evaded,
             "latency": result["time"],
             "loss": point["loss"],
             "point": point["index"],
+            "population": point.get("population", 0),
             "reason": result["detail"],
             "retry": point["retry"],
             "seed": point["seed"],

@@ -35,7 +35,7 @@ from ..obs.trace import active_tracer
 from ..packets import IPPacket, PROTO_ICMP, PROTO_TCP, PROTO_UDP
 from .index import MatchContext, RuleDispatchIndex
 from .language import Rule, ThresholdSpec, parse_ruleset
-from .multipattern import MultiPatternAutomaton, StreamScanState
+from .multipattern import MultiPatternAutomaton, StreamScanState, shared_automaton
 from .reassembly import StreamReassembler, StreamUpdate
 
 __all__ = ["Alert", "RuleEngine", "PREFILTER_MODES"]
@@ -177,11 +177,15 @@ class RuleEngine:
         self._index: Optional[RuleDispatchIndex] = (
             RuleDispatchIndex(self.rules) if use_index else None
         )
-        #: one automaton per engine over this ruleset's content literals
+        #: the ruleset's literal automaton — the process-cached shared
+        #: instance when one exists for this literal set.  Sweep workers
+        #: construct an engine per point over the same handful of
+        #: rulesets; the cache turns every rebuild after the first into a
+        #: dictionary lookup (see ``shared_automaton``).  ``add_rules``
+        #: copies-on-write before extending a shared instance.
         self._mp: Optional[MultiPatternAutomaton] = None
         if prefilter == "multipattern":
-            self._mp = MultiPatternAutomaton()
-            self._mp.add_rules(self.rules)
+            self._mp = shared_automaton(self.rules)
         self._by_sid: Dict[int, Rule] = {rule.sid: rule for rule in self.rules}
         # Observability, resolved once; ``obs_label`` distinguishes the
         # censor's engine from the MVR's in shared registry counters.
@@ -266,11 +270,26 @@ class RuleEngine:
         if self._index is not None:
             self._index.add(added)
         if self._mp is not None:
-            # Extends the automaton incrementally; the next scan refreshes
-            # the DFA tables and bumps the version, which invalidates every
-            # saved per-flow scan state (they rescan against the new
-            # automaton on the next packet).
-            self._mp.add_rules(added)
+            if self._mp.shared:
+                # Copy-on-write: the automaton is the process-wide shared
+                # instance for this literal set, and extending it in place
+                # would mutate every sibling engine built from the same
+                # ruleset.  Build a private replacement over the full
+                # (already-extended) ruleset, seeded with the shared
+                # instance's version so the replacement's post-finalize
+                # version strictly exceeds any per-flow scan state saved
+                # against the old automaton — those states rescan on
+                # their next packet instead of resuming a stale DFA walk.
+                replacement = MultiPatternAutomaton()
+                replacement.version = self._mp.version
+                replacement.add_rules(self.rules)
+                self._mp = replacement
+            else:
+                # Extends the automaton incrementally; the next scan
+                # refreshes the DFA tables and bumps the version, which
+                # invalidates every saved per-flow scan state (they rescan
+                # against the new automaton on the next packet).
+                self._mp.add_rules(added)
         for rule in added:
             self._by_sid[rule.sid] = rule
             if self._obs is not None:

@@ -60,6 +60,8 @@ __all__ = [
     "literal_table_size",
     "required_literal_ids",
     "anchor_literal_id",
+    "shared_automaton",
+    "clear_automaton_cache",
     "ONE_SHOT_DFA_LIMIT",
 ]
 
@@ -145,6 +147,65 @@ def anchor_literal_id(rule) -> Optional[int]:
     return anchor
 
 
+# -- shared automaton cache ----------------------------------------------------
+
+#: process-wide finalized automatons keyed by their literal-id set.  Sweep
+#: workers are reused across points by the process pool, and every
+#: censored-as point rebuilds the same censor/MVR/surveillance rulesets —
+#: without the cache each rebuild pays the full trie + failure-link +
+#: dense-table construction (the ``multipattern_build`` bench) three times
+#: per point.  The automaton's matching behavior is a pure function of its
+#: literal set, so any two rulesets with the same literals can share one
+#: instance; sharing is safe because scans never mutate a finalized
+#: automaton, and engines that *extend* their ruleset copy-on-write (see
+#: :meth:`RuleEngine.add_rules`).
+_AUTOMATON_CACHE: Dict[Tuple[int, ...], "MultiPatternAutomaton"] = {}
+
+
+def shared_automaton(rules: Iterable) -> "MultiPatternAutomaton":
+    """A process-cached, finalized automaton over ``rules``' literals.
+
+    The cache key is the sorted tuple of interned literal ids the rules
+    require — global interning dedupes ``(needle, nocase)`` pairs, so two
+    rulesets with identical literal content map to the same key even if
+    they interned in different orders.  On a miss the automaton is built,
+    finalized immediately (so its version is stable from the first scan),
+    and marked ``shared``; engines must treat a shared instance as
+    immutable and replace it instead of extending it.
+
+    Per-rule caches (``_mp_required``/``_mp_anchor``) are warmed here even
+    on a hit, because hit-path callers skip :meth:`add_rules`.
+    """
+    rule_list = list(rules)
+    ids: set = set()
+    for rule in rule_list:
+        required = required_literal_ids(rule)
+        anchor_literal_id(rule)
+        if required:
+            ids.update(required)
+    key = tuple(sorted(ids))
+    automaton = _AUTOMATON_CACHE.get(key)
+    if automaton is None:
+        automaton = MultiPatternAutomaton()
+        automaton.add_rules(rule_list)
+        automaton.ensure_ready()
+        automaton.shared = True
+        _AUTOMATON_CACHE[key] = automaton
+    return automaton
+
+
+def clear_automaton_cache() -> int:
+    """Drop every cached shared automaton; returns how many were cached.
+
+    For tests and long-lived processes that churn through many distinct
+    rulesets — the cache grows one entry per distinct literal set and is
+    otherwise never evicted.
+    """
+    count = len(_AUTOMATON_CACHE)
+    _AUTOMATON_CACHE.clear()
+    return count
+
+
 # -- the automaton -------------------------------------------------------------
 
 
@@ -192,6 +253,10 @@ class MultiPatternAutomaton:
         self.version = 0
         #: every interned id this automaton contains
         self._known_ids: set = set()
+        #: True when this instance lives in the process-wide cache
+        #: (:func:`shared_automaton`) — holders must copy-on-write instead
+        #: of extending it in place.
+        self.shared = False
 
     # -- construction ----------------------------------------------------------
 

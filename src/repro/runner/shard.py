@@ -72,13 +72,20 @@ def estimate_cost(point: SweepPoint) -> float:
     impact: the censored-as topology simulates a whole AS rather than
     three hosts; loss multiplies event counts through retransmission and
     timer churn; extra measurement attempts replay the probe schedule;
-    and ports × duration bound the raw probe volume.
+    and ports × duration bound the raw probe volume.  A background
+    population adds flow-arrival events proportional to users × duration
+    (plus packet expansion for the tap-crossing share), easily dominating
+    the measurement itself on large points — without this term the
+    work-stealing queue would schedule population whales last and
+    serialize the whole sweep behind them.
     """
     attempts = parse_retry_policy(point.retry).max_attempts
     base = 6.0 if point.topology == "censored-as" else 1.0
     loss_factor = 1.0 + 12.0 * point.loss
     retry_factor = 1.0 + 0.6 * (attempts - 1)
     cost = base * loss_factor * retry_factor * point.port_count * point.duration
+    if point.population:
+        cost += 2.0 * point.population * point.duration
     if point.delay:
         # injected wall-clock skew dwarfs simulated cost by construction;
         # weight it high enough that a delayed point always sorts first

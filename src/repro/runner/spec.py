@@ -92,6 +92,9 @@ class SweepPoint:
     #: censor-axis value (a registered censor-family name), or "" for
     #: legacy specs, which run the default "gfc" model
     censor: str = ""
+    #: synthetic background-population size (tiered-fidelity users), or 0
+    #: for no background population (the legacy grid)
+    population: int = 0
     #: crash-injection hook for tests/CI: "" (none), "exception", "exit",
     #: or "unpicklable" (the record refuses to cross the pool boundary)
     fail: str = ""
@@ -162,6 +165,13 @@ class SweepSpec:
     #: axis (after ``vantages``) and each point runs against that
     #: family — the "which technique survives which censor" sweep.
     censors: Tuple[str, ...] = ()
+    #: optional background-population axis (synthetic tiered-fidelity
+    #: user counts; 0 = no population).  When non-empty it is the
+    #: fastest-varying axis (after ``censors``); each point stands up
+    #: that many simulated users of hybrid-fidelity cover traffic.
+    #: Needs the censored-as topology (the population gateways attach to
+    #: its switch/routers).
+    populations: Tuple[int, ...] = ()
     #: Gilbert–Elliott mean burst length for lossy points.
     burst: float = 5.0
     #: simulated-seconds budget per point.
@@ -188,6 +198,7 @@ class SweepSpec:
         self.retry_policies = tuple(self.retry_policies)
         self.vantages = tuple(self.vantages)
         self.censors = tuple(self.censors)
+        self.populations = tuple(int(count) for count in self.populations)
         self.inject_failures = {
             int(index): mode for index, mode in dict(self.inject_failures).items()
         }
@@ -247,6 +258,14 @@ class SweepSpec:
                 "the censors axis needs the censored-as topology; "
                 "three-node paths have no censor tap to swap"
             )
+        for count in self.populations:
+            if count < 0:
+                raise ValueError(f"population sizes must be >= 0 (got {count})")
+        if any(self.populations) and "three-node" in self.topologies:
+            raise ValueError(
+                "the populations axis needs the censored-as topology; "
+                "three-node paths have nowhere to attach the population gateways"
+            )
         for mode in self.inject_failures.values():
             if mode not in ("exception", "exit", "unpicklable"):
                 raise ValueError(f"unknown fail mode {mode!r}")
@@ -261,19 +280,21 @@ class SweepSpec:
     def __len__(self) -> int:
         return (len(self.seeds) * len(self.techniques) * len(self.topologies)
                 * len(self.loss_rates) * len(self.retry_policies)
-                * max(1, len(self.vantages)) * max(1, len(self.censors)))
+                * max(1, len(self.vantages)) * max(1, len(self.censors))
+                * max(1, len(self.populations)))
 
     def points(self) -> List[SweepPoint]:
         """Expand the grid into its canonical ordered point list.
 
         The order is the axes' cartesian product with ``seeds`` slowest
         and ``retry_policies`` fastest (``vantages``, when present, is
-        faster still, and ``censors`` faster than that); ``sim_seed``
-        mixes the base seed, the seed-axis value, and the grid index so
-        every point gets an independent deterministic RNG stream.  An
-        empty ``vantages`` (or ``censors``) axis expands to a single
-        legacy point per cell, so pre-existing specs keep their exact
-        grid order and indexes.
+        faster still, ``censors`` faster than that, and ``populations``
+        fastest of all); ``sim_seed`` mixes the base seed, the seed-axis
+        value, and the grid index so every point gets an independent
+        deterministic RNG stream.  An empty ``vantages`` (or ``censors``,
+        or ``populations``) axis expands to a single legacy point per
+        cell, so pre-existing specs keep their exact grid order and
+        indexes.
         """
         out: List[SweepPoint] = []
         grid = itertools.product(
@@ -281,9 +302,10 @@ class SweepSpec:
             self.loss_rates, self.retry_policies,
             self.vantages or ("",),
             self.censors or ("",),
+            self.populations or (0,),
         )
         for index, (seed, technique, topology, loss, retry, vantage,
-                    censor) in enumerate(grid):
+                    censor, population) in enumerate(grid):
             out.append(SweepPoint(
                 index=index,
                 sim_seed=mix_seed(self.base_seed, seed, index),
@@ -295,6 +317,7 @@ class SweepSpec:
                 retry=retry,
                 vantage=vantage,
                 censor=censor,
+                population=population,
                 duration=self.duration,
                 port_count=self.port_count,
                 censored=self.censored,
@@ -316,6 +339,7 @@ class SweepSpec:
             "retry_policies": list(self.retry_policies),
             "vantages": list(self.vantages),
             "censors": list(self.censors),
+            "populations": list(self.populations),
             "burst": self.burst,
             "duration": self.duration,
             "port_count": self.port_count,

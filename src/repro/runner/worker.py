@@ -64,6 +64,7 @@ def _record_rows(
     registry: MetricsRegistry,
     censor: str,
     evaded: Optional[bool],
+    background_bytes: int = 0,
 ) -> List[Dict[str, object]]:
     """Build the point's measurement-record rows and count them.
 
@@ -73,7 +74,8 @@ def _record_rows(
     conservation cross-check the runner's report carries.
     """
     rows = rows_from_point(
-        point.as_dict(), results, point.vantage_name(), censor, evaded
+        point.as_dict(), results, point.vantage_name(), censor, evaded,
+        background_bytes=background_bytes,
     )
     counter = registry.counter(
         "measurement_rows_total",
@@ -121,12 +123,19 @@ def _run_censored_as(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, 
     """The Figure-1 workload: one technique inside the full censored AS."""
     censored = point.effective_censored()
     env = build_environment(
-        censored=censored, seed=point.sim_seed, censor=point.censor_name()
+        censored=censored,
+        seed=point.sim_seed,
+        censor=point.censor_name(),
+        synthetic_users=point.population,
     )
     if point.loss > 0.0:
         env.topo.network.impair_all_links(_impairment_profile(point))
     env.ctx.retry_policy = point.retry_policy()
     technique = technique_factory(point.technique, point.cover)(env)
+    if env.population is not None:
+        # Background cover runs for the whole measurement window; hybrid
+        # fidelity expands only the tap-crossing share to packets.
+        env.population.start(point.duration)
     technique.start()
     env.run(duration=point.duration)
     results = _serialize_results(technique.results)
@@ -147,6 +156,9 @@ def _run_censored_as(point: SweepPoint, registry: MetricsRegistry) -> Dict[str, 
         point, results, registry,
         censor=point.censor_name() if censored else "none",
         evaded=risk.evaded,
+        background_bytes=(
+            env.population.bytes_total() if env.population is not None else 0
+        ),
     )
     return {
         "results": results,

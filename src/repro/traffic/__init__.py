@@ -3,6 +3,7 @@
 from .dnsload import DNSWorkload
 from .mix import PopulationMix, install_standard_servers
 from .p2p import BITTORRENT_HANDSHAKE, P2PPeer, P2PWorkload
+from .population import PopulationProfile, PopulationTraffic
 from .scanners import COMMON_PORTS, DURUMERIC_2014, BackgroundScanners, DarknetStats
 from .spammers import SpamWorkload
 from .web import WebWorkload
@@ -17,6 +18,8 @@ __all__ = [
     "P2PPeer",
     "P2PWorkload",
     "PopulationMix",
+    "PopulationProfile",
+    "PopulationTraffic",
     "SpamWorkload",
     "WebWorkload",
     "install_standard_servers",
